@@ -1,0 +1,45 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+All benchmarks honour ``REPRO_BENCH_SCALE`` (tiny | small | medium |
+paper; default small).  Every figure/table regeneration writes its
+output both to stdout and to ``benchmarks/results/<name>.txt`` so the
+artefacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import bench_scale
+from repro.chem import ca_like_database
+from repro.stockmarket import PAPER_THETAS, stock_market_series
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}", file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def market_databases(scale):
+    """The six stock-market databases (one per paper threshold)."""
+    return dict(zip(PAPER_THETAS, stock_market_series(PAPER_THETAS, scale=scale)))
+
+
+@pytest.fixture(scope="session")
+def ca_database(scale):
+    """The CA-like chemical database, scaled."""
+    sizes = {"tiny": 120, "small": 422, "medium": 844, "paper": 422}
+    return ca_like_database(n_compounds=sizes[scale])

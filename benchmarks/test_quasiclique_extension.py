@@ -1,0 +1,110 @@
+"""Future-work extension — closed quasi-clique mining (paper §6).
+
+The paper's conclusion proposes relaxing CLAN to quasi-cliques.  This
+benchmark sweeps gamma on a workload with planted near-clique
+structure — K5-minus-an-edge blocks and bowties (two triangles sharing
+a vertex) on top of a random background — and reports how the closed
+pattern count grows as the structure requirement loosens.  At
+gamma = 1.0 the result coincides with exact CLAN (asserted).
+"""
+
+import random
+import time
+
+from repro.bench import format_table
+from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.graphdb import Graph, GraphDatabase
+from repro.graphdb.generators import default_label_alphabet, random_transaction
+
+from conftest import write_report
+
+GAMMAS = (1.0, 0.9, 0.75, 0.6)
+MAX_SIZE = 5
+N_GRAPHS = 6
+
+
+def build_workload(seed: int = 13) -> GraphDatabase:
+    """Random transactions with a planted K5−e and a planted bowtie.
+
+    The K5−e ("PQRST", one missing edge) is a 0.75-quasi-clique, the
+    bowtie ("UVWXY", two triangles sharing W) a 0.5-quasi-clique; both
+    are planted in every transaction so their patterns reach 100%
+    support, but neither is a clique.
+    """
+    rng = random.Random(seed)
+    labels = default_label_alphabet(4)
+    database = GraphDatabase(name="quasi-workload")
+    for gid in range(N_GRAPHS):
+        graph = random_transaction(rng, 10, 0.25, labels, gid)
+        base = 100
+        for offset, label in enumerate("PQRST"):
+            graph.add_vertex(base + offset, label)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                if (i, j) != (3, 4):  # S-T missing: K5 minus one edge
+                    graph.add_edge(base + i, base + j)
+        bow = 200
+        for offset, label in enumerate("UVWXY"):
+            graph.add_vertex(bow + offset, label)
+        for u, v in ((0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)):
+            graph.add_edge(bow + u, bow + v)
+        graph.add_edge(base, rng.randrange(10))
+        graph.add_edge(bow, rng.randrange(10))
+        database.add(graph)
+    return database
+
+
+def test_quasiclique_gamma_sweep(benchmark):
+    database = build_workload()
+    min_sup = 1.0
+
+    benchmark.pedantic(
+        lambda: mine_closed_quasi_cliques(
+            database, min_sup, gamma=0.75, min_size=2, max_size=MAX_SIZE
+        ),
+        rounds=1, iterations=1,
+    )
+
+    exact = mine_closed_cliques(database, min_sup, max_size=MAX_SIZE)
+    exact_keys = sorted(p.key() for p in exact)
+
+    rows, all_counts, max_sizes = [], [], []
+    found_at = {}
+    for gamma in GAMMAS:
+        started = time.perf_counter()
+        result = mine_closed_quasi_cliques(
+            database, min_sup, gamma=gamma, min_size=1, max_size=MAX_SIZE
+        )
+        seconds = time.perf_counter() - started
+        unfiltered = mine_closed_quasi_cliques(
+            database, min_sup, gamma=gamma, min_size=1, max_size=MAX_SIZE,
+            closed_only=False,
+        )
+        all_counts.append(len(unfiltered))
+        max_sizes.append(result.max_size())
+        found_at[gamma] = {p.key() for p in result}
+        rows.append([
+            gamma, len(result), len(unfiltered), len(result.at_least_size(3)),
+            result.max_size(), f"{seconds:.2f}",
+        ])
+        if gamma == 1.0:
+            assert sorted(p.key() for p in result) == exact_keys
+
+    table = format_table(
+        ["gamma", "closed", "all frequent", "size >= 3", "max size", "seconds"],
+        rows,
+        title=f"Quasi-clique extension on {database.name} @100% (max size {MAX_SIZE})",
+    )
+    write_report("quasiclique", table)
+
+    # The planted K5−e appears exactly when gamma admits it (and then
+    # absorbs its own sub-cliques, so the *closed* count may shrink).
+    assert "PQRST:6" not in found_at[1.0]
+    assert "PQRST:6" in found_at[0.75]
+    # Each outer bowtie vertex has in-set degree 2 of 4, so the bowtie
+    # needs gamma <= 0.5 and must still be absent at 0.6.
+    assert "UVWXY:6" not in found_at[0.6]
+    # The frequent (unfiltered) pattern count grows monotonically as
+    # gamma relaxes, and the reachable structure size does too.
+    assert all_counts == sorted(all_counts)
+    assert max_sizes[-1] >= max_sizes[0]

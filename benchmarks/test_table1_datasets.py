@@ -1,0 +1,54 @@
+"""Table 1 — real database characteristics.
+
+Regenerates the paper's Table 1 for the reproduction's databases: the
+CA-like chemical database and the six stock-market databases derived
+from one simulated price history at θ = 0.90 .. 0.95.
+
+Paper's published rows (for shape comparison; our sizes are scaled):
+
+    CA                  422 graphs, avg 39 vertices, avg 42 edges
+    Stock Market-0.95    11 graphs, avg 1683 vertices, avg 20074 edges
+    ...
+    Stock Market-0.90    11 graphs, avg 3636 vertices, avg 206747 edges
+"""
+
+from repro.graphdb import characteristics_table, database_characteristics
+from repro.stockmarket import PAPER_THETAS
+
+from conftest import write_report
+
+
+def build_table(ca_database, market_databases, extended: bool) -> str:
+    rows = [database_characteristics(ca_database, name="CA")]
+    for theta in sorted(PAPER_THETAS, reverse=True):
+        rows.append(
+            database_characteristics(
+                market_databases[theta], name=f"Stock Market-{theta:.2f}"
+            )
+        )
+    return characteristics_table(rows, extended=extended)
+
+
+def test_table1_characteristics(benchmark, ca_database, market_databases):
+    table = benchmark.pedantic(
+        build_table, args=(ca_database, market_databases, False),
+        rounds=1, iterations=1,
+    )
+    extended = build_table(ca_database, market_databases, True)
+    write_report("table1", "== Table 1: database characteristics ==\n"
+                 + table + "\n\n" + extended)
+
+    # Shape assertions mirroring the paper's table.
+    chem = database_characteristics(ca_database)
+    # CA is sparse: |E| barely above |V| (paper: 42 vs 39).
+    assert 0.85 * chem.avg_vertices < chem.avg_edges < 1.35 * chem.avg_vertices
+    market = [database_characteristics(market_databases[t]) for t in PAPER_THETAS]
+    # All market databases have 11 transactions.
+    assert all(m.n_graphs == 11 for m in market)
+    # Density (and vertex counts) grow monotonically as theta falls.
+    edges = [m.avg_edges for m in market]          # theta ascending
+    vertices = [m.avg_vertices for m in market]
+    assert edges == sorted(edges, reverse=True)
+    assert vertices == sorted(vertices, reverse=True)
+    # The market graphs are far denser than the chemical ones.
+    assert market[0].avg_edges > 5 * chem.avg_edges

@@ -1,0 +1,62 @@
+"""Frequent clique fragments in a chemical compound database.
+
+Rebuilds the sparse CA-style workload of the paper's Figure 7(a): a
+422-compound synthetic database with the published characteristics
+(avg 39 vertices / 42 edges).  CLAN mines its closed cliques — in
+molecular graphs these are atoms, bonds, and three-membered rings —
+and a complete gSpan-style subgraph miner runs on a subset to show the
+cost gap the figure reports.
+
+Run:  python examples/chemical_fragments.py
+"""
+
+import time
+
+from repro import mine_closed_cliques
+from repro.baselines import mine_frequent_subgraphs
+from repro.chem import CLIQUE_FRAGMENTS, ca_like_database
+from repro.graphdb import database_characteristics
+
+
+def main() -> None:
+    database = ca_like_database()
+    ch = database_characteristics(database)
+    print(
+        f"{ch.name}: {ch.n_graphs} compounds, avg |V|={ch.avg_vertices:.1f}, "
+        f"avg |E|={ch.avg_edges:.1f} (paper's CA: 422 / 39 / 42)\n"
+    )
+
+    result = mine_closed_cliques(database, min_sup=0.10)
+    print(f"CLAN @10%: {len(result)} closed cliques in {result.elapsed_seconds:.2f}s, "
+          f"sizes {result.size_histogram()}")
+    print("closed 3-cliques (three-membered rings) and their supports:")
+    planted = {tuple(sorted(f.labels)): f.name for f in CLIQUE_FRAGMENTS if f.size == 3}
+    for pattern in result.of_size(3):
+        name = planted.get(pattern.labels, "(emergent)")
+        share = 100.0 * pattern.support / len(database)
+        print(f"  {pattern.key():>14}  {share:5.1f}% of compounds  <- {name}")
+    print()
+
+    # The mine-everything route on a subset, to keep it tractable: the
+    # complete miner touches hundreds of non-clique patterns for every
+    # clique it finds — the cost the paper's Figure 7(a) quantifies.
+    subset = database.subset(range(60), name="CA-60")
+    started = time.perf_counter()
+    complete = mine_frequent_subgraphs(subset, min_sup=0.30, max_edges=7)
+    elapsed = time.perf_counter() - started
+    clan_subset = mine_closed_cliques(subset, min_sup=0.30)
+    print(
+        f"on {len(subset)} compounds @30%: complete subgraph miner visited "
+        f"{complete.total_patterns()} frequent subgraphs "
+        f"(≤7 edges) in {elapsed:.2f}s, of which "
+        f"{len(complete.clique_patterns()) + len(complete.single_vertices)} are cliques;"
+    )
+    print(
+        f"CLAN mined the {len(clan_subset)} closed cliques directly in "
+        f"{clan_subset.elapsed_seconds:.3f}s "
+        f"({elapsed / max(clan_subset.elapsed_seconds, 1e-9):.0f}x faster)."
+    )
+
+
+if __name__ == "__main__":
+    main()

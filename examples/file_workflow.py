@@ -1,0 +1,68 @@
+"""File-based workflow: generate → save → reload → mine → save → reload.
+
+Shows the interchange surface a downstream pipeline would use: the
+``t/v/e`` text format for databases (shared with gSpan-family tools),
+the paper's adjacency-matrix format, JSON for structured interchange,
+CSV for price panels, and pattern listings for result diffing.
+
+Run:  python examples/file_workflow.py   (writes into ./clan-workdir)
+"""
+
+from pathlib import Path
+
+from repro.analysis import diff_results
+from repro.core import mine_closed_cliques
+from repro.graphdb import GraphDatabase, paper_example_database
+from repro.io import gspan_format, json_format, matrix_format, patterns
+from repro.stockmarket import (
+    StockMarketSimulator,
+    load_panels_csv,
+    market_config,
+    market_graph_from_prices,
+    save_panels_csv,
+)
+
+
+def main() -> None:
+    workdir = Path("clan-workdir")
+    workdir.mkdir(exist_ok=True)
+
+    # 1. A database out and back through every graph format.
+    database = paper_example_database()
+    gspan_format.save_database(database, workdir / "example.tve")
+    matrix_format.save_database(database, workdir / "example.matrix")
+    json_format.save_database(database, workdir / "example.json")
+    print(f"wrote {workdir}/example.{{tve,matrix,json}}")
+
+    reloaded = gspan_format.open_database(workdir / "example.tve")
+    result = mine_closed_cliques(reloaded, min_sup=2)
+    patterns.save_result(result, workdir / "closed.txt")
+    json_format.save_result(result, workdir / "closed.json")
+    print(f"mined {len(result)} closed cliques -> closed.txt / closed.json")
+
+    # 2. Results reload and diff cleanly.
+    from_text = patterns.open_result(workdir / "closed.txt")
+    from_json = json_format.open_result(workdir / "closed.json")
+    diff = diff_results(from_text, from_json)
+    print("text vs json results:", "identical" if diff.identical else diff.render())
+
+    # 3. The price-panel CSV path (how real exported data would enter).
+    simulator = StockMarketSimulator(market_config("tiny"))
+    panels = [simulator.simulate_period(p) for p in range(4)]
+    paths = save_panels_csv(panels, workdir / "prices")
+    market = GraphDatabase(
+        [market_graph_from_prices(p, theta=0.9) for p in load_panels_csv(paths)],
+        name="from-csv",
+    )
+    market_result = mine_closed_cliques(market, min_sup=1.0, min_size=3)
+    print(f"CSV price path: {len(paths)} period files -> {len(market)} market "
+          f"graphs -> {len(market_result)} closed cliques of size >= 3")
+
+    # 4. End-to-end assertion for the smoke test.
+    assert diff.identical
+    assert sorted(p.key() for p in from_text) == ["abcd:2", "bde:2"]
+    print("round trip OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Common structural features of a protein family (the paper's [11]).
+
+The paper's introduction motivates clique mining with Kato & Takahashi's
+use of cliques to find maximal common 3-D structural features in protein
+molecular graphs.  This example runs that scenario on a synthetic
+protein family: contact-map graphs (residues labeled by amino acid,
+edges = spatial contact) sharing conserved motifs.
+
+Mining frequent closed cliques across the family recovers each motif as
+a pattern whose support is its conservation level — and the closedness
+filter collapses the motif's sub-compositions automatically.
+
+Run:  python examples/protein_motifs.py
+"""
+
+from repro.bio import FamilyConfig, expected_motif_patterns, protein_family
+from repro.analysis import evaluate_recovery
+from repro.core import mine_closed_cliques
+from repro.graphdb import database_characteristics
+
+
+def main() -> None:
+    config = FamilyConfig()
+    family = protein_family(config)
+    ch = database_characteristics(family)
+    print(
+        f"protein family: {ch.n_graphs} contact maps, "
+        f"avg {ch.avg_vertices:.0f} residues / {ch.avg_edges:.0f} contacts, "
+        f"{ch.distinct_labels} amino-acid labels\n"
+    )
+
+    result = mine_closed_cliques(family, min_sup=0.6, min_size=3)
+    print(f"closed cliques of size >= 3 at 60% conservation: {len(result)}")
+    for pattern in sorted(result, key=lambda p: (-p.size, -p.support))[:8]:
+        share = pattern.support / len(family)
+        print(f"  {pattern.key():>12}  in {share:.0%} of the family")
+    print()
+
+    planted = [
+        (labels, round(conservation * config.n_proteins))
+        for labels, conservation in expected_motif_patterns(config)
+    ]
+    report = evaluate_recovery(result, [(labels, None) for labels, _ in planted])
+    print("recovery against the planted motifs:")
+    print(report.render())
+
+    assert report.exact_recall == 1.0
+    print("\nall conserved motifs recovered as closed cliques "
+          "(the [11] use case, at family scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Closed quasi-clique mining — the paper's Section 6 future work.
+
+The paper closes by proposing to relax CLAN from exact cliques to
+quasi-cliques.  This example exercises our implementation of that
+extension on a small synthetic database: at gamma = 1.0 the results
+coincide with CLAN's exact closed cliques; as gamma drops, near-clique
+structures (cliques with a few missing edges) join the result set.
+
+Run:  python examples/quasicliques.py
+"""
+
+from repro import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.graphdb import GraphDatabase, Graph
+
+
+def build_database() -> GraphDatabase:
+    """Three transactions sharing a 5-near-clique (one edge missing).
+
+    Vertices p,q,r,s,t form K5 minus the (s,t) edge in every
+    transaction — a 0.75-quasi-clique but not a clique — plus a proper
+    triangle x,y,z in two transactions.
+    """
+    database = GraphDatabase(name="quasi-demo")
+    for tid in range(3):
+        labels = {0: "p", 1: "q", 2: "r", 3: "s", 4: "t", 5: "x", 6: "y", 7: "z"}
+        edges = [
+            (0, 1), (0, 2), (0, 3), (0, 4),
+            (1, 2), (1, 3), (1, 4),
+            (2, 3), (2, 4),
+            # (3, 4) deliberately missing: s-t
+        ]
+        if tid < 2:
+            edges += [(5, 6), (5, 7), (6, 7), (2, 5)]
+        else:
+            labels = {k: v for k, v in labels.items() if k < 5}
+        database.add(Graph.from_edges(labels, edges, graph_id=tid))
+    return database
+
+
+def main() -> None:
+    database = build_database()
+    print(f"database: {database}\n")
+
+    exact = mine_closed_cliques(database, min_sup=2, min_size=3)
+    print("exact closed cliques (size >= 3):")
+    for pattern in exact:
+        print(f"  {pattern.key()}")
+
+    for gamma in (1.0, 0.9, 0.75, 0.6):
+        result = mine_closed_quasi_cliques(
+            database, min_sup=2, gamma=gamma, min_size=3, max_size=6
+        )
+        keys = ", ".join(p.key() for p in result.sorted_by_form())
+        print(f"\ngamma={gamma}: {len(result)} closed quasi-cliques: {keys}")
+
+    print(
+        "\nAt gamma=1.0 the quasi-clique miner reproduces CLAN exactly; "
+        "at 0.75 the 5-vertex near-clique pqrst (K5 minus one edge) "
+        "appears — the structure the paper's future work is after."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Mining highly correlated stocks — the paper's Section 5.1 application.
+
+Simulates 11 periods of daily prices for a stock universe (the real US
+data is proprietary; see DESIGN.md), converts each period to a market
+graph by thresholding Equation 1 correlations at theta = 0.9, and mines
+the frequent closed cliques at 100% support: sets of stocks whose
+prices moved together in *every* period.
+
+The maximum clique recovers the 12 fund tickers of the paper's
+Figure 5 (DMF, IQM, MEN, MNP, NPX, NUV, PPM, VCF, VKL, VMO, VNV, XAA).
+
+Run:  python examples/stock_market_analysis.py [scale]
+      (scale: tiny | small | medium; default small)
+"""
+
+import sys
+
+from repro import mine_closed_cliques
+from repro.graphdb import database_characteristics
+from repro.stockmarket import (
+    FIGURE5_TICKERS,
+    StockMarketSimulator,
+    clique_prediction_study,
+    group_correlation_profile,
+    market_config,
+    maximum_group,
+    report,
+    stock_market_database,
+)
+
+
+def main(scale: str = "small") -> None:
+    theta = 0.90
+    database = stock_market_database(theta=theta, scale=scale)
+    ch = database_characteristics(database)
+    print(
+        f"{ch.name}: {ch.n_graphs} market graphs, avg |V|={ch.avg_vertices:.0f}, "
+        f"avg |E|={ch.avg_edges:.0f}, {ch.distinct_labels} distinct tickers, "
+        f"max degree {ch.max_degree}\n"
+    )
+
+    # 100% support: correlated over all 11 x {period length} days.
+    result = mine_closed_cliques(database, min_sup=1.0)
+    print(report(result, n_periods=len(database), min_size=3))
+    print(f"\nmined in {result.elapsed_seconds:.2f}s "
+          f"({result.statistics.prefixes_visited} prefixes, "
+          f"{result.statistics.nonclosed_prefix_prunes} subtrees pruned)\n")
+
+    top = maximum_group(result, n_periods=len(database))
+    assert top is not None
+    print(f"maximum frequent closed clique ({top.size} stocks): "
+          f"{', '.join(top.tickers)}")
+    recovered = set(top.tickers) == set(FIGURE5_TICKERS)
+    print(f"matches the paper's Figure 5 fund clique: {recovered}\n")
+
+    # Why the paper calls the prediction 'quite safe': every pair stays
+    # above theta in every period.
+    simulator = StockMarketSimulator(market_config(scale))
+    profile = group_correlation_profile(top.tickers, simulator.simulate_all())
+    print("minimum pairwise correlation of the clique, per period:")
+    for period, value in profile.items():
+        bar = "#" * int(max(0.0, value - 0.8) * 100)
+        print(f"  period {period:2d}: {value:.4f} {bar}")
+    print(f"\nall above theta={theta}: {all(v > theta for v in profile.values())}")
+
+    # The paper's motivating claim, quantified: clique-mates predict a
+    # member's daily price direction far better than random stocks do.
+    panel = simulator.simulate_period(0)
+    study = clique_prediction_study(panel, top.tickers, seed=1)
+    print(
+        f"\ndirection prediction from clique-mates: "
+        f"{study['clique_hit_rate']:.1%} hit rate "
+        f"(random predictors: {study['control_hit_rate']:.1%}; "
+        f"advantage {study['advantage']:+.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,58 @@
+"""Communities of interest in call-detail graphs (the paper's [1]).
+
+The paper's introduction cites Abello et al.: quasi-clique detection in
+telephone call graphs reveals communities of interest.  This example
+runs the comparison the paper's §6 future work anticipates:
+
+* exact closed clique mining (CLAN) only recovers communities whose
+  members *all* call each other every active day;
+* the closed quasi-clique extension recovers the realistic ones, whose
+  daily call patterns cover only part of the pairs.
+
+Run:  python examples/telecom_communities.py
+"""
+
+from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.telecom import call_graph_database, expected_communities
+
+
+def main() -> None:
+    database = call_graph_database()
+    print(f"workload: {database}  (one graph per day)\n")
+
+    print("planted calling communities:")
+    for labels, spec in expected_communities():
+        print(
+            f"  {len(labels)} members, per-day pair-call density "
+            f"{spec.density:.0%}, active {spec.activity:.0%} of days: "
+            f"{', '.join(labels)}"
+        )
+    print()
+
+    exact = mine_closed_cliques(database, 0.7, min_size=4)
+    print(f"exact CLAN (>=4 members, 70% of days): {len(exact)} closed cliques")
+    for pattern in exact:
+        print(f"  {pattern.key()}")
+    print("  -> only the density-100% community forms an exact clique\n")
+
+    quasi = mine_closed_quasi_cliques(
+        database, 0.7, gamma=0.6, min_size=4, max_size=6
+    )
+    print(
+        f"closed 0.6-quasi-cliques (>=4 members, 70% of days): {len(quasi)}"
+    )
+    for pattern in sorted(quasi, key=lambda p: (-p.size, -p.support))[:5]:
+        print(f"  {pattern.key()}")
+
+    biggest = max(quasi, key=lambda p: p.size)
+    planted = {labels for labels, _ in expected_communities()}
+    recovered = biggest.labels in planted
+    print(
+        f"\nlargest quasi-clique community ({biggest.size} members, "
+        f"support {biggest.support}) matches a planted community: {recovered}"
+    )
+    assert recovered
+
+
+if __name__ == "__main__":
+    main()

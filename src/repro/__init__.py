@@ -1,0 +1,53 @@
+"""CLAN: mining frequent closed cliques from large dense graph databases.
+
+A from-scratch reproduction of Wang, Zeng & Zhou, ICDE 2006.  The
+top-level package re-exports the everyday API; see the subpackages for
+the full surface:
+
+* :mod:`repro.core` — the CLAN miner, canonical forms, results.
+* :mod:`repro.graphdb` — graph transactions, databases, clique tools.
+* :mod:`repro.baselines` — brute force, gSpan-style complete miner.
+* :mod:`repro.stockmarket` — the Section 5.1 market-graph pipeline.
+* :mod:`repro.chem` — the CA-like chemical database generator.
+* :mod:`repro.io` — text / matrix / JSON formats.
+* :mod:`repro.bench` — benchmark harness and experiment registry.
+
+Quickstart::
+
+    from repro import mine_closed_cliques, paper_example_database
+    result = mine_closed_cliques(paper_example_database(), min_sup=2)
+    print([p.key() for p in result])          # ['abcd:2', 'bde:2']
+"""
+
+from .core import (
+    CanonicalForm,
+    ClanMiner,
+    CliqueLattice,
+    CliquePattern,
+    MinerConfig,
+    MiningResult,
+    mine_closed_cliques,
+    mine_closed_quasi_cliques,
+    mine_frequent_cliques,
+)
+from .exceptions import ReproError
+from .graphdb import Graph, GraphDatabase, paper_example_database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CanonicalForm",
+    "ClanMiner",
+    "CliqueLattice",
+    "CliquePattern",
+    "Graph",
+    "GraphDatabase",
+    "MinerConfig",
+    "MiningResult",
+    "ReproError",
+    "__version__",
+    "mine_closed_cliques",
+    "mine_closed_quasi_cliques",
+    "mine_frequent_cliques",
+    "paper_example_database",
+]

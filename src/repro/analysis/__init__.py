@@ -1,0 +1,14 @@
+"""Analysis utilities: result diffs, ground-truth recovery scoring."""
+
+from .compare import ResultDiff, diff_results, label_frequency, support_histogram
+from .groundtruth import RecoveryOutcome, RecoveryReport, evaluate_recovery
+
+__all__ = [
+    "RecoveryOutcome",
+    "RecoveryReport",
+    "ResultDiff",
+    "diff_results",
+    "evaluate_recovery",
+    "label_frequency",
+    "support_histogram",
+]

@@ -1,0 +1,99 @@
+"""Result-set comparison.
+
+Reproduction work constantly diffs pattern sets — CLAN vs a baseline,
+one commit vs another, one parameterisation vs another.  This module
+gives that diff a structure: which forms appeared, which disappeared,
+which changed support, plus the usual set-similarity summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.canonical import Label
+from ..core.results import MiningResult
+
+
+@dataclass(frozen=True)
+class ResultDiff:
+    """Difference between two mining results (``left`` vs ``right``)."""
+
+    only_left: Tuple[str, ...]
+    only_right: Tuple[str, ...]
+    support_changed: Tuple[Tuple[str, int, int], ...]
+    common: int
+
+    @property
+    def identical(self) -> bool:
+        """Whether the two results agree form-for-form and support-for-support."""
+        return not self.only_left and not self.only_right and not self.support_changed
+
+    def jaccard(self) -> float:
+        """Jaccard similarity over canonical forms (1.0 for equal sets)."""
+        union = self.common + len(self.only_left) + len(self.only_right)
+        if union == 0:
+            return 1.0
+        return self.common / union
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable diff summary."""
+        lines = [
+            f"common forms: {self.common}, jaccard: {self.jaccard():.3f}",
+        ]
+        if self.only_left:
+            lines.append(f"only in left ({len(self.only_left)}):")
+            lines.extend(f"  - {key}" for key in self.only_left[:limit])
+        if self.only_right:
+            lines.append(f"only in right ({len(self.only_right)}):")
+            lines.extend(f"  + {key}" for key in self.only_right[:limit])
+        if self.support_changed:
+            lines.append(f"support changed ({len(self.support_changed)}):")
+            lines.extend(
+                f"  ~ {form}: {a} -> {b}"
+                for form, a, b in self.support_changed[:limit]
+            )
+        if self.identical:
+            lines.append("results are identical")
+        return "\n".join(lines)
+
+
+def diff_results(left: MiningResult, right: MiningResult) -> ResultDiff:
+    """Structured diff of two results by canonical form."""
+    left_map = {p.form: p.support for p in left}
+    right_map = {p.form: p.support for p in right}
+    only_left = sorted(
+        f"{form}:{sup}" for form, sup in left_map.items() if form not in right_map
+    )
+    only_right = sorted(
+        f"{form}:{sup}" for form, sup in right_map.items() if form not in left_map
+    )
+    changed = sorted(
+        (str(form), left_map[form], right_map[form])
+        for form in left_map
+        if form in right_map and left_map[form] != right_map[form]
+    )
+    common = sum(1 for form in left_map if form in right_map)
+    return ResultDiff(
+        only_left=tuple(only_left),
+        only_right=tuple(only_right),
+        support_changed=tuple(changed),
+        common=common,
+    )
+
+
+def support_histogram(result: MiningResult) -> Dict[int, int]:
+    """Number of patterns per support value, ascending."""
+    histogram: Dict[int, int] = {}
+    for pattern in result:
+        histogram[pattern.support] = histogram.get(pattern.support, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def label_frequency(result: MiningResult) -> Dict[Label, int]:
+    """How many patterns each label participates in, most frequent first."""
+    counts: Dict[Label, int] = {}
+    for pattern in result:
+        for label in set(pattern.labels):
+            counts[label] = counts.get(label, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))

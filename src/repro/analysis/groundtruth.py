@@ -1,0 +1,139 @@
+"""Evaluation against planted ground truth.
+
+The synthetic generators know what they planted (fund groups, clique
+specs); this module scores a mining result against that knowledge —
+did the miner recover each planted structure, at what support, and how
+much else did it report?  Used by the dataset-calibration tests and by
+EXPERIMENTS.md's recovery claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.canonical import CanonicalForm, Label
+from ..core.results import MiningResult
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """How one planted structure fared in a mining result."""
+
+    labels: Tuple[Label, ...]
+    expected_support: Optional[int]
+    #: exact: the full planted form is a mined pattern.
+    exact: bool
+    #: The largest mined sub-pattern of the planted form (None if none).
+    best_subpattern: Optional[str]
+    #: Fraction of the planted labels covered by the best sub-pattern.
+    coverage: float
+    #: Mined support of the exact pattern (None unless exact).
+    mined_support: Optional[int]
+
+    @property
+    def support_matches(self) -> bool:
+        """Whether the mined support equals the expected one (if both known)."""
+        if not self.exact or self.expected_support is None:
+            return False
+        return self.mined_support == self.expected_support
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Aggregate scoring of a result against a planted structure list."""
+
+    outcomes: Tuple[RecoveryOutcome, ...]
+    #: Mined patterns (of the sizes under evaluation) matching no
+    #: planted structure even partially — the "excess" patterns.
+    unmatched_patterns: Tuple[str, ...]
+
+    @property
+    def exact_recall(self) -> float:
+        """Fraction of planted structures recovered exactly."""
+        if not self.outcomes:
+            return 1.0
+        return sum(1 for o in self.outcomes if o.exact) / len(self.outcomes)
+
+    @property
+    def mean_coverage(self) -> float:
+        """Average label coverage of the planted structures."""
+        if not self.outcomes:
+            return 1.0
+        return sum(o.coverage for o in self.outcomes) / len(self.outcomes)
+
+    def render(self) -> str:
+        """Human-readable recovery summary."""
+        lines = [
+            f"exact recall: {self.exact_recall:.2f}  "
+            f"mean coverage: {self.mean_coverage:.2f}  "
+            f"unmatched mined patterns: {len(self.unmatched_patterns)}"
+        ]
+        for outcome in self.outcomes:
+            status = "EXACT" if outcome.exact else f"partial {outcome.coverage:.0%}"
+            lines.append(
+                f"  {'.'.join(outcome.labels)}: {status}"
+                + (f" (support {outcome.mined_support})" if outcome.exact else
+                   f" (best: {outcome.best_subpattern})")
+            )
+        return "\n".join(lines)
+
+
+def evaluate_recovery(
+    result: MiningResult,
+    planted: Sequence[Tuple[Sequence[Label], Optional[int]]],
+    min_size: int = 3,
+) -> RecoveryReport:
+    """Score a result against planted (labels, expected_support) pairs.
+
+    A planted structure is *exactly* recovered when its canonical form
+    is a mined pattern; otherwise the largest mined sub-pattern drawn
+    entirely from its labels measures partial coverage.  Mined patterns
+    of size ≥ ``min_size`` that are not sub-patterns of any planted
+    structure are reported as unmatched.
+    """
+    mined = {p.form: p for p in result}
+    planted_forms = [
+        (CanonicalForm.from_labels(labels), expected)
+        for labels, expected in planted
+    ]
+
+    outcomes: List[RecoveryOutcome] = []
+    for form, expected in planted_forms:
+        pattern = mined.get(form)
+        if pattern is not None:
+            outcomes.append(
+                RecoveryOutcome(
+                    labels=form.labels,
+                    expected_support=expected,
+                    exact=True,
+                    best_subpattern=pattern.key(),
+                    coverage=1.0,
+                    mined_support=pattern.support,
+                )
+            )
+            continue
+        best = None
+        for candidate in mined.values():
+            if candidate.form.is_subclique_of(form):
+                if best is None or candidate.size > best.size:
+                    best = candidate
+        outcomes.append(
+            RecoveryOutcome(
+                labels=form.labels,
+                expected_support=expected,
+                exact=False,
+                best_subpattern=best.key() if best else None,
+                coverage=(best.size / form.size) if best else 0.0,
+                mined_support=None,
+            )
+        )
+
+    unmatched = tuple(
+        sorted(
+            p.key()
+            for p in result.at_least_size(min_size)
+            if not any(p.form.is_subclique_of(f) for f, _ in planted_forms)
+        )
+    )
+    return RecoveryReport(outcomes=tuple(outcomes), unmatched_patterns=unmatched)

@@ -1,0 +1,55 @@
+"""Baselines and reference miners.
+
+* :mod:`repro.baselines.bruteforce` — exhaustive ground truth for tests.
+* :mod:`repro.baselines.gspan` — a from-scratch complete frequent
+  subgraph miner (the paper's ADI-Mine stand-in for Figure 7(a)).
+* :mod:`repro.baselines.subgraph_filter` — mine-everything-then-filter
+  pipeline the paper argues against.
+* :mod:`repro.baselines.naive` — post-filtered / duplicate-generating
+  closed-clique miners for the ablation study.
+"""
+
+from .apriori import (
+    AprioriCliqueMiner,
+    mine_closed_cliques_bfs,
+    mine_frequent_cliques_bfs,
+)
+from .bruteforce import (
+    bruteforce_closed_cliques,
+    bruteforce_frequent_cliques,
+    pattern_supports,
+)
+from .dfscode import DFSCode, EdgeTuple, edge_order_key, is_minimal_code, minimum_dfs_code
+from .gspan import (
+    GSpanMiner,
+    GSpanResult,
+    SingleVertexPattern,
+    SubgraphPattern,
+    mine_frequent_subgraphs,
+)
+from .naive import enumeration_orders, mine_closed_by_postfilter, mine_closed_with_duplicates
+from .subgraph_filter import cliques_from_subgraphs, mine_closed_cliques_via_subgraphs
+
+__all__ = [
+    "AprioriCliqueMiner",
+    "DFSCode",
+    "mine_closed_cliques_bfs",
+    "mine_frequent_cliques_bfs",
+    "EdgeTuple",
+    "GSpanMiner",
+    "GSpanResult",
+    "SingleVertexPattern",
+    "SubgraphPattern",
+    "bruteforce_closed_cliques",
+    "bruteforce_frequent_cliques",
+    "cliques_from_subgraphs",
+    "edge_order_key",
+    "enumeration_orders",
+    "is_minimal_code",
+    "mine_closed_by_postfilter",
+    "mine_closed_cliques_via_subgraphs",
+    "mine_closed_with_duplicates",
+    "mine_frequent_subgraphs",
+    "minimum_dfs_code",
+    "pattern_supports",
+]

@@ -1,0 +1,86 @@
+"""Brute-force reference miners.
+
+These exist to define ground truth for tests (including the hypothesis
+property suites): enumerate every clique of every transaction
+explicitly, aggregate label multisets, and filter.  Exponential — for
+small inputs only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.canonical import CanonicalForm, Label
+from ..core.pattern import CliquePattern
+from ..core.results import MiningResult
+from ..graphdb.cliques import all_cliques
+from ..graphdb.database import GraphDatabase
+
+
+def pattern_supports(
+    database: GraphDatabase,
+    min_size: int = 1,
+    max_size: Optional[int] = None,
+) -> Dict[Tuple[Label, ...], Set[int]]:
+    """Map every clique label-multiset to its supporting transaction set."""
+    supports: Dict[Tuple[Label, ...], Set[int]] = {}
+    for tid, graph in enumerate(database):
+        for clique in all_cliques(graph, min_size=min_size, max_size=max_size):
+            labels = graph.label_multiset(clique)
+            supports.setdefault(labels, set()).add(tid)
+    return supports
+
+
+def bruteforce_frequent_cliques(
+    database: GraphDatabase,
+    min_sup: float,
+    min_size: int = 1,
+    max_size: Optional[int] = None,
+) -> MiningResult:
+    """All frequent clique patterns by exhaustive enumeration."""
+    started = time.perf_counter()
+    abs_sup = database.absolute_support(min_sup)
+    supports = pattern_supports(database, min_size=min_size, max_size=max_size)
+    result = MiningResult(min_sup=abs_sup, closed_only=False)
+    for labels in sorted(supports):
+        tids = supports[labels]
+        if len(tids) >= abs_sup:
+            result.add(
+                CliquePattern(
+                    form=CanonicalForm(labels),
+                    support=len(tids),
+                    transactions=tuple(sorted(tids)),
+                )
+            )
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def bruteforce_closed_cliques(
+    database: GraphDatabase,
+    min_sup: float,
+    min_size: int = 1,
+    max_size: Optional[int] = None,
+) -> MiningResult:
+    """All frequent *closed* clique patterns by exhaustive enumeration.
+
+    Closedness is evaluated against the unfiltered frequent set: when a
+    size window is given, it is applied after the closure filter (a
+    size-3 clique dominated by a size-4 clique of equal support is
+    non-closed even if only size-3 patterns are requested) — matching
+    how the paper reports "closed cliques with a size no smaller than
+    three".
+    """
+    started = time.perf_counter()
+    frequent = bruteforce_frequent_cliques(database, min_sup)
+    closed = frequent.closed_subset()
+    result = MiningResult(min_sup=frequent.min_sup, closed_only=True)
+    for pattern in closed:
+        if pattern.size < min_size:
+            continue
+        if max_size is not None and pattern.size > max_size:
+            continue
+        result.add(pattern)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,261 @@
+"""Minimum DFS codes for vertex-labeled graphs (gSpan canonical form).
+
+This is the canonical form the paper contrasts with CLAN's string form
+in Section 4.1: general graph miners such as gSpan [19] identify a
+pattern with the lexicographically minimum sequence of DFS edge tuples.
+We implement it for undirected, vertex-labeled, edge-unlabeled graphs
+(the paper's setting) to power the complete frequent-subgraph baseline
+of Figure 7(a).
+
+An edge tuple is ``(i, j, li, lj)`` where ``i``/``j`` are DFS discovery
+indices and ``li``/``lj`` the endpoint labels; ``i < j`` marks a
+forward (tree) edge, ``i > j`` a backward edge.  The total order on
+tuples and the rightmost-extension rule follow the gSpan paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import PatternError
+from ..graphdb.graph import Graph, Label
+
+#: One DFS-code edge: (from index, to index, from label, to label).
+EdgeTuple = Tuple[int, int, Label, Label]
+
+
+def is_forward(edge: EdgeTuple) -> bool:
+    """Forward (tree) edges discover a new vertex: ``i < j``."""
+    return edge[0] < edge[1]
+
+
+def edge_order_key(edge: EdgeTuple) -> Tuple:
+    """Sort key realising gSpan's total order on DFS-code edge tuples.
+
+    For two edges in valid codes the structural part orders first:
+
+    * backward vs backward: by ``i`` then ``j``;
+    * forward vs forward: by ``j`` then *descending* ``i``;
+    * backward (i1, j1) precedes forward (i2, j2) iff ``i1 < j2``;
+    * forward (i1, j1) precedes backward (i2, j2) iff ``j1 <= i2``.
+
+    The key below encodes those four rules into one comparable tuple:
+    each edge maps to ``(t, s, labels)`` where forward edges use
+    ``t = j`` and backward edges use ``t = i + 0.5`` — a backward edge
+    from the vertex discovered at time ``i`` sorts after the forward
+    edge that discovered time ``i`` and before the one discovering
+    ``i + 1``, which is exactly the rule set above.
+    """
+    i, j, li, lj = edge
+    if i < j:  # forward
+        return (2 * j, -i, li, lj)
+    return (2 * i + 1, j, li, lj)
+
+
+class DFSCode:
+    """An immutable sequence of DFS-code edge tuples."""
+
+    __slots__ = ("edges",)
+
+    def __init__(self, edges: Sequence[EdgeTuple] = ()) -> None:
+        self.edges: Tuple[EdgeTuple, ...] = tuple(edges)
+
+    # ------------------------------------------------------------------
+    def extend(self, edge: EdgeTuple) -> "DFSCode":
+        """Return the code with one more edge appended."""
+        return DFSCode(self.edges + (edge,))
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def vertex_count(self) -> int:
+        """Number of distinct DFS indices (vertices) in the code."""
+        if not self.edges:
+            return 0
+        return max(max(i, j) for i, j, _, _ in self.edges) + 1
+
+    def rightmost_vertex(self) -> int:
+        """The most recently discovered vertex index."""
+        if not self.edges:
+            raise PatternError("empty DFS code has no rightmost vertex")
+        return max(max(i, j) for i, j, _, _ in self.edges)
+
+    def rightmost_path(self) -> List[int]:
+        """DFS indices on the rightmost path, root (0) first.
+
+        Reconstructed from the forward edges: walk from the rightmost
+        vertex up through the tree parents.
+        """
+        parents: Dict[int, int] = {}
+        for i, j, _, _ in self.edges:
+            if i < j:
+                parents[j] = i
+        path = [self.rightmost_vertex()]
+        while path[-1] in parents:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
+
+    def vertex_labels(self) -> Dict[int, Label]:
+        """Map DFS index → vertex label."""
+        labels: Dict[int, Label] = {}
+        for i, j, li, lj in self.edges:
+            labels.setdefault(i, li)
+            labels.setdefault(j, lj)
+        return labels
+
+    def to_graph(self) -> Graph:
+        """Materialise the pattern graph (ids are DFS indices)."""
+        graph = Graph()
+        for index, label in sorted(self.vertex_labels().items()):
+            graph.add_vertex(index, label)
+        for i, j, _, _ in self.edges:
+            graph.add_edge(i, j)
+        return graph
+
+    def is_clique_code(self) -> bool:
+        """Whether the pattern is a complete graph."""
+        n = self.vertex_count()
+        return len(self.edges) == n * (n - 1) // 2
+
+    # ------------------------------------------------------------------
+    def sort_key(self) -> Tuple:
+        """Lexicographic key over per-edge order keys."""
+        return tuple(edge_order_key(e) for e in self.edges)
+
+    def __lt__(self, other: "DFSCode") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DFSCode):
+            return NotImplemented
+        return self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[EdgeTuple]:
+        return iter(self.edges)
+
+    def __repr__(self) -> str:
+        body = ",".join(f"({i},{j},{li},{lj})" for i, j, li, lj in self.edges)
+        return f"DFSCode[{body}]"
+
+
+def minimum_dfs_code(graph: Graph) -> DFSCode:
+    """Compute the minimum DFS code of a connected graph.
+
+    Exhaustive over automorphism branches but pruned: partial codes are
+    grown one minimal edge at a time, keeping only the embeddings that
+    realise the current minimal prefix.  Intended for the small pattern
+    graphs a frequent-subgraph miner manipulates.
+    """
+    if graph.vertex_count == 0:
+        return DFSCode()
+    if len(graph.connected_components()) > 1:
+        raise PatternError("minimum_dfs_code requires a connected graph")
+    if graph.edge_count == 0:
+        # Single isolated vertex: represent as empty code (callers treat
+        # single vertices separately).
+        return DFSCode()
+
+    code = DFSCode()
+    # Each embedding maps DFS index -> graph vertex; start from every
+    # vertex with the minimum label.
+    min_label = min(graph.label(v) for v in graph.vertices())
+    embeddings: List[Dict[int, int]] = [
+        {0: v} for v in graph.vertices() if graph.label(v) == min_label
+    ]
+    edge_total = graph.edge_count
+    while code.edge_count < edge_total:
+        code, embeddings = _grow_minimal(graph, code, embeddings)
+    return code
+
+
+def _candidate_extensions(
+    graph: Graph, code: DFSCode, embedding: Dict[int, int]
+) -> Iterator[Tuple[EdgeTuple, Optional[int]]]:
+    """Rightmost extensions of one embedding.
+
+    Yields ``(edge tuple, new graph vertex or None)``; backward edges
+    carry ``None`` because they map no new vertex.
+    """
+    mapped = set(embedding.values())
+    reverse = {v: k for k, v in embedding.items()}
+    if not code.edges:
+        vertex = embedding[0]
+        for neighbor in graph.neighbors(vertex):
+            yield (0, 1, graph.label(vertex), graph.label(neighbor)), neighbor
+        return
+    rightmost = code.rightmost_vertex()
+    path = code.rightmost_path()
+    labels = code.vertex_labels()
+    existing = {frozenset((i, j)) for i, j, _, _ in code.edges}
+    rm_vertex = embedding[rightmost]
+    # Backward edges: rightmost vertex -> earlier rightmost-path vertex.
+    for index in path[:-1]:
+        if frozenset((rightmost, index)) in existing:
+            continue
+        if embedding[index] in graph.neighbors(rm_vertex):
+            yield (rightmost, index, labels[rightmost], labels[index]), None
+    # Forward edges: from any rightmost-path vertex to an unmapped vertex.
+    for index in reversed(path):
+        source = embedding[index]
+        for neighbor in graph.neighbors(source):
+            if neighbor in mapped:
+                continue
+            yield (index, rightmost + 1, labels[index], graph.label(neighbor)), neighbor
+
+
+def _grow_minimal(
+    graph: Graph, code: DFSCode, embeddings: List[Dict[int, int]]
+) -> Tuple[DFSCode, List[Dict[int, int]]]:
+    """Extend the partial minimal code by its single minimal next edge."""
+    best_edge: Optional[EdgeTuple] = None
+    best_key: Optional[Tuple] = None
+    grouped: Dict[EdgeTuple, List[Dict[int, int]]] = {}
+    for embedding in embeddings:
+        for edge, new_vertex in _candidate_extensions(graph, code, embedding):
+            key = edge_order_key(edge)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_edge = edge
+                grouped = {edge: []}
+            if edge == best_edge:
+                child = dict(embedding)
+                if new_vertex is not None:
+                    child[edge[1]] = new_vertex
+                grouped[edge].append(child)
+    if best_edge is None:
+        raise PatternError("graph is disconnected; DFS ran out of extensions")
+    return code.extend(best_edge), grouped[best_edge]
+
+
+def is_minimal_code(code: DFSCode) -> bool:
+    """Whether ``code`` is the minimum DFS code of its own pattern graph.
+
+    The standard gSpan pruning test: grow the true minimal code of the
+    pattern edge by edge; the first position where it beats ``code``
+    proves non-minimality.
+    """
+    if code.edge_count <= 1:
+        return True
+    graph = code.to_graph()
+    min_label = min(graph.label(v) for v in graph.vertices())
+    candidate = DFSCode()
+    embeddings: List[Dict[int, int]] = [
+        {0: v} for v in graph.vertices() if graph.label(v) == min_label
+    ]
+    for position in range(code.edge_count):
+        candidate, embeddings = _grow_minimal(graph, candidate, embeddings)
+        mine = edge_order_key(candidate.edges[position])
+        theirs = edge_order_key(code.edges[position])
+        if mine < theirs:
+            return False
+        if mine > theirs:  # pragma: no cover - cannot happen for valid codes
+            raise PatternError("candidate minimal code exceeded the tested code")
+    return True

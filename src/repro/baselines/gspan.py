@@ -1,0 +1,224 @@
+"""A complete frequent-subgraph miner in the gSpan style.
+
+The paper's efficiency study (Figure 7(a)) compares CLAN against
+ADI-Mine [17], a complete frequent-subgraph miner, to make the point
+that "mine everything, then keep the cliques" is hopeless on dense
+data.  ADI-Mine is closed source; per the reproduction's substitution
+rule we implement a complete miner from scratch — gSpan-style DFS-code
+enumeration with rightmost extension and minimality pruning — which
+exercises the same combinatorial explosion on the same inputs.
+
+The miner enumerates every frequent *connected* subgraph with at least
+one edge (plus, separately, frequent single vertices), counting support
+per transaction, exactly like the originals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import MiningError
+from ..graphdb.database import GraphDatabase
+from ..graphdb.graph import Label
+from .dfscode import DFSCode, EdgeTuple, _candidate_extensions, edge_order_key, is_minimal_code
+
+#: One pattern embedding in a transaction: DFS index -> graph vertex.
+Embedding = Dict[int, int]
+
+
+@dataclass
+class SubgraphPattern:
+    """A frequent subgraph: its minimum DFS code and support evidence."""
+
+    code: DFSCode
+    support: int
+    transactions: Tuple[int, ...]
+
+    @property
+    def vertex_count(self) -> int:
+        return self.code.vertex_count()
+
+    @property
+    def edge_count(self) -> int:
+        return self.code.edge_count
+
+    def is_clique(self) -> bool:
+        """Whether the pattern is a complete graph."""
+        return self.code.is_clique_code()
+
+    def label_multiset(self) -> Tuple[Label, ...]:
+        """Sorted vertex labels (the CLAN canonical form if a clique)."""
+        return tuple(sorted(self.code.vertex_labels().values()))
+
+    def key(self) -> str:
+        return f"{self.code!r}:{self.support}"
+
+
+@dataclass
+class SingleVertexPattern:
+    """A frequent single-vertex pattern (gSpan reports these separately)."""
+
+    label: Label
+    support: int
+    transactions: Tuple[int, ...]
+
+
+@dataclass
+class GSpanResult:
+    """Everything a complete run found, with basic search counters."""
+
+    patterns: List[SubgraphPattern] = field(default_factory=list)
+    single_vertices: List[SingleVertexPattern] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    nodes_visited: int = 0
+    minimality_rejections: int = 0
+    infrequent_extensions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def total_patterns(self) -> int:
+        """All frequent subgraphs, counting single vertices."""
+        return len(self.patterns) + len(self.single_vertices)
+
+    def clique_patterns(self) -> List[SubgraphPattern]:
+        """The subset of patterns that are cliques (≥ 2 vertices)."""
+        return [p for p in self.patterns if p.is_clique()]
+
+    def by_size(self) -> Dict[int, int]:
+        """Pattern count per vertex count (single vertices included)."""
+        histogram: Dict[int, int] = {}
+        if self.single_vertices:
+            histogram[1] = len(self.single_vertices)
+        for pattern in self.patterns:
+            n = pattern.vertex_count
+            histogram[n] = histogram.get(n, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+class GSpanMiner:
+    """Complete frequent connected-subgraph miner.
+
+    Parameters
+    ----------
+    database:
+        The graph transaction database.
+    max_edges:
+        Optional cap on pattern edge count.  The dense-database
+        experiments use it to emulate "did not complete": a run that
+        hits the cap (or the node budget) is reported as truncated.
+    max_nodes:
+        Optional budget on search-tree nodes, the offline stand-in for
+        the paper's "ADI-Mine could not complete after running for
+        several days".
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        max_edges: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        self.database = database
+        self.max_edges = max_edges
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    def mine(self, min_sup: float) -> GSpanResult:
+        """Mine all frequent connected subgraphs at the given threshold."""
+        started = time.perf_counter()
+        abs_sup = self.database.absolute_support(min_sup)
+        result = GSpanResult()
+
+        for label in self.database.frequent_labels(abs_sup):
+            tids = tuple(
+                tid
+                for tid, graph in enumerate(self.database)
+                if graph.vertices_with_label(label)
+            )
+            result.single_vertices.append(SingleVertexPattern(label, len(tids), tids))
+
+        # Seed with every frequent single-edge code.
+        seeds = self._single_edge_seeds(abs_sup)
+        for code, embeddings in seeds:
+            self._recurse(code, embeddings, abs_sup, result)
+
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _single_edge_seeds(
+        self, abs_sup: int
+    ) -> List[Tuple[DFSCode, Dict[int, List[Embedding]]]]:
+        """All frequent one-edge DFS codes with their embeddings."""
+        grouped: Dict[EdgeTuple, Dict[int, List[Embedding]]] = {}
+        for tid, graph in enumerate(self.database):
+            for u, v in graph.edges():
+                lu, lv = graph.label(u), graph.label(v)
+                for a, b, la, lb in ((u, v, lu, lv), (v, u, lv, lu)):
+                    edge = (0, 1, la, lb)
+                    if la > lb:
+                        # (la, lb) with la > lb is never a minimal first
+                        # edge; the mirrored orientation covers it.
+                        continue
+                    grouped.setdefault(edge, {}).setdefault(tid, []).append({0: a, 1: b})
+        seeds = []
+        for edge in sorted(grouped, key=edge_order_key):
+            embeddings = grouped[edge]
+            if len(embeddings) >= abs_sup:
+                seeds.append((DFSCode([edge]), embeddings))
+        return seeds
+
+    # ------------------------------------------------------------------
+    def _recurse(
+        self,
+        code: DFSCode,
+        embeddings: Dict[int, List[Embedding]],
+        abs_sup: int,
+        result: GSpanResult,
+    ) -> None:
+        result.nodes_visited += 1
+        if self.max_nodes is not None and result.nodes_visited > self.max_nodes:
+            raise MiningError(
+                f"gSpan baseline exceeded its search budget of {self.max_nodes} "
+                f"nodes (the dense-database 'could not complete' regime)"
+            )
+        tids = tuple(sorted(embeddings))
+        result.patterns.append(SubgraphPattern(code, len(tids), tids))
+
+        if self.max_edges is not None and code.edge_count >= self.max_edges:
+            return
+
+        # Group rightmost extensions over all embeddings.
+        grouped: Dict[EdgeTuple, Dict[int, List[Embedding]]] = {}
+        for tid, per_tid in embeddings.items():
+            graph = self.database[tid]
+            for embedding in per_tid:
+                for edge, new_vertex in _candidate_extensions(graph, code, embedding):
+                    child = dict(embedding)
+                    if new_vertex is not None:
+                        child[edge[1]] = new_vertex
+                    grouped.setdefault(edge, {}).setdefault(tid, []).append(child)
+
+        for edge in sorted(grouped, key=edge_order_key):
+            child_embeddings = grouped[edge]
+            if len(child_embeddings) < abs_sup:
+                result.infrequent_extensions += 1
+                continue
+            child_code = code.extend(edge)
+            if not is_minimal_code(child_code):
+                result.minimality_rejections += 1
+                continue
+            self._recurse(child_code, child_embeddings, abs_sup, result)
+
+
+def mine_frequent_subgraphs(
+    database: GraphDatabase,
+    min_sup: float,
+    max_edges: Optional[int] = None,
+    max_nodes: Optional[int] = None,
+) -> GSpanResult:
+    """Convenience wrapper over :class:`GSpanMiner`."""
+    return GSpanMiner(database, max_edges=max_edges, max_nodes=max_nodes).mine(min_sup)

@@ -1,0 +1,25 @@
+"""Benchmark harness: timing, sweeps, tables, the experiment registry."""
+
+from .ascii import horizontal_bars, multi_series_chart, series_chart
+from .experiments import EXPERIMENTS, EXPERIMENTS_BY_KEY, Experiment, registry_report
+from .harness import Series, TimedRun, bench_scale, runtime_sweep, sweep, timed, timed_or_budget
+from .tables import format_series_table, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "horizontal_bars",
+    "multi_series_chart",
+    "series_chart",
+    "EXPERIMENTS_BY_KEY",
+    "Experiment",
+    "Series",
+    "TimedRun",
+    "bench_scale",
+    "format_series_table",
+    "format_table",
+    "registry_report",
+    "runtime_sweep",
+    "sweep",
+    "timed",
+    "timed_or_budget",
+]

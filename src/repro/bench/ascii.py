@@ -1,0 +1,86 @@
+"""ASCII chart rendering for benchmark series.
+
+The paper's figures are log-scale line charts; benchmarks print their
+data as tables plus these terminal-friendly charts so the *shape* is
+visible at a glance in `benchmarks/results/`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .harness import Series
+
+
+def horizontal_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Simple horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("one value per label is required")
+    if not labels:
+        return "(no data)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts require non-negative values")
+
+    if log_scale:
+        floor = min((v for v in values if v > 0), default=1.0)
+        def scaled(v: float) -> float:
+            return math.log10(v / floor) + 1.0 if v > 0 else 0.0
+    else:
+        def scaled(v: float) -> float:
+            return v
+
+    top = max((scaled(v) for v in values), default=1.0) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * scaled(value) / top))
+        shown = f"{value:.3g}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Series,
+    width: int = 50,
+    log_scale: bool = False,
+) -> str:
+    """Render one :class:`Series` as labelled horizontal bars."""
+    labels = [str(x) for x in series.xs()]
+    values = [float(y) for y in series.ys()]
+    header = f"# {series.name} ({series.y_label} by {series.x_label})"
+    return header + "\n" + horizontal_bars(labels, values, width, log_scale)
+
+
+def multi_series_chart(
+    x_labels: Sequence[str],
+    series_names: Sequence[str],
+    columns: Sequence[Sequence[float]],
+    width: int = 40,
+    log_scale: bool = True,
+) -> str:
+    """Several series over a shared x axis, stacked in blocks.
+
+    The layout of the paper's multi-curve figures transposed for
+    terminals: one block per x value, one bar per series.
+    """
+    if len(series_names) != len(columns):
+        raise ValueError("one column per series name is required")
+    blocks: List[str] = []
+    for index, x in enumerate(x_labels):
+        values = [float(column[index]) for column in columns]
+        blocks.append(
+            f"{x}:\n"
+            + _indent(horizontal_bars(list(series_names), values, width, log_scale))
+        )
+    return "\n".join(blocks)
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,137 @@
+"""Benchmark harness utilities: timed runs, sweeps, series.
+
+The benchmark scripts under ``benchmarks/`` use these helpers so every
+figure regeneration follows the same pattern: build the workload, run a
+parameter sweep, and print a labelled series (the rows the paper's
+plots are drawn from).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """Outcome of one timed call."""
+
+    label: str
+    seconds: float
+    value: Any = None
+    completed: bool = True
+    note: str = ""
+
+    def cell(self) -> str:
+        """Render as a table cell; incomplete runs show their note."""
+        if not self.completed:
+            return self.note or "did not complete"
+        return f"{self.seconds:.3f}s"
+
+
+def timed(label: str, fn: Callable[[], Any]) -> TimedRun:
+    """Run ``fn`` once under a wall-clock timer."""
+    started = time.perf_counter()
+    value = fn()
+    return TimedRun(label=label, seconds=time.perf_counter() - started, value=value)
+
+
+def timed_or_budget(label: str, fn: Callable[[], Any], note: str = "budget exceeded") -> TimedRun:
+    """Run ``fn``; a raised exception records a "did not complete" cell.
+
+    This is how the dense-database cells of Figure 6/7 report the
+    baseline's failure mode (the paper: "ADI-Mine could not complete
+    after running for several days").
+    """
+    started = time.perf_counter()
+    try:
+        value = fn()
+    except Exception as exc:  # noqa: BLE001 - the budget signal is an exception
+        return TimedRun(
+            label=label,
+            seconds=time.perf_counter() - started,
+            completed=False,
+            note=f"{note}: {exc.__class__.__name__}",
+        )
+    return TimedRun(label=label, seconds=time.perf_counter() - started, value=value)
+
+
+@dataclass
+class Series:
+    """A named series of (x, y) points — one curve of a paper figure."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: List[Tuple[Any, Any]] = field(default_factory=list)
+
+    def add(self, x: Any, y: Any) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> List[Any]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[Any]:
+        return [y for _, y in self.points]
+
+    def render(self) -> str:
+        """Aligned two-column text rendering."""
+        header = f"# {self.name}: {self.x_label} -> {self.y_label}"
+        width = max([len(str(x)) for x, _ in self.points] + [len(self.x_label)])
+        lines = [header]
+        for x, y in self.points:
+            y_text = f"{y:.4f}" if isinstance(y, float) else str(y)
+            lines.append(f"{str(x).ljust(width)}  {y_text}")
+        return "\n".join(lines)
+
+
+def sweep(
+    name: str,
+    x_label: str,
+    y_label: str,
+    xs: Sequence[Any],
+    fn: Callable[[Any], Any],
+) -> Series:
+    """Evaluate ``fn`` over ``xs`` and collect a series."""
+    series = Series(name=name, x_label=x_label, y_label=y_label)
+    for x in xs:
+        series.add(x, fn(x))
+    return series
+
+
+def runtime_sweep(
+    name: str,
+    x_label: str,
+    xs: Sequence[Any],
+    fn: Callable[[Any], Any],
+) -> Series:
+    """Sweep that records wall-clock seconds of each call."""
+    def run(x: Any) -> float:
+        started = time.perf_counter()
+        fn(x)
+        return time.perf_counter() - started
+
+    return sweep(name, x_label, "runtime (s)", xs, run)
+
+
+# ----------------------------------------------------------------------
+# Benchmark scale control
+# ----------------------------------------------------------------------
+_VALID_SCALES = ("tiny", "small", "medium", "paper")
+
+
+def bench_scale(default: str = "small") -> str:
+    """The benchmark scale, overridable via ``REPRO_BENCH_SCALE``.
+
+    ``tiny`` is for CI smoke runs, ``small`` the default, ``medium``
+    for longer sessions, ``paper`` the published problem size (slow in
+    pure Python; see DESIGN.md).
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE", default).strip().lower()
+    if scale not in _VALID_SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={scale!r} is not one of {_VALID_SCALES}"
+        )
+    return scale

@@ -1,0 +1,79 @@
+"""Profiling helpers for performance investigation.
+
+`profiled()` wraps any callable in cProfile and returns a structured
+summary of where the time went — used when tuning the miner's hot loops
+and handy for users investigating slow workloads.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from io import StringIO
+from typing import Any, Callable, List, Tuple
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One function's share of a profile."""
+
+    function: str
+    calls: int
+    cumulative_seconds: float
+    own_seconds: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Outcome of a profiled call."""
+
+    value: Any
+    total_seconds: float
+    hotspots: Tuple[HotSpot, ...]
+
+    def render(self, limit: int = 10) -> str:
+        lines = [f"total: {self.total_seconds:.3f}s; top functions by cumulative time:"]
+        for spot in self.hotspots[:limit]:
+            lines.append(
+                f"  {spot.cumulative_seconds:7.3f}s cum  {spot.own_seconds:7.3f}s own  "
+                f"{spot.calls:>8} calls  {spot.function}"
+            )
+        return "\n".join(lines)
+
+
+def profiled(fn: Callable[[], Any], top: int = 25) -> ProfileReport:
+    """Run ``fn`` under cProfile and summarise.
+
+    Only functions from this library (path contains ``repro``) are kept
+    in the hotspot list, so the report points at actionable code.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        value = fn()
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=StringIO())
+    total = getattr(stats, "total_tt", 0.0)
+    hotspots: List[HotSpot] = []
+    entries = getattr(stats, "stats", {})
+    for (filename, line, name), (cc, nc, tt, ct, _callers) in entries.items():
+        if "repro" not in filename:
+            continue
+        short = filename.rsplit("repro", 1)[-1].lstrip("/\\")
+        hotspots.append(
+            HotSpot(
+                function=f"repro/{short}:{line}({name})",
+                calls=nc,
+                cumulative_seconds=ct,
+                own_seconds=tt,
+            )
+        )
+    hotspots.sort(key=lambda s: -s.cumulative_seconds)
+    return ProfileReport(
+        value=value,
+        total_seconds=float(total),
+        hotspots=tuple(hotspots[:top]),
+    )

@@ -1,0 +1,58 @@
+"""Text-table rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table with a separator rule."""
+    text_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max([len(header[i])] + [len(row[i]) for row in text_rows])
+        for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    series_names: Sequence[str],
+    xs: Sequence[Any],
+    columns: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render several series sharing one x axis as one table.
+
+    ``columns[i]`` is the y column of ``series_names[i]``; this is the
+    layout of the paper's multi-curve figures (one curve per database).
+    """
+    if len(series_names) != len(columns):
+        raise ValueError("one column per series name is required")
+    for column in columns:
+        if len(column) != len(xs):
+            raise ValueError("every series must cover every x value")
+    header = [x_label] + list(series_names)
+    rows = [[x] + [column[i] for column in columns] for i, x in enumerate(xs)]
+    return format_table(header, rows, title=title)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

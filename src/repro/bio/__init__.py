@@ -1,0 +1,25 @@
+"""Bio substrate: synthetic protein contact-map families.
+
+Supports the paper's [11] motivation (common structural features of
+protein molecular graphs) as a fourth workload domain.
+"""
+
+from .contactmaps import (
+    AMINO_ACIDS,
+    DEFAULT_MOTIFS,
+    FamilyConfig,
+    MotifSpec,
+    expected_motif_patterns,
+    generate_protein,
+    protein_family,
+)
+
+__all__ = [
+    "AMINO_ACIDS",
+    "DEFAULT_MOTIFS",
+    "FamilyConfig",
+    "MotifSpec",
+    "expected_motif_patterns",
+    "generate_protein",
+    "protein_family",
+]

@@ -1,0 +1,20 @@
+"""Chemical substrate: the synthetic CA-like compound database."""
+
+from .atoms import ATOM_LABELS, ATOM_WEIGHTS, sample_atom, sample_atoms
+from .fragments import CLIQUE_FRAGMENTS, FRAGMENT_LIBRARY, FRAGMENTS_BY_NAME, Fragment
+from .generator import ChemConfig, ca_like_database, chemical_database, generate_compound
+
+__all__ = [
+    "ATOM_LABELS",
+    "ATOM_WEIGHTS",
+    "CLIQUE_FRAGMENTS",
+    "ChemConfig",
+    "FRAGMENTS_BY_NAME",
+    "FRAGMENT_LIBRARY",
+    "Fragment",
+    "ca_like_database",
+    "chemical_database",
+    "generate_compound",
+    "sample_atom",
+    "sample_atoms",
+]

@@ -1,0 +1,42 @@
+"""Atom alphabet for the synthetic chemical compound database.
+
+The paper's CA database derives from the DTP AIDS Antiviral Screen
+compounds; its vertex labels are atom types with organic-chemistry
+frequencies (carbon dominating).  We use the same label style so mined
+patterns read like fragments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+#: (atom label, sampling weight) — roughly organic-compound abundances.
+ATOM_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("C", 0.62),
+    ("N", 0.12),
+    ("O", 0.14),
+    ("S", 0.04),
+    ("Cl", 0.04),
+    ("P", 0.02),
+    ("F", 0.01),
+    ("Br", 0.01),
+)
+
+ATOM_LABELS: Tuple[str, ...] = tuple(label for label, _ in ATOM_WEIGHTS)
+
+
+def sample_atom(rng: random.Random) -> str:
+    """Sample one atom label from the abundance distribution."""
+    roll = rng.random()
+    cumulative = 0.0
+    for label, weight in ATOM_WEIGHTS:
+        cumulative += weight
+        if roll < cumulative:
+            return label
+    return ATOM_WEIGHTS[-1][0]
+
+
+def sample_atoms(rng: random.Random, count: int) -> List[str]:
+    """Sample ``count`` atom labels."""
+    return [sample_atom(rng) for _ in range(count)]

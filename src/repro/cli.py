@@ -1,0 +1,394 @@
+"""Command-line interface.
+
+::
+
+    clan mine DATABASE --min-sup 0.85 [--all-frequent|--maximal] [--min-size 3]
+    clan topk DATABASE --min-sup 85% -k 5
+    clan quasi DATABASE --min-sup 2 --gamma 0.8 --max-size 5
+    clan stats DATABASE [--extended]
+    clan validate DATABASE
+    clan lattice DATABASE --min-sup 2 [--dot]
+    clan convert INPUT OUTPUT --from tve --to json
+    clan diff RESULT_A RESULT_B
+    clan generate {stock,chem,example} OUTPUT [options]
+    clan experiments
+
+``DATABASE`` is a file in ``t/v/e`` format (``--format matrix`` or
+``--format json`` select the others).  ``clan`` is also reachable as
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .bench.experiments import registry_report
+from .core.config import MinerConfig
+from .core.lattice import CliqueLattice
+from .core.miner import ClanMiner
+from .exceptions import ReproError
+from .graphdb.database import GraphDatabase
+from .graphdb.examples import paper_example_database
+from .graphdb.stats import characteristics_table, database_characteristics
+from .io import gspan_format, json_format, matrix_format, patterns
+
+
+def _load(path: str, fmt: str) -> GraphDatabase:
+    if fmt == "tve":
+        return gspan_format.open_database(path)
+    if fmt == "matrix":
+        return matrix_format.open_database(path)
+    if fmt == "json":
+        return json_format.open_database(path)
+    raise ReproError(f"unknown database format {fmt!r}")
+
+
+def _save(database: GraphDatabase, path: str, fmt: str) -> None:
+    if fmt == "tve":
+        gspan_format.save_database(database, path)
+    elif fmt == "matrix":
+        matrix_format.save_database(database, path)
+    elif fmt == "json":
+        json_format.save_database(database, path)
+    else:
+        raise ReproError(f"unknown database format {fmt!r}")
+
+
+def _parse_min_sup(text: str) -> float:
+    """Accept '10' (absolute), '0.85' (fraction), or '85%'."""
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="clan",
+        description="CLAN: mine frequent closed cliques from graph transaction databases",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mine = sub.add_parser("mine", help="mine frequent closed cliques")
+    mine.add_argument("database", help="input database file")
+    mine.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    mine.add_argument("--min-sup", default="2", help="absolute count, fraction, or percentage")
+    mine.add_argument("--min-size", type=int, default=1)
+    mine.add_argument("--max-size", type=int, default=None)
+    kind = mine.add_mutually_exclusive_group()
+    kind.add_argument("--all-frequent", action="store_true", help="report all frequent cliques")
+    kind.add_argument("--maximal", action="store_true", help="report maximal frequent cliques")
+    mine.add_argument("--output", default=None, help="write patterns to this file")
+    mine.add_argument("--stats", action="store_true", help="print search statistics")
+    mine.add_argument("--processes", type=int, default=1,
+                      help="worker processes for parallel closed mining")
+    mine.add_argument("--require", default=None, metavar="L1,L2",
+                      help="only report cliques containing all these labels")
+    mine.add_argument("--allow", default=None, metavar="L1,L2",
+                      help="restrict mining to these vertex labels")
+    mine.add_argument("--forbid", default=None, metavar="L1,L2",
+                      help="exclude these vertex labels from mining")
+
+    topk = sub.add_parser("topk", help="mine the k largest closed cliques")
+    topk.add_argument("database")
+    topk.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    topk.add_argument("--min-sup", default="2")
+    topk.add_argument("-k", type=int, default=5)
+    topk.add_argument("--min-size", type=int, default=1)
+
+    quasi = sub.add_parser("quasi", help="mine closed quasi-cliques (gamma-relaxed)")
+    quasi.add_argument("database")
+    quasi.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    quasi.add_argument("--min-sup", default="2")
+    quasi.add_argument("--gamma", type=float, default=0.8)
+    quasi.add_argument("--min-size", type=int, default=2)
+    quasi.add_argument("--max-size", type=int, default=5)
+
+    validate = sub.add_parser("validate", help="check database integrity")
+    validate.add_argument("database")
+    validate.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+
+    convert = sub.add_parser("convert", help="convert between database formats")
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.add_argument("--from", dest="from_format", default="tve",
+                         choices=("tve", "matrix", "json"))
+    convert.add_argument("--to", dest="to_format", default="json",
+                         choices=("tve", "matrix", "json"))
+
+    diff = sub.add_parser("diff", help="compare two pattern result files")
+    diff.add_argument("left")
+    diff.add_argument("right")
+
+    record = sub.add_parser("record", help="mine and write a reproducible run record")
+    record.add_argument("database")
+    record.add_argument("record_file")
+    record.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    record.add_argument("--min-sup", default="2")
+    record.add_argument("--min-size", type=int, default=1)
+
+    replay = sub.add_parser("replay", help="re-mine a recorded run and compare")
+    replay.add_argument("record_file")
+    replay.add_argument("database")
+    replay.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+
+    stats = sub.add_parser("stats", help="print database characteristics (Table 1 style)")
+    stats.add_argument("database")
+    stats.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    stats.add_argument("--extended", action="store_true")
+
+    lattice = sub.add_parser("lattice", help="print the frequent-clique lattice (Figure 4)")
+    lattice.add_argument("database")
+    lattice.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    lattice.add_argument("--min-sup", default="2")
+    lattice.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    generate = sub.add_parser("generate", help="generate a synthetic database")
+    generate.add_argument("kind", choices=("stock", "chem", "example"))
+    generate.add_argument("output")
+    generate.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    generate.add_argument("--theta", type=float, default=0.90, help="stock: correlation threshold")
+    generate.add_argument("--scale", default="small", help="stock: tiny/small/medium/paper")
+    generate.add_argument("--compounds", type=int, default=422, help="chem: compound count")
+    generate.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("experiments", help="list the paper's tables/figures and their benchmarks")
+    return parser
+
+
+def _split_labels(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    labels = [token.strip() for token in text.split(",") if token.strip()]
+    if not labels:
+        raise ReproError(f"no labels in {text!r}")
+    return labels
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    database = _load(args.database, args.format)
+    min_sup = _parse_min_sup(args.min_sup)
+    require = _split_labels(args.require)
+    allow = _split_labels(args.allow)
+    forbid = _split_labels(args.forbid)
+    if require or allow or forbid:
+        if args.maximal or args.all_frequent:
+            raise ReproError(
+                "label constraints are only supported for closed mining"
+            )
+        from .core.constraints import CliqueConstraints, mine_with_constraints
+
+        constraints = CliqueConstraints.of(
+            allowed=allow,
+            forbidden=forbid or (),
+            required=require or (),
+            min_size=args.min_size,
+            max_size=args.max_size,
+        )
+        result = mine_with_constraints(database, min_sup, constraints)
+        sys.stdout.write(patterns.dumps_result(result))
+        print(
+            f"# {len(result)} closed cliques under constraints, "
+            f"min_sup={result.min_sup}",
+            file=sys.stderr,
+        )
+        if args.output:
+            patterns.save_result(result, args.output)
+        return 0
+    if args.maximal:
+        from .core.maximal import mine_maximal_cliques
+
+        result = mine_maximal_cliques(database, min_sup, min_size=args.min_size)
+        kind = "maximal"
+    elif args.processes > 1 and not args.all_frequent:
+        from .core.parallel import mine_closed_cliques_parallel
+
+        config = MinerConfig(min_size=args.min_size, max_size=args.max_size)
+        result = mine_closed_cliques_parallel(
+            database, min_sup, processes=args.processes, config=config
+        )
+        kind = "closed"
+    else:
+        config = MinerConfig(
+            closed_only=not args.all_frequent,
+            nonclosed_prefix_pruning=not args.all_frequent,
+            min_size=args.min_size,
+            max_size=args.max_size,
+        )
+        result = ClanMiner(database, config).mine(min_sup)
+        kind = "frequent" if args.all_frequent else "closed"
+    if args.output:
+        patterns.save_result(result, args.output)
+        print(f"{len(result)} patterns written to {args.output}")
+    else:
+        sys.stdout.write(patterns.dumps_result(result))
+    print(
+        f"# {len(result)} {kind} cliques, min_sup={result.min_sup}, "
+        f"{result.elapsed_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print("# " + result.statistics.summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_topk(args: argparse.Namespace) -> int:
+    from .core.topk import mine_top_k_closed_cliques
+
+    database = _load(args.database, args.format)
+    result = mine_top_k_closed_cliques(
+        database, _parse_min_sup(args.min_sup), k=args.k, min_size=args.min_size
+    )
+    for pattern in result:
+        print(pattern.key())
+    print(f"# top-{args.k} closed cliques by size", file=sys.stderr)
+    return 0
+
+
+def cmd_quasi(args: argparse.Namespace) -> int:
+    from .core.quasiclique import mine_closed_quasi_cliques
+
+    database = _load(args.database, args.format)
+    result = mine_closed_quasi_cliques(
+        database,
+        _parse_min_sup(args.min_sup),
+        gamma=args.gamma,
+        min_size=args.min_size,
+        max_size=args.max_size,
+    )
+    sys.stdout.write(patterns.dumps_result(result))
+    print(
+        f"# {len(result)} closed {args.gamma}-quasi-cliques "
+        f"(sizes {args.min_size}..{args.max_size})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .graphdb.validation import validate_database
+
+    database = _load(args.database, args.format)
+    report = validate_database(database)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    database = _load(args.input, args.from_format)
+    _save(database, args.output, args.to_format)
+    print(f"converted {len(database)} graphs: {args.input} ({args.from_format}) "
+          f"-> {args.output} ({args.to_format})")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .analysis import diff_results
+
+    left = patterns.open_result(args.left)
+    right = patterns.open_result(args.right)
+    diff = diff_results(left, right)
+    print(diff.render())
+    return 0 if diff.identical else 1
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from .io.runlog import record_run, save_record
+
+    database = _load(args.database, args.format)
+    config = MinerConfig(min_size=args.min_size)
+    record = record_run(database, _parse_min_sup(args.min_sup), config)
+    save_record(record, args.record_file)
+    print(
+        f"recorded {len(record.patterns())} patterns "
+        f"(min_sup={record.min_sup}, fingerprint "
+        f"{record.database_fingerprint[:12]}...) to {args.record_file}"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .io.runlog import open_record, replay
+
+    record = open_record(args.record_file)
+    database = _load(args.database, args.format)
+    outcome = replay(record, database)
+    print(f"database fingerprint matches: {outcome.fingerprint_matches}")
+    print(f"patterns match: {outcome.patterns_match} "
+          f"({outcome.recorded_patterns} recorded, {outcome.replayed_patterns} replayed)")
+    print("reproduced" if outcome.reproduced else "NOT reproduced")
+    return 0 if outcome.reproduced else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    database = _load(args.database, args.format)
+    print(characteristics_table([database_characteristics(database)], extended=args.extended))
+    return 0
+
+
+def cmd_lattice(args: argparse.Namespace) -> int:
+    database = _load(args.database, args.format)
+    config = MinerConfig(closed_only=False, nonclosed_prefix_pruning=False)
+    result = ClanMiner(database, config).mine(_parse_min_sup(args.min_sup))
+    lattice = CliqueLattice.from_result(result)
+    print(lattice.to_dot() if args.dot else lattice.render())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "stock":
+        from .stockmarket.datasets import stock_market_database
+
+        database = stock_market_database(theta=args.theta, scale=args.scale, seed=args.seed)
+    elif args.kind == "chem":
+        from .chem.generator import ca_like_database
+
+        database = ca_like_database(n_compounds=args.compounds, seed=args.seed)
+    else:
+        database = paper_example_database()
+    _save(database, args.output, args.format)
+    print(
+        f"wrote {len(database)} graphs "
+        f"(avg |V|={database.average_vertices():.1f}, avg |E|={database.average_edges():.1f}) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "mine": cmd_mine,
+        "topk": cmd_topk,
+        "quasi": cmd_quasi,
+        "stats": cmd_stats,
+        "validate": cmd_validate,
+        "lattice": cmd_lattice,
+        "convert": cmd_convert,
+        "diff": cmd_diff,
+        "record": cmd_record,
+        "replay": cmd_replay,
+        "generate": cmd_generate,
+        "experiments": lambda _: (print(registry_report()), 0)[1],
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

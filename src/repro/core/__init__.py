@@ -1,0 +1,100 @@
+"""CLAN core: canonical forms, the miner, closure machinery, results.
+
+The public surface of the paper's contribution.  Typical use::
+
+    from repro.core import mine_closed_cliques
+    result = mine_closed_cliques(database, min_sup=0.85, min_size=3)
+    for pattern in result.maximum_patterns():
+        print(pattern.key())
+"""
+
+from .canonical import (
+    CanonicalForm,
+    Label,
+    canonical_label_sequence,
+    is_canonical_sequence,
+    is_submultiset,
+)
+from .closure import (
+    HistoryClosureIndex,
+    blocking_extension_labels,
+    is_closed,
+    split_extension_labels,
+)
+from .config import MinerConfig
+from .constraints import (
+    CliqueConstraints,
+    ConstrainedMiner,
+    mine_with_constraints,
+    project_database,
+)
+from .embeddings import CACHED, RESCAN, EmbeddingStore
+from .incremental import IncrementalMiner
+from .lattice import CliqueLattice
+from .maximal import maximal_subset, mine_maximal_cliques
+from .miner import ClanMiner, mine_closed_cliques, mine_frequent_cliques
+from .occurrences import (
+    embedding_store_for,
+    embeddings_in_graph,
+    iter_embeddings,
+    occurrence_counts,
+    occurrence_report,
+    total_occurrences,
+    transaction_support,
+)
+from .parallel import mine_closed_cliques_parallel, partition_roots
+from .pattern import CliquePattern, make_pattern
+from .topk import mine_top_k_closed_cliques
+from .quasiclique import (
+    is_quasi_clique,
+    mine_closed_quasi_cliques,
+    quasi_cliques_in_graph,
+    required_degree,
+)
+from .results import MiningResult
+from .statistics import MinerStatistics
+
+__all__ = [
+    "CACHED",
+    "CanonicalForm",
+    "ClanMiner",
+    "CliqueConstraints",
+    "CliqueLattice",
+    "CliquePattern",
+    "ConstrainedMiner",
+    "EmbeddingStore",
+    "HistoryClosureIndex",
+    "IncrementalMiner",
+    "Label",
+    "MinerConfig",
+    "MinerStatistics",
+    "MiningResult",
+    "RESCAN",
+    "blocking_extension_labels",
+    "canonical_label_sequence",
+    "embedding_store_for",
+    "embeddings_in_graph",
+    "is_canonical_sequence",
+    "is_closed",
+    "is_quasi_clique",
+    "is_submultiset",
+    "iter_embeddings",
+    "make_pattern",
+    "maximal_subset",
+    "mine_closed_cliques",
+    "mine_maximal_cliques",
+    "mine_closed_cliques_parallel",
+    "mine_closed_quasi_cliques",
+    "mine_frequent_cliques",
+    "partition_roots",
+    "mine_top_k_closed_cliques",
+    "mine_with_constraints",
+    "occurrence_counts",
+    "occurrence_report",
+    "project_database",
+    "quasi_cliques_in_graph",
+    "required_degree",
+    "split_extension_labels",
+    "total_occurrences",
+    "transaction_support",
+]

@@ -1,0 +1,231 @@
+"""The CLAN canonical form for cliques (paper Section 4.1).
+
+Because a clique is completely connected, two same-size cliques with
+the same *bag* of vertex labels are isomorphic — topology carries no
+extra information.  The paper therefore defines the canonical form of a
+clique as the lexicographically minimum *clique string* over its vertex
+labels (Definition 4.1), i.e. simply the labels in sorted order.
+
+That single observation collapses the two expensive primitives of
+general graph mining:
+
+* clique isomorphism   → string equality (``CanonicalForm.__eq__``),
+* subclique testing    → sub-multiset / subsequence testing on sorted
+  strings (Lemma 4.1, :meth:`CanonicalForm.is_subclique_of`).
+
+Lemma 4.2 (prefix closure) — every non-empty prefix of a canonical
+form is itself a canonical form — is what licenses CLAN's structural
+redundancy pruning; :meth:`CanonicalForm.prefixes` and
+:meth:`CanonicalForm.direct_prefix` expose it.
+
+Labels are arbitrary strings under the default lexicographic order; a
+custom total order can be supplied via a key function where relevant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..exceptions import PatternError
+
+Label = str
+
+
+def canonical_label_sequence(labels: Iterable[Label]) -> Tuple[Label, ...]:
+    """Return the canonical (sorted) label sequence for a bag of labels."""
+    return tuple(sorted(labels))
+
+
+def is_canonical_sequence(labels: Sequence[Label]) -> bool:
+    """Return whether a label sequence is already in canonical order."""
+    return all(labels[i] <= labels[i + 1] for i in range(len(labels) - 1))
+
+
+def is_submultiset(smaller: Sequence[Label], larger: Sequence[Label]) -> bool:
+    """Subsequence test between two *sorted* label sequences.
+
+    For sorted sequences, "is a substring in the paper's subsequence
+    sense" coincides with "is a sub-multiset", and a single merge pass
+    decides it in ``O(len(larger))``.
+    """
+    i = 0
+    n = len(smaller)
+    if n > len(larger):
+        return False
+    for label in larger:
+        if i == n:
+            return True
+        if smaller[i] == label:
+            i += 1
+        elif smaller[i] < label:
+            # Sorted order: smaller[i] can no longer appear in larger.
+            return False
+    return i == n
+
+
+class CanonicalForm:
+    """An immutable canonical form — the sorted label string of a clique.
+
+    Instances are ordered by the paper's global string order (length-
+    respecting lexicographic comparison is *not* used: the paper orders
+    strings of equal size positionally, and comparisons across sizes
+    follow plain tuple ordering, which is what the lattice and the DFS
+    need).
+
+    Examples
+    --------
+    >>> cf = CanonicalForm.from_labels(["c", "a", "a"])
+    >>> str(cf)
+    'aac'
+    >>> cf.direct_prefix()
+    CanonicalForm('aa')
+    >>> CanonicalForm.from_labels("ab").is_subclique_of(CanonicalForm.from_labels("abc"))
+    True
+    """
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: Sequence[Label]) -> None:
+        if not is_canonical_sequence(labels):
+            raise PatternError(
+                f"labels {tuple(labels)!r} are not sorted; use CanonicalForm.from_labels"
+            )
+        self.labels: Tuple[Label, ...] = tuple(labels)
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[Label]) -> "CanonicalForm":
+        """Build the canonical form of an arbitrary bag of labels."""
+        return cls(canonical_label_sequence(labels))
+
+    @classmethod
+    def empty(cls) -> "CanonicalForm":
+        """The canonical form of the empty prefix clique (DFS root)."""
+        return cls(())
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Clique size (number of vertices)."""
+        return len(self.labels)
+
+    @property
+    def last_label(self) -> Label:
+        """The last (largest) label; raises on the empty form."""
+        if not self.labels:
+            raise PatternError("the empty canonical form has no last label")
+        return self.labels[-1]
+
+    def extend(self, label: Label) -> "CanonicalForm":
+        """Append an extension label (must be ≥ the current last label).
+
+        This is the ``CF_C ◇ l`` of Algorithm 1; the precondition is the
+        structural redundancy pruning rule of Section 4.2.
+        """
+        if self.labels and label < self.labels[-1]:
+            raise PatternError(
+                f"extension label {label!r} is smaller than the last label "
+                f"{self.labels[-1]!r}; CLAN only grows canonical prefixes"
+            )
+        return CanonicalForm(self.labels + (label,))
+
+    def direct_prefix(self) -> "CanonicalForm":
+        """Drop the last label (Lemma 4.2 guarantees this is canonical)."""
+        if not self.labels:
+            raise PatternError("the empty canonical form has no direct prefix")
+        return CanonicalForm(self.labels[:-1])
+
+    def prefixes(self) -> Iterator["CanonicalForm"]:
+        """Yield all non-empty proper prefixes, shortest first."""
+        for length in range(1, len(self.labels)):
+            yield CanonicalForm(self.labels[:length])
+
+    def label_counts(self) -> Dict[Label, int]:
+        """Return the multiplicity of each label."""
+        counts: Dict[Label, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Relationship tests (Lemma 4.1)
+    # ------------------------------------------------------------------
+    def is_subclique_of(self, other: "CanonicalForm") -> bool:
+        """Subclique test ``C ⊑ C'`` via the substring test of Lemma 4.1."""
+        return is_submultiset(self.labels, other.labels)
+
+    def is_proper_subclique_of(self, other: "CanonicalForm") -> bool:
+        """Proper subclique test ``C ⊏ C'``."""
+        return len(self.labels) < len(other.labels) and self.is_subclique_of(other)
+
+    def is_superclique_of(self, other: "CanonicalForm") -> bool:
+        """Superclique test ``C ⊒ C'``."""
+        return other.is_subclique_of(self)
+
+    def direct_subcliques(self) -> List["CanonicalForm"]:
+        """All canonical forms obtained by deleting one vertex.
+
+        These are the downward lattice edges of Figure 4; duplicates
+        from equal labels are collapsed.
+        """
+        seen = set()
+        result: List[CanonicalForm] = []
+        for i in range(len(self.labels)):
+            reduced = self.labels[:i] + self.labels[i + 1 :]
+            if reduced not in seen:
+                seen.add(reduced)
+                result.append(CanonicalForm(reduced))
+        return result
+
+    def missing_labels(self, superform: "CanonicalForm") -> Tuple[Label, ...]:
+        """Labels to add to reach ``superform`` (raises if not a subclique)."""
+        if not self.is_subclique_of(superform):
+            raise PatternError(f"{self} is not a subclique of {superform}")
+        counts = self.label_counts()
+        missing: List[Label] = []
+        for label in superform.labels:
+            if counts.get(label, 0) > 0:
+                counts[label] -= 1
+            else:
+                missing.append(label)
+        return tuple(missing)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanonicalForm):
+            return NotImplemented
+        return self.labels == other.labels
+
+    def __lt__(self, other: "CanonicalForm") -> bool:
+        return self.labels < other.labels
+
+    def __le__(self, other: "CanonicalForm") -> bool:
+        return self.labels <= other.labels
+
+    def __gt__(self, other: "CanonicalForm") -> bool:
+        return self.labels > other.labels
+
+    def __ge__(self, other: "CanonicalForm") -> bool:
+        return self.labels >= other.labels
+
+    def __hash__(self) -> int:
+        return hash(self.labels)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self.labels)
+
+    def __str__(self) -> str:
+        # Single-character labels render as the paper's compact strings
+        # ("abcd"); longer labels are dot-separated for readability.
+        if all(len(label) == 1 for label in self.labels):
+            return "".join(self.labels)
+        return ".".join(self.labels)
+
+    def __repr__(self) -> str:
+        return f"CanonicalForm({str(self)!r})"

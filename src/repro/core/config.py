@@ -1,0 +1,117 @@
+"""Miner configuration and ablation switches.
+
+Every pruning technique of Section 4 can be toggled independently so
+the ablation benchmarks can attribute speedups, and so property tests
+can assert that no pruning changes the mined result set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import MiningError
+from .embeddings import CACHED, RESCAN
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """Configuration of :class:`~repro.core.miner.ClanMiner`.
+
+    Attributes
+    ----------
+    closed_only:
+        Mine only closed cliques (the paper's default task).  When
+        False, every frequent clique is reported and the closure-based
+        prunings are disabled (they would be unsound for that output).
+    structural_redundancy_pruning:
+        Grow a prefix only with labels ≥ its last label (Section 4.2).
+        Disabling it enumerates each pattern up to ``size!`` times and
+        is only useful to measure what the pruning saves; the duplicate
+        results are collapsed before reporting.
+    low_degree_pruning:
+        Pseudo low-degree vertex pruning (Observation 4.1): consult the
+        per-level core-number index when scanning for extension
+        vertices.  Only consequential under the ``rescan`` embedding
+        strategy, which re-scans vertex lists the way the paper does.
+    nonclosed_prefix_pruning:
+        The Lemma 4.4 subtree pruning.  Requires ``closed_only``.
+    min_size / max_size:
+        Report only cliques within this size range (the paper reports
+        stock cliques of size ≥ 3).  The search itself always starts
+        from single labels; ``max_size`` also truncates the search.
+    embedding_strategy:
+        ``"cached"`` (incremental common-neighbour sets, default) or
+        ``"rescan"`` (paper-literal database scans).
+    collect_witnesses:
+        Record one witness embedding per supporting transaction in each
+        reported pattern.
+    max_embeddings:
+        Optional safety valve: abort with :class:`MiningError` if the
+        live embedding count for a single prefix exceeds this bound.
+    """
+
+    closed_only: bool = True
+    structural_redundancy_pruning: bool = True
+    low_degree_pruning: bool = True
+    nonclosed_prefix_pruning: bool = True
+    min_size: int = 1
+    max_size: Optional[int] = None
+    embedding_strategy: str = CACHED
+    collect_witnesses: bool = True
+    max_embeddings: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_size < 1:
+            raise MiningError(f"min_size must be >= 1, got {self.min_size}")
+        if self.max_size is not None and self.max_size < self.min_size:
+            raise MiningError(
+                f"max_size {self.max_size} is smaller than min_size {self.min_size}"
+            )
+        if self.embedding_strategy not in (CACHED, RESCAN):
+            raise MiningError(
+                f"embedding_strategy must be {CACHED!r} or {RESCAN!r}, "
+                f"got {self.embedding_strategy!r}"
+            )
+        if self.nonclosed_prefix_pruning and not self.closed_only:
+            raise MiningError(
+                "nonclosed_prefix_pruning requires closed_only: pruning a prefix "
+                "discards frequent (non-closed) cliques below it"
+            )
+        if self.nonclosed_prefix_pruning and not self.structural_redundancy_pruning:
+            raise MiningError(
+                "nonclosed_prefix_pruning is only sound under structural redundancy "
+                "pruning (Lemma 4.4's proof assumes canonical-prefix growth)"
+            )
+        if self.max_embeddings is not None and self.max_embeddings < 1:
+            raise MiningError("max_embeddings must be positive when set")
+
+    # Convenience constructors -----------------------------------------
+    @classmethod
+    def paper_defaults(cls) -> "MinerConfig":
+        """The configuration the paper evaluates: all prunings on."""
+        return cls()
+
+    @classmethod
+    def all_frequent(cls, **overrides: object) -> "MinerConfig":
+        """Mine all frequent cliques (Figure 4's full lattice contents)."""
+        return cls(closed_only=False, nonclosed_prefix_pruning=False, **overrides)  # type: ignore[arg-type]
+
+    def without(self, pruning: str) -> "MinerConfig":
+        """Return a copy with one named pruning disabled (for ablations)."""
+        flags = {
+            "structural_redundancy": "structural_redundancy_pruning",
+            "low_degree": "low_degree_pruning",
+            "nonclosed_prefix": "nonclosed_prefix_pruning",
+        }
+        if pruning not in flags:
+            raise MiningError(
+                f"unknown pruning {pruning!r}; expected one of {sorted(flags)}"
+            )
+        from dataclasses import replace
+
+        overrides = {flags[pruning]: False}
+        if pruning == "structural_redundancy":
+            # Lemma 4.4 is only sound under canonical-prefix growth.
+            overrides["nonclosed_prefix_pruning"] = False
+        return replace(self, **overrides)

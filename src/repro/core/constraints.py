@@ -1,0 +1,186 @@
+"""Constraint-based closed clique mining.
+
+Downstream applications rarely want *all* closed cliques; they want the
+ones over a label universe of interest (e.g. one market sector), the
+ones containing specific labels (e.g. a known stock), or the ones
+passing an arbitrary predicate.  This module wraps the miner with the
+standard constraint taxonomy and pushes the pushable ones into the
+search:
+
+* **allowed_labels** (anti-monotone): vertices outside the whitelist
+  can never join a clique of interest, so they are erased from a
+  *projected database* before mining — a sound pushdown.
+* **forbidden_labels** (anti-monotone): same pushdown, complementary.
+* **required_labels** (monotone): cliques missing a required label are
+  filtered after mining, but transactions lacking the label can be
+  dropped up front when the requirement alone exceeds min_sup's slack.
+* **predicate** (arbitrary): post-filter.
+
+Note the closedness subtlety: constraints change the universe, so a
+pattern closed in the projected database may be non-closed in the full
+one and vice versa.  ``ConstrainedMiner`` defines its output as the
+closed cliques *of the projected database* (the standard semantics in
+the constrained-mining literature), and documents the alternative
+(`project=False`: filter the unconstrained closed set).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Optional
+
+from ..exceptions import MiningError
+from ..graphdb.database import GraphDatabase
+from .canonical import Label
+from .config import MinerConfig
+from .miner import ClanMiner
+from .pattern import CliquePattern
+from .results import MiningResult
+
+
+@dataclass(frozen=True)
+class CliqueConstraints:
+    """A bundle of constraints on reported cliques."""
+
+    allowed_labels: Optional[FrozenSet[Label]] = None
+    forbidden_labels: FrozenSet[Label] = frozenset()
+    required_labels: FrozenSet[Label] = frozenset()
+    min_size: int = 1
+    max_size: Optional[int] = None
+    predicate: Optional[Callable[[CliquePattern], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.allowed_labels is not None:
+            missing = self.required_labels - self.allowed_labels
+            if missing:
+                raise MiningError(
+                    f"required labels {sorted(missing)} are not in the allowed set"
+                )
+        overlap = self.required_labels & self.forbidden_labels
+        if overlap:
+            raise MiningError(
+                f"labels {sorted(overlap)} are both required and forbidden"
+            )
+        if self.min_size < 1:
+            raise MiningError("min_size must be >= 1")
+        if self.max_size is not None and self.max_size < self.min_size:
+            raise MiningError("max_size must be >= min_size")
+
+    @classmethod
+    def of(
+        cls,
+        allowed: Optional[Iterable[Label]] = None,
+        forbidden: Iterable[Label] = (),
+        required: Iterable[Label] = (),
+        min_size: int = 1,
+        max_size: Optional[int] = None,
+        predicate: Optional[Callable[[CliquePattern], bool]] = None,
+    ) -> "CliqueConstraints":
+        """Convenience constructor taking plain iterables."""
+        return cls(
+            allowed_labels=frozenset(allowed) if allowed is not None else None,
+            forbidden_labels=frozenset(forbidden),
+            required_labels=frozenset(required),
+            min_size=min_size,
+            max_size=max_size,
+            predicate=predicate,
+        )
+
+    # ------------------------------------------------------------------
+    def label_admissible(self, label: Label) -> bool:
+        """Whether a vertex label can appear in any satisfying clique."""
+        if label in self.forbidden_labels:
+            return False
+        if self.allowed_labels is not None and label not in self.allowed_labels:
+            return False
+        return True
+
+    def pattern_satisfies(self, pattern: CliquePattern) -> bool:
+        """Full (post-mining) check of all constraints."""
+        if pattern.size < self.min_size:
+            return False
+        if self.max_size is not None and pattern.size > self.max_size:
+            return False
+        label_set = set(pattern.labels)
+        if not self.required_labels <= label_set:
+            return False
+        if any(not self.label_admissible(label) for label in label_set):
+            return False
+        if self.predicate is not None and not self.predicate(pattern):
+            return False
+        return True
+
+
+def project_database(
+    database: GraphDatabase, constraints: CliqueConstraints
+) -> GraphDatabase:
+    """Erase inadmissible-label vertices; copy everything else.
+
+    Sound for the anti-monotone constraints: an inadmissible vertex can
+    never be part of a satisfying clique, and removing it cannot break
+    any satisfying embedding (cliques are induced by their vertices).
+    """
+    from ..graphdb.transforms import restrict_labels
+
+    admissible = {
+        label
+        for label in database.distinct_labels()
+        if constraints.label_admissible(label)
+    }
+    return restrict_labels(database, admissible, name=f"{database.name}|projected")
+
+
+class ConstrainedMiner:
+    """Closed clique mining under a :class:`CliqueConstraints` bundle."""
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        constraints: CliqueConstraints,
+        project: bool = True,
+    ) -> None:
+        self.database = database
+        self.constraints = constraints
+        self.project = project
+
+    def mine(self, min_sup: float) -> MiningResult:
+        """Mine and return the satisfying closed cliques.
+
+        With ``project=True`` (default) closedness is evaluated in the
+        label-projected database; with ``project=False`` the full
+        database's closed set is mined first and then filtered, which
+        can drop patterns whose closed superclique uses inadmissible
+        labels.
+        """
+        started = time.perf_counter()
+        constraints = self.constraints
+        if self.project and (
+            constraints.allowed_labels is not None or constraints.forbidden_labels
+        ):
+            database = project_database(self.database, constraints)
+        else:
+            database = self.database
+        abs_sup = self.database.absolute_support(min_sup)
+
+        config = MinerConfig(min_size=1, max_size=constraints.max_size)
+        mined = ClanMiner(database, config).mine(abs_sup)
+
+        result = MiningResult(
+            min_sup=abs_sup, closed_only=True, statistics=mined.statistics
+        )
+        for pattern in mined:
+            if constraints.pattern_satisfies(pattern):
+                result.add(pattern)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+def mine_with_constraints(
+    database: GraphDatabase,
+    min_sup: float,
+    constraints: CliqueConstraints,
+    project: bool = True,
+) -> MiningResult:
+    """One-call wrapper over :class:`ConstrainedMiner`."""
+    return ConstrainedMiner(database, constraints, project=project).mine(min_sup)

@@ -1,0 +1,182 @@
+"""The lattice-like structure over frequent cliques (paper Figure 4).
+
+Each node is a frequent clique rendered as ``canonical form:support``;
+each edge joins a clique to a *direct* subclique (exactly one fewer
+vertex).  The lattice distinguishes the DFS edges CLAN actually follows
+(growing a canonical prefix by its last label — the solid edges of
+Figure 4) from the redundant extensions that structural redundancy
+pruning skips (the dotted edges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import PatternError
+from .canonical import CanonicalForm
+from .pattern import CliquePattern
+from .results import MiningResult
+
+
+class CliqueLattice:
+    """Lattice over a set of frequent clique patterns.
+
+    Built from an all-frequent :class:`MiningResult` (or any pattern
+    iterable); closedness is recomputed from the patterns themselves so
+    the dotted ellipses of Figure 4 can be reproduced without a second
+    mining run.
+    """
+
+    def __init__(self, patterns: Iterable[CliquePattern]) -> None:
+        self._patterns: Dict[CanonicalForm, CliquePattern] = {}
+        for pattern in patterns:
+            if pattern.form in self._patterns:
+                raise PatternError(f"duplicate pattern {pattern.key()} in lattice")
+            self._patterns[pattern.form] = pattern
+        # edges: child (larger) -> direct subcliques present in the set
+        self._down_edges: Dict[CanonicalForm, List[CanonicalForm]] = {}
+        self._up_edges: Dict[CanonicalForm, List[CanonicalForm]] = {}
+        for form in self._patterns:
+            subs = [s for s in form.direct_subcliques() if s in self._patterns]
+            self._down_edges[form] = sorted(subs, key=lambda f: f.labels)
+            for sub in subs:
+                self._up_edges.setdefault(sub, []).append(form)
+        for form, ups in self._up_edges.items():
+            ups.sort(key=lambda f: f.labels)
+
+    @classmethod
+    def from_result(cls, result: MiningResult) -> "CliqueLattice":
+        """Build the lattice from a mining result.
+
+        A closed-only result is first expanded to the full frequent set
+        so the lattice matches Figure 4's contents.
+        """
+        if result.closed_only:
+            result = result.expand_to_frequent()
+        return cls(result)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, form: object) -> bool:
+        return form in self._patterns
+
+    def pattern(self, form: CanonicalForm) -> CliquePattern:
+        """Return the pattern at a node."""
+        try:
+            return self._patterns[form]
+        except KeyError:
+            raise PatternError(f"{form} is not a node of this lattice") from None
+
+    def levels(self) -> Dict[int, List[CliquePattern]]:
+        """Patterns grouped by clique size, each level in canonical order."""
+        grouped: Dict[int, List[CliquePattern]] = {}
+        for pattern in self._patterns.values():
+            grouped.setdefault(pattern.size, []).append(pattern)
+        for patterns in grouped.values():
+            patterns.sort(key=lambda p: p.form.labels)
+        return dict(sorted(grouped.items()))
+
+    def direct_subcliques(self, form: CanonicalForm) -> List[CanonicalForm]:
+        """Direct subclique neighbours present in the lattice."""
+        return list(self._down_edges.get(form, ()))
+
+    def direct_supercliques(self, form: CanonicalForm) -> List[CanonicalForm]:
+        """Direct superclique neighbours present in the lattice."""
+        return list(self._up_edges.get(form, ()))
+
+    def is_closed(self, form: CanonicalForm) -> bool:
+        """Closedness within the lattice (dotted vs solid node of Fig. 4)."""
+        pattern = self.pattern(form)
+        return all(
+            self._patterns[up].support != pattern.support
+            for up in self._up_edges.get(form, ())
+        )
+
+    def closed_forms(self) -> List[CanonicalForm]:
+        """All closed nodes in canonical order."""
+        return sorted(
+            (f for f in self._patterns if self.is_closed(f)), key=lambda f: f.labels
+        )
+
+    def valid_extension_edge(self, parent: CanonicalForm, child: CanonicalForm) -> bool:
+        """Whether CLAN's DFS actually follows parent → child.
+
+        True iff ``parent`` is the canonical direct prefix of ``child``
+        (the solid edges of Figure 4); every other direct-subclique edge
+        is a redundant extension that the pruning skips.
+        """
+        if child.size != parent.size + 1:
+            return False
+        return child.direct_prefix() == parent
+
+    def critical_path(self, target: CanonicalForm) -> List[CanonicalForm]:
+        """The DFS path from the root to ``target`` (Figure 4's dark path).
+
+        By Lemma 4.2 this is exactly the chain of prefixes of the
+        canonical form.
+        """
+        if target not in self._patterns:
+            raise PatternError(f"{target} is not a node of this lattice")
+        path = list(target.prefixes()) + [target]
+        missing = [f for f in path if f not in self._patterns]
+        if missing:
+            raise PatternError(
+                f"lattice is not prefix-closed: missing {missing[0]} on the "
+                f"path to {target} (was it mined with a size filter?)"
+            )
+        return path
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, mark_closed: bool = True) -> str:
+        """ASCII rendering, one level per line (level 1 at the top).
+
+        Closed cliques render as ``[abcd:2]``, non-closed as
+        ``(abc:2)`` — parentheses play the dotted ellipses of Figure 4.
+        """
+        lines: List[str] = []
+        for size, patterns in self.levels().items():
+            cells = []
+            for pattern in patterns:
+                closed = self.is_closed(pattern.form)
+                if mark_closed and closed:
+                    cells.append(f"[{pattern.key()}]")
+                else:
+                    cells.append(f"({pattern.key()})")
+            lines.append(f"level {size}: " + "  ".join(cells))
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering with solid DFS edges and dashed others."""
+        lines = ["digraph clique_lattice {", "  rankdir=BT;"]
+        for form, pattern in sorted(self._patterns.items(), key=lambda kv: kv[0].labels):
+            shape = "box" if self.is_closed(form) else "ellipse"
+            style = "solid" if self.is_closed(form) else "dashed"
+            lines.append(
+                f'  "{pattern.key()}" [shape={shape}, style={style}];'
+            )
+        for child, parents in sorted(self._down_edges.items(), key=lambda kv: kv[0].labels):
+            child_key = self._patterns[child].key()
+            for parent in parents:
+                parent_key = self._patterns[parent].key()
+                style = "solid" if self.valid_extension_edge(parent, child) else "dashed"
+                lines.append(f'  "{parent_key}" -> "{child_key}" [style={style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def edge_count(self) -> Tuple[int, int]:
+        """Return (valid DFS edges, redundant edges) — Figure 4's solid/dotted."""
+        valid = 0
+        redundant = 0
+        for child, parents in self._down_edges.items():
+            for parent in parents:
+                if self.valid_extension_edge(parent, child):
+                    valid += 1
+                else:
+                    redundant += 1
+        return valid, redundant

@@ -1,0 +1,125 @@
+"""Maximal frequent clique mining.
+
+The third classic condensation besides *all frequent* and *closed*: a
+frequent clique is **maximal** when no proper superclique is frequent
+at all.  Maximal sets are smaller than closed sets but lossy — they
+determine which cliques are frequent, not their supports.  In CLAN's
+framework maximality falls out of the same extension scan the closure
+check uses (Lemma 4.3's machinery):
+
+    C maximal  ⇔  no extension label β has sup(C ◇ β) ≥ min_sup.
+
+One subtlety mirrors the closure check: β ranges over *all* labels,
+old and new — a prefix-restricted check would wrongly report e.g. the
+running example's ``bcd`` (extensible by old label ``a``) as maximal.
+
+Subtree pruning: if any *frequent* extension label β is smaller than
+the prefix's last label and fully connected across all embeddings'
+extension sets, every clique in the subtree extends by β frequently
+and the subtree contains no maximal clique — the Lemma 4.4 analogue
+with "same support" relaxed to "frequent".  We reuse the stricter
+(same-support) test, which is sound here too because equal support to
+a frequent prefix implies frequency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..graphdb.core_index import PseudoDatabase
+from ..graphdb.database import GraphDatabase
+from .canonical import CanonicalForm
+from .embeddings import EmbeddingStore
+from .pattern import CliquePattern
+from .results import MiningResult
+from .statistics import MinerStatistics
+
+
+def mine_maximal_cliques(
+    database: GraphDatabase,
+    min_sup: float,
+    min_size: int = 1,
+) -> MiningResult:
+    """Mine all maximal frequent cliques.
+
+    Returns a :class:`MiningResult` (``closed_only`` is set — every
+    maximal clique is closed, and the flag drives downstream semantics
+    like lattice expansion).
+    """
+    started = time.perf_counter()
+    abs_sup = database.absolute_support(min_sup)
+    stats = MinerStatistics()
+    result = MiningResult(min_sup=abs_sup, closed_only=True, statistics=stats)
+    pseudo = PseudoDatabase(database)
+    label_supports = database.label_supports()
+    stats.database_scans += 1
+
+    def recurse(form: CanonicalForm, store: EmbeddingStore) -> None:
+        stats.record_prefix(form.size)
+        stats.record_embeddings(store.embedding_count)
+        stats.record_frequent(form.size)
+        extension_supports = store.extension_supports()
+        stats.database_scans += 1
+
+        blocking = store.nonclosed_extension_label(form.last_label)
+        if blocking is not None:
+            stats.nonclosed_prefix_prunes += 1
+            return
+
+        frequent_extensions = {
+            label: sup for label, sup in extension_supports.items() if sup >= abs_sup
+        }
+        if not frequent_extensions:
+            if form.size >= min_size:
+                result.add(
+                    CliquePattern(
+                        form=form,
+                        support=store.support,
+                        transactions=store.transactions(),
+                        witnesses=store.witnesses(),
+                    )
+                )
+                stats.closed_cliques += 1
+            return
+        stats.closure_rejections += 1
+
+        for label in sorted(frequent_extensions):
+            if label < form.last_label:
+                stats.redundancy_skips += 1
+                continue
+            recurse(form.extend(label), store.extend(label, form.last_label))
+
+    for label in sorted(label_supports):
+        if label_supports[label] < abs_sup:
+            stats.infrequent_extensions += 1
+            continue
+        recurse(
+            CanonicalForm((label,)),
+            EmbeddingStore.for_label(database, pseudo, label),
+        )
+
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def maximal_subset(result: MiningResult, abs_sup: Optional[int] = None) -> MiningResult:
+    """Filter any frequent/closed result down to its maximal patterns.
+
+    A pattern is kept when no other pattern in the set is a proper
+    superclique of it.  For a *complete* frequent or closed input this
+    equals the maximal frequent cliques (every frequent clique has a
+    closed superclique of the same size or larger).
+    """
+    patterns = list(result)
+    kept = MiningResult(
+        min_sup=abs_sup if abs_sup is not None else result.min_sup,
+        closed_only=True,
+    )
+    for pattern in sorted(patterns, key=lambda p: p.form.labels):
+        if not any(
+            pattern.form.is_proper_subclique_of(other.form) for other in patterns
+        ):
+            kept.add(pattern)
+    kept.elapsed_seconds = result.elapsed_seconds
+    return kept

@@ -1,0 +1,99 @@
+"""Occurrence counting and embedding enumeration for clique patterns.
+
+Section 4.3 of the paper reasons about *occurrences* (distinct
+embeddings) as opposed to transaction support — e.g. "bd:2 has totally
+four occurrences" — to show why occurrence-match-based pruning is
+unsound for cliques.  These utilities make that notion first-class:
+
+* enumerate every embedding of a given canonical form in a graph or a
+  database,
+* count occurrences per transaction and in total,
+* compute the *occurrence support* (sum of per-transaction occurrence
+  counts), an alternative support measure some applications use.
+
+Enumeration reuses the miner's embedding machinery, so the per-label
+ascending-id discipline guarantees each vertex set appears exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..graphdb.core_index import PseudoDatabase
+from ..graphdb.database import GraphDatabase
+from ..graphdb.graph import Graph
+from .canonical import CanonicalForm
+from .embeddings import EmbeddingStore
+
+
+def embedding_store_for(
+    database: GraphDatabase,
+    form: CanonicalForm,
+    pseudo: Optional[PseudoDatabase] = None,
+) -> EmbeddingStore:
+    """Build the full embedding store of a canonical form.
+
+    Grows the form label by label exactly as the miner would; the
+    result holds every embedding (vertex set) of the pattern in every
+    transaction.
+    """
+    if form.size == 0:
+        return EmbeddingStore(database, pseudo, "cached", 0, {})
+    if pseudo is None:
+        pseudo = PseudoDatabase(database)
+    store = EmbeddingStore.for_label(database, pseudo, form.labels[0])
+    last = form.labels[0]
+    for label in form.labels[1:]:
+        store = store.extend(label, last)
+        last = label
+    return store
+
+
+def iter_embeddings(
+    database: GraphDatabase, form: CanonicalForm
+) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+    """Yield ``(transaction id, sorted vertex tuple)`` per occurrence."""
+    store = embedding_store_for(database, form)
+    for tid, vertices in store.iter_embeddings():
+        yield tid, tuple(sorted(vertices))
+
+
+def embeddings_in_graph(graph: Graph, form: CanonicalForm) -> List[Tuple[int, ...]]:
+    """All embeddings of a pattern in a single graph."""
+    database = GraphDatabase([graph.copy()])
+    return [vertices for _, vertices in iter_embeddings(database, form)]
+
+
+def occurrence_counts(
+    database: GraphDatabase, form: CanonicalForm
+) -> Dict[int, int]:
+    """Occurrences per transaction (transactions with zero are omitted)."""
+    counts: Dict[int, int] = {}
+    for tid, _ in iter_embeddings(database, form):
+        counts[tid] = counts.get(tid, 0) + 1
+    return counts
+
+
+def total_occurrences(database: GraphDatabase, form: CanonicalForm) -> int:
+    """Total occurrences across the database (the paper's 'four occurrences')."""
+    return sum(occurrence_counts(database, form).values())
+
+
+def transaction_support(database: GraphDatabase, form: CanonicalForm) -> int:
+    """The paper's support measure: transactions with >= 1 embedding."""
+    return len(occurrence_counts(database, form))
+
+
+def occurrence_report(
+    database: GraphDatabase, forms: List[CanonicalForm]
+) -> str:
+    """Aligned text table: form, transaction support, total occurrences."""
+    rows = []
+    for form in forms:
+        counts = occurrence_counts(database, form)
+        rows.append((str(form), len(counts), sum(counts.values())))
+    width = max((len(r[0]) for r in rows), default=4)
+    lines = [f"{'form'.ljust(width)}  support  occurrences"]
+    for name, support, occurrences in rows:
+        lines.append(f"{name.ljust(width)}  {support:7d}  {occurrences:11d}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Result sets of a mining run.
+
+Holds the reported patterns, keeps them queryable by canonical form and
+by size (the series of Figure 6(b) is ``size_histogram``), and derives
+the quantities the paper reports: the maximum clique pattern (Figure 5)
+and the closed → all-frequent expansion (Section 1 argues closed sets
+retain completeness; :meth:`MiningResult.expand_to_frequent` realises
+that derivation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import PatternError
+from .canonical import CanonicalForm, Label
+from .pattern import CliquePattern
+from .statistics import MinerStatistics
+
+
+class MiningResult:
+    """An ordered, indexed collection of mined clique patterns."""
+
+    __slots__ = ("_patterns", "_by_form", "min_sup", "closed_only", "elapsed_seconds", "statistics")
+
+    def __init__(
+        self,
+        patterns: Iterable[CliquePattern] = (),
+        min_sup: int = 1,
+        closed_only: bool = True,
+        elapsed_seconds: float = 0.0,
+        statistics: Optional[MinerStatistics] = None,
+    ) -> None:
+        self._patterns: List[CliquePattern] = []
+        self._by_form: Dict[CanonicalForm, CliquePattern] = {}
+        self.min_sup = min_sup
+        self.closed_only = closed_only
+        self.elapsed_seconds = elapsed_seconds
+        self.statistics = statistics if statistics is not None else MinerStatistics()
+        for pattern in patterns:
+            self.add(pattern)
+
+    # ------------------------------------------------------------------
+    # Collection maintenance
+    # ------------------------------------------------------------------
+    def add(self, pattern: CliquePattern) -> None:
+        """Add a pattern; duplicate canonical forms are rejected."""
+        if pattern.form in self._by_form:
+            raise PatternError(f"duplicate pattern {pattern.key()} in result set")
+        self._patterns.append(pattern)
+        self._by_form[pattern.form] = pattern
+
+    def sorted_by_form(self) -> List[CliquePattern]:
+        """Patterns in global canonical-form order (the DFS order)."""
+        return sorted(self._patterns, key=lambda p: p.form.labels)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, form: CanonicalForm) -> Optional[CliquePattern]:
+        """Look a pattern up by canonical form."""
+        return self._by_form.get(form)
+
+    def __contains__(self, form: object) -> bool:
+        return form in self._by_form
+
+    def forms(self) -> List[CanonicalForm]:
+        """All canonical forms, in insertion (enumeration) order."""
+        return [p.form for p in self._patterns]
+
+    def keys(self) -> List[str]:
+        """The ``form:support`` keys of all patterns, in insertion order."""
+        return [p.key() for p in self._patterns]
+
+    def of_size(self, size: int) -> List[CliquePattern]:
+        """Patterns with exactly ``size`` vertices."""
+        return [p for p in self._patterns if p.size == size]
+
+    def at_least_size(self, size: int) -> List[CliquePattern]:
+        """Patterns with at least ``size`` vertices (paper reports ≥ 3)."""
+        return [p for p in self._patterns if p.size >= size]
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Number of patterns per clique size — the Figure 6(b) series."""
+        histogram: Dict[int, int] = {}
+        for pattern in self._patterns:
+            histogram[pattern.size] = histogram.get(pattern.size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def max_size(self) -> int:
+        """Largest pattern size (0 if empty)."""
+        return max((p.size for p in self._patterns), default=0)
+
+    def maximum_patterns(self) -> List[CliquePattern]:
+        """All patterns of maximum size — Figure 5's headline result."""
+        top = self.max_size()
+        return [] if top == 0 else self.of_size(top)
+
+    def supersets_of(self, form: CanonicalForm) -> Iterator[CliquePattern]:
+        """Patterns whose form properly contains ``form``."""
+        for pattern in self._patterns:
+            if form.is_proper_subclique_of(pattern.form):
+                yield pattern
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def expand_to_frequent(self) -> "MiningResult":
+        """Derive the complete frequent set from a closed result set.
+
+        Every frequent clique is a subclique of some closed clique with
+        support equal to the *maximum* support among its closed
+        supercliques (the completeness argument of Section 1).  Only
+        valid when this result set is closed and unfiltered by size.
+        """
+        derived: Dict[Tuple[Label, ...], int] = {}
+        for pattern in self._patterns:
+            for labels in _sub_multisets(pattern.labels):
+                if derived.get(labels, 0) < pattern.support:
+                    derived[labels] = pattern.support
+        expanded = MiningResult(
+            min_sup=self.min_sup, closed_only=False, elapsed_seconds=self.elapsed_seconds
+        )
+        for labels in sorted(derived):
+            expanded.add(
+                CliquePattern(
+                    form=CanonicalForm(labels),
+                    support=derived[labels],
+                )
+            )
+        return expanded
+
+    def closed_subset(self) -> "MiningResult":
+        """Filter an all-frequent result down to its closed patterns."""
+        closed = MiningResult(
+            min_sup=self.min_sup, closed_only=True, elapsed_seconds=self.elapsed_seconds
+        )
+        for pattern in self.sorted_by_form():
+            if not any(pattern.makes_nonclosed(other) for other in self._patterns):
+                closed.add(pattern)
+        return closed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, min_size: int = 1, limit: Optional[int] = None) -> str:
+        """Multi-line text report of the patterns (largest first)."""
+        chosen = sorted(
+            self.at_least_size(min_size), key=lambda p: (-p.size, p.form.labels)
+        )
+        if limit is not None:
+            chosen = chosen[:limit]
+        kind = "closed " if self.closed_only else ""
+        lines = [
+            f"{len(self._patterns)} frequent {kind}cliques "
+            f"(min_sup={self.min_sup}, {self.elapsed_seconds:.3f}s)"
+        ]
+        lines.extend(f"  {p.key()}" for p in chosen)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[CliquePattern]:
+        return iter(self._patterns)
+
+    def __repr__(self) -> str:
+        kind = "closed" if self.closed_only else "frequent"
+        return f"<MiningResult {len(self._patterns)} {kind} patterns min_sup={self.min_sup}>"
+
+
+def _sub_multisets(labels: Tuple[Label, ...]) -> Iterator[Tuple[Label, ...]]:
+    """All non-empty sub-multisets of a sorted label tuple, each once."""
+    distinct: List[Label] = []
+    counts: List[int] = []
+    for label in labels:
+        if distinct and distinct[-1] == label:
+            counts[-1] += 1
+        else:
+            distinct.append(label)
+            counts.append(1)
+
+    def build(index: int, acc: Tuple[Label, ...]) -> Iterator[Tuple[Label, ...]]:
+        if index == len(distinct):
+            if acc:
+                yield acc
+            return
+        for multiplicity in range(counts[index] + 1):
+            yield from build(index + 1, acc + (distinct[index],) * multiplicity)
+
+    yield from build(0, ())

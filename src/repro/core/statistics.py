@@ -1,0 +1,71 @@
+"""Search-process counters.
+
+The evaluation sections of pattern-mining papers argue about *work*
+(patterns enumerated, subtrees pruned, embeddings touched), not just
+wall-clock time; :class:`MinerStatistics` records those quantities so
+benchmarks and ablations can report them alongside runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MinerStatistics:
+    """Counters accumulated over one mining run."""
+
+    #: Prefix cliques visited by the DFS (nodes of the search tree).
+    prefixes_visited: int = 0
+    #: Frequent cliques enumerated (= prefixes that met min_sup).
+    frequent_cliques: int = 0
+    #: Cliques that passed the closure check.
+    closed_cliques: int = 0
+    #: Subtrees cut by non-closed prefix pruning (Lemma 4.4).
+    nonclosed_prefix_prunes: int = 0
+    #: Patterns discarded by the closure check (Lemma 4.3).
+    closure_rejections: int = 0
+    #: Extension labels rejected for being infrequent.
+    infrequent_extensions: int = 0
+    #: Extension labels skipped by structural redundancy pruning.
+    redundancy_skips: int = 0
+    #: Duplicate patterns collapsed when redundancy pruning is off.
+    duplicates_collapsed: int = 0
+    #: Total embedding records materialised.
+    embeddings_created: int = 0
+    #: Peak live embeddings for a single prefix.
+    peak_embeddings: int = 0
+    #: Database scans performed (extension-support scans).
+    database_scans: int = 0
+    #: Deepest prefix size reached.
+    max_depth: int = 0
+    #: Frequent cliques per size (the series of Figure 6(b) uses the
+    #: closed analogue from the result set).
+    frequent_by_size: Dict[int, int] = field(default_factory=dict)
+
+    def record_prefix(self, size: int) -> None:
+        """Record visiting a prefix of the given size."""
+        self.prefixes_visited += 1
+        if size > self.max_depth:
+            self.max_depth = size
+
+    def record_frequent(self, size: int) -> None:
+        """Record one frequent clique of the given size."""
+        self.frequent_cliques += 1
+        self.frequent_by_size[size] = self.frequent_by_size.get(size, 0) + 1
+
+    def record_embeddings(self, count: int) -> None:
+        """Record materialising ``count`` embeddings for one prefix."""
+        self.embeddings_created += count
+        if count > self.peak_embeddings:
+            self.peak_embeddings = count
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"prefixes={self.prefixes_visited} frequent={self.frequent_cliques} "
+            f"closed={self.closed_cliques} pruned-subtrees={self.nonclosed_prefix_prunes} "
+            f"closure-rejects={self.closure_rejections} scans={self.database_scans} "
+            f"embeddings={self.embeddings_created} depth={self.max_depth}"
+        )

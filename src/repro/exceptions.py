@@ -1,0 +1,74 @@
+"""Exception hierarchy for the CLAN reproduction library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries while still distinguishing precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid or an operation on it is illegal."""
+
+
+class VertexNotFoundError(GraphError):
+    """A referenced vertex id does not exist in the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} does not exist in this graph")
+        self.vertex = vertex
+
+
+class DuplicateVertexError(GraphError):
+    """A vertex id was added twice to the same graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex!r} already exists in this graph")
+        self.vertex = vertex
+
+
+class SelfLoopError(GraphError):
+    """A self loop was added; clique-transaction graphs are simple graphs."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"self loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class DatabaseError(ReproError):
+    """A graph transaction database is invalid or empty where it may not be."""
+
+
+class PatternError(ReproError):
+    """A clique pattern or canonical form is malformed."""
+
+
+class MiningError(ReproError):
+    """The miner was configured inconsistently or hit an internal limit."""
+
+
+class InvalidSupportError(MiningError):
+    """The minimum support threshold is out of range."""
+
+    def __init__(self, value: object, reason: str) -> None:
+        super().__init__(f"invalid minimum support {value!r}: {reason}")
+        self.value = value
+
+
+class FormatError(ReproError):
+    """A file being parsed does not conform to the expected format."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class DataGenerationError(ReproError):
+    """A synthetic data generator received impossible parameters."""

@@ -1,0 +1,108 @@
+"""Graph substrate: labeled undirected transactions and databases.
+
+This package implements everything CLAN assumes about its input: the
+graph-transaction model of Section 2, the adjacency-matrix view of
+Figure 2, the pseudo low-degree pruning indices of Section 4.2, and the
+single-graph clique routines the evaluation and baselines lean on.
+"""
+
+from .cliques import (
+    all_cliques,
+    clique_number,
+    count_cliques_by_size,
+    degeneracy_ordering,
+    maximal_cliques,
+    maximum_clique,
+)
+from .core_index import CoreIndex, PseudoDatabase, core_numbers
+from .database import GraphDatabase
+from .dot import clique_embedding_dot, graph_to_dot
+from .isomorphism import (
+    are_isomorphic,
+    find_subgraph_isomorphism,
+    find_subgraph_isomorphisms,
+    is_subgraph_isomorphic,
+)
+from .examples import (
+    PAPER_CLOSED_CLIQUES,
+    PAPER_ENUMERATION_ORDER,
+    PAPER_FREQUENT_CLIQUES,
+    paper_example_database,
+    paper_graph_g1,
+    paper_graph_g2,
+)
+from .generators import (
+    PlantedClique,
+    SyntheticDatabase,
+    database_with_planted_cliques,
+    default_label_alphabet,
+    labelled_clique_database,
+    overlapping_cliques_graph,
+    plant_clique,
+    random_database,
+    random_transaction,
+)
+from .graph import Graph, Label
+from .matrix import AdjacencyMatrix, clique_matrix
+from .stats import DatabaseCharacteristics, characteristics_table, database_characteristics
+from .validation import Finding, ValidationReport, validate_database
+from .transforms import (
+    add_edge_noise,
+    drop_labels,
+    filter_transactions,
+    label_projection_map,
+    merge_databases,
+    relabel_database,
+    restrict_labels,
+)
+
+__all__ = [
+    "AdjacencyMatrix",
+    "CoreIndex",
+    "DatabaseCharacteristics",
+    "Finding",
+    "Graph",
+    "ValidationReport",
+    "validate_database",
+    "GraphDatabase",
+    "Label",
+    "PAPER_CLOSED_CLIQUES",
+    "PAPER_ENUMERATION_ORDER",
+    "PAPER_FREQUENT_CLIQUES",
+    "PlantedClique",
+    "PseudoDatabase",
+    "SyntheticDatabase",
+    "add_edge_noise",
+    "all_cliques",
+    "are_isomorphic",
+    "find_subgraph_isomorphism",
+    "find_subgraph_isomorphisms",
+    "is_subgraph_isomorphic",
+    "drop_labels",
+    "filter_transactions",
+    "label_projection_map",
+    "merge_databases",
+    "relabel_database",
+    "restrict_labels",
+    "characteristics_table",
+    "clique_embedding_dot",
+    "clique_matrix",
+    "graph_to_dot",
+    "clique_number",
+    "core_numbers",
+    "count_cliques_by_size",
+    "database_characteristics",
+    "database_with_planted_cliques",
+    "default_label_alphabet",
+    "degeneracy_ordering",
+    "labelled_clique_database",
+    "maximal_cliques",
+    "maximum_clique",
+    "overlapping_cliques_graph",
+    "paper_example_database",
+    "paper_graph_g1",
+    "paper_graph_g2",
+    "plant_clique",
+    "random_database",
+    "random_transaction",
+]

@@ -1,0 +1,165 @@
+"""Single-graph clique enumeration substrate.
+
+The paper builds on the classic single-graph clique literature
+(Section 3): maximal-clique enumeration and maximum clique.  CLAN does
+not need these to mine frequent patterns, but the substrate is used by
+
+* the brute-force reference miners (tests),
+* dataset diagnostics (max clique size per market graph),
+* the stock-market analysis example (Figure 5 reports the maximum
+  frequent closed clique, which for support 100% is contained in the
+  intersection structure of per-graph cliques).
+
+The enumerator is Bron–Kerbosch with pivoting on a degeneracy ordering,
+the standard output-sensitive algorithm for sparse-to-medium graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .core_index import core_numbers
+from .graph import Graph
+
+
+def degeneracy_ordering(graph: Graph) -> List[int]:
+    """Return vertices in degeneracy (minimum-degree peeling) order.
+
+    Derived from core numbers: sorting by core number (ties by id for
+    determinism) yields an ordering in which every vertex has at most
+    ``degeneracy`` later neighbours.
+    """
+    cores = core_numbers(graph)
+    return sorted(graph.vertices(), key=lambda v: (cores[v], v))
+
+
+def maximal_cliques(graph: Graph, min_size: int = 1) -> Iterator[FrozenSet[int]]:
+    """Enumerate all maximal cliques of at least ``min_size`` vertices.
+
+    Uses the degeneracy-ordered outer loop of Eppstein, Löffler &
+    Strash, with Tomita pivoting inside.
+    """
+    order = degeneracy_ordering(graph)
+    position = {v: i for i, v in enumerate(order)}
+    for vertex in order:
+        neighbors = graph.neighbors(vertex)
+        candidates = {u for u in neighbors if position[u] > position[vertex]}
+        excluded = {u for u in neighbors if position[u] < position[vertex]}
+        yield from _bron_kerbosch_pivot(graph, {vertex}, candidates, excluded, min_size)
+
+
+def _bron_kerbosch_pivot(
+    graph: Graph,
+    current: Set[int],
+    candidates: Set[int],
+    excluded: Set[int],
+    min_size: int,
+) -> Iterator[FrozenSet[int]]:
+    """Recursive Bron–Kerbosch with Tomita pivot selection."""
+    if not candidates and not excluded:
+        if len(current) >= min_size:
+            yield frozenset(current)
+        return
+    if len(current) + len(candidates) < min_size:
+        return
+    pivot = max(
+        candidates | excluded,
+        key=lambda u: len(graph.neighbors(u) & candidates),
+    )
+    pivot_neighbors = graph.neighbors(pivot)
+    for vertex in list(candidates - pivot_neighbors):
+        neighbors = graph.neighbors(vertex)
+        yield from _bron_kerbosch_pivot(
+            graph,
+            current | {vertex},
+            candidates & neighbors,
+            excluded & neighbors,
+            min_size,
+        )
+        candidates.discard(vertex)
+        excluded.add(vertex)
+
+
+def all_cliques(graph: Graph, min_size: int = 1, max_size: Optional[int] = None) -> Iterator[FrozenSet[int]]:
+    """Enumerate *every* clique (not only maximal ones) by size range.
+
+    Exponential in dense graphs; intended for the brute-force reference
+    miner on small inputs.  Cliques are emitted exactly once each.
+    """
+    order = sorted(graph.vertices())
+    position = {v: i for i, v in enumerate(order)}
+
+    def extend(current: Tuple[int, ...], candidates: Set[int]) -> Iterator[FrozenSet[int]]:
+        if len(current) >= min_size:
+            yield frozenset(current)
+        if max_size is not None and len(current) >= max_size:
+            return
+        for vertex in sorted(candidates, key=position.__getitem__):
+            later = {u for u in candidates & graph.neighbors(vertex) if position[u] > position[vertex]}
+            yield from extend(current + (vertex,), later)
+
+    if min_size <= 0:
+        min_size = 1
+    for vertex in order:
+        later = {u for u in graph.neighbors(vertex) if position[u] > position[vertex]}
+        yield from extend((vertex,), later)
+
+
+def maximum_clique(graph: Graph) -> FrozenSet[int]:
+    """Return one maximum clique (empty frozenset for an empty graph).
+
+    Branch-and-bound over the maximal-clique enumeration with a core-
+    number bound: a clique through ``v`` has at most ``core(v) + 1``
+    vertices, so vertices with low core numbers are skipped once a
+    larger clique is known.
+    """
+    if graph.vertex_count == 0:
+        return frozenset()
+    cores = core_numbers(graph)
+    best: FrozenSet[int] = frozenset()
+    order = sorted(graph.vertices(), key=lambda v: (-cores[v], v))
+    position = {v: i for i, v in enumerate(sorted(graph.vertices()))}
+    for vertex in order:
+        if cores[vertex] + 1 <= len(best):
+            break
+        candidates = {
+            u
+            for u in graph.neighbors(vertex)
+            if cores[u] + 1 > len(best)
+        }
+        best = _max_clique_search(graph, (vertex,), candidates, best)
+    return best
+
+
+def _max_clique_search(
+    graph: Graph,
+    current: Tuple[int, ...],
+    candidates: Set[int],
+    best: FrozenSet[int],
+) -> FrozenSet[int]:
+    """Depth-first maximum-clique search with a simple size bound."""
+    if len(current) > len(best):
+        best = frozenset(current)
+    if len(current) + len(candidates) <= len(best):
+        return best
+    for vertex in sorted(candidates, key=lambda v: -len(graph.neighbors(v) & candidates)):
+        if len(current) + len(candidates) <= len(best):
+            break
+        candidates = candidates - {vertex}
+        best = _max_clique_search(
+            graph, current + (vertex,), candidates & graph.neighbors(vertex), best
+        )
+    return best
+
+
+def clique_number(graph: Graph) -> int:
+    """Return the size of the maximum clique."""
+    return len(maximum_clique(graph))
+
+
+def count_cliques_by_size(graph: Graph, max_size: Optional[int] = None) -> Dict[int, int]:
+    """Count cliques per size; exponential, for diagnostics on small graphs."""
+    counts: Dict[int, int] = {}
+    for clique in all_cliques(graph, min_size=1, max_size=max_size):
+        counts[len(clique)] = counts.get(len(clique), 0) + 1
+    return counts

@@ -1,0 +1,157 @@
+"""Pseudo low-degree vertex pruning (paper Section 4.2, Observation 4.1).
+
+No vertex of degree below ``k - 1`` can participate in a k-clique, and
+the pruning applies *recursively*: removing a low-degree vertex may
+drop its neighbours below the bar.  Peeling vertices of degree < k
+recursively is precisely the computation of the k-core, so one core
+decomposition per transaction (linear in the edge count, Batagelj &
+Zaveršnik's bucket algorithm) answers every level's question at once:
+
+    v may occur in a k-clique  ⇔  core(v) >= k - 1.
+
+The paper proposes keeping "a series of pseudo databases" as index sets
+over the original database rather than materialised copies;
+:class:`CoreIndex` is that index for one transaction and
+:class:`PseudoDatabase` bundles one index per transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .database import GraphDatabase
+from .graph import Graph, Label
+
+
+def core_numbers(graph: Graph) -> Dict[int, int]:
+    """Compute the core number of every vertex.
+
+    The core number of ``v`` is the largest ``k`` such that ``v``
+    belongs to a subgraph in which every vertex has degree ≥ ``k``.
+    Runs in ``O(|V| + |E|)`` using bucketed peeling.
+    """
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    if not degrees:
+        return {}
+    max_degree = max(degrees.values())
+    buckets: List[List[int]] = [[] for _ in range(max_degree + 1)]
+    for vertex, degree in degrees.items():
+        buckets[degree].append(vertex)
+
+    cores: Dict[int, int] = {}
+    current = {v: d for v, d in degrees.items()}
+    processed: Set[int] = set()
+    level = 0
+    while len(processed) < len(degrees):
+        while level <= max_degree and not buckets[level]:
+            level += 1
+        vertex = buckets[level].pop()
+        if vertex in processed or current[vertex] != level:
+            # Stale bucket entry: the vertex moved to a lower bucket.
+            continue
+        processed.add(vertex)
+        cores[vertex] = level
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in processed:
+                continue
+            if current[neighbor] > level:
+                current[neighbor] -= 1
+                buckets[current[neighbor]].append(neighbor)
+                if current[neighbor] < level:
+                    level = current[neighbor]
+    return cores
+
+
+class CoreIndex:
+    """Per-transaction index answering "usable at clique size k" queries.
+
+    A vertex is *usable at level k* (may occur in a k-clique) iff its
+    core number is at least ``k - 1``.  The index precomputes, for each
+    level, the surviving vertex set and a per-label breakdown, which is
+    what the miner's label-directed extension scans consume.
+    """
+
+    __slots__ = ("graph", "_cores", "_levels", "_label_levels", "max_core")
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._cores = core_numbers(graph)
+        self.max_core = max(self._cores.values(), default=0)
+        # _levels[k] = frozenset of vertices usable in a (k+... ) — indexed
+        # directly by clique size k, for k in 1..max_core+1.
+        self._levels: Dict[int, FrozenSet[int]] = {}
+        self._label_levels: Dict[Tuple[int, Label], FrozenSet[int]] = {}
+
+    def core_number(self, vertex: int) -> int:
+        """Return the core number of ``vertex``."""
+        return self._cores[vertex]
+
+    def max_clique_upper_bound(self) -> int:
+        """An upper bound on the transaction's maximum clique size.
+
+        A clique of size k lies in the (k−1)-core, so the max clique has
+        at most ``max_core + 1`` vertices.
+        """
+        if not self._cores:
+            return 0
+        return self.max_core + 1
+
+    def usable_at(self, clique_size: int) -> FrozenSet[int]:
+        """Vertices that can occur in a clique of ``clique_size`` vertices."""
+        if clique_size <= 1:
+            return frozenset(self._cores)
+        if clique_size > self.max_core + 1:
+            return frozenset()
+        cached = self._levels.get(clique_size)
+        if cached is None:
+            threshold = clique_size - 1
+            cached = frozenset(v for v, c in self._cores.items() if c >= threshold)
+            self._levels[clique_size] = cached
+        return cached
+
+    def usable_with_label(self, clique_size: int, label: Label) -> FrozenSet[int]:
+        """Vertices with ``label`` usable at the given clique size."""
+        key = (clique_size, label)
+        cached = self._label_levels.get(key)
+        if cached is None:
+            cached = self.graph.vertices_with_label(label) & self.usable_at(clique_size)
+            self._label_levels[key] = cached
+        return cached
+
+    def pruned_graph(self, clique_size: int) -> Graph:
+        """Materialise the pseudo database for one level (mostly for tests).
+
+        The miner itself never calls this — it works off the index sets,
+        as the paper recommends to save memory.
+        """
+        return self.graph.induced_subgraph(self.usable_at(clique_size))
+
+    def __repr__(self) -> str:
+        return f"<CoreIndex |V|={self.graph.vertex_count} max_core={self.max_core}>"
+
+
+class PseudoDatabase:
+    """One :class:`CoreIndex` per transaction of a database."""
+
+    __slots__ = ("database", "indices")
+
+    def __init__(self, database: GraphDatabase) -> None:
+        self.database = database
+        self.indices: List[CoreIndex] = [CoreIndex(graph) for graph in database]
+
+    def index(self, tid: int) -> CoreIndex:
+        """Return the core index of transaction ``tid``."""
+        return self.indices[tid]
+
+    def max_clique_upper_bound(self) -> int:
+        """Upper bound on the max clique size over the whole database."""
+        return max((idx.max_clique_upper_bound() for idx in self.indices), default=0)
+
+    def usable_transactions(self, clique_size: int) -> Iterable[int]:
+        """Transaction ids that can still host a clique of the given size."""
+        for tid, idx in enumerate(self.indices):
+            if idx.usable_at(clique_size):
+                yield tid
+
+    def __len__(self) -> int:
+        return len(self.indices)

@@ -1,0 +1,182 @@
+"""Graph transaction databases.
+
+A :class:`GraphDatabase` is the ``D`` of Section 2: an ordered
+collection of labeled undirected graph transactions.  It owns the
+support-threshold arithmetic (relative percentages → absolute counts)
+and the replication operation used by the scalability study of
+Figure 7(b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..exceptions import DatabaseError, InvalidSupportError
+from .graph import Graph, Label
+
+
+class GraphDatabase:
+    """An ordered collection of graph transactions.
+
+    Transactions keep their position index as the authoritative
+    transaction id used in embeddings and support sets.
+
+    Examples
+    --------
+    >>> db = GraphDatabase([Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])])
+    >>> len(db)
+    1
+    >>> db.absolute_support(1.0)
+    1
+    """
+
+    __slots__ = ("_graphs", "name")
+
+    def __init__(self, graphs: Optional[Iterable[Graph]] = None, name: str = "") -> None:
+        self._graphs: List[Graph] = []
+        self.name = name
+        for graph in graphs or ():
+            self.add(graph)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, graph: Graph) -> int:
+        """Append a transaction and return its transaction id."""
+        tid = len(self._graphs)
+        if graph.graph_id is None:
+            graph.graph_id = tid
+        self._graphs.append(graph)
+        return tid
+
+    def replicate(self, factor: int, name: str = "") -> "GraphDatabase":
+        """Return a database with every transaction repeated ``factor`` times.
+
+        This is the base-size scaling of the paper's Figure 7(b): the
+        graphs are replicated from 2 to 16 times and runtime is expected
+        to grow linearly.  Each copy is an independent transaction (ids
+        are reassigned), so relative supports are preserved.
+        """
+        if factor < 1:
+            raise DatabaseError(f"replication factor must be >= 1, got {factor}")
+        replica = GraphDatabase(name=name or f"{self.name}x{factor}")
+        for _ in range(factor):
+            for graph in self._graphs:
+                replica.add(graph.copy(graph_id=len(replica)))
+        return replica
+
+    def subset(self, transaction_ids: Iterable[int], name: str = "") -> "GraphDatabase":
+        """Return a database holding copies of the selected transactions."""
+        picked = GraphDatabase(name=name or f"{self.name}-subset")
+        for tid in transaction_ids:
+            picked.add(self[tid].copy(graph_id=len(picked)))
+        return picked
+
+    # ------------------------------------------------------------------
+    # Support arithmetic
+    # ------------------------------------------------------------------
+    def absolute_support(self, min_sup: float) -> int:
+        """Convert a support threshold to an absolute transaction count.
+
+        ``min_sup`` may be given either as an absolute integer count
+        (``1 <= min_sup <= |D|``, integers only) or as a relative
+        fraction in ``(0, 1]`` (floats only).  The relative form rounds
+        *up*, matching the usual "at least x%" semantics: 85% of 11
+        graphs requires support 10.
+        """
+        if not self._graphs:
+            raise DatabaseError("cannot derive a support threshold for an empty database")
+        if isinstance(min_sup, bool):
+            raise InvalidSupportError(min_sup, "booleans are not a support threshold")
+        if isinstance(min_sup, int):
+            if not 1 <= min_sup <= len(self._graphs):
+                raise InvalidSupportError(
+                    min_sup, f"absolute support must be in [1, {len(self._graphs)}]"
+                )
+            return min_sup
+        if isinstance(min_sup, float):
+            if not 0.0 < min_sup <= 1.0:
+                raise InvalidSupportError(min_sup, "relative support must be in (0, 1]")
+            absolute = -int(-min_sup * len(self._graphs) // 1)  # ceil without math import
+            return max(1, absolute)
+        raise InvalidSupportError(min_sup, "expected an int count or a float fraction")
+
+    def label_supports(self) -> Dict[Label, int]:
+        """Return, for each label, the number of transactions containing it."""
+        supports: Dict[Label, int] = {}
+        for graph in self._graphs:
+            for label in graph.distinct_labels():
+                supports[label] = supports.get(label, 0) + 1
+        return supports
+
+    def frequent_labels(self, min_sup_abs: int) -> List[Label]:
+        """Return labels supported by at least ``min_sup_abs`` transactions, sorted."""
+        return sorted(
+            label for label, sup in self.label_supports().items() if sup >= min_sup_abs
+        )
+
+    def distinct_labels(self) -> Set[Label]:
+        """Return the union of all transaction label sets."""
+        labels: Set[Label] = set()
+        for graph in self._graphs:
+            labels |= graph.distinct_labels()
+        return labels
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics (feeds Table 1)
+    # ------------------------------------------------------------------
+    def total_vertices(self) -> int:
+        """Total vertex count across all transactions."""
+        return sum(g.vertex_count for g in self._graphs)
+
+    def total_edges(self) -> int:
+        """Total edge count across all transactions."""
+        return sum(g.edge_count for g in self._graphs)
+
+    def average_vertices(self) -> float:
+        """Average ``|V|`` per transaction (0.0 for an empty database)."""
+        if not self._graphs:
+            return 0.0
+        return self.total_vertices() / len(self._graphs)
+
+    def average_edges(self) -> float:
+        """Average ``|E|`` per transaction (0.0 for an empty database)."""
+        if not self._graphs:
+            return 0.0
+        return self.total_edges() / len(self._graphs)
+
+    def max_vertices(self) -> int:
+        """Largest ``|V|`` over all transactions (0 if empty)."""
+        return max((g.vertex_count for g in self._graphs), default=0)
+
+    def max_edges(self) -> int:
+        """Largest ``|E|`` over all transactions (0 if empty)."""
+        return max((g.edge_count for g in self._graphs), default=0)
+
+    def max_degree(self) -> int:
+        """Largest vertex degree over all transactions (0 if empty)."""
+        return max((g.max_degree() for g in self._graphs), default=0)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self._graphs)
+
+    def __getitem__(self, tid: int) -> Graph:
+        try:
+            return self._graphs[tid]
+        except IndexError:
+            raise DatabaseError(
+                f"transaction id {tid} out of range for database of size {len(self._graphs)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"<GraphDatabase{name} |D|={len(self._graphs)} "
+            f"avg|V|={self.average_vertices():.1f} avg|E|={self.average_edges():.1f}>"
+        )

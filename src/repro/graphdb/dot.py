@@ -1,0 +1,78 @@
+"""Graphviz DOT export for graphs and mined patterns.
+
+Used to draw Figure 5-style pictures: a transaction graph, optionally
+with the vertices of one or more mined cliques highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set
+
+from .graph import Graph
+
+#: Fill colors cycled over highlight groups.
+_PALETTE = ("lightblue", "palegreen", "lightsalmon", "gold", "plum", "khaki")
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def graph_to_dot(
+    graph: Graph,
+    name: str = "G",
+    highlights: Sequence[Iterable[int]] = (),
+    show_ids: bool = False,
+) -> str:
+    """Render a transaction as an undirected DOT graph.
+
+    ``highlights`` is a sequence of vertex groups (e.g. clique
+    embeddings); each group gets one fill color from a fixed palette.
+    Vertices display their label (plus the id when ``show_ids``).
+    """
+    color_of: Dict[int, str] = {}
+    for index, group in enumerate(highlights):
+        color = _PALETTE[index % len(_PALETTE)]
+        for vertex in group:
+            color_of.setdefault(vertex, color)
+
+    lines = [f"graph {_quote(name)} {{", "  node [shape=circle];"]
+    for vertex in sorted(graph.vertices()):
+        label = graph.label(vertex)
+        text = f"{label}#{vertex}" if show_ids else label
+        attrs = [f"label={_quote(text)}"]
+        if vertex in color_of:
+            attrs.append("style=filled")
+            attrs.append(f"fillcolor={color_of[vertex]}")
+        lines.append(f"  {vertex} [{', '.join(attrs)}];")
+    for u, v in sorted(graph.edges()):
+        style = ""
+        if u in color_of and color_of.get(u) == color_of.get(v):
+            style = " [penwidth=2]"
+        lines.append(f"  {u} -- {v}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def clique_embedding_dot(
+    graph: Graph,
+    embedding: Iterable[int],
+    name: str = "clique",
+    context_hops: int = 1,
+) -> str:
+    """Render a clique embedding with ``context_hops`` of neighbourhood.
+
+    The Figure 5 visual: the clique filled and bold, its immediate
+    context faded around it.
+    """
+    members: Set[int] = set(embedding)
+    context = set(members)
+    frontier = set(members)
+    for _ in range(max(0, context_hops)):
+        grown: Set[int] = set()
+        for vertex in frontier:
+            grown |= graph.neighbors(vertex)
+        frontier = grown - context
+        context |= grown
+    sub = graph.induced_subgraph(context)
+    return graph_to_dot(sub, name=name, highlights=[members])

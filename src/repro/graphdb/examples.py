@@ -1,0 +1,74 @@
+"""The paper's running example database (Figures 1–4).
+
+The figures themselves are not machine readable, but the text pins the
+structure down completely; the graphs below satisfy every stated fact:
+
+* ``|D| = 2`` with transactions G1 and G2 over labels a..e (Figure 1).
+* The 4-clique ``abcd`` has two embeddings in G1 and one in G2
+  (Figure 3), and ``bde`` is embedded in both transactions.
+* With ``min_sup = 2`` there are exactly 19 frequent cliques, of which
+  only ``abcd:2`` and ``bde:2`` are closed (Example 2.1, Figure 4).
+* Under structural redundancy pruning the DFS enumeration order is
+  a, ab, abc, abcd, abd, ac, acd, ad, b, bc, bcd, bd, bde, be, c, cd,
+  d, de, e (Section 4.2).
+* In G1, vertex u4 (label c) has exactly the four neighbours u1, u2,
+  u3, u5, and u1 (label a) connects to all the other neighbours; in G2,
+  vertex v4 (label c) has exactly the three neighbours v1, v2, v5 and
+  v1 (label a) connects to the others (the Lemma 4.4 walkthrough).
+* In G2, v6 has degree 2, and removing it drops v3 to degree 2 (the
+  pseudo low-degree pruning walkthrough in Section 4.2).
+* ``bd:2`` has exactly four occurrences in D, each contained in an
+  occurrence of ``abd:2`` (the occurrence-match discussion in §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .database import GraphDatabase
+from .graph import Graph
+
+#: The 19 frequent cliques of the running example at min_sup = 2, keyed
+#: by canonical form, all with support 2 (Figure 4).
+PAPER_FREQUENT_CLIQUES: Tuple[str, ...] = (
+    "a", "ab", "abc", "abcd", "abd", "ac", "acd", "ad",
+    "b", "bc", "bcd", "bd", "bde", "be",
+    "c", "cd",
+    "d", "de",
+    "e",
+)
+
+#: The two closed cliques of the running example (Example 2.1).
+PAPER_CLOSED_CLIQUES: Tuple[str, ...] = ("abcd", "bde")
+
+#: DFS enumeration order under structural redundancy pruning (§4.2).
+PAPER_ENUMERATION_ORDER: Tuple[str, ...] = PAPER_FREQUENT_CLIQUES
+
+
+def paper_graph_g1() -> Graph:
+    """Transaction G1 of Figure 1 (vertices u1..u6, ids 1..6)."""
+    labels: Dict[int, str] = {1: "a", 2: "b", 3: "d", 4: "c", 5: "d", 6: "e"}
+    edges: List[Tuple[int, int]] = [
+        (1, 2), (1, 3), (1, 4), (1, 5),
+        (2, 3), (2, 4), (2, 5), (2, 6),
+        (3, 4), (3, 6),
+        (4, 5),
+    ]
+    return Graph.from_edges(labels, edges, graph_id=0)
+
+
+def paper_graph_g2() -> Graph:
+    """Transaction G2 of Figure 1 (vertices v1..v6, ids 1..6)."""
+    labels: Dict[int, str] = {1: "a", 2: "b", 3: "d", 4: "c", 5: "d", 6: "e"}
+    edges: List[Tuple[int, int]] = [
+        (1, 2), (1, 3), (1, 4), (1, 5),
+        (2, 3), (2, 4), (2, 5), (2, 6),
+        (3, 6),
+        (4, 5),
+    ]
+    return Graph.from_edges(labels, edges, graph_id=1)
+
+
+def paper_example_database() -> GraphDatabase:
+    """The running-example database D = {G1, G2} of Figure 1."""
+    return GraphDatabase([paper_graph_g1(), paper_graph_g2()], name="paper-example")

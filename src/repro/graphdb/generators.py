@@ -1,0 +1,250 @@
+"""Random graph-transaction generators.
+
+These produce controlled synthetic databases for tests, examples, and
+the ablation benchmarks: Erdős–Rényi-style background graphs with
+optional *planted* frequent cliques whose label sets (and therefore
+patterns and supports) are known in advance.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import DataGenerationError
+from .database import GraphDatabase
+from .graph import Graph, Label
+
+
+def default_label_alphabet(size: int) -> List[Label]:
+    """Return ``size`` distinct short labels: a..z, then aa, ab, ...
+
+    Labels are generated in lexicographic order, so the global label
+    ordering CLAN assumes coincides with generation order.
+    """
+    if size <= 0:
+        raise DataGenerationError("label alphabet size must be positive")
+    alphabet: List[Label] = []
+    letters = string.ascii_lowercase
+    length = 1
+    while len(alphabet) < size:
+        def build(prefix: str, remaining: int) -> None:
+            if remaining == 0:
+                alphabet.append(prefix)
+                return
+            for ch in letters:
+                if len(alphabet) >= size:
+                    return
+                build(prefix + ch, remaining - 1)
+
+        build("", length)
+        length += 1
+    return alphabet[:size]
+
+
+@dataclass
+class PlantedClique:
+    """Description of a clique planted into a subset of transactions.
+
+    Attributes
+    ----------
+    labels:
+        The vertex labels of the planted clique (its canonical form is
+        their sorted order).
+    transactions:
+        Indices of the transactions carrying an embedding.
+    """
+
+    labels: Tuple[Label, ...]
+    transactions: Tuple[int, ...]
+
+    @property
+    def canonical_labels(self) -> Tuple[Label, ...]:
+        """Sorted label tuple — the expected canonical form."""
+        return tuple(sorted(self.labels))
+
+    @property
+    def support(self) -> int:
+        """Number of transactions the clique was planted into."""
+        return len(self.transactions)
+
+
+@dataclass
+class SyntheticDatabase:
+    """A generated database together with its planted ground truth."""
+
+    database: GraphDatabase
+    planted: List[PlantedClique] = field(default_factory=list)
+
+
+def random_transaction(
+    rng: random.Random,
+    n_vertices: int,
+    edge_probability: float,
+    labels: Sequence[Label],
+    graph_id: Optional[int] = None,
+) -> Graph:
+    """Generate one G(n, p) transaction with uniform random labels."""
+    if n_vertices < 0:
+        raise DataGenerationError("vertex count must be non-negative")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise DataGenerationError("edge probability must be in [0, 1]")
+    if n_vertices > 0 and not labels:
+        raise DataGenerationError("need at least one label")
+    graph = Graph(graph_id)
+    for vertex in range(n_vertices):
+        graph.add_vertex(vertex, rng.choice(list(labels)))
+    for u in range(n_vertices):
+        for v in range(u + 1, n_vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_database(
+    n_graphs: int,
+    n_vertices: int,
+    edge_probability: float,
+    n_labels: int,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> GraphDatabase:
+    """Generate a database of independent G(n, p) transactions."""
+    rng = random.Random(seed)
+    labels = default_label_alphabet(n_labels)
+    database = GraphDatabase(name=name)
+    for gid in range(n_graphs):
+        database.add(random_transaction(rng, n_vertices, edge_probability, labels, gid))
+    return database
+
+
+def plant_clique(
+    graph: Graph,
+    labels: Sequence[Label],
+    rng: random.Random,
+) -> List[int]:
+    """Embed a clique with the given labels into ``graph``.
+
+    New vertices are appended (ids continue after the current maximum),
+    then each planted vertex is also wired to a few random existing
+    vertices so the clique does not sit in an isolated component.
+    Returns the planted vertex ids.
+    """
+    next_id = max(graph.vertices(), default=-1) + 1
+    planted: List[int] = []
+    for label in labels:
+        graph.add_vertex(next_id, label)
+        planted.append(next_id)
+        next_id += 1
+    for i, u in enumerate(planted):
+        for v in planted[i + 1 :]:
+            graph.add_edge(u, v)
+    outside = [v for v in graph.vertices() if v not in set(planted)]
+    for u in planted:
+        for v in rng.sample(outside, k=min(2, len(outside))):
+            graph.add_edge(u, v)
+    return planted
+
+
+def database_with_planted_cliques(
+    n_graphs: int,
+    n_vertices: int,
+    edge_probability: float,
+    n_labels: int,
+    planted_specs: Sequence[Tuple[Sequence[Label], Sequence[int]]],
+    seed: int = 0,
+    name: str = "planted",
+) -> SyntheticDatabase:
+    """Generate a G(n, p) database with explicitly planted cliques.
+
+    ``planted_specs`` is a sequence of ``(labels, transaction_ids)``
+    pairs.  Labels of planted cliques should usually be disjoint from
+    the background alphabet (e.g. upper case) so ground-truth supports
+    are exact rather than lower bounds.
+    """
+    rng = random.Random(seed)
+    background = default_label_alphabet(n_labels)
+    database = GraphDatabase(name=name)
+    for gid in range(n_graphs):
+        database.add(random_transaction(rng, n_vertices, edge_probability, background, gid))
+    planted: List[PlantedClique] = []
+    for labels, transaction_ids in planted_specs:
+        tids = tuple(sorted(set(transaction_ids)))
+        for tid in tids:
+            if not 0 <= tid < n_graphs:
+                raise DataGenerationError(
+                    f"planted transaction id {tid} out of range [0, {n_graphs})"
+                )
+            plant_clique(database[tid], labels, rng)
+        planted.append(PlantedClique(tuple(labels), tids))
+    return SyntheticDatabase(database, planted)
+
+
+def overlapping_cliques_graph(
+    group_sizes: Sequence[int],
+    overlap: int,
+    labels: Optional[Sequence[Label]] = None,
+    graph_id: Optional[int] = None,
+) -> Graph:
+    """Build a chain of cliques where consecutive cliques share ``overlap`` vertices.
+
+    Useful for stressing embedding bookkeeping: patterns here have many
+    embeddings per transaction and non-trivial closure structure.
+    """
+    if overlap < 0:
+        raise DataGenerationError("overlap must be non-negative")
+    if len(group_sizes) > 1 and any(size <= overlap for size in group_sizes):
+        # Every clique must contribute at least one vertex beyond the
+        # region it shares with its neighbour in the chain.
+        raise DataGenerationError("each group size must exceed the overlap")
+    total = sum(group_sizes) - overlap * max(0, len(group_sizes) - 1)
+    if labels is None:
+        labels = default_label_alphabet(total)
+    if len(labels) < total:
+        raise DataGenerationError(f"need at least {total} labels, got {len(labels)}")
+    graph = Graph(graph_id)
+    for vertex in range(total):
+        graph.add_vertex(vertex, labels[vertex])
+    start = 0
+    for size in group_sizes:
+        members = list(range(start, start + size))
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+        start += size - overlap
+    return graph
+
+
+def labelled_clique_database(
+    clique_specs: Sequence[Tuple[Sequence[Label], int]],
+    n_graphs: int,
+    name: str = "clique-only",
+) -> GraphDatabase:
+    """Build a database whose transactions are disjoint unions of cliques.
+
+    ``clique_specs`` is a sequence of ``(labels, support)`` pairs; each
+    clique is placed into the first ``support`` transactions.  Because
+    the cliques are vertex-disjoint and label-disjoint placement is the
+    caller's responsibility, expected mining output is easy to reason
+    about in tests.
+    """
+    database = GraphDatabase(name=name)
+    graphs = [Graph(gid) for gid in range(n_graphs)]
+    next_ids = [0] * n_graphs
+    for labels, support in clique_specs:
+        if not 0 <= support <= n_graphs:
+            raise DataGenerationError(f"support {support} out of range [0, {n_graphs}]")
+        for tid in range(support):
+            vertex_ids = []
+            for label in labels:
+                graphs[tid].add_vertex(next_ids[tid], label)
+                vertex_ids.append(next_ids[tid])
+                next_ids[tid] += 1
+            for i, u in enumerate(vertex_ids):
+                for v in vertex_ids[i + 1 :]:
+                    graphs[tid].add_edge(u, v)
+    for graph in graphs:
+        database.add(graph)
+    return database

@@ -1,0 +1,147 @@
+"""Labeled-graph isomorphism and subgraph isomorphism.
+
+A compact VF2-style backtracking matcher for vertex-labeled undirected
+graphs.  In this library it is the *independent referee*: tests use it
+to verify the gSpan baseline's embeddings and the DFS-code canonical
+form without sharing any code with them, and it is generally useful to
+downstream users inspecting mined structures.
+
+Subgraph isomorphism here is the standard (monomorphism) notion used by
+frequent-subgraph miners: an injective mapping preserving labels and
+pattern edges; the image may contain extra edges.  Pass
+``induced=True`` for the induced variant (non-edges preserved too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .graph import Graph
+
+
+def _label_histogram(graph: Graph) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for vertex in graph.vertices():
+        label = graph.label(vertex)
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def find_subgraph_isomorphisms(
+    pattern: Graph,
+    target: Graph,
+    induced: bool = False,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[int, int]]:
+    """Yield injective label/edge-preserving mappings pattern → target.
+
+    Mappings are dicts from pattern vertex ids to target vertex ids.
+    ``limit`` caps the number of mappings yielded.  Pattern vertices are
+    matched in a connectivity-aware order with degree and label
+    pruning — adequate for the small patterns miners manipulate.
+    """
+    pattern_vertices = list(pattern.vertices())
+    if not pattern_vertices:
+        yield {}
+        return
+    if pattern.vertex_count > target.vertex_count:
+        return
+    target_histogram = _label_histogram(target)
+    for label, count in _label_histogram(pattern).items():
+        if target_histogram.get(label, 0) < count:
+            return
+
+    # Order: start from the rarest-label vertex, then grow along edges
+    # (connectivity keeps the candidate sets small).
+    order: List[int] = []
+    placed = set()
+    remaining = set(pattern_vertices)
+    rarity = {v: target_histogram[pattern.label(v)] for v in pattern_vertices}
+    while remaining:
+        frontier = [v for v in remaining if any(u in placed for u in pattern.neighbors(v))]
+        pool = frontier if frontier else list(remaining)
+        chosen = min(pool, key=lambda v: (rarity[v], -pattern.degree(v), v))
+        order.append(chosen)
+        placed.add(chosen)
+        remaining.discard(chosen)
+
+    yielded = 0
+    mapping: Dict[int, int] = {}
+    used: set = set()
+
+    def candidates(pattern_vertex: int) -> Iterator[int]:
+        mapped_neighbors = [
+            mapping[u] for u in pattern.neighbors(pattern_vertex) if u in mapping
+        ]
+        if mapped_neighbors:
+            # Must be adjacent to all already-mapped pattern neighbours.
+            base = set(target.neighbors(mapped_neighbors[0]))
+            for other in mapped_neighbors[1:]:
+                base &= target.neighbors(other)
+            pool: Iterator[int] = iter(sorted(base))
+        else:
+            pool = iter(sorted(target.vertices()))
+        label = pattern.label(pattern_vertex)
+        degree = pattern.degree(pattern_vertex)
+        for candidate in pool:
+            if candidate in used:
+                continue
+            if target.label(candidate) != label:
+                continue
+            if target.degree(candidate) < degree:
+                continue
+            yield candidate
+
+    def feasible(pattern_vertex: int, candidate: int) -> bool:
+        if not induced:
+            return True
+        # Induced: pattern non-edges must map to target non-edges.
+        for mapped_pattern, mapped_target in mapping.items():
+            pattern_edge = pattern.has_edge(pattern_vertex, mapped_pattern)
+            target_edge = target.has_edge(candidate, mapped_target)
+            if pattern_edge != target_edge:
+                return False
+        return True
+
+    def backtrack(position: int) -> Iterator[Dict[int, int]]:
+        nonlocal yielded
+        if position == len(order):
+            yielded += 1
+            yield dict(mapping)
+            return
+        vertex = order[position]
+        for candidate in candidates(vertex):
+            if not feasible(vertex, candidate):
+                continue
+            mapping[vertex] = candidate
+            used.add(candidate)
+            yield from backtrack(position + 1)
+            used.discard(candidate)
+            del mapping[vertex]
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def find_subgraph_isomorphism(
+    pattern: Graph, target: Graph, induced: bool = False
+) -> Optional[Dict[int, int]]:
+    """The first mapping, or ``None``."""
+    for mapping in find_subgraph_isomorphisms(pattern, target, induced, limit=1):
+        return mapping
+    return None
+
+
+def is_subgraph_isomorphic(pattern: Graph, target: Graph, induced: bool = False) -> bool:
+    """Whether the pattern embeds in the target."""
+    return find_subgraph_isomorphism(pattern, target, induced) is not None
+
+
+def are_isomorphic(a: Graph, b: Graph) -> bool:
+    """Whole-graph isomorphism (labels, edges, both directions)."""
+    if a.vertex_count != b.vertex_count or a.edge_count != b.edge_count:
+        return False
+    if _label_histogram(a) != _label_histogram(b):
+        return False
+    return find_subgraph_isomorphism(a, b, induced=True) is not None

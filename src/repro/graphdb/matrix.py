@@ -1,0 +1,148 @@
+"""Adjacency-matrix representation of graph transactions (paper Figure 2).
+
+The paper represents each transaction as an adjacency matrix ``M`` whose
+diagonal holds vertex labels and whose off-diagonal entries hold edge
+presence bits.  This module provides that representation, conversion to
+and from :class:`~repro.graphdb.graph.Graph`, and the classic
+*adjacency-matrix code* (the upper-triangular entry sequence) that
+earlier miners such as FSG/FFSM use as a canonical form — included both
+for I/O and so benchmarks can contrast its cost with CLAN's string
+canonical form.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import GraphError
+from .graph import Graph, Label
+
+
+class AdjacencyMatrix:
+    """Dense adjacency matrix with labels on the diagonal.
+
+    Vertices are positions ``0..n-1``; ``labels[i]`` is ``M[i][i]`` and
+    ``bits[i][j]`` is 1 iff an edge joins positions ``i`` and ``j``.
+    """
+
+    __slots__ = ("labels", "bits")
+
+    def __init__(self, labels: Sequence[Label], bits: Sequence[Sequence[int]]) -> None:
+        n = len(labels)
+        if len(bits) != n or any(len(row) != n for row in bits):
+            raise GraphError("adjacency matrix must be square and match the label count")
+        for i in range(n):
+            if bits[i][i] != 0:
+                raise GraphError("diagonal entries must be 0 (labels are stored separately)")
+            for j in range(i + 1, n):
+                if bits[i][j] not in (0, 1):
+                    raise GraphError("off-diagonal entries must be 0 or 1")
+                if bits[i][j] != bits[j][i]:
+                    raise GraphError("adjacency matrix of an undirected graph must be symmetric")
+        self.labels: Tuple[Label, ...] = tuple(labels)
+        self.bits: Tuple[Tuple[int, ...], ...] = tuple(tuple(row) for row in bits)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph, order: Optional[Sequence[int]] = None) -> "AdjacencyMatrix":
+        """Build a matrix from a graph, optionally in a given vertex order."""
+        vertex_order: List[int] = list(order) if order is not None else sorted(graph.vertices())
+        if sorted(vertex_order) != sorted(graph.vertices()):
+            raise GraphError("order must be a permutation of the graph's vertices")
+        index = {vertex: i for i, vertex in enumerate(vertex_order)}
+        n = len(vertex_order)
+        bits = [[0] * n for _ in range(n)]
+        for u, v in graph.edges():
+            i, j = index[u], index[v]
+            bits[i][j] = 1
+            bits[j][i] = 1
+        return cls([graph.label(v) for v in vertex_order], bits)
+
+    def to_graph(self, graph_id: Optional[int] = None) -> Graph:
+        """Materialise the matrix as a :class:`Graph` with ids ``0..n-1``."""
+        graph = Graph(graph_id)
+        for i, label in enumerate(self.labels):
+            graph.add_vertex(i, label)
+        n = len(self.labels)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.bits[i][j]:
+                    graph.add_edge(i, j)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Matrix codes
+    # ------------------------------------------------------------------
+    def code(self) -> Tuple[object, ...]:
+        """Return the matrix code: labels then the upper-triangle bit sequence.
+
+        This is the per-ordering code of Kuramochi & Karypis-style
+        canonical forms; :meth:`canonical_code` minimises it over all
+        vertex permutations.
+        """
+        n = len(self.labels)
+        upper = [self.bits[i][j] for i in range(n) for j in range(i + 1, n)]
+        return tuple(self.labels) + tuple(upper)
+
+    def permuted(self, order: Sequence[int]) -> "AdjacencyMatrix":
+        """Return the matrix re-indexed by the given position permutation."""
+        n = len(self.labels)
+        if sorted(order) != list(range(n)):
+            raise GraphError("order must be a permutation of 0..n-1")
+        labels = [self.labels[p] for p in order]
+        bits = [[self.bits[order[i]][order[j]] for j in range(n)] for i in range(n)]
+        return AdjacencyMatrix(labels, bits)
+
+    def canonical_code(self) -> Tuple[object, ...]:
+        """Return the minimum matrix code over all vertex permutations.
+
+        Exponential in the vertex count — exactly the cost the paper's
+        Section 4.1 argues against for cliques.  Intended for small
+        graphs (tests, the matrix-vs-string ablation benchmark).
+        """
+        n = len(self.labels)
+        if n > 9:
+            raise GraphError(
+                "canonical_code enumerates n! permutations and is capped at n=9; "
+                "use the CLAN string canonical form for cliques instead"
+            )
+        return min(self.permuted(list(p)).code() for p in permutations(range(n)))
+
+    def is_clique_matrix(self) -> bool:
+        """Return whether every off-diagonal bit is 1 (the graph is a clique)."""
+        n = len(self.labels)
+        return all(self.bits[i][j] == 1 for i in range(n) for j in range(i + 1, n))
+
+    # ------------------------------------------------------------------
+    # Rendering (matches the look of Figure 2)
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the matrix with labels on the diagonal, as in Figure 2."""
+        n = len(self.labels)
+        cells = [
+            [self.labels[i] if i == j else str(self.bits[i][j]) for j in range(n)]
+            for i in range(n)
+        ]
+        width = max((len(c) for row in cells for c in row), default=1)
+        return "\n".join(" ".join(c.rjust(width) for c in row) for row in cells)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdjacencyMatrix):
+            return NotImplemented
+        return self.labels == other.labels and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.labels, self.bits))
+
+    def __repr__(self) -> str:
+        return f"<AdjacencyMatrix n={len(self.labels)}>"
+
+
+def clique_matrix(labels: Sequence[Label]) -> AdjacencyMatrix:
+    """Return the adjacency matrix of the clique over the given labels."""
+    n = len(labels)
+    bits = [[0 if i == j else 1 for j in range(n)] for i in range(n)]
+    return AdjacencyMatrix(labels, bits)

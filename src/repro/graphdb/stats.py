@@ -1,0 +1,99 @@
+"""Database characteristics reporting (paper Table 1 and Section 5.1).
+
+The paper characterises its real databases by transaction count,
+average vertex count, and average edge count (Table 1), and the
+stock-market-0.9 database additionally by distinct-label count, maxima,
+and maximum degree (Section 5.1).  :func:`database_characteristics`
+computes all of these for any database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .core_index import CoreIndex
+from .database import GraphDatabase
+
+
+@dataclass(frozen=True)
+class DatabaseCharacteristics:
+    """Summary row in the style of the paper's Table 1 (plus §5.1 extras)."""
+
+    name: str
+    n_graphs: int
+    avg_vertices: float
+    avg_edges: float
+    distinct_labels: int
+    max_vertices: int
+    max_edges: int
+    max_degree: int
+    avg_degree: float
+    max_clique_upper_bound: int
+
+    def as_table1_row(self) -> tuple:
+        """The (Database, #graphs, Avg #vertices, Avg #edges) row of Table 1."""
+        return (self.name, self.n_graphs, round(self.avg_vertices), round(self.avg_edges))
+
+
+def database_characteristics(
+    database: GraphDatabase, name: Optional[str] = None
+) -> DatabaseCharacteristics:
+    """Compute the Table 1 / §5.1 characteristics of a database."""
+    n = len(database)
+    total_vertices = database.total_vertices()
+    total_edges = database.total_edges()
+    avg_degree = (2.0 * total_edges / total_vertices) if total_vertices else 0.0
+    bound = 0
+    for graph in database:
+        bound = max(bound, CoreIndex(graph).max_clique_upper_bound())
+    return DatabaseCharacteristics(
+        name=name if name is not None else (database.name or "unnamed"),
+        n_graphs=n,
+        avg_vertices=database.average_vertices(),
+        avg_edges=database.average_edges(),
+        distinct_labels=len(database.distinct_labels()),
+        max_vertices=database.max_vertices(),
+        max_edges=database.max_edges(),
+        max_degree=database.max_degree(),
+        avg_degree=avg_degree,
+        max_clique_upper_bound=bound,
+    )
+
+
+def characteristics_table(
+    characteristics: Iterable[DatabaseCharacteristics],
+    extended: bool = False,
+) -> str:
+    """Format characteristics as an aligned text table.
+
+    With ``extended=False`` the columns are exactly Table 1's; with
+    ``extended=True`` the §5.1 extras are appended.
+    """
+    rows: List[List[str]] = []
+    if extended:
+        header = [
+            "Database", "# graphs", "Avg. # vertices", "Avg. # edges",
+            "# labels", "Max |V|", "Max |E|", "Max degree", "Avg degree",
+        ]
+        for ch in characteristics:
+            rows.append([
+                ch.name, str(ch.n_graphs),
+                f"{ch.avg_vertices:.0f}", f"{ch.avg_edges:.0f}",
+                str(ch.distinct_labels), str(ch.max_vertices),
+                str(ch.max_edges), str(ch.max_degree), f"{ch.avg_degree:.1f}",
+            ])
+    else:
+        header = ["Database", "# graphs", "Avg. # vertices", "Avg. # edges"]
+        for ch in characteristics:
+            name, n, av, ae = ch.as_table1_row()
+            rows.append([name, str(n), str(av), str(ae)])
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+              for i in range(len(header))]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Database transformations.
+
+Whole-database operations downstream pipelines need around the miner:
+merging, label remapping, label-based restriction (the projection that
+constraint pushdown uses), transaction filtering, and noise injection
+for robustness experiments.
+All transforms return new databases; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Mapping, Optional, Set
+
+from ..exceptions import DatabaseError
+from .database import GraphDatabase
+from .graph import Graph, Label
+
+
+def merge_databases(databases: Iterable[GraphDatabase], name: str = "") -> GraphDatabase:
+    """Concatenate databases into one (transactions re-numbered)."""
+    merged = GraphDatabase(name=name or "merged")
+    for database in databases:
+        for graph in database:
+            merged.add(graph.copy(graph_id=len(merged)))
+    return merged
+
+
+def relabel_database(
+    database: GraphDatabase,
+    mapping: Mapping[Label, Label],
+    strict: bool = False,
+    name: str = "",
+) -> GraphDatabase:
+    """Apply a label → label mapping to every vertex.
+
+    Unmapped labels pass through unchanged unless ``strict`` is set, in
+    which case they raise.  Merging labels (non-injective mappings) is
+    allowed and meaningful: it coarsens the pattern space.
+    """
+    result = GraphDatabase(name=name or f"{database.name}|relabelled")
+    for graph in database:
+        clone = Graph(len(result))
+        for vertex in graph.vertices():
+            label = graph.label(vertex)
+            if label in mapping:
+                label = mapping[label]
+            elif strict:
+                raise DatabaseError(f"label {label!r} has no mapping")
+            clone.add_vertex(vertex, label)
+        for u, v in graph.edges():
+            clone.add_edge(u, v)
+        result.add(clone)
+    return result
+
+
+def restrict_labels(
+    database: GraphDatabase,
+    keep: Iterable[Label],
+    name: str = "",
+) -> GraphDatabase:
+    """Drop every vertex whose label is not in ``keep``.
+
+    Edges between surviving vertices are preserved; this is the sound
+    projection for anti-monotone label constraints (cliques are induced
+    by their vertex sets).
+    """
+    wanted: Set[Label] = set(keep)
+    result = GraphDatabase(name=name or f"{database.name}|restricted")
+    for graph in database:
+        clone = Graph(len(result))
+        for vertex in graph.vertices():
+            if graph.label(vertex) in wanted:
+                clone.add_vertex(vertex, graph.label(vertex))
+        for u, v in graph.edges():
+            if u in clone and v in clone:
+                clone.add_edge(u, v)
+        result.add(clone)
+    return result
+
+
+def drop_labels(
+    database: GraphDatabase, forbidden: Iterable[Label], name: str = ""
+) -> GraphDatabase:
+    """Complement of :func:`restrict_labels`."""
+    bad = set(forbidden)
+    keep = database.distinct_labels() - bad
+    return restrict_labels(database, keep, name=name or f"{database.name}|dropped")
+
+
+def filter_transactions(
+    database: GraphDatabase,
+    predicate: Callable[[Graph], bool],
+    name: str = "",
+) -> GraphDatabase:
+    """Keep only the transactions satisfying ``predicate``."""
+    result = GraphDatabase(name=name or f"{database.name}|filtered")
+    for graph in database:
+        if predicate(graph):
+            result.add(graph.copy(graph_id=len(result)))
+    return result
+
+
+def add_edge_noise(
+    database: GraphDatabase,
+    add_probability: float = 0.0,
+    remove_probability: float = 0.0,
+    seed: int = 0,
+    name: str = "",
+) -> GraphDatabase:
+    """Perturb edges: add absent ones / remove present ones independently.
+
+    Robustness experiments use this to measure how planted-pattern
+    recovery degrades under noise.  Probabilities are per vertex pair.
+    """
+    if not 0.0 <= add_probability <= 1.0 or not 0.0 <= remove_probability <= 1.0:
+        raise DatabaseError("noise probabilities must be in [0, 1]")
+    rng = random.Random(seed)
+    result = GraphDatabase(name=name or f"{database.name}|noisy")
+    for graph in database:
+        clone = Graph(len(result))
+        vertices = sorted(graph.vertices())
+        for vertex in vertices:
+            clone.add_vertex(vertex, graph.label(vertex))
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                present = graph.has_edge(u, v)
+                if present and remove_probability and rng.random() < remove_probability:
+                    continue
+                if not present and (not add_probability or rng.random() >= add_probability):
+                    continue
+                clone.add_edge(u, v)
+        result.add(clone)
+    return result
+
+
+def label_projection_map(
+    database: GraphDatabase, group_of: Mapping[Label, Label]
+) -> Dict[Label, Label]:
+    """Complete a partial label grouping to a total mapping (identity rest)."""
+    mapping = dict(group_of)
+    for label in database.distinct_labels():
+        mapping.setdefault(label, label)
+    return mapping

@@ -1,0 +1,120 @@
+"""Database integrity validation.
+
+A loud pre-flight check for externally supplied databases (files,
+converters): structural invariants the rest of the library assumes,
+plus advisory findings (empty transactions, duplicate transactions,
+label-type oddities) that usually indicate a conversion bug upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..exceptions import DatabaseError
+from .database import GraphDatabase
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    transaction: int  # -1 for database-level findings
+    message: str
+
+    def render(self) -> str:
+        where = "database" if self.transaction < 0 else f"transaction {self.transaction}"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings of one validation pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether no errors (warnings allowed) were found."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`DatabaseError` summarising any errors."""
+        if self.errors:
+            summary = "; ".join(f.render() for f in self.errors[:5])
+            more = f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
+            raise DatabaseError(f"invalid database: {summary}{more}")
+
+    def render(self) -> str:
+        if not self.findings:
+            return "database valid: no findings"
+        return "\n".join(f.render() for f in self.findings)
+
+
+def _transaction_signature(graph: Graph) -> Tuple:
+    """Isomorphism-insensitive-ish duplicate signature (exact on ids)."""
+    return (
+        tuple(sorted((v, graph.label(v)) for v in graph.vertices())),
+        tuple(sorted(graph.edges())),
+    )
+
+
+def validate_database(database: GraphDatabase, max_findings: int = 100) -> ValidationReport:
+    """Validate a database; never raises (see ``raise_if_invalid``)."""
+    report = ValidationReport()
+
+    def add(severity: str, transaction: int, message: str) -> None:
+        if len(report.findings) < max_findings:
+            report.findings.append(Finding(severity, transaction, message))
+
+    if len(database) == 0:
+        add("error", -1, "database has no transactions")
+        return report
+
+    signatures: Dict[Tuple, int] = {}
+    for tid, graph in enumerate(database):
+        if graph.vertex_count == 0:
+            add("warning", tid, "transaction has no vertices")
+            continue
+        for vertex in graph.vertices():
+            label = graph.label(vertex)
+            if not isinstance(label, str):
+                add("error", tid, f"vertex {vertex} label {label!r} is not a string")
+            elif not label:
+                add("error", tid, f"vertex {vertex} has an empty label")
+            elif label != label.strip():
+                add(
+                    "warning", tid,
+                    f"vertex {vertex} label {label!r} has surrounding whitespace",
+                )
+            if not isinstance(vertex, int):
+                add("error", tid, f"vertex id {vertex!r} is not an integer")
+        # Adjacency symmetry and dangling-neighbour checks.
+        for vertex in graph.vertices():
+            for neighbor in graph.neighbors(vertex):
+                if not graph.has_vertex(neighbor):
+                    add("error", tid, f"edge to unknown vertex {neighbor} from {vertex}")
+                elif vertex not in graph.neighbors(neighbor):
+                    add("error", tid, f"asymmetric adjacency between {vertex} and {neighbor}")
+        if graph.edge_count == 0 and graph.vertex_count > 1:
+            add("warning", tid, "transaction has vertices but no edges")
+        signature = _transaction_signature(graph)
+        if signature in signatures:
+            add(
+                "warning", tid,
+                f"identical to transaction {signatures[signature]} "
+                f"(intentional for replication; suspicious otherwise)",
+            )
+        else:
+            signatures[signature] = tid
+    return report

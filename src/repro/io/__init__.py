@@ -1,0 +1,11 @@
+"""I/O formats: ``t/v/e`` text, paper-style adjacency matrices, JSON.
+
+Submodules are imported explicitly because they share function names
+(``load_database``/``save_database`` per format)::
+
+    from repro.io import gspan_format, matrix_format, json_format, patterns
+"""
+
+from . import gspan_format, json_format, matrix_format, patterns, runlog
+
+__all__ = ["gspan_format", "json_format", "matrix_format", "patterns", "runlog"]

@@ -1,0 +1,109 @@
+"""The standard ``t/v/e`` graph-transaction text format.
+
+The interchange format used by gSpan, FSG and most academic graph
+miners (including the tools the paper's databases circulated in)::
+
+    t # 0
+    v 0 C
+    v 1 O
+    e 0 1
+
+One ``t`` line per transaction, ``v <id> <label>`` per vertex,
+``e <u> <v>`` per undirected edge.  Edge labels, if present as a third
+token, are ignored — the paper explicitly mines without them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..exceptions import FormatError
+from ..graphdb.database import GraphDatabase
+from ..graphdb.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def dump_database(database: GraphDatabase, stream: TextIO) -> None:
+    """Write a database in ``t/v/e`` format."""
+    for tid, graph in enumerate(database):
+        stream.write(f"t # {tid}\n")
+        for vertex in sorted(graph.vertices()):
+            stream.write(f"v {vertex} {graph.label(vertex)}\n")
+        for u, v in sorted(graph.edges()):
+            stream.write(f"e {u} {v}\n")
+
+
+def dumps_database(database: GraphDatabase) -> str:
+    """Render a database as a ``t/v/e`` string."""
+    buffer = io.StringIO()
+    dump_database(database, buffer)
+    return buffer.getvalue()
+
+
+def save_database(database: GraphDatabase, path: PathLike) -> None:
+    """Write a database to a file."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_database(database, stream)
+
+
+def load_database(stream: TextIO, name: str = "") -> GraphDatabase:
+    """Parse a ``t/v/e`` stream into a database.
+
+    Raises :class:`FormatError` with a line number on any malformed
+    line; vertices must be declared before the edges that use them.
+    """
+    database = GraphDatabase(name=name)
+    graph: Graph | None = None
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        if kind == "t":
+            if graph is not None:
+                database.add(graph)
+            graph = Graph()
+        elif kind == "v":
+            if graph is None:
+                raise FormatError("vertex line before any 't' line", line_number)
+            if len(tokens) < 3:
+                raise FormatError(f"malformed vertex line {line!r}", line_number)
+            try:
+                vertex = int(tokens[1])
+            except ValueError:
+                raise FormatError(f"vertex id {tokens[1]!r} is not an integer", line_number) from None
+            graph.add_vertex(vertex, tokens[2])
+        elif kind == "e":
+            if graph is None:
+                raise FormatError("edge line before any 't' line", line_number)
+            if len(tokens) < 3:
+                raise FormatError(f"malformed edge line {line!r}", line_number)
+            try:
+                u, v = int(tokens[1]), int(tokens[2])
+            except ValueError:
+                raise FormatError(f"edge endpoints {tokens[1:3]!r} are not integers", line_number) from None
+            # tokens[3], an edge label, is deliberately ignored.
+            try:
+                graph.add_edge(u, v)
+            except Exception as exc:
+                raise FormatError(str(exc), line_number) from exc
+        else:
+            raise FormatError(f"unknown record type {kind!r}", line_number)
+    if graph is not None:
+        database.add(graph)
+    return database
+
+
+def loads_database(text: str, name: str = "") -> GraphDatabase:
+    """Parse a ``t/v/e`` string."""
+    return load_database(io.StringIO(text), name=name)
+
+
+def open_database(path: PathLike, name: str = "") -> GraphDatabase:
+    """Read a database from a file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_database(stream, name=name or str(path))

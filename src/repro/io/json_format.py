@@ -1,0 +1,128 @@
+"""JSON serialisation for databases and mining results.
+
+A structured format for programmatic interchange: databases round-trip
+exactly (ids, labels, edges, name), and results carry enough to rebuild
+:class:`~repro.core.pattern.CliquePattern` objects including witnesses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..core.canonical import CanonicalForm
+from ..core.pattern import CliquePattern
+from ..core.results import MiningResult
+from ..exceptions import FormatError
+from ..graphdb.database import GraphDatabase
+from ..graphdb.graph import Graph
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+def database_to_dict(database: GraphDatabase) -> Dict[str, Any]:
+    """Convert a database to a JSON-ready dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "graph-database",
+        "name": database.name,
+        "graphs": [
+            {
+                "vertices": [[v, graph.label(v)] for v in sorted(graph.vertices())],
+                "edges": sorted(graph.edges()),
+            }
+            for graph in database
+        ],
+    }
+
+
+def database_from_dict(payload: Dict[str, Any]) -> GraphDatabase:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    if payload.get("kind") != "graph-database":
+        raise FormatError(f"expected kind 'graph-database', got {payload.get('kind')!r}")
+    database = GraphDatabase(name=payload.get("name", ""))
+    for gid, entry in enumerate(payload.get("graphs", [])):
+        graph = Graph(gid)
+        for vertex, label in entry["vertices"]:
+            graph.add_vertex(int(vertex), str(label))
+        for u, v in entry["edges"]:
+            graph.add_edge(int(u), int(v))
+        database.add(graph)
+    return database
+
+
+def save_database(database: GraphDatabase, path: PathLike) -> None:
+    """Write a database as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(database_to_dict(database), stream, indent=1)
+
+
+def open_database(path: PathLike) -> GraphDatabase:
+    """Read a JSON database."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return database_from_dict(json.load(stream))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_to_dict(result: MiningResult) -> Dict[str, Any]:
+    """Convert a mining result to a JSON-ready dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "mining-result",
+        "min_sup": result.min_sup,
+        "closed_only": result.closed_only,
+        "elapsed_seconds": result.elapsed_seconds,
+        "patterns": [
+            {
+                "labels": list(p.labels),
+                "support": p.support,
+                "transactions": list(p.transactions),
+                "witnesses": {str(t): list(w) for t, w in p.witnesses.items()},
+            }
+            for p in result
+        ],
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> MiningResult:
+    """Rebuild a mining result from :func:`result_to_dict` output."""
+    if payload.get("kind") != "mining-result":
+        raise FormatError(f"expected kind 'mining-result', got {payload.get('kind')!r}")
+    result = MiningResult(
+        min_sup=int(payload.get("min_sup", 1)),
+        closed_only=bool(payload.get("closed_only", True)),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+    )
+    for entry in payload.get("patterns", []):
+        result.add(
+            CliquePattern(
+                form=CanonicalForm.from_labels(entry["labels"]),
+                support=int(entry["support"]),
+                transactions=tuple(int(t) for t in entry.get("transactions", ())),
+                witnesses={
+                    int(t): tuple(int(v) for v in w)
+                    for t, w in entry.get("witnesses", {}).items()
+                },
+            )
+        )
+    return result
+
+
+def save_result(result: MiningResult, path: PathLike) -> None:
+    """Write a mining result as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(result_to_dict(result), stream, indent=1)
+
+
+def open_result(path: PathLike) -> MiningResult:
+    """Read a JSON mining result."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return result_from_dict(json.load(stream))

@@ -1,0 +1,114 @@
+"""The paper's adjacency-matrix database format (Figure 2).
+
+Each transaction is written as its adjacency matrix with vertex labels
+on the diagonal — the representation of Kuramochi & Karypis that the
+paper adopts in Section 2.  Blank lines separate transactions::
+
+    a 1 1 0
+    1 b 1 1
+    1 1 c 0
+    0 1 0 d
+
+Labels may be multi-character; tokens are whitespace separated.  ``0``
+and ``1`` are reserved off-diagonal tokens, so labels must not equal
+them (the parser enforces this).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from ..exceptions import FormatError
+from ..graphdb.database import GraphDatabase
+from ..graphdb.matrix import AdjacencyMatrix
+
+PathLike = Union[str, Path]
+
+
+def dump_database(database: GraphDatabase, stream: TextIO) -> None:
+    """Write a database as blank-line-separated adjacency matrices."""
+    for index, graph in enumerate(database):
+        if index:
+            stream.write("\n")
+        matrix = AdjacencyMatrix.from_graph(graph)
+        for label in matrix.labels:
+            if label in ("0", "1"):
+                raise FormatError(
+                    f"label {label!r} collides with the matrix bit tokens"
+                )
+        stream.write(matrix.render() + "\n")
+
+
+def dumps_database(database: GraphDatabase) -> str:
+    """Render a database as matrix text."""
+    buffer = io.StringIO()
+    dump_database(database, buffer)
+    return buffer.getvalue()
+
+
+def save_database(database: GraphDatabase, path: PathLike) -> None:
+    """Write matrix text to a file."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_database(database, stream)
+
+
+def _parse_block(rows: List[List[str]], first_line: int) -> AdjacencyMatrix:
+    """Convert one whitespace-token block into a matrix."""
+    n = len(rows)
+    labels: List[str] = []
+    bits = [[0] * n for _ in range(n)]
+    for i, row in enumerate(rows):
+        if len(row) != n:
+            raise FormatError(
+                f"matrix row has {len(row)} entries, expected {n}", first_line + i
+            )
+        for j, token in enumerate(row):
+            if i == j:
+                if token in ("0", "1"):
+                    raise FormatError(
+                        f"diagonal entry {token!r} is not a valid label", first_line + i
+                    )
+                labels.append(token)
+            else:
+                if token not in ("0", "1"):
+                    raise FormatError(
+                        f"off-diagonal entry {token!r} must be 0 or 1", first_line + i
+                    )
+                bits[i][j] = int(token)
+    try:
+        return AdjacencyMatrix(labels, bits)
+    except Exception as exc:
+        raise FormatError(f"invalid adjacency matrix: {exc}", first_line) from exc
+
+
+def load_database(stream: TextIO, name: str = "") -> GraphDatabase:
+    """Parse matrix text into a database."""
+    database = GraphDatabase(name=name)
+    block: List[List[str]] = []
+    block_start = 1
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            if block:
+                database.add(_parse_block(block, block_start).to_graph(len(database)))
+                block = []
+            continue
+        if not block:
+            block_start = line_number
+        block.append(line.split())
+    if block:
+        database.add(_parse_block(block, block_start).to_graph(len(database)))
+    return database
+
+
+def loads_database(text: str, name: str = "") -> GraphDatabase:
+    """Parse matrix text from a string."""
+    return load_database(io.StringIO(text), name=name)
+
+
+def open_database(path: PathLike, name: str = "") -> GraphDatabase:
+    """Read matrix text from a file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_database(stream, name=name or str(path))

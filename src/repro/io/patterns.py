@@ -1,0 +1,93 @@
+"""Plain-text pattern listings.
+
+The compact ``canonical_form:support`` lines the paper uses throughout
+(e.g. ``abcd:2``), one pattern per line, sorted in canonical order —
+handy for diffing result sets across runs or implementations.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Tuple, Union
+
+from ..core.canonical import CanonicalForm
+from ..core.pattern import CliquePattern
+from ..core.results import MiningResult
+from ..exceptions import FormatError
+
+PathLike = Union[str, Path]
+
+#: Separator between labels of one pattern when labels are multi-char.
+LABEL_SEPARATOR = "."
+
+
+def format_pattern(pattern: CliquePattern) -> str:
+    """One line: labels joined canonically, then ``:support``."""
+    return f"{pattern.form}:{pattern.support}"
+
+
+def dump_result(result: MiningResult, stream: TextIO) -> None:
+    """Write patterns one per line, canonical order."""
+    for pattern in result.sorted_by_form():
+        stream.write(format_pattern(pattern) + "\n")
+
+
+def dumps_result(result: MiningResult) -> str:
+    """Render a result as pattern lines."""
+    buffer = io.StringIO()
+    dump_result(result, buffer)
+    return buffer.getvalue()
+
+
+def save_result(result: MiningResult, path: PathLike) -> None:
+    """Write pattern lines to a file."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_result(result, stream)
+
+
+def parse_pattern_line(line: str) -> Tuple[Tuple[str, ...], int]:
+    """Parse one ``labels:support`` line back into (labels, support).
+
+    Single-character-label patterns are written without separators
+    (``abcd:2``); multi-character labels use dots (``DMF.IQM:11``).
+    """
+    body, _, support_text = line.rpartition(":")
+    if not body:
+        raise FormatError(f"pattern line {line!r} has no ':support' suffix")
+    try:
+        support = int(support_text)
+    except ValueError:
+        raise FormatError(f"support {support_text!r} is not an integer") from None
+    if LABEL_SEPARATOR in body:
+        labels = tuple(body.split(LABEL_SEPARATOR))
+    else:
+        labels = tuple(body)
+    if any(not label for label in labels):
+        raise FormatError(f"pattern line {line!r} contains an empty label")
+    return labels, support
+
+
+def load_result(stream: TextIO, closed_only: bool = True) -> MiningResult:
+    """Read pattern lines back into a (support-evidence-free) result."""
+    result = MiningResult(closed_only=closed_only)
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        labels, support = parse_pattern_line(line)
+        result.add(
+            CliquePattern(form=CanonicalForm.from_labels(labels), support=support)
+        )
+    return result
+
+
+def loads_result(text: str, closed_only: bool = True) -> MiningResult:
+    """Parse pattern lines from a string."""
+    return load_result(io.StringIO(text), closed_only=closed_only)
+
+
+def open_result(path: PathLike, closed_only: bool = True) -> MiningResult:
+    """Read pattern lines from a file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_result(stream, closed_only=closed_only)

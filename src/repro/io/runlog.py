@@ -1,0 +1,169 @@
+"""Reproducible run records.
+
+A :class:`RunRecord` captures everything needed to audit or replay a
+mining run: the configuration, the threshold, a structural fingerprint
+of the input database, the environment, the search statistics, and the
+patterns themselves.  Records serialise to JSON; replaying re-mines and
+diffs against the recorded patterns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import __version__
+from ..core.config import MinerConfig
+from ..core.miner import ClanMiner
+from ..core.results import MiningResult
+from ..exceptions import FormatError
+from ..graphdb.database import GraphDatabase
+from .json_format import result_from_dict, result_to_dict
+
+PathLike = Union[str, Path]
+
+
+def database_fingerprint(database: GraphDatabase) -> str:
+    """A stable SHA-256 over the database's full structure.
+
+    Covers transaction order, vertex ids, labels, and edges — two
+    databases share a fingerprint iff they are structurally identical
+    in the sense of :meth:`Graph.__eq__` with matching order.
+    """
+    digest = hashlib.sha256()
+    for graph in database:
+        digest.update(b"t")
+        for vertex in sorted(graph.vertices()):
+            digest.update(f"v{vertex}={graph.label(vertex)};".encode())
+        for u, v in sorted(graph.edges()):
+            digest.update(f"e{u}-{v};".encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One mining run, fully described."""
+
+    created_at: str
+    library_version: str
+    python_version: str
+    database_name: str
+    database_fingerprint: str
+    n_transactions: int
+    min_sup: int
+    config: Dict[str, Any]
+    statistics: Dict[str, Any]
+    elapsed_seconds: float
+    result: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def patterns(self) -> MiningResult:
+        """Rehydrate the recorded result."""
+        return result_from_dict(self.result)
+
+    def miner_config(self) -> MinerConfig:
+        """Rehydrate the recorded configuration."""
+        return MinerConfig(**self.config)
+
+
+def record_run(
+    database: GraphDatabase,
+    min_sup: float,
+    config: Optional[MinerConfig] = None,
+) -> RunRecord:
+    """Mine and capture the complete run record."""
+    if config is None:
+        config = MinerConfig()
+    result = ClanMiner(database, config).mine(min_sup)
+    stats = result.statistics
+    return RunRecord(
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        library_version=__version__,
+        python_version=platform.python_version(),
+        database_name=database.name,
+        database_fingerprint=database_fingerprint(database),
+        n_transactions=len(database),
+        min_sup=result.min_sup,
+        config={
+            "closed_only": config.closed_only,
+            "structural_redundancy_pruning": config.structural_redundancy_pruning,
+            "low_degree_pruning": config.low_degree_pruning,
+            "nonclosed_prefix_pruning": config.nonclosed_prefix_pruning,
+            "min_size": config.min_size,
+            "max_size": config.max_size,
+            "embedding_strategy": config.embedding_strategy,
+            "collect_witnesses": config.collect_witnesses,
+            "max_embeddings": config.max_embeddings,
+        },
+        statistics={
+            "prefixes_visited": stats.prefixes_visited,
+            "frequent_cliques": stats.frequent_cliques,
+            "closed_cliques": stats.closed_cliques,
+            "nonclosed_prefix_prunes": stats.nonclosed_prefix_prunes,
+            "closure_rejections": stats.closure_rejections,
+            "embeddings_created": stats.embeddings_created,
+            "database_scans": stats.database_scans,
+            "max_depth": stats.max_depth,
+        },
+        elapsed_seconds=result.elapsed_seconds,
+        result=result_to_dict(result),
+    )
+
+
+def save_record(record: RunRecord, path: PathLike) -> None:
+    """Write a run record as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(record.to_dict(), stream, indent=1)
+
+
+def open_record(path: PathLike) -> RunRecord:
+    """Read a run record back."""
+    with open(path, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    try:
+        return RunRecord(**payload)
+    except TypeError as exc:
+        raise FormatError(f"not a run record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying a recorded run against a database."""
+
+    fingerprint_matches: bool
+    patterns_match: bool
+    recorded_patterns: int
+    replayed_patterns: int
+
+    @property
+    def reproduced(self) -> bool:
+        return self.fingerprint_matches and self.patterns_match
+
+
+def replay(record: RunRecord, database: GraphDatabase) -> ReplayOutcome:
+    """Re-mine with the recorded configuration and compare.
+
+    A fingerprint mismatch means the database is not the recorded one;
+    the patterns are compared regardless (useful when checking whether
+    a *changed* database still yields the same result).
+    """
+    fingerprint_matches = database_fingerprint(database) == record.database_fingerprint
+    config = record.miner_config()
+    replayed = ClanMiner(database, config).mine(record.min_sup)
+    recorded = record.patterns()
+    patterns_match = sorted(p.key() for p in replayed) == sorted(
+        p.key() for p in recorded
+    )
+    return ReplayOutcome(
+        fingerprint_matches=fingerprint_matches,
+        patterns_match=patterns_match,
+        recorded_patterns=len(recorded),
+        replayed_patterns=len(replayed),
+    )

@@ -1,0 +1,90 @@
+"""Stock-market substrate: synthetic prices, Equation 1, market graphs.
+
+Reproduces the pipeline of the paper's Section 5.1 end to end.  The
+price data itself is simulated (the original US stock database is
+proprietary); see DESIGN.md for the substitution argument.
+"""
+
+from .analysis import (
+    CorrelatedGroup,
+    correlated_groups,
+    group_correlation_profile,
+    maximum_group,
+    report,
+)
+from .correlation import (
+    correlation_matrix,
+    log_returns,
+    pair_correlation,
+    returns_correlation_matrix,
+)
+from .io import (
+    load_panels_csv,
+    load_period_csv,
+    save_panels_csv,
+    save_period_csv,
+)
+from .datasets import (
+    PAPER_THETAS,
+    clear_cache,
+    market_config,
+    stock_market_database,
+    stock_market_series,
+)
+from .marketgraph import (
+    build_market_database,
+    build_market_databases,
+    market_graph_from_correlations,
+    market_graph_from_prices,
+)
+from .portfolio import (
+    PredictionScore,
+    clique_prediction_study,
+    direction_prediction_score,
+)
+from .pricegen import (
+    GroupSpec,
+    MarketConfig,
+    PeriodPrices,
+    StockMarketSimulator,
+    default_group_structure,
+    paper_scale_config,
+)
+from .tickers import FIGURE5_TICKERS, generate_tickers, universe_with_figure5
+
+__all__ = [
+    "FIGURE5_TICKERS",
+    "PAPER_THETAS",
+    "CorrelatedGroup",
+    "GroupSpec",
+    "MarketConfig",
+    "PeriodPrices",
+    "PredictionScore",
+    "StockMarketSimulator",
+    "clique_prediction_study",
+    "direction_prediction_score",
+    "build_market_database",
+    "build_market_databases",
+    "clear_cache",
+    "correlated_groups",
+    "correlation_matrix",
+    "default_group_structure",
+    "generate_tickers",
+    "group_correlation_profile",
+    "load_panels_csv",
+    "load_period_csv",
+    "log_returns",
+    "returns_correlation_matrix",
+    "market_config",
+    "save_panels_csv",
+    "save_period_csv",
+    "market_graph_from_correlations",
+    "market_graph_from_prices",
+    "maximum_group",
+    "pair_correlation",
+    "paper_scale_config",
+    "report",
+    "stock_market_database",
+    "stock_market_series",
+    "universe_with_figure5",
+]

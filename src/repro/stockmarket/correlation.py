@@ -1,0 +1,98 @@
+"""Price cross-correlation — the paper's Equation 1.
+
+Given two stocks' daily prices over a period T, the paper defines
+
+    C(S1, S2) = ( (1/|T|) Σ_i (S1_i · S2_i) − mean(S1)·mean(S2) )
+                / (σ(S1) · σ(S2))
+
+with population (1/|T|) moments — i.e. the Pearson correlation of the
+raw price series.  ``correlation_matrix`` evaluates it for a whole
+price panel at once with numpy; ``pair_correlation`` is the literal
+scalar transcription used for cross-checking in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DataGenerationError
+
+
+def pair_correlation(prices_a: Sequence[float], prices_b: Sequence[float]) -> float:
+    """Equation 1 for a single pair, transcribed term by term."""
+    a = np.asarray(prices_a, dtype=float)
+    b = np.asarray(prices_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise DataGenerationError("price series must be 1-D and equally long")
+    t = a.shape[0]
+    if t < 2:
+        raise DataGenerationError("need at least two days of prices")
+    mean_ab = float(np.sum(a * b)) / t
+    mean_a = float(np.sum(a)) / t
+    mean_b = float(np.sum(b)) / t
+    var_a = float(np.sum(a * a)) / t - mean_a * mean_a
+    var_b = float(np.sum(b * b)) / t - mean_b * mean_b
+    if var_a <= 0.0 or var_b <= 0.0:
+        raise DataGenerationError("constant price series have undefined correlation")
+    return (mean_ab - mean_a * mean_b) / (var_a ** 0.5 * var_b ** 0.5)
+
+
+def correlation_matrix(prices: np.ndarray) -> np.ndarray:
+    """Equation 1 over a full panel.
+
+    Parameters
+    ----------
+    prices:
+        Array of shape ``(days, n_stocks)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Symmetric ``(n_stocks, n_stocks)`` matrix with unit diagonal.
+        Stocks with zero variance (constant price) get correlation 0
+        with everyone — they carry no co-movement information.
+    """
+    panel = np.asarray(prices, dtype=float)
+    if panel.ndim != 2:
+        raise DataGenerationError("price panel must be 2-D (days x stocks)")
+    days = panel.shape[0]
+    if days < 2:
+        raise DataGenerationError("need at least two days of prices")
+
+    centered = panel - panel.mean(axis=0, keepdims=True)
+    cov = centered.T @ centered / days
+    std = np.sqrt(np.diag(cov))
+    degenerate = std <= 0.0
+    safe_std = np.where(degenerate, 1.0, std)
+    corr = cov / np.outer(safe_std, safe_std)
+    corr[degenerate, :] = 0.0
+    corr[:, degenerate] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    # Numerical guard: clamp round-off excursions outside [-1, 1].
+    np.clip(corr, -1.0, 1.0, out=corr)
+    return corr
+
+
+def log_returns(prices: np.ndarray) -> np.ndarray:
+    """Daily log returns, ``ln(P_t / P_{t-1})``; shape (days−1, stocks)."""
+    panel = np.asarray(prices, dtype=float)
+    if panel.ndim != 2 or panel.shape[0] < 2:
+        raise DataGenerationError("need a 2-D panel with at least two days")
+    if np.any(panel <= 0.0):
+        raise DataGenerationError("log returns require strictly positive prices")
+    return np.diff(np.log(panel), axis=0)
+
+
+def returns_correlation_matrix(prices: np.ndarray) -> np.ndarray:
+    """Equation 1 applied to daily log returns instead of price levels.
+
+    The market-graph literature the paper builds on (Boginski et al.)
+    computes correlations of *returns*; the paper's Equation 1 is
+    written over prices.  Both are provided so the methodological choice
+    can be measured; return correlations are less subject to the
+    spurious-trend inflation of price-level correlations, so the same
+    θ yields sparser graphs.
+    """
+    return correlation_matrix(log_returns(prices))

@@ -1,0 +1,75 @@
+"""The evaluation's stock-market databases (paper Table 1).
+
+The paper derives six databases from the same 11-period price data by
+thresholding at θ = 0.90 .. 0.95.  :func:`stock_market_database` and
+:func:`stock_market_series` rebuild that family from the simulator at a
+configurable scale.  Scales:
+
+* ``small``  — default; ~400 stocks × 120 days, minable in seconds.
+* ``medium`` — ~900 stocks × 250 days, for longer benchmark runs.
+* ``paper``  — ~6000 stocks × 500 days, the published size (pure
+  Python needs hours here; provided for completeness).
+
+An in-process cache keys panels by (scale, seed) so the benchmark suite
+only ever simulates once per scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import DataGenerationError
+from ..graphdb.database import GraphDatabase
+from .marketgraph import build_market_databases
+from .pricegen import MarketConfig, StockMarketSimulator
+
+#: The thresholds of the paper's six stock-market databases.
+PAPER_THETAS: Tuple[float, ...] = (0.90, 0.91, 0.92, 0.93, 0.94, 0.95)
+
+_SCALES: Dict[str, Dict[str, int]] = {
+    "tiny": {"n_stocks": 150, "days_per_period": 80, "n_sectors": 5},
+    "small": {"n_stocks": 400, "days_per_period": 120, "n_sectors": 8},
+    "medium": {"n_stocks": 900, "days_per_period": 250, "n_sectors": 14},
+    "paper": {"n_stocks": 6000, "days_per_period": 500, "n_sectors": 30},
+}
+
+_cache: Dict[Tuple[str, int, float], GraphDatabase] = {}
+
+
+def market_config(scale: str = "small", seed: int = 7) -> MarketConfig:
+    """The :class:`MarketConfig` for a named scale."""
+    try:
+        params = _SCALES[scale]
+    except KeyError:
+        raise DataGenerationError(
+            f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}"
+        ) from None
+    return MarketConfig(seed=seed, **params)
+
+
+def stock_market_series(
+    thetas: Sequence[float] = PAPER_THETAS,
+    scale: str = "small",
+    seed: int = 7,
+) -> List[GraphDatabase]:
+    """Build (or fetch cached) market databases for several thresholds."""
+    missing = [t for t in thetas if (scale, seed, t) not in _cache]
+    if missing:
+        simulator = StockMarketSimulator(market_config(scale, seed))
+        for theta, database in zip(missing, build_market_databases(simulator, missing)):
+            _cache[(scale, seed, theta)] = database
+    return [_cache[(scale, seed, t)] for t in thetas]
+
+
+def stock_market_database(
+    theta: float = 0.90,
+    scale: str = "small",
+    seed: int = 7,
+) -> GraphDatabase:
+    """One market database, cached."""
+    return stock_market_series((theta,), scale=scale, seed=seed)[0]
+
+
+def clear_cache() -> None:
+    """Drop all cached databases (tests use this to control memory)."""
+    _cache.clear()

@@ -1,0 +1,106 @@
+"""CSV price-panel I/O.
+
+The original study starts from files of daily stock prices.  These
+helpers read and write that representation so the whole Section 5.1
+pipeline can be run against real exported data instead of (or alongside)
+the simulator:
+
+    date,AAPL,MSFT,...
+    2004-01-02,21.28,27.45,...
+
+One file per period.  Only prices matter to Equation 1, so dates are
+carried through as opaque strings.  Stocks with any unparsable or
+missing price in a period are rejected loudly — silent gaps would bias
+the correlations.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import FormatError
+from .pricegen import PeriodPrices
+
+PathLike = Union[str, Path]
+
+
+def save_period_csv(period: PeriodPrices, path: PathLike, dates: Sequence[str] = ()) -> None:
+    """Write one period's panel as a CSV with a header row.
+
+    ``dates`` optionally labels the rows; defaults to day indices.
+    """
+    days = period.prices.shape[0]
+    if dates and len(dates) != days:
+        raise FormatError(
+            f"{len(dates)} dates supplied for {days} trading days"
+        )
+    row_labels = list(dates) if dates else [f"day-{i:04d}" for i in range(days)]
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["date", *period.tickers])
+        for label, row in zip(row_labels, period.prices):
+            writer.writerow([label, *(f"{value:.6f}" for value in row)])
+
+
+def load_period_csv(path: PathLike, period: int = 0) -> PeriodPrices:
+    """Read one period's panel from CSV.
+
+    The first column is the date label; every other column is one
+    stock's daily prices.  Raises :class:`FormatError` on ragged rows,
+    duplicate tickers, non-numeric cells, or fewer than two days.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise FormatError("empty CSV price file", 1) from None
+        if len(header) < 2 or header[0].strip().lower() != "date":
+            raise FormatError(
+                "header must be 'date,<ticker>,<ticker>,...'", 1
+            )
+        tickers = tuple(t.strip() for t in header[1:])
+        if any(not t for t in tickers):
+            raise FormatError("empty ticker name in header", 1)
+        if len(set(tickers)) != len(tickers):
+            raise FormatError("duplicate ticker in header", 1)
+
+        rows: List[List[float]] = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != len(tickers) + 1:
+                raise FormatError(
+                    f"row has {len(row)} cells, expected {len(tickers) + 1}",
+                    line_number,
+                )
+            try:
+                rows.append([float(cell) for cell in row[1:]])
+            except ValueError as exc:
+                raise FormatError(f"non-numeric price: {exc}", line_number) from None
+    if len(rows) < 2:
+        raise FormatError("need at least two trading days of prices")
+    return PeriodPrices(period=period, tickers=tickers, prices=np.asarray(rows))
+
+
+def save_panels_csv(
+    panels: Sequence[PeriodPrices], directory: PathLike, prefix: str = "period"
+) -> List[Path]:
+    """Write one CSV per period into ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for panel in panels:
+        path = directory / f"{prefix}-{panel.period:02d}.csv"
+        save_period_csv(panel, path)
+        paths.append(path)
+    return paths
+
+
+def load_panels_csv(paths: Sequence[PathLike]) -> List[PeriodPrices]:
+    """Read several period CSVs; period ids follow the argument order."""
+    return [load_period_csv(path, period=i) for i, path in enumerate(paths)]

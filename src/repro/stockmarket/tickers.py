@@ -1,0 +1,64 @@
+"""Ticker universes for the synthetic US stock market.
+
+The paper's market graphs label vertices with stock index names.  We
+generate deterministic NYSE-style tickers, reserving the 12 real fund
+tickers of Figure 5 (DMF, IQM, MEN, MNP, NPX, NUV, PPM, VCF, VKL, VMO,
+VNV, XAA — municipal bond closed-end funds, which is *why* their prices
+move in lockstep) for the planted maximum clique.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Sequence, Set
+
+from ..exceptions import DataGenerationError
+
+#: The 12 stocks of the paper's maximum frequent closed clique (Figure 5).
+FIGURE5_TICKERS: tuple = (
+    "DMF", "IQM", "MEN", "MNP", "NPX", "NUV",
+    "PPM", "VCF", "VKL", "VMO", "VNV", "XAA",
+)
+
+
+def generate_tickers(count: int, reserved: Sequence[str] = FIGURE5_TICKERS) -> List[str]:
+    """Generate ``count`` distinct 3-letter tickers, skipping ``reserved``.
+
+    Tickers are produced in lexicographic order (AAA, AAB, ...), so the
+    global label ordering CLAN relies on is simply alphabetical.  26³ =
+    17576 combinations comfortably cover the paper's 6.5k universe.
+    """
+    if count < 0:
+        raise DataGenerationError("ticker count must be non-negative")
+    blocked: Set[str] = set(reserved)
+    letters = string.ascii_uppercase
+    tickers: List[str] = []
+    for a in letters:
+        for b in letters:
+            for c in letters:
+                if len(tickers) == count:
+                    return tickers
+                ticker = a + b + c
+                if ticker in blocked:
+                    continue
+                tickers.append(ticker)
+    if len(tickers) < count:
+        raise DataGenerationError(
+            f"cannot generate {count} distinct 3-letter tickers "
+            f"({len(tickers)} available after reservations)"
+        )
+    return tickers
+
+
+def universe_with_figure5(count: int) -> List[str]:
+    """A universe of ``count`` tickers that includes the Figure 5 twelve.
+
+    The reserved tickers are merged into their sorted positions so the
+    returned list is fully sorted.
+    """
+    if count < len(FIGURE5_TICKERS):
+        raise DataGenerationError(
+            f"universe must hold at least the {len(FIGURE5_TICKERS)} Figure 5 tickers"
+        )
+    synthetic = generate_tickers(count - len(FIGURE5_TICKERS))
+    return sorted(synthetic + list(FIGURE5_TICKERS))

@@ -1,0 +1,22 @@
+"""Telecom substrate: synthetic call-detail graphs.
+
+Supports the paper's [1] motivation (quasi-clique communities of
+interest in call graphs) — the natural workload for the §6 quasi-clique
+extension.
+"""
+
+from .callgraph import (
+    CallGraphConfig,
+    CommunitySpec,
+    call_graph_database,
+    expected_communities,
+    subscriber_label,
+)
+
+__all__ = [
+    "CallGraphConfig",
+    "CommunitySpec",
+    "call_graph_database",
+    "expected_communities",
+    "subscriber_label",
+]

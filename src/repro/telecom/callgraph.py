@@ -1,0 +1,141 @@
+"""Synthetic telephone call-detail graphs.
+
+The paper's introduction cites Abello et al. [1]: quasi-clique detection
+in massive call-detail graphs identifies "communities of interest".
+This substrate models that workload at laptop scale:
+
+* one graph transaction per observation day;
+* vertices are subscribers (distinct labels — phone-number-like ids);
+* edges join subscribers who called each other that day;
+* background traffic follows a preferential-attachment-ish hub pattern;
+* planted *calling communities* talk among themselves repeatedly, but
+  on any given day only a random subset of each community's pairs call
+  (density < 1) — so communities appear as **quasi-cliques**, not exact
+  cliques, which is precisely why the paper's §6 future work matters on
+  this domain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..exceptions import DataGenerationError
+from ..graphdb.database import GraphDatabase
+from ..graphdb.graph import Graph
+
+
+@dataclass(frozen=True)
+class CommunitySpec:
+    """One planted calling community.
+
+    ``density`` is the per-day probability that a given member pair
+    calls; 1.0 makes the community an exact clique every day.
+    """
+
+    size: int
+    density: float = 0.75
+    activity: float = 1.0  # fraction of days the community is active
+
+    def __post_init__(self) -> None:
+        if self.size < 3:
+            raise DataGenerationError("communities need at least 3 members")
+        if not 0.0 < self.density <= 1.0:
+            raise DataGenerationError("density must be in (0, 1]")
+        if not 0.0 < self.activity <= 1.0:
+            raise DataGenerationError("activity must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CallGraphConfig:
+    """Parameters of the synthetic call-detail workload."""
+
+    n_subscribers: int = 60
+    n_days: int = 10
+    background_calls_per_day: int = 70
+    hub_fraction: float = 0.08
+    seed: int = 31
+    communities: Tuple[CommunitySpec, ...] = (
+        CommunitySpec(size=6, density=0.85),
+        CommunitySpec(size=5, density=0.75),
+        CommunitySpec(size=4, density=1.0),
+        CommunitySpec(size=5, density=0.9, activity=0.6),
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_subscribers < 10:
+            raise DataGenerationError("need at least 10 subscribers")
+        if self.n_days < 1:
+            raise DataGenerationError("need at least one day")
+        total = sum(c.size for c in self.communities)
+        if total > self.n_subscribers:
+            raise DataGenerationError(
+                f"communities need {total} subscribers, only "
+                f"{self.n_subscribers} exist"
+            )
+
+
+def subscriber_label(index: int) -> str:
+    """Phone-number-like label, lexicographically ordered."""
+    return f"s{index:04d}"
+
+
+def call_graph_database(config: Optional[CallGraphConfig] = None) -> GraphDatabase:
+    """Generate the per-day call-graph database."""
+    cfg = config if config is not None else CallGraphConfig()
+    rng = random.Random(cfg.seed)
+
+    # Assign community membership from the front of the subscriber list.
+    members: List[List[int]] = []
+    cursor = 0
+    for community in cfg.communities:
+        members.append(list(range(cursor, cursor + community.size)))
+        cursor += community.size
+
+    # Hubs for background traffic (call centres, popular numbers).
+    hubs = rng.sample(
+        range(cfg.n_subscribers),
+        max(1, int(cfg.n_subscribers * cfg.hub_fraction)),
+    )
+
+    database = GraphDatabase(name="call-graphs")
+    for day in range(cfg.n_days):
+        graph = Graph(day)
+        for subscriber in range(cfg.n_subscribers):
+            graph.add_vertex(subscriber, subscriber_label(subscriber))
+        # Background traffic: hub-biased random calls.
+        for _ in range(cfg.background_calls_per_day):
+            if rng.random() < 0.5:
+                u = rng.choice(hubs)
+            else:
+                u = rng.randrange(cfg.n_subscribers)
+            v = rng.randrange(cfg.n_subscribers)
+            if u != v:
+                graph.add_edge(u, v)
+        # Community traffic.
+        for community, group in zip(cfg.communities, members):
+            if rng.random() >= community.activity:
+                continue
+            for i, u in enumerate(group):
+                for v in group[i + 1 :]:
+                    if rng.random() < community.density:
+                        graph.add_edge(u, v)
+        database.add(graph)
+    return database
+
+
+def expected_communities(
+    config: Optional[CallGraphConfig] = None,
+) -> List[Tuple[Tuple[str, ...], CommunitySpec]]:
+    """Ground truth: (sorted member labels, spec) per planted community."""
+    cfg = config if config is not None else CallGraphConfig()
+    result = []
+    cursor = 0
+    for community in cfg.communities:
+        labels = tuple(
+            subscriber_label(i) for i in range(cursor, cursor + community.size)
+        )
+        result.append((labels, community))
+        cursor += community.size
+    return result

@@ -1,0 +1,107 @@
+"""Tests for the analysis package (diffs, ground-truth recovery)."""
+
+import pytest
+
+from repro.analysis import (
+    diff_results,
+    evaluate_recovery,
+    label_frequency,
+    support_histogram,
+)
+from repro.core import MiningResult, make_pattern, mine_closed_cliques
+
+
+def result_of(*specs):
+    return MiningResult([make_pattern(labels, sup) for labels, sup in specs])
+
+
+class TestDiff:
+    def test_identical(self):
+        a = result_of(("abc", 2), ("de", 3))
+        b = result_of(("de", 3), ("abc", 2))
+        diff = diff_results(a, b)
+        assert diff.identical
+        assert diff.jaccard() == 1.0
+        assert "identical" in diff.render()
+
+    def test_asymmetric_membership(self):
+        a = result_of(("abc", 2), ("x", 1))
+        b = result_of(("abc", 2), ("y", 1))
+        diff = diff_results(a, b)
+        assert diff.only_left == ("x:1",)
+        assert diff.only_right == ("y:1",)
+        assert diff.common == 1
+        assert diff.jaccard() == pytest.approx(1 / 3)
+
+    def test_support_change(self):
+        diff = diff_results(result_of(("ab", 2)), result_of(("ab", 3)))
+        assert diff.support_changed == (("ab", 2, 3),)
+        assert not diff.identical
+
+    def test_empty_results(self):
+        diff = diff_results(MiningResult(), MiningResult())
+        assert diff.identical
+        assert diff.jaccard() == 1.0
+
+    def test_render_limits(self):
+        a = result_of(*[(chr(ord("a") + i), 1) for i in range(30)])
+        text = diff_results(a, MiningResult()).render(limit=5)
+        assert text.count("- ") == 5
+
+
+class TestHistograms:
+    def test_support_histogram(self):
+        r = result_of(("a", 2), ("b", 2), ("c", 5))
+        assert support_histogram(r) == {2: 2, 5: 1}
+
+    def test_label_frequency_orders_by_count(self):
+        r = result_of(("ab", 2), ("ac", 2), ("bd", 1))
+        freq = label_frequency(r)
+        assert list(freq)[0] == "a"
+        assert freq == {"a": 2, "b": 2, "c": 1, "d": 1}
+
+
+class TestRecovery:
+    def test_exact_recovery(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        report = evaluate_recovery(
+            result, [("abcd", 2), ("bde", 2)], min_size=3
+        )
+        assert report.exact_recall == 1.0
+        assert report.mean_coverage == 1.0
+        assert report.unmatched_patterns == ()
+        assert all(o.support_matches for o in report.outcomes)
+
+    def test_partial_recovery(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        report = evaluate_recovery(result, [("abcde", None)], min_size=3)
+        outcome = report.outcomes[0]
+        assert not outcome.exact
+        assert outcome.coverage == pytest.approx(4 / 5)
+        assert outcome.best_subpattern == "abcd:2"
+
+    def test_missing_structure(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        report = evaluate_recovery(result, [("xyz", 2)], min_size=3)
+        outcome = report.outcomes[0]
+        assert outcome.coverage == 0.0
+        assert outcome.best_subpattern is None
+        # abcd and bde match no planted structure here.
+        assert len(report.unmatched_patterns) == 2
+
+    def test_support_mismatch_detected(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        report = evaluate_recovery(result, [("abcd", 99)])
+        assert report.outcomes[0].exact
+        assert not report.outcomes[0].support_matches
+
+    def test_render_mentions_status(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        text = evaluate_recovery(result, [("abcd", 2), ("xyz", 1)]).render()
+        assert "EXACT" in text
+        assert "partial" in text
+
+    def test_empty_planted_list(self):
+        report = evaluate_recovery(MiningResult(), [])
+        assert report.exact_recall == 1.0
+        assert report.mean_coverage == 1.0

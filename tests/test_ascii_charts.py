@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench import Series, horizontal_bars, multi_series_chart, series_chart
+
+
+class TestHorizontalBars:
+    def test_longest_bar_for_max(self):
+        chart = horizontal_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_alignment(self):
+        chart = horizontal_bars(["short", "a-much-longer-label"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_values_shown_with_unit(self):
+        chart = horizontal_bars(["x"], [0.123], unit="s")
+        assert "0.123s" in chart
+
+    def test_log_scale_compresses(self):
+        linear = horizontal_bars(["a", "b"], [1.0, 1000.0], width=30)
+        logd = horizontal_bars(["a", "b"], [1.0, 1000.0], width=30, log_scale=True)
+        small_linear = linear.splitlines()[0].count("#")
+        small_log = logd.splitlines()[0].count("#")
+        assert small_log > small_linear
+
+    def test_zero_values_allowed(self):
+        chart = horizontal_bars(["a", "b"], [0.0, 1.0])
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_empty(self):
+        assert horizontal_bars([], []) == "(no data)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [-1])
+
+
+class TestSeriesChart:
+    def test_header_and_rows(self):
+        series = Series("runtime", "sup", "seconds", [("100%", 0.1), ("85%", 0.4)])
+        chart = series_chart(series)
+        assert chart.startswith("# runtime")
+        assert "100%" in chart and "85%" in chart
+
+
+class TestMultiSeries:
+    def test_blocks_per_x(self):
+        chart = multi_series_chart(
+            ["100%", "85%"], ["A", "B"], [[0.1, 0.2], [0.3, 0.4]]
+        )
+        assert chart.count(":\n") == 2
+        assert "A" in chart and "B" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_series_chart(["x"], ["A", "B"], [[1.0]])

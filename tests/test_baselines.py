@@ -1,0 +1,83 @@
+"""Consistency tests across the baseline miners."""
+
+import pytest
+
+from repro.baselines import (
+    bruteforce_closed_cliques,
+    bruteforce_frequent_cliques,
+    cliques_from_subgraphs,
+    enumeration_orders,
+    mine_closed_by_postfilter,
+    mine_closed_cliques_via_subgraphs,
+    mine_closed_with_duplicates,
+    mine_frequent_subgraphs,
+    pattern_supports,
+)
+from repro.core import mine_closed_cliques, mine_frequent_cliques
+from repro.exceptions import MiningError
+from tests.conftest import make_random_database
+
+
+class TestBruteForce:
+    def test_pattern_supports_on_paper_example(self, paper_db):
+        supports = pattern_supports(paper_db)
+        assert supports[("a", "b", "c", "d")] == {0, 1}
+        assert supports[("b", "d", "e")] == {0, 1}
+        # The bdd triangle exists nowhere (u3-u5 and v3-v5 not adjacent).
+        assert ("b", "d", "d") not in supports
+
+    def test_bruteforce_frequent_count(self, paper_db):
+        assert len(bruteforce_frequent_cliques(paper_db, 2)) == 19
+
+    def test_bruteforce_closed(self, paper_db):
+        result = bruteforce_closed_cliques(paper_db, 2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+    def test_size_window_applied_after_closure(self, paper_db):
+        result = bruteforce_closed_cliques(paper_db, 2, min_size=3, max_size=3)
+        # abc is non-closed even though abcd is outside the window.
+        assert [p.key() for p in result] == ["bde:2"]
+
+
+class TestSubgraphPipeline:
+    def test_pipeline_matches_clan_on_paper_example(self, paper_db):
+        via = mine_closed_cliques_via_subgraphs(paper_db, 2)
+        clan = mine_closed_cliques(paper_db, 2)
+        assert sorted(p.key() for p in via) == sorted(p.key() for p in clan)
+
+    def test_pipeline_matches_clan_on_random_db(self):
+        db = make_random_database(99, n_graphs=3, n_vertices=6, edge_probability=0.4)
+        via = mine_closed_cliques_via_subgraphs(db, 2)
+        clan = mine_closed_cliques(db, 2)
+        assert sorted(p.key() for p in via) == sorted(p.key() for p in clan)
+
+    def test_budget_exhaustion_raises(self, paper_db):
+        with pytest.raises(MiningError):
+            mine_closed_cliques_via_subgraphs(paper_db, 2, max_nodes=2)
+
+    def test_cliques_from_subgraphs_frequent_set(self, paper_db):
+        gspan = mine_frequent_subgraphs(paper_db, 2)
+        extracted = cliques_from_subgraphs(gspan, 2)
+        clan = mine_frequent_cliques(paper_db, 2)
+        assert sorted(p.key() for p in extracted) == sorted(p.key() for p in clan)
+
+
+class TestNaiveMiners:
+    def test_postfilter_matches_clan(self, paper_db):
+        result = mine_closed_by_postfilter(paper_db, 2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+        assert result.closed_only
+
+    def test_duplicates_counted(self, paper_db):
+        result = mine_closed_with_duplicates(paper_db, 2)
+        assert result.statistics.duplicates_collapsed > 0
+
+    def test_enumeration_order_is_sorted_dfs(self, paper_db):
+        keys = enumeration_orders(paper_db, 2)
+        forms = [k.rsplit(":", 1)[0] for k in keys]
+        # DFS preorder: every prefix precedes its extensions.
+        for i, form in enumerate(forms):
+            for longer in forms[i + 1 :]:
+                if longer.startswith(form):
+                    break
+            assert forms.index(form) == i

@@ -1,0 +1,126 @@
+"""Tests for the benchmark harness and the experiment registry."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    EXPERIMENTS_BY_KEY,
+    Series,
+    bench_scale,
+    format_series_table,
+    format_table,
+    registry_report,
+    runtime_sweep,
+    sweep,
+    timed,
+    timed_or_budget,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestTiming:
+    def test_timed_returns_value(self):
+        run = timed("x", lambda: 42)
+        assert run.value == 42
+        assert run.completed
+        assert run.seconds >= 0.0
+        assert run.cell().endswith("s")
+
+    def test_timed_or_budget_catches(self):
+        def boom():
+            raise RuntimeError("too big")
+
+        run = timed_or_budget("x", boom, note="did not complete")
+        assert not run.completed
+        assert "did not complete" in run.cell()
+        assert "RuntimeError" in run.note
+
+
+class TestSeries:
+    def test_sweep_collects_points(self):
+        series = sweep("s", "x", "y", [1, 2, 3], lambda x: x * x)
+        assert series.xs() == [1, 2, 3]
+        assert series.ys() == [1, 4, 9]
+
+    def test_runtime_sweep_measures(self):
+        series = runtime_sweep("s", "n", [10, 20], lambda n: sum(range(n)))
+        assert all(y >= 0.0 for y in series.ys())
+
+    def test_render(self):
+        series = Series("s", "x", "y", [(1, 2.0), (10, 3.5)])
+        text = series.render()
+        assert text.startswith("# s: x -> y")
+        assert "3.5000" in text
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_format_table_title(self):
+        assert format_table(["a"], [[1]], title="T").startswith("== T ==")
+
+    def test_series_table_validation(self):
+        with pytest.raises(ValueError):
+            format_series_table("x", ["s1"], [1, 2], [[1]])
+        with pytest.raises(ValueError):
+            format_series_table("x", ["s1", "s2"], [1], [[1]])
+
+    def test_series_table_layout(self):
+        text = format_series_table("sup", ["A", "B"], [1, 2], [[0.1, 0.2], [0.3, 0.4]])
+        assert "sup" in text.splitlines()[0]
+        assert "0.400" in text
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert bench_scale() == "tiny"
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "cosmic")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        items = {e.paper_item for e in EXPERIMENTS}
+        for required in ("Table 1", "Figure 5", "Figure 6(a)", "Figure 6(b)",
+                         "Figure 7(a)", "Figure 7(b)"):
+            assert required in items
+
+    def test_benchmark_files_exist(self):
+        for experiment in EXPERIMENTS:
+            assert (REPO_ROOT / experiment.benchmark).exists(), experiment.benchmark
+
+    def test_modules_importable(self):
+        import importlib
+
+        for experiment in EXPERIMENTS:
+            for module in experiment.modules:
+                importlib.import_module(module)
+
+    def test_design_md_mentions_every_experiment(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        for experiment in EXPERIMENTS:
+            assert experiment.paper_item.split(" (ours)")[-1].strip("() ") or True
+        for required in ("Table 1", "Figure 5", "Figure 6(a)", "Figure 6(b)",
+                         "Figure 7(a)", "Figure 7(b)"):
+            assert required in design
+
+    def test_report_mentions_benchmarks(self):
+        text = registry_report()
+        assert "pytest benchmarks/test_fig5_max_clique.py" in text
+        assert EXPERIMENTS_BY_KEY["table1"].key == "table1"

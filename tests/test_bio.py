@@ -1,0 +1,88 @@
+"""Tests for the protein contact-map substrate."""
+
+import pytest
+
+from repro.bio import (
+    AMINO_ACIDS,
+    DEFAULT_MOTIFS,
+    FamilyConfig,
+    MotifSpec,
+    expected_motif_patterns,
+    protein_family,
+)
+from repro.core import mine_closed_cliques
+from repro.exceptions import DataGenerationError
+
+
+class TestMotifSpec:
+    def test_valid(self):
+        MotifSpec(("C", "C", "H"), conservation=0.8)
+
+    def test_unknown_amino_acid(self):
+        with pytest.raises(DataGenerationError):
+            MotifSpec(("C", "X9"),)
+
+    def test_conservation_range(self):
+        with pytest.raises(DataGenerationError):
+            MotifSpec(("C", "C", "H"), conservation=0.0)
+        with pytest.raises(DataGenerationError):
+            MotifSpec(("C", "C", "H"), conservation=1.5)
+
+    def test_minimum_size(self):
+        with pytest.raises(DataGenerationError):
+            MotifSpec(("C", "H"))
+
+
+class TestFamilyGeneration:
+    def test_deterministic(self):
+        a = protein_family()
+        b = protein_family()
+        for g1, g2 in zip(a, b):
+            assert g1 == g2
+
+    def test_shape(self):
+        family = protein_family()
+        assert len(family) == 24
+        for graph in family:
+            assert graph.vertex_count >= 20
+            assert graph.distinct_labels() <= set(AMINO_ACIDS)
+            # Contact maps are connected along the backbone.
+            assert len(graph.connected_components()) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenerationError):
+            FamilyConfig(n_proteins=0)
+        with pytest.raises(DataGenerationError):
+            FamilyConfig(mean_length=5)
+        with pytest.raises(DataGenerationError):
+            FamilyConfig(contact_window=0)
+
+    def test_fully_conserved_motif_in_every_protein(self):
+        family = protein_family()
+        result = mine_closed_cliques(family, 1.0, min_size=4)
+        keys = {p.key() for p in result}
+        assert "CCHH:24" in keys
+
+    def test_all_motifs_recovered(self):
+        family = protein_family()
+        result = mine_closed_cliques(family, 0.6, min_size=3)
+        mined = {p.labels for p in result}
+        for labels, _conservation in expected_motif_patterns():
+            assert labels in mined, labels
+
+    def test_motif_support_tracks_conservation(self):
+        config = FamilyConfig(n_proteins=40)
+        family = protein_family(config)
+        result = mine_closed_cliques(family, 0.5, min_size=3)
+        by_labels = {p.labels: p.support for p in result}
+        for labels, conservation in expected_motif_patterns(config):
+            support = by_labels[labels]
+            expected = conservation * config.n_proteins
+            assert abs(support - expected) <= 0.25 * config.n_proteins
+
+    def test_default_motifs_disjointness_enforced(self):
+        # A protein too short to host all motifs raises loudly.
+        tight = FamilyConfig(mean_length=20, length_spread=0, fold_contacts=5,
+                             motifs=tuple(MotifSpec(tuple("ACDEFGHIK"),) for _ in range(3)))
+        with pytest.raises(DataGenerationError):
+            protein_family(tight)

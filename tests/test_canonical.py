@@ -1,0 +1,165 @@
+"""Unit + property tests for the clique canonical form (paper §4.1)."""
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CanonicalForm,
+    canonical_label_sequence,
+    is_canonical_sequence,
+    is_submultiset,
+)
+from repro.exceptions import PatternError
+
+labels_st = st.lists(st.sampled_from("abcde"), min_size=0, max_size=8)
+nonempty_labels_st = st.lists(st.sampled_from("abcde"), min_size=1, max_size=8)
+
+
+class TestConstruction:
+    def test_from_labels_sorts(self):
+        assert CanonicalForm.from_labels("cab").labels == ("a", "b", "c")
+
+    def test_duplicates_kept(self):
+        """The paper: aac is the form of two a-vertices and one c-vertex."""
+        assert str(CanonicalForm.from_labels(["a", "c", "a"])) == "aac"
+
+    def test_rejects_unsorted_direct_construction(self):
+        with pytest.raises(PatternError):
+            CanonicalForm(("b", "a"))
+
+    def test_empty_form(self):
+        assert CanonicalForm.empty().size == 0
+
+    @given(labels=labels_st)
+    def test_permutation_invariance(self, labels):
+        """Definition 4.1: all orderings of the label bag share one form."""
+        base = CanonicalForm.from_labels(labels)
+        for perm in list(permutations(labels))[:24]:
+            assert CanonicalForm.from_labels(perm) == base
+
+    @given(labels=labels_st)
+    def test_form_is_minimum_string(self, labels):
+        """The canonical form is the lexicographic minimum clique string."""
+        if not labels:
+            return
+        form = CanonicalForm.from_labels(labels).labels
+        assert form == min(set(permutations(labels)))
+
+
+class TestStructure:
+    def test_last_label(self):
+        assert CanonicalForm.from_labels("abc").last_label == "c"
+        with pytest.raises(PatternError):
+            CanonicalForm.empty().last_label
+
+    def test_extend_appends(self):
+        assert str(CanonicalForm.from_labels("ab").extend("b")) == "abb"
+
+    def test_extend_rejects_smaller_label(self):
+        """Structural redundancy pruning: growth labels are >= the last."""
+        with pytest.raises(PatternError):
+            CanonicalForm.from_labels("bc").extend("a")
+
+    def test_direct_prefix(self):
+        assert str(CanonicalForm.from_labels("abc").direct_prefix()) == "ab"
+        with pytest.raises(PatternError):
+            CanonicalForm.empty().direct_prefix()
+
+    def test_prefixes(self):
+        forms = [str(f) for f in CanonicalForm.from_labels("abc").prefixes()]
+        assert forms == ["a", "ab"]
+
+    @given(labels=nonempty_labels_st)
+    def test_lemma_4_2_prefix_closure(self, labels):
+        """Every prefix of a canonical form is itself canonical."""
+        form = CanonicalForm.from_labels(labels)
+        for prefix in form.prefixes():
+            assert is_canonical_sequence(prefix.labels)
+            assert CanonicalForm.from_labels(prefix.labels) == prefix
+
+    def test_label_counts(self):
+        assert CanonicalForm.from_labels("aabc").label_counts() == {
+            "a": 2, "b": 1, "c": 1
+        }
+
+
+class TestLemma41SubcliqueTest:
+    def test_basic_submultiset(self):
+        assert is_submultiset(("a", "c"), ("a", "b", "c"))
+        assert not is_submultiset(("a", "a"), ("a", "b"))
+        assert is_submultiset((), ("a",))
+        assert not is_submultiset(("b",), ("a",))
+
+    def test_is_subclique_of(self):
+        ab = CanonicalForm.from_labels("ab")
+        abc = CanonicalForm.from_labels("abc")
+        assert ab.is_subclique_of(abc)
+        assert ab.is_subclique_of(ab)
+        assert not ab.is_proper_subclique_of(ab)
+        assert ab.is_proper_subclique_of(abc)
+        assert abc.is_superclique_of(ab)
+
+    @given(smaller=labels_st, larger=labels_st)
+    def test_matches_multiset_semantics(self, smaller, larger):
+        """Lemma 4.1: subsequence of sorted strings == sub-multiset."""
+        a = tuple(sorted(smaller))
+        b = tuple(sorted(larger))
+        expected = all(smaller.count(x) <= larger.count(x) for x in set(smaller))
+        assert is_submultiset(a, b) == expected
+
+    @given(labels=nonempty_labels_st, extra=st.sampled_from("abcde"))
+    def test_extension_is_superclique(self, labels, extra):
+        form = CanonicalForm.from_labels(labels)
+        bigger = CanonicalForm.from_labels(list(labels) + [extra])
+        assert form.is_proper_subclique_of(bigger)
+
+
+class TestDirectSubcliques:
+    def test_all_one_vertex_deletions(self):
+        subs = {str(f) for f in CanonicalForm.from_labels("abcd").direct_subcliques()}
+        assert subs == {"abc", "abd", "acd", "bcd"}
+
+    def test_duplicate_labels_collapse(self):
+        subs = [str(f) for f in CanonicalForm.from_labels("aab").direct_subcliques()]
+        assert sorted(subs) == ["aa", "ab"]
+
+    def test_missing_labels(self):
+        ab = CanonicalForm.from_labels("ab")
+        abcd = CanonicalForm.from_labels("abcd")
+        assert ab.missing_labels(abcd) == ("c", "d")
+        with pytest.raises(PatternError):
+            abcd.missing_labels(ab)
+
+    def test_missing_labels_with_multiplicity(self):
+        aa = CanonicalForm.from_labels("aa")
+        aaab = CanonicalForm.from_labels("aaab")
+        assert aa.missing_labels(aaab) == ("a", "b")
+
+
+class TestOrderingAndRendering:
+    def test_total_order_matches_paper(self):
+        """§4.1 global order on strings (positional, then length)."""
+        assert CanonicalForm.from_labels("ab") < CanonicalForm.from_labels("ac")
+        assert CanonicalForm.from_labels("a") < CanonicalForm.from_labels("ab")
+        assert CanonicalForm.from_labels("b") > CanonicalForm.from_labels("abc")
+
+    def test_hash_equals_by_value(self):
+        assert hash(CanonicalForm.from_labels("ab")) == hash(CanonicalForm.from_labels("ba"))
+
+    def test_str_compact_for_single_chars(self):
+        assert str(CanonicalForm.from_labels("dcba")) == "abcd"
+
+    def test_str_dotted_for_tickers(self):
+        form = CanonicalForm.from_labels(["NUV", "DMF"])
+        assert str(form) == "DMF.NUV"
+
+    def test_iteration_and_len(self):
+        form = CanonicalForm.from_labels("abc")
+        assert list(form) == ["a", "b", "c"]
+        assert len(form) == 3
+
+    def test_canonical_label_sequence(self):
+        assert canonical_label_sequence("cba") == ("a", "b", "c")

@@ -1,0 +1,97 @@
+"""Tests for the chemical substrate (CA-like database)."""
+
+import random
+
+import pytest
+
+from repro.chem import (
+    ATOM_LABELS,
+    CLIQUE_FRAGMENTS,
+    ChemConfig,
+    FRAGMENT_LIBRARY,
+    FRAGMENTS_BY_NAME,
+    ca_like_database,
+    chemical_database,
+    generate_compound,
+    sample_atom,
+    sample_atoms,
+)
+from repro.core import mine_closed_cliques
+from repro.exceptions import DataGenerationError
+
+
+class TestAtoms:
+    def test_sample_atom_in_alphabet(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert sample_atom(rng) in ATOM_LABELS
+
+    def test_carbon_dominates(self):
+        rng = random.Random(1)
+        atoms = sample_atoms(rng, 2000)
+        assert atoms.count("C") / len(atoms) > 0.5
+
+    def test_sample_atoms_length(self):
+        assert len(sample_atoms(random.Random(0), 17)) == 17
+
+
+class TestFragments:
+    def test_library_is_valid(self):
+        for fragment in FRAGMENT_LIBRARY:
+            fragment.validate()
+            assert 0.0 < fragment.plant_rate <= 1.0
+
+    def test_clique_fragments_are_triangles(self):
+        for fragment in CLIQUE_FRAGMENTS:
+            assert fragment.size == 3
+            assert len(fragment.edges) == 3
+
+    def test_by_name_index(self):
+        assert FRAGMENTS_BY_NAME["benzene"].size == 6
+        assert FRAGMENTS_BY_NAME["cyclopropane"].labels == ("C", "C", "C")
+
+
+class TestGenerator:
+    def test_characteristics_match_paper(self):
+        db = ca_like_database()
+        assert len(db) == 422
+        assert abs(db.average_vertices() - 39) < 4
+        assert abs(db.average_edges() - 42) < 6
+
+    def test_deterministic(self):
+        a = ca_like_database(n_compounds=10, seed=5)
+        b = ca_like_database(n_compounds=10, seed=5)
+        for g1, g2 in zip(a, b):
+            assert g1 == g2
+
+    def test_compounds_connected_skeleton(self):
+        db = ca_like_database(n_compounds=20)
+        for graph in db:
+            # Fragments attach to the skeleton, so one component.
+            assert len(graph.connected_components()) == 1
+
+    def test_compound_size_bounds(self):
+        cfg = ChemConfig(n_compounds=30, min_vertices=15, max_vertices=50)
+        for graph in chemical_database(cfg):
+            assert graph.vertex_count <= 50 + 0  # fragments respect budget
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenerationError):
+            ChemConfig(n_compounds=0)
+        with pytest.raises(DataGenerationError):
+            ChemConfig(min_vertices=2)
+        with pytest.raises(DataGenerationError):
+            ChemConfig(min_vertices=20, max_vertices=10)
+
+    def test_planted_rings_are_frequent(self):
+        db = ca_like_database()
+        result = mine_closed_cliques(db, 0.10)
+        mined_triangles = {p.labels for p in result.of_size(3)}
+        assert ("C", "C", "C") in mined_triangles  # cyclopropane
+        assert ("C", "C", "O") in mined_triangles  # oxirane
+
+    def test_generate_compound_directly(self):
+        rng = random.Random(3)
+        graph = generate_compound(rng, ChemConfig())
+        assert graph.vertex_count >= 10
+        assert graph.edge_count >= graph.vertex_count - 1

@@ -1,0 +1,147 @@
+"""Tests for the extended CLI commands (topk/quasi/validate/convert/diff)."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphdb import Graph, GraphDatabase, paper_example_database
+from repro.io import gspan_format, json_format
+
+
+@pytest.fixture
+def example_file(tmp_path):
+    path = tmp_path / "example.tve"
+    gspan_format.save_database(paper_example_database(), path)
+    return str(path)
+
+
+class TestMineModes:
+    def test_maximal_mode(self, example_file, capsys):
+        assert main(["mine", example_file, "--min-sup", "2", "--maximal"]) == 0
+        captured = capsys.readouterr()
+        assert "abcd:2" in captured.out
+        assert "maximal cliques" in captured.err
+
+    def test_maximal_and_all_frequent_conflict(self, example_file):
+        with pytest.raises(SystemExit):
+            main(["mine", example_file, "--maximal", "--all-frequent"])
+
+    def test_parallel_processes(self, example_file, capsys):
+        assert main(["mine", example_file, "--min-sup", "2", "--processes", "2"]) == 0
+        assert "abcd:2" in capsys.readouterr().out
+
+
+class TestMineConstraints:
+    def test_require_label(self, example_file, capsys):
+        assert main(["mine", example_file, "--min-sup", "2", "--require", "e"]) == 0
+        out = capsys.readouterr().out
+        assert "bde:2" in out
+        assert "abcd:2" not in out
+
+    def test_allow_labels(self, example_file, capsys):
+        assert main([
+            "mine", example_file, "--min-sup", "2", "--allow", "b,d,e",
+        ]) == 0
+        assert "bde:2" in capsys.readouterr().out
+
+    def test_forbid_labels(self, example_file, capsys):
+        assert main([
+            "mine", example_file, "--min-sup", "2", "--forbid", "e",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "abcd:2" in out
+        assert "bde" not in out
+
+    def test_constraints_reject_maximal_mode(self, example_file, capsys):
+        assert main([
+            "mine", example_file, "--min-sup", "2", "--maximal", "--require", "e",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_label_list_rejected(self, example_file, capsys):
+        assert main(["mine", example_file, "--require", ", ,"]) == 2
+
+
+class TestTopK:
+    def test_topk_orders_by_size(self, example_file, capsys):
+        assert main(["topk", example_file, "--min-sup", "2", "-k", "1"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == ["abcd:2"]
+
+    def test_topk_k_exceeds(self, example_file, capsys):
+        assert main(["topk", example_file, "--min-sup", "2", "-k", "99"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+
+class TestQuasi:
+    def test_gamma_one_equals_exact(self, example_file, capsys):
+        assert main([
+            "quasi", example_file, "--min-sup", "2", "--gamma", "1.0",
+            "--min-size", "3", "--max-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "abcd:2" in out
+        assert "bde:2" in out
+
+    def test_invalid_gamma_reports_error(self, example_file, capsys):
+        assert main([
+            "quasi", example_file, "--min-sup", "2", "--gamma", "0.2",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid_database(self, example_file, capsys):
+        assert main(["validate", example_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_warnings_still_pass(self, tmp_path, capsys):
+        db = GraphDatabase([Graph.from_edges({0: "a", 1: "b"}, [])])
+        path = tmp_path / "warn.tve"
+        gspan_format.save_database(db, path)
+        assert main(["validate", str(path)]) == 0
+        assert "warning" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_tve_to_json_and_back(self, example_file, tmp_path, capsys):
+        json_path = tmp_path / "db.json"
+        assert main([
+            "convert", example_file, str(json_path), "--from", "tve", "--to", "json",
+        ]) == 0
+        db = json_format.open_database(json_path)
+        assert len(db) == 2
+
+        back = tmp_path / "back.tve"
+        assert main([
+            "convert", str(json_path), str(back), "--from", "json", "--to", "tve",
+        ]) == 0
+        again = gspan_format.open_database(back)
+        assert again[0].labels() == paper_example_database()[0].labels()
+
+    def test_to_matrix(self, example_file, tmp_path, capsys):
+        out = tmp_path / "db.matrix"
+        assert main([
+            "convert", example_file, str(out), "--from", "tve", "--to", "matrix",
+        ]) == 0
+        assert out.read_text().strip()
+
+
+class TestDiff:
+    def make_results(self, tmp_path, left_lines, right_lines):
+        left = tmp_path / "left.txt"
+        right = tmp_path / "right.txt"
+        left.write_text("\n".join(left_lines) + "\n")
+        right.write_text("\n".join(right_lines) + "\n")
+        return str(left), str(right)
+
+    def test_identical_results_exit_zero(self, tmp_path, capsys):
+        left, right = self.make_results(tmp_path, ["abcd:2", "bde:2"], ["bde:2", "abcd:2"])
+        assert main(["diff", left, right]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differences_exit_one(self, tmp_path, capsys):
+        left, right = self.make_results(tmp_path, ["abcd:2"], ["abcd:3", "x:1"])
+        assert main(["diff", left, right]) == 1
+        out = capsys.readouterr().out
+        assert "abcd: 2 -> 3" in out
+        assert "+ x:1" in out

@@ -1,0 +1,124 @@
+"""Unit + property tests for single-graph clique routines."""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import (
+    Graph,
+    all_cliques,
+    clique_number,
+    count_cliques_by_size,
+    degeneracy_ordering,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.graphdb.generators import default_label_alphabet, random_transaction
+
+
+def brute_maximal_cliques(graph: Graph):
+    """Reference maximal-clique enumeration by subset checking."""
+    vertices = sorted(graph.vertices())
+    cliques = set()
+    for size in range(1, len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            if graph.is_clique(subset):
+                cliques.add(frozenset(subset))
+    maximal = set()
+    for c in cliques:
+        if not any(c < other for other in cliques):
+            maximal.add(c)
+    return maximal
+
+
+def random_graph(seed: int, n: int = 9, p: float = 0.5) -> Graph:
+    rng = random.Random(seed)
+    return random_transaction(rng, n, p, default_label_alphabet(3))
+
+
+class TestDegeneracyOrdering:
+    def test_covers_all_vertices(self, k4_graph):
+        assert sorted(degeneracy_ordering(k4_graph)) == sorted(k4_graph.vertices())
+
+    def test_empty_graph(self):
+        assert degeneracy_ordering(Graph()) == []
+
+
+class TestMaximalCliques:
+    def test_triangle(self, triangle_graph):
+        assert set(maximal_cliques(triangle_graph)) == {frozenset({0, 1, 2})}
+
+    def test_path_maximal_cliques_are_edges(self, path_graph):
+        assert set(maximal_cliques(path_graph)) == {
+            frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})
+        }
+
+    def test_min_size_filter(self, path_graph):
+        assert list(maximal_cliques(path_graph, min_size=3)) == []
+
+    def test_isolated_vertex_is_maximal(self):
+        g = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1)])
+        assert frozenset({2}) in set(maximal_cliques(g))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_bruteforce(self, seed):
+        g = random_graph(seed)
+        assert set(maximal_cliques(g)) == brute_maximal_cliques(g)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_no_duplicates(self, seed):
+        g = random_graph(seed)
+        found = list(maximal_cliques(g))
+        assert len(found) == len(set(found))
+
+
+class TestAllCliques:
+    def test_counts_on_k4(self, k4_graph):
+        assert count_cliques_by_size(k4_graph) == {1: 4, 2: 6, 3: 4, 4: 1}
+
+    def test_max_size_cap(self, k4_graph):
+        assert count_cliques_by_size(k4_graph, max_size=2) == {1: 4, 2: 6}
+
+    def test_min_size(self, k4_graph):
+        assert all(len(c) >= 3 for c in all_cliques(k4_graph, min_size=3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_every_clique_once(self, seed):
+        g = random_graph(seed, n=8)
+        found = list(all_cliques(g))
+        assert len(found) == len(set(found))
+        expected = {
+            frozenset(sub)
+            for size in range(1, 9)
+            for sub in combinations(sorted(g.vertices()), size)
+            if g.is_clique(sub)
+        }
+        assert set(found) == expected
+
+
+class TestMaximumClique:
+    def test_empty(self):
+        assert maximum_clique(Graph()) == frozenset()
+
+    def test_k4(self, k4_graph):
+        assert maximum_clique(k4_graph) == frozenset({0, 1, 2, 3})
+        assert clique_number(k4_graph) == 4
+
+    def test_path(self, path_graph):
+        assert clique_number(path_graph) == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_bruteforce_size(self, seed):
+        g = random_graph(seed)
+        expected = max((len(c) for c in brute_maximal_cliques(g)), default=0)
+        found = maximum_clique(g)
+        assert len(found) == expected
+        if found:
+            assert g.is_clique(found)

@@ -1,0 +1,78 @@
+"""Unit tests for closure checking (paper §4.3, Lemma 4.3)."""
+
+import pytest
+
+from repro.core import (
+    CanonicalForm,
+    HistoryClosureIndex,
+    blocking_extension_labels,
+    is_closed,
+    make_pattern,
+    split_extension_labels,
+)
+
+
+class TestScanBasedClosure:
+    def test_closed_when_all_extensions_lose_support(self):
+        assert is_closed(3, {"a": 2, "b": 1})
+        assert is_closed(3, {})
+
+    def test_nonclosed_on_equal_support_extension(self):
+        assert not is_closed(3, {"a": 3})
+
+    def test_blocking_labels_sorted(self):
+        assert blocking_extension_labels(2, {"c": 2, "a": 2, "b": 1}) == ["a", "c"]
+
+    def test_split_old_new(self):
+        old, new = split_extension_labels({"a": 1, "c": 2, "d": 3}, "c")
+        assert old == {"a": 1}
+        assert new == {"c": 2, "d": 3}
+
+    def test_split_with_empty_prefix(self):
+        old, new = split_extension_labels({"a": 1}, None)
+        assert old == {}
+        assert new == {"a": 1}
+
+
+class TestHistoryClosureIndex:
+    def test_superclique_same_support_found(self):
+        index = HistoryClosureIndex([make_pattern("abcd", 2)])
+        assert index.has_superclique_with_support(CanonicalForm.from_labels("ab"), 2)
+
+    def test_different_support_not_found(self):
+        index = HistoryClosureIndex([make_pattern("abcd", 3)])
+        assert not index.has_superclique_with_support(CanonicalForm.from_labels("ab"), 2)
+
+    def test_equal_size_is_not_proper(self):
+        index = HistoryClosureIndex([make_pattern("ab", 2)])
+        assert not index.has_superclique_with_support(CanonicalForm.from_labels("ab"), 2)
+
+    def test_non_subclique_not_found(self):
+        index = HistoryClosureIndex([make_pattern("bcd", 2)])
+        assert not index.has_superclique_with_support(CanonicalForm.from_labels("ab"), 2)
+
+    def test_multiplicity_respected(self):
+        index = HistoryClosureIndex([make_pattern("aab", 2)])
+        assert index.has_superclique_with_support(CanonicalForm.from_labels("aa"), 2)
+        assert not index.has_superclique_with_support(CanonicalForm.from_labels("aaa"), 2)
+
+    def test_add_form_and_len(self):
+        index = HistoryClosureIndex()
+        assert len(index) == 0
+        index.add_form(CanonicalForm.from_labels("abc"), 2)
+        index.add(make_pattern("ab", 3))
+        assert len(index) == 2
+
+    def test_agrees_with_definition_on_running_example(self, paper_db):
+        from repro.core import mine_frequent_cliques
+
+        frequent = list(mine_frequent_cliques(paper_db, 2))
+        index = HistoryClosureIndex(frequent)
+        for pattern in frequent:
+            by_index = not index.has_superclique_with_support(
+                pattern.form, pattern.support
+            )
+            by_definition = not any(
+                pattern.makes_nonclosed(other) for other in frequent
+            )
+            assert by_index == by_definition, pattern.key()

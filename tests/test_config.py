@@ -1,0 +1,69 @@
+"""Unit tests for MinerConfig validation and ablation helpers."""
+
+import pytest
+
+from repro.core import CACHED, RESCAN, MinerConfig
+from repro.exceptions import MiningError
+
+
+class TestValidation:
+    def test_defaults_are_paper_defaults(self):
+        config = MinerConfig.paper_defaults()
+        assert config.closed_only
+        assert config.structural_redundancy_pruning
+        assert config.low_degree_pruning
+        assert config.nonclosed_prefix_pruning
+        assert config.embedding_strategy == CACHED
+
+    def test_min_size_must_be_positive(self):
+        with pytest.raises(MiningError):
+            MinerConfig(min_size=0)
+
+    def test_max_size_must_cover_min_size(self):
+        with pytest.raises(MiningError):
+            MinerConfig(min_size=3, max_size=2)
+        MinerConfig(min_size=3, max_size=3)
+
+    def test_bad_strategy(self):
+        with pytest.raises(MiningError):
+            MinerConfig(embedding_strategy="telepathy")
+
+    def test_nonclosed_prefix_requires_closed_only(self):
+        with pytest.raises(MiningError):
+            MinerConfig(closed_only=False)
+        MinerConfig(closed_only=False, nonclosed_prefix_pruning=False)
+
+    def test_nonclosed_prefix_requires_redundancy_pruning(self):
+        with pytest.raises(MiningError):
+            MinerConfig(structural_redundancy_pruning=False)
+        MinerConfig(
+            structural_redundancy_pruning=False, nonclosed_prefix_pruning=False
+        )
+
+    def test_max_embeddings_positive(self):
+        with pytest.raises(MiningError):
+            MinerConfig(max_embeddings=0)
+        MinerConfig(max_embeddings=10)
+
+
+class TestHelpers:
+    def test_all_frequent(self):
+        config = MinerConfig.all_frequent()
+        assert not config.closed_only
+        assert not config.nonclosed_prefix_pruning
+
+    def test_without_each_pruning(self):
+        base = MinerConfig()
+        assert not base.without("low_degree").low_degree_pruning
+        assert not base.without("nonclosed_prefix").nonclosed_prefix_pruning
+        relaxed = base.without("structural_redundancy")
+        assert not relaxed.structural_redundancy_pruning
+        # Dependent pruning is switched off too (Lemma 4.4 soundness).
+        assert not relaxed.nonclosed_prefix_pruning
+
+    def test_without_unknown(self):
+        with pytest.raises(MiningError):
+            MinerConfig().without("magic")
+
+    def test_rescan_strategy_accepted(self):
+        assert MinerConfig(embedding_strategy=RESCAN).embedding_strategy == RESCAN

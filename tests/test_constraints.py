@@ -1,0 +1,132 @@
+"""Tests for constraint-based mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CliqueConstraints,
+    ConstrainedMiner,
+    mine_closed_cliques,
+    mine_with_constraints,
+    project_database,
+)
+from repro.exceptions import MiningError
+from tests.conftest import make_random_database
+
+
+class TestConstraintValidation:
+    def test_required_must_be_allowed(self):
+        with pytest.raises(MiningError):
+            CliqueConstraints.of(allowed="ab", required="c")
+
+    def test_required_forbidden_conflict(self):
+        with pytest.raises(MiningError):
+            CliqueConstraints.of(required="a", forbidden="a")
+
+    def test_size_window_validation(self):
+        with pytest.raises(MiningError):
+            CliqueConstraints.of(min_size=0)
+        with pytest.raises(MiningError):
+            CliqueConstraints.of(min_size=3, max_size=2)
+
+    def test_label_admissible(self):
+        c = CliqueConstraints.of(allowed="abc", forbidden="c")
+        assert c.label_admissible("a")
+        assert not c.label_admissible("c")
+        assert not c.label_admissible("z")
+
+
+class TestProjection:
+    def test_projection_erases_labels(self, paper_db):
+        constraints = CliqueConstraints.of(allowed="bde")
+        projected = project_database(paper_db, constraints)
+        assert projected.distinct_labels() == {"b", "d", "e"}
+        assert len(projected) == len(paper_db)
+
+    def test_projection_preserves_admissible_edges(self, paper_db):
+        projected = project_database(paper_db, CliqueConstraints.of(allowed="bde"))
+        g1 = projected[0]
+        # b (u2) and e (u6) were adjacent in G1 and still are.
+        assert g1.has_edge(2, 6)
+        assert not g1.has_vertex(1)  # the 'a' vertex is gone
+
+
+class TestConstrainedMining:
+    def test_allowed_labels(self, paper_db):
+        result = mine_with_constraints(
+            paper_db, 2, CliqueConstraints.of(allowed="bde")
+        )
+        assert sorted(p.key() for p in result) == ["bde:2"]
+
+    def test_forbidden_labels(self, paper_db):
+        result = mine_with_constraints(
+            paper_db, 2, CliqueConstraints.of(forbidden="a", min_size=2)
+        )
+        keys = sorted(p.key() for p in result)
+        assert "bde:2" in keys
+        assert all("a" not in key.split(":")[0] for key in keys)
+
+    def test_required_labels(self, paper_db):
+        result = mine_with_constraints(
+            paper_db, 2, CliqueConstraints.of(required="e", min_size=2)
+        )
+        assert sorted(p.key() for p in result) == ["bde:2"]
+
+    def test_predicate(self, paper_db):
+        result = mine_with_constraints(
+            paper_db, 2,
+            CliqueConstraints.of(predicate=lambda p: p.size % 2 == 0),
+        )
+        assert all(p.size % 2 == 0 for p in result)
+        assert any(p.key() == "abcd:2" for p in result)
+
+    def test_size_window(self, paper_db):
+        result = mine_with_constraints(
+            paper_db, 2, CliqueConstraints.of(min_size=3, max_size=3)
+        )
+        assert sorted(p.key() for p in result) == ["bde:2"]
+
+    def test_no_constraints_equals_plain_mining(self, paper_db):
+        result = mine_with_constraints(paper_db, 2, CliqueConstraints.of())
+        plain = mine_closed_cliques(paper_db, 2)
+        assert sorted(p.key() for p in result) == sorted(p.key() for p in plain)
+
+    def test_projected_vs_postfilter_semantics(self, paper_db):
+        """project=True re-evaluates closedness in the projected world:
+        bd:2 is closed among {b, d} labels even though bde:2 absorbs it
+        in the full database."""
+        constraints = CliqueConstraints.of(allowed="bd")
+        projected = mine_with_constraints(paper_db, 2, constraints, project=True)
+        filtered = mine_with_constraints(paper_db, 2, constraints, project=False)
+        assert "bd:2" in {p.key() for p in projected}
+        assert "bd:2" not in {p.key() for p in filtered}
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_projection_equals_postfilter_of_frequent_set(self, seed):
+        """Sound pushdown: the projected frequent patterns are exactly
+        the full frequent patterns over admissible labels."""
+        from repro.core import mine_frequent_cliques
+        from repro.core.config import MinerConfig
+        from repro.core.miner import ClanMiner
+
+        db = make_random_database(seed)
+        constraints = CliqueConstraints.of(allowed="ab")
+        projected_db = project_database(db, constraints)
+        projected = mine_frequent_cliques(projected_db, 2)
+        full = mine_frequent_cliques(db, 2)
+        expected = sorted(
+            p.key() for p in full if set(p.labels) <= {"a", "b"}
+        )
+        assert sorted(p.key() for p in projected) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_every_reported_pattern_satisfies(self, seed):
+        db = make_random_database(seed)
+        constraints = CliqueConstraints.of(
+            forbidden="d", required="a", min_size=2
+        )
+        for pattern in mine_with_constraints(db, 1, constraints):
+            assert constraints.pattern_satisfies(pattern)

@@ -1,0 +1,137 @@
+"""Unit tests for pseudo low-degree vertex pruning (repro.graphdb.core_index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import (
+    CoreIndex,
+    Graph,
+    GraphDatabase,
+    PseudoDatabase,
+    core_numbers,
+    paper_example_database,
+    paper_graph_g2,
+)
+from repro.graphdb.generators import default_label_alphabet, random_transaction
+
+
+class TestCoreNumbers:
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_isolated_vertices_have_core_zero(self):
+        g = Graph.from_edges({0: "a", 1: "b"}, [])
+        assert core_numbers(g) == {0: 0, 1: 0}
+
+    def test_clique_core(self, k4_graph):
+        assert set(core_numbers(k4_graph).values()) == {3}
+
+    def test_path_core(self, path_graph):
+        assert set(core_numbers(path_graph).values()) == {1}
+
+    def test_triangle_with_tail(self):
+        g = Graph.from_edges(
+            {0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (0, 2), (1, 2), (2, 3)]
+        )
+        cores = core_numbers(g)
+        assert cores[3] == 1
+        assert cores[0] == cores[1] == cores[2] == 2
+
+    def test_definition_against_peeling(self):
+        """core(v) >= k iff v survives repeated removal of degree < k."""
+        rng = random.Random(5)
+        g = random_transaction(rng, 14, 0.35, default_label_alphabet(3))
+        cores = core_numbers(g)
+        for k in range(0, 6):
+            survivor = g.copy()
+            changed = True
+            while changed:
+                changed = False
+                for v in list(survivor.vertices()):
+                    if survivor.degree(v) < k:
+                        survivor.remove_vertex(v)
+                        changed = True
+            expected = {v for v in g.vertices() if cores[v] >= k}
+            assert set(survivor.vertices()) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_core_at_most_degree(self, seed):
+        rng = random.Random(seed)
+        g = random_transaction(rng, 10, 0.4, default_label_alphabet(3))
+        cores = core_numbers(g)
+        for v in g.vertices():
+            assert 0 <= cores[v] <= g.degree(v)
+
+
+class TestCoreIndex:
+    def test_paper_g2_pruning_walkthrough(self):
+        """Section 4.2: pruning v6 for 4-cliques drops v3 to degree 2."""
+        index = CoreIndex(paper_graph_g2())
+        # v6 (id 6) has degree 2, so core 2: unusable at clique size 4.
+        assert index.core_number(6) == 2
+        usable4 = index.usable_at(4)
+        assert 6 not in usable4
+        # v3 (id 3) is dragged down recursively, exactly as the paper says.
+        assert 3 not in usable4
+        # The 4-clique v1 v2 v4 v5 survives.
+        assert {1, 2, 4, 5} <= usable4
+
+    def test_usable_at_one_is_everything(self, k4_graph):
+        index = CoreIndex(k4_graph)
+        assert index.usable_at(1) == frozenset(k4_graph.vertices())
+
+    def test_usable_above_bound_empty(self, k4_graph):
+        index = CoreIndex(k4_graph)
+        assert index.usable_at(5) == frozenset()
+        assert index.usable_at(4) == frozenset(k4_graph.vertices())
+
+    def test_max_clique_upper_bound(self, k4_graph, path_graph):
+        assert CoreIndex(k4_graph).max_clique_upper_bound() == 4
+        assert CoreIndex(path_graph).max_clique_upper_bound() == 2
+        assert CoreIndex(Graph()).max_clique_upper_bound() == 0
+
+    def test_usable_with_label(self):
+        g = Graph.from_edges(
+            {0: "a", 1: "a", 2: "b"}, [(0, 1), (0, 2), (1, 2)]
+        )
+        index = CoreIndex(g)
+        assert index.usable_with_label(3, "a") == frozenset({0, 1})
+        assert index.usable_with_label(3, "z") == frozenset()
+
+    def test_pruned_graph_matches_usable(self, paper_db):
+        for graph in paper_db:
+            index = CoreIndex(graph)
+            pruned = index.pruned_graph(4)
+            assert set(pruned.vertices()) == set(index.usable_at(4))
+
+    def test_cliques_live_in_their_core(self):
+        """Observation 4.1: a k-clique's vertices are usable at level k."""
+        rng = random.Random(3)
+        g = random_transaction(rng, 12, 0.5, default_label_alphabet(3))
+        index = CoreIndex(g)
+        from repro.graphdb import all_cliques
+
+        for clique in all_cliques(g, min_size=2):
+            usable = index.usable_at(len(clique))
+            assert clique <= usable
+
+
+class TestPseudoDatabase:
+    def test_one_index_per_transaction(self, paper_db):
+        pseudo = PseudoDatabase(paper_db)
+        assert len(pseudo) == 2
+        assert pseudo.index(0).graph is paper_db[0]
+
+    def test_global_bound(self, paper_db):
+        assert PseudoDatabase(paper_db).max_clique_upper_bound() == 4
+
+    def test_usable_transactions(self):
+        g1 = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (0, 2), (1, 2)])
+        g2 = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        pseudo = PseudoDatabase(GraphDatabase([g1, g2]))
+        assert list(pseudo.usable_transactions(3)) == [0]
+        assert list(pseudo.usable_transactions(2)) == [0, 1]

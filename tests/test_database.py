@@ -1,0 +1,144 @@
+"""Unit tests for repro.graphdb.database."""
+
+import pytest
+
+from repro.exceptions import DatabaseError, InvalidSupportError
+from repro.graphdb import Graph, GraphDatabase
+
+
+def two_graph_db() -> GraphDatabase:
+    g1 = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+    g2 = Graph.from_edges({0: "a", 1: "c", 2: "c"}, [(0, 1)])
+    return GraphDatabase([g1, g2], name="two")
+
+
+class TestContainer:
+    def test_len_and_iteration(self):
+        db = two_graph_db()
+        assert len(db) == 2
+        assert [g.vertex_count for g in db] == [2, 3]
+
+    def test_indexing(self):
+        db = two_graph_db()
+        assert db[0].label(0) == "a"
+        with pytest.raises(DatabaseError):
+            db[5]
+
+    def test_add_assigns_transaction_ids(self):
+        db = GraphDatabase()
+        tid0 = db.add(Graph())
+        tid1 = db.add(Graph())
+        assert (tid0, tid1) == (0, 1)
+        assert db[1].graph_id == 1
+
+    def test_add_keeps_existing_graph_id(self):
+        db = GraphDatabase()
+        db.add(Graph(graph_id=42))
+        assert db[0].graph_id == 42
+
+    def test_repr(self):
+        assert "|D|=2" in repr(two_graph_db())
+
+
+class TestSupportArithmetic:
+    def test_absolute_int_passthrough(self):
+        assert two_graph_db().absolute_support(2) == 2
+
+    def test_absolute_int_out_of_range(self):
+        db = two_graph_db()
+        with pytest.raises(InvalidSupportError):
+            db.absolute_support(0)
+        with pytest.raises(InvalidSupportError):
+            db.absolute_support(3)
+
+    def test_relative_rounds_up(self):
+        db = GraphDatabase([Graph() for _ in range(11)])
+        assert db.absolute_support(0.85) == 10
+        assert db.absolute_support(1.0) == 11
+        assert db.absolute_support(0.05) == 1
+
+    def test_relative_out_of_range(self):
+        db = two_graph_db()
+        with pytest.raises(InvalidSupportError):
+            db.absolute_support(0.0)
+        with pytest.raises(InvalidSupportError):
+            db.absolute_support(1.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidSupportError):
+            two_graph_db().absolute_support(True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(InvalidSupportError):
+            two_graph_db().absolute_support("85%")
+
+    def test_empty_database_has_no_threshold(self):
+        with pytest.raises(DatabaseError):
+            GraphDatabase().absolute_support(1)
+
+
+class TestLabelSupports:
+    def test_label_supports_counts_transactions_once(self):
+        # 'c' appears twice in G2 but counts a single transaction.
+        assert two_graph_db().label_supports() == {"a": 2, "b": 1, "c": 1}
+
+    def test_frequent_labels_sorted(self):
+        assert two_graph_db().frequent_labels(1) == ["a", "b", "c"]
+        assert two_graph_db().frequent_labels(2) == ["a"]
+
+    def test_distinct_labels_union(self):
+        assert two_graph_db().distinct_labels() == {"a", "b", "c"}
+
+
+class TestAggregates:
+    def test_totals_and_averages(self):
+        db = two_graph_db()
+        assert db.total_vertices() == 5
+        assert db.total_edges() == 2
+        assert db.average_vertices() == pytest.approx(2.5)
+        assert db.average_edges() == pytest.approx(1.0)
+
+    def test_maxima(self):
+        db = two_graph_db()
+        assert db.max_vertices() == 3
+        assert db.max_edges() == 1
+        assert db.max_degree() == 1
+
+    def test_empty_database_aggregates(self):
+        db = GraphDatabase()
+        assert db.average_vertices() == 0.0
+        assert db.average_edges() == 0.0
+        assert db.max_vertices() == 0
+        assert db.max_degree() == 0
+
+
+class TestDerivedDatabases:
+    def test_replicate_multiplies_transactions(self):
+        db = two_graph_db()
+        big = db.replicate(3)
+        assert len(big) == 6
+        assert big.average_vertices() == db.average_vertices()
+
+    def test_replicate_copies_are_independent(self):
+        db = two_graph_db()
+        big = db.replicate(2)
+        big[0].remove_vertex(0)
+        assert db[0].vertex_count == 2
+
+    def test_replicate_preserves_relative_support(self):
+        db = two_graph_db()
+        big = db.replicate(4)
+        assert big.label_supports()["b"] == 4
+        assert big.absolute_support(0.5) == 4
+
+    def test_replicate_invalid_factor(self):
+        with pytest.raises(DatabaseError):
+            two_graph_db().replicate(0)
+
+    def test_subset_picks_and_copies(self):
+        db = two_graph_db()
+        sub = db.subset([1])
+        assert len(sub) == 1
+        assert sub[0].vertex_count == 3
+        sub[0].remove_vertex(0)
+        assert db[1].vertex_count == 3

@@ -1,0 +1,138 @@
+"""Unit tests for minimum DFS codes (the gSpan canonical form)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DFSCode, edge_order_key, is_minimal_code, minimum_dfs_code
+from repro.exceptions import PatternError
+from repro.graphdb import Graph
+from repro.graphdb.generators import default_label_alphabet, random_transaction
+
+
+def connected_random_graph(seed: int, n: int = 7) -> Graph:
+    rng = random.Random(seed)
+    labels = default_label_alphabet(3)
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v, rng.choice(labels))
+        if v:
+            g.add_edge(v, rng.randrange(v))
+    for _ in range(n):
+        u, v = rng.sample(range(n), 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+class TestEdgeOrder:
+    def test_forward_ordered_by_target_then_reverse_source(self):
+        e1 = (0, 1, "a", "b")
+        e2 = (1, 2, "b", "c")
+        e3 = (0, 2, "a", "c")
+        assert edge_order_key(e1) < edge_order_key(e2)
+        # Deeper source wins for equal targets (i1 > i2 => e1 < e2).
+        assert edge_order_key(e2) < edge_order_key(e3)
+
+    def test_backward_before_forward_from_same_vertex(self):
+        backward = (2, 0, "c", "a")
+        forward = (2, 3, "c", "d")
+        assert edge_order_key(backward) < edge_order_key(forward)
+
+    def test_forward_before_deeper_backward(self):
+        forward = (0, 1, "a", "b")
+        backward = (2, 0, "c", "a")
+        assert edge_order_key(forward) < edge_order_key(backward)
+
+    def test_label_tiebreak(self):
+        assert edge_order_key((0, 1, "a", "b")) < edge_order_key((0, 1, "a", "c"))
+
+
+class TestDFSCodeStructure:
+    def test_vertex_count_and_rightmost(self):
+        code = DFSCode([(0, 1, "a", "b"), (1, 2, "b", "c")])
+        assert code.vertex_count() == 3
+        assert code.rightmost_vertex() == 2
+        assert code.rightmost_path() == [0, 1, 2]
+
+    def test_rightmost_path_after_backtrack(self):
+        code = DFSCode([
+            (0, 1, "a", "b"),
+            (1, 2, "b", "c"),
+            (0, 3, "a", "d"),
+        ])
+        assert code.rightmost_path() == [0, 3]
+
+    def test_to_graph_round_trip(self):
+        code = DFSCode([(0, 1, "a", "b"), (1, 2, "b", "a"), (2, 0, "a", "a")])
+        graph = code.to_graph()
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 3
+        assert code.is_clique_code()
+
+    def test_empty_code(self):
+        code = DFSCode()
+        assert code.vertex_count() == 0
+        with pytest.raises(PatternError):
+            code.rightmost_vertex()
+
+
+class TestMinimumCode:
+    def test_triangle_min_code(self, triangle_graph):
+        code = minimum_dfs_code(triangle_graph)
+        assert code.edges == ((0, 1, "a", "b"), (1, 2, "b", "c"), (2, 0, "c", "a"))
+
+    def test_invariant_under_vertex_renaming(self):
+        g1 = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        g2 = Graph.from_edges({5: "c", 7: "b", 9: "a"}, [(5, 7), (7, 9)])
+        assert minimum_dfs_code(g1) == minimum_dfs_code(g2)
+
+    def test_distinguishes_path_from_star(self):
+        path = Graph.from_edges({0: "a", 1: "a", 2: "a", 3: "a"},
+                                [(0, 1), (1, 2), (2, 3)])
+        star = Graph.from_edges({0: "a", 1: "a", 2: "a", 3: "a"},
+                                [(0, 1), (0, 2), (0, 3)])
+        assert minimum_dfs_code(path) != minimum_dfs_code(star)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1)])
+        with pytest.raises(PatternError):
+            minimum_dfs_code(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_isomorphism_invariance_random(self, seed):
+        g = connected_random_graph(seed)
+        order = sorted(g.vertices())
+        rng = random.Random(seed + 1)
+        shuffled = list(order)
+        rng.shuffle(shuffled)
+        mapping = dict(zip(order, shuffled))
+        h = Graph()
+        for v in order:
+            h.add_vertex(mapping[v], g.label(v))
+        for u, v in g.edges():
+            h.add_edge(mapping[u], mapping[v])
+        assert minimum_dfs_code(g) == minimum_dfs_code(h)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_minimum_code_is_minimal(self, seed):
+        g = connected_random_graph(seed)
+        assert is_minimal_code(minimum_dfs_code(g))
+
+
+class TestIsMinimal:
+    def test_single_edge_always_minimal(self):
+        assert is_minimal_code(DFSCode([(0, 1, "a", "b")]))
+
+    def test_non_minimal_detected(self):
+        # Path a-b-c started from the wrong end (c first) is not minimal.
+        bad = DFSCode([(0, 1, "c", "b"), (1, 2, "b", "a")])
+        assert not is_minimal_code(bad)
+
+    def test_minimal_path_code(self):
+        good = DFSCode([(0, 1, "a", "b"), (1, 2, "b", "c")])
+        assert is_minimal_code(good)

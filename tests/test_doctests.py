@@ -1,0 +1,24 @@
+"""Run the docstring examples of the modules that carry them."""
+
+import doctest
+
+import pytest
+
+import repro.core.canonical
+import repro.core.miner
+import repro.graphdb.database
+import repro.graphdb.graph
+
+MODULES = [
+    repro.core.canonical,
+    repro.core.miner,
+    repro.graphdb.database,
+    repro.graphdb.graph,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, attempted = doctest.testmod(module)[0], doctest.testmod(module)[1]
+    assert attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert failures == 0

@@ -1,0 +1,62 @@
+"""Tests for DOT export of graphs and clique embeddings."""
+
+import pytest
+
+from repro.graphdb import clique_embedding_dot, graph_to_dot, paper_graph_g1
+
+
+class TestGraphToDot:
+    def test_structure(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, name="tri")
+        assert dot.startswith('graph "tri" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == 3
+
+    def test_labels_shown(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph)
+        assert 'label="a"' in dot
+        assert 'label="b"' in dot
+
+    def test_ids_optional(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, show_ids=True)
+        assert 'label="a#0"' in dot
+
+    def test_highlight_fills_group(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, highlights=[{0, 1}])
+        assert dot.count("style=filled") == 2
+        assert "fillcolor=lightblue" in dot
+
+    def test_multiple_groups_get_distinct_colors(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, highlights=[{0}, {1}])
+        assert "lightblue" in dot
+        assert "palegreen" in dot
+
+    def test_intra_group_edges_bold(self, triangle_graph):
+        dot = graph_to_dot(triangle_graph, highlights=[{0, 1}])
+        assert "0 -- 1 [penwidth=2];" in dot
+        assert "0 -- 2;" in dot
+
+    def test_quoting(self):
+        from repro.graphdb import Graph
+
+        g = Graph()
+        g.add_vertex(0, 'we"ird')
+        dot = graph_to_dot(g)
+        assert '\\"' in dot
+
+
+class TestCliqueEmbeddingDot:
+    def test_context_limits_vertices(self):
+        g1 = paper_graph_g1()
+        dot = clique_embedding_dot(g1, [2, 3, 6], context_hops=0)
+        # Only the embedding itself.
+        assert dot.count("style=filled") == 3
+        assert " -- " in dot
+
+    def test_one_hop_context_includes_neighbours(self):
+        g1 = paper_graph_g1()
+        zero = clique_embedding_dot(g1, [2, 3, 6], context_hops=0)
+        one = clique_embedding_dot(g1, [2, 3, 6], context_hops=1)
+        assert len(one) > len(zero)
+        # Neighbours are drawn but not filled.
+        assert one.count("style=filled") == 3

@@ -1,0 +1,126 @@
+"""Unit tests for repro.core.embeddings (both strategies)."""
+
+import pytest
+
+from repro.core import CACHED, RESCAN, EmbeddingStore
+from repro.exceptions import MiningError
+from repro.graphdb import Graph, GraphDatabase, PseudoDatabase, paper_example_database
+
+
+def store_for(db, label, strategy=CACHED):
+    return EmbeddingStore.for_label(db, PseudoDatabase(db), label, strategy)
+
+
+@pytest.fixture
+def duplicate_label_db() -> GraphDatabase:
+    """One transaction: a triangle of three 'a' vertices plus a 'b' tail."""
+    g = Graph.from_edges(
+        {0: "a", 1: "a", 2: "a", 3: "b"},
+        [(0, 1), (0, 2), (1, 2), (2, 3)],
+    )
+    return GraphDatabase([g])
+
+
+class TestInitialEmbeddings:
+    def test_one_record_per_labelled_vertex(self, paper_db):
+        store = store_for(paper_db, "d")
+        assert store.support == 2
+        assert store.embedding_count == 4  # two d's per graph
+
+    def test_missing_label(self, paper_db):
+        store = store_for(paper_db, "zz")
+        assert store.support == 0
+        assert store.embedding_count == 0
+
+    def test_unknown_strategy_rejected(self, paper_db):
+        with pytest.raises(MiningError):
+            EmbeddingStore.for_label(paper_db, PseudoDatabase(paper_db), "a", "warp")
+
+
+class TestExtensionSupports:
+    def test_counts_old_and_new_labels(self, paper_db):
+        store = store_for(paper_db, "c")
+        supports = store.extension_supports()
+        # c's neighbours: a, b, d (twice in G1) in both graphs.
+        assert supports == {"a": 2, "b": 2, "d": 2}
+
+    def test_transaction_counted_once(self, duplicate_label_db):
+        store = store_for(duplicate_label_db, "a")
+        supports = store.extension_supports()
+        assert supports == {"a": 1, "b": 1}
+
+    def test_strategies_agree(self, paper_db):
+        for label in "abcde":
+            cached = store_for(paper_db, label, CACHED).extension_supports()
+            rescan = store_for(paper_db, label, RESCAN).extension_supports()
+            assert cached == rescan, label
+
+
+class TestExtend:
+    def test_duplicate_labels_each_vertex_set_once(self, duplicate_label_db):
+        store = store_for(duplicate_label_db, "a")
+        pairs = store.extend("a", "a")
+        assert pairs.embedding_count == 3  # {0,1}, {0,2}, {1,2}
+        triples = pairs.extend("a", "a")
+        assert triples.embedding_count == 1  # {0,1,2} exactly once
+        assert triples.extend("a", "a").embedding_count == 0
+
+    def test_vertices_in_per_label_ascending_order(self, duplicate_label_db):
+        store = store_for(duplicate_label_db, "a").extend("a", "a")
+        for _, vertices in store.iter_embeddings():
+            assert vertices[0] < vertices[1]
+
+    def test_mixed_label_extension(self, duplicate_label_db):
+        store = store_for(duplicate_label_db, "a").extend("b", "a")
+        # Only vertex 2 (a) is adjacent to 3 (b).
+        assert store.embedding_count == 1
+        assert next(store.iter_embeddings())[1] == (2, 3)
+
+    def test_strategies_build_identical_embeddings(self, paper_db):
+        cached = store_for(paper_db, "a", CACHED).extend("b", "a").extend("c", "b")
+        rescan = store_for(paper_db, "a", RESCAN).extend("b", "a").extend("c", "b")
+        collect = lambda s: sorted((tid, v) for tid, v in s.iter_embeddings())
+        assert collect(cached) == collect(rescan)
+
+    def test_unsupported_transactions_dropped(self, paper_db):
+        store = store_for(paper_db, "a").extend("b", "a")
+        assert set(store.by_transaction) == {0, 1}
+        dead = store.extend("e", "b")  # no a-b-e triangle anywhere
+        assert dead.support == 0
+
+    def test_extend_unordered_deduplicates(self, duplicate_label_db):
+        store = store_for(duplicate_label_db, "a")
+        pairs = store.extend_unordered("a")
+        # Unordered growth would see each {i, j} twice; dedup keeps 3.
+        assert pairs.embedding_count == 3
+
+
+class TestWitnessesAndRestriction:
+    def test_witnesses_sorted_vertex_tuples(self, paper_db):
+        store = store_for(paper_db, "a").extend("b", "a")
+        witnesses = store.witnesses()
+        assert set(witnesses) == {0, 1}
+        for vertices in witnesses.values():
+            assert vertices == tuple(sorted(vertices))
+
+    def test_restrict_to(self, paper_db):
+        store = store_for(paper_db, "a")
+        only_g2 = store.restrict_to([1])
+        assert only_g2.support == 1
+        assert set(only_g2.by_transaction) == {1}
+
+    def test_transactions_sorted(self, paper_db):
+        assert store_for(paper_db, "a").transactions() == (0, 1)
+
+
+class TestRescanLowDegreeInteraction:
+    def test_rescan_without_pseudo_scans_everything(self, paper_db):
+        store = EmbeddingStore.for_label(paper_db, None, "a", RESCAN)
+        with_pruning = store_for(paper_db, "a", RESCAN)
+        assert store.extension_supports() == with_pruning.extension_supports()
+
+    def test_nonclosed_label_same_for_both_strategies(self, paper_db):
+        for label in "abcde":
+            cached = store_for(paper_db, label, CACHED).nonclosed_extension_label(label)
+            rescan = store_for(paper_db, label, RESCAN).nonclosed_extension_label(label)
+            assert cached == rescan, label

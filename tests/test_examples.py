@@ -1,0 +1,74 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv=()):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), script
+    old_argv = sys.argv
+    sys.argv = [str(script), *argv]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "abcd:2" in out
+    assert "critical path to bde:2" in out
+
+
+def test_quasicliques(capsys):
+    out = run_example("quasicliques.py", capsys)
+    assert "gamma=0.75" in out
+    assert "pqrst:3" in out
+
+
+def test_stock_market_analysis(capsys):
+    out = run_example("stock_market_analysis.py", capsys, argv=["tiny"])
+    assert "maximum frequent closed clique" in out
+    assert "DMF" in out
+
+
+@pytest.mark.slow
+def test_chemical_fragments(capsys):
+    out = run_example("chemical_fragments.py", capsys)
+    assert "CLAN @10%" in out
+    assert "cyclopropane" in out
+
+
+def test_topk_and_constraints(capsys):
+    out = run_example("topk_and_constraints.py", capsys)
+    assert "top-3" in out
+
+
+def test_protein_motifs(capsys):
+    out = run_example("protein_motifs.py", capsys)
+    assert "CCHH:24" in out
+    assert "exact recall: 1.00" in out
+
+
+def test_telecom_communities(capsys):
+    out = run_example("telecom_communities.py", capsys)
+    assert "matches a planted community: True" in out
+
+
+def test_search_statistics(capsys):
+    out = run_example("search_statistics.py", capsys)
+    assert "prefixes visited: 15" in out
+    assert "where the time went:" in out
+
+
+def test_file_workflow(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = run_example("file_workflow.py", capsys)
+    assert "round trip OK" in out

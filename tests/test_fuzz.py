@@ -1,0 +1,71 @@
+"""Structural fuzzing: arbitrary databases through every miner.
+
+These complement the seed-based property tests with hypothesis-shrunk
+structures: empty graphs, isolated vertices, unicode and multi-char
+labels, degenerate databases.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import bruteforce_closed_cliques, mine_closed_cliques_bfs
+from repro.core import mine_closed_cliques, mine_frequent_cliques, mine_maximal_cliques
+from repro.io import gspan_format, json_format
+from tests.strategies import graph_databases
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=graph_databases(), min_sup=st.integers(1, 3))
+def test_clan_equals_bruteforce_on_arbitrary_structures(db, min_sup):
+    min_sup = min(min_sup, len(db))
+    clan = sorted(p.key() for p in mine_closed_cliques(db, min_sup))
+    brute = sorted(p.key() for p in bruteforce_closed_cliques(db, min_sup))
+    assert clan == brute
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=graph_databases(), min_sup=st.integers(1, 3))
+def test_bfs_agrees_on_arbitrary_structures(db, min_sup):
+    min_sup = min(min_sup, len(db))
+    dfs = sorted(p.key() for p in mine_closed_cliques(db, min_sup))
+    bfs = sorted(p.key() for p in mine_closed_cliques_bfs(db, min_sup))
+    assert dfs == bfs
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=graph_databases(), min_sup=st.integers(1, 3))
+def test_maximal_below_closed_on_arbitrary_structures(db, min_sup):
+    min_sup = min(min_sup, len(db))
+    closed = {p.key() for p in mine_closed_cliques(db, min_sup)}
+    maximal = {p.key() for p in mine_maximal_cliques(db, min_sup)}
+    assert maximal <= closed
+
+
+@settings(max_examples=30, deadline=None)
+@given(db=graph_databases())
+def test_io_round_trips_preserve_mining(db):
+    """Any database must survive both text formats with identical output."""
+    expected = sorted(p.key() for p in mine_frequent_cliques(db, 1))
+
+    via_tve = gspan_format.loads_database(gspan_format.dumps_database(db))
+    assert sorted(p.key() for p in mine_frequent_cliques(via_tve, 1)) == expected
+
+    via_json = json_format.database_from_dict(json_format.database_to_dict(db))
+    assert sorted(p.key() for p in mine_frequent_cliques(via_json, 1)) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=graph_databases())
+def test_witnesses_always_valid_on_arbitrary_structures(db):
+    for pattern in mine_closed_cliques(db, 1):
+        pattern.verify(db)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=graph_databases())
+def test_unicode_labels_order_consistently(db):
+    """Canonical order must match Python string order for any labels."""
+    for pattern in mine_frequent_cliques(db, 1):
+        labels = pattern.labels
+        assert list(labels) == sorted(labels)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.graphdb.generators."""
+
+import random
+
+import pytest
+
+from repro.core import mine_closed_cliques
+from repro.exceptions import DataGenerationError
+from repro.graphdb import (
+    database_with_planted_cliques,
+    default_label_alphabet,
+    labelled_clique_database,
+    overlapping_cliques_graph,
+    plant_clique,
+    random_database,
+    random_transaction,
+)
+
+
+class TestLabelAlphabet:
+    def test_single_letters_first(self):
+        assert default_label_alphabet(3) == ["a", "b", "c"]
+
+    def test_extends_past_26(self):
+        labels = default_label_alphabet(28)
+        assert labels[25] == "z"
+        assert labels[26] == "aa"
+        assert labels[27] == "ab"
+
+    def test_sorted_and_distinct(self):
+        labels = default_label_alphabet(60)
+        assert len(set(labels)) == 60
+
+    def test_invalid_size(self):
+        with pytest.raises(DataGenerationError):
+            default_label_alphabet(0)
+
+
+class TestRandomTransaction:
+    def test_zero_probability_gives_no_edges(self):
+        g = random_transaction(random.Random(0), 10, 0.0, ["a"])
+        assert g.edge_count == 0
+
+    def test_full_probability_gives_complete_graph(self):
+        g = random_transaction(random.Random(0), 6, 1.0, ["a", "b"])
+        assert g.edge_count == 15
+
+    def test_deterministic_under_seed(self):
+        g1 = random_transaction(random.Random(9), 8, 0.5, ["a", "b"])
+        g2 = random_transaction(random.Random(9), 8, 0.5, ["a", "b"])
+        assert g1 == g2
+
+    def test_invalid_parameters(self):
+        rng = random.Random(0)
+        with pytest.raises(DataGenerationError):
+            random_transaction(rng, -1, 0.5, ["a"])
+        with pytest.raises(DataGenerationError):
+            random_transaction(rng, 3, 1.5, ["a"])
+        with pytest.raises(DataGenerationError):
+            random_transaction(rng, 3, 0.5, [])
+
+    def test_random_database_shape(self):
+        db = random_database(5, 7, 0.3, 3, seed=1)
+        assert len(db) == 5
+        assert all(g.vertex_count == 7 for g in db)
+
+
+class TestPlanting:
+    def test_plant_clique_adds_fully_connected_vertices(self):
+        g = random_transaction(random.Random(2), 6, 0.2, ["a"])
+        planted = plant_clique(g, ["X", "Y", "Z"], random.Random(2))
+        assert g.is_clique(planted)
+        assert g.label_multiset(planted) == ("X", "Y", "Z")
+
+    def test_planted_cliques_are_mined(self):
+        synthetic = database_with_planted_cliques(
+            n_graphs=4,
+            n_vertices=8,
+            edge_probability=0.15,
+            n_labels=3,
+            planted_specs=[(("P", "Q", "R"), (0, 1, 2))],
+            seed=3,
+        )
+        result = mine_closed_cliques(synthetic.database, min_sup=3)
+        keys = {p.key() for p in result}
+        assert "PQR:3" in keys
+        assert synthetic.planted[0].support == 3
+        assert synthetic.planted[0].canonical_labels == ("P", "Q", "R")
+
+    def test_planted_transaction_out_of_range(self):
+        with pytest.raises(DataGenerationError):
+            database_with_planted_cliques(
+                2, 5, 0.2, 2, [(("X", "Y"), (0, 5))], seed=0
+            )
+
+
+class TestOverlappingCliques:
+    def test_chain_of_two_triangles(self):
+        g = overlapping_cliques_graph([3, 3], overlap=1)
+        assert g.vertex_count == 5
+        assert g.is_clique([0, 1, 2])
+        assert g.is_clique([2, 3, 4])
+        assert not g.has_edge(0, 3)
+
+    def test_zero_overlap_disjoint(self):
+        g = overlapping_cliques_graph([3, 4], overlap=0)
+        assert g.vertex_count == 7
+
+    def test_overlap_must_be_smaller_than_groups(self):
+        with pytest.raises(DataGenerationError):
+            overlapping_cliques_graph([3, 3], overlap=3)
+
+    def test_explicit_labels_validated(self):
+        with pytest.raises(DataGenerationError):
+            overlapping_cliques_graph([3, 3], overlap=1, labels=["a", "b"])
+
+
+class TestLabelledCliqueDatabase:
+    def test_supports_match_specs(self):
+        db = labelled_clique_database(
+            [(("a", "b", "c"), 3), (("d", "e"), 2)], n_graphs=4
+        )
+        result = mine_closed_cliques(db, min_sup=2)
+        keys = {p.key() for p in result}
+        assert "abc:3" in keys
+        assert "de:2" in keys
+
+    def test_invalid_support(self):
+        with pytest.raises(DataGenerationError):
+            labelled_clique_database([(("a",), 5)], n_graphs=2)

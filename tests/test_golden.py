@@ -1,0 +1,116 @@
+"""Golden regression tests.
+
+Fixed-seed workloads with their full expected pattern listings pinned in
+the test file.  Any behavioural drift in the miner, the generators, or
+the canonical form shows up here as an exact diff.
+"""
+
+import pytest
+
+from repro.core import mine_closed_cliques, mine_frequent_cliques
+from repro.graphdb import random_database
+from repro.io import patterns
+
+
+GOLDEN_CLOSED_SEED7 = """\
+aacd:2
+ab:4
+abc:3
+abcd:2
+abd:3
+acc:2
+acd:4
+bc:4
+bcd:3
+cc:3
+ccd:2
+"""
+
+GOLDEN_FREQUENT_SEED11_SUP3 = """\
+a:3
+ab:3
+b:4
+bb:3
+bbd:3
+bd:3
+d:3
+"""
+
+
+def db7():
+    return random_database(4, 9, 0.55, 4, seed=7, name="golden-7")
+
+
+def db11():
+    return random_database(4, 8, 0.5, 4, seed=11, name="golden-11")
+
+
+class TestGoldenListings:
+    def test_closed_seed7(self):
+        result = mine_closed_cliques(db7(), 2)
+        assert patterns.dumps_result(result) == GOLDEN_CLOSED_SEED7
+
+    def test_frequent_seed11(self):
+        result = mine_frequent_cliques(db11(), 3)
+        assert patterns.dumps_result(result) == GOLDEN_FREQUENT_SEED11_SUP3
+
+    def test_golden_sets_are_cross_consistent(self):
+        """The pinned closed set must expand/contract consistently."""
+        closed = mine_closed_cliques(db7(), 2)
+        frequent = mine_frequent_cliques(db7(), 2)
+        assert sorted(closed.expand_to_frequent().keys()) == sorted(frequent.keys())
+        assert sorted(frequent.closed_subset().keys()) == sorted(closed.keys())
+
+    def test_all_miners_agree_on_golden_workload(self):
+        from repro.baselines import (
+            bruteforce_closed_cliques,
+            mine_closed_cliques_bfs,
+            mine_closed_by_postfilter,
+        )
+
+        db = db7()
+        expected = GOLDEN_CLOSED_SEED7
+        for miner in (bruteforce_closed_cliques, mine_closed_cliques_bfs,
+                      mine_closed_by_postfilter):
+            assert patterns.dumps_result(miner(db, 2)) == expected, miner.__name__
+
+
+class TestGeneratorStability:
+    """The generators' exact output is part of the reproducibility
+    contract (benchmarks quote numbers from them)."""
+
+    def test_random_database_fingerprint(self):
+        db = db7()
+        fingerprint = (
+            db.total_vertices(),
+            db.total_edges(),
+            sorted(db.label_supports().items()),
+        )
+        assert fingerprint == (
+            36, 82, [("a", 4), ("b", 4), ("c", 4), ("d", 4)]
+        )
+
+    def test_chem_fingerprint(self):
+        from repro.chem import ca_like_database
+
+        db = ca_like_database(n_compounds=25, seed=11)
+        assert (db.total_vertices(), db.total_edges()) == (960, 997)
+
+    def test_market_fingerprint(self):
+        from repro.stockmarket import stock_market_database
+
+        db = stock_market_database(0.93, scale="tiny")
+        assert len(db) == 11
+        assert (db[0].vertex_count, db[0].edge_count) == (115, 337)
+
+    def test_protein_fingerprint(self):
+        from repro.bio import protein_family
+
+        db = protein_family()
+        assert (db.total_vertices(), db.total_edges()) == (2171, 6337)
+
+    def test_telecom_fingerprint(self):
+        from repro.telecom import call_graph_database
+
+        db = call_graph_database()
+        assert (db.total_vertices(), db.total_edges()) == (600, 976)

@@ -1,0 +1,197 @@
+"""Unit tests for repro.graphdb.graph."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateVertexError,
+    GraphError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graphdb import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.vertex_count == 0
+        assert g.edge_count == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_add_vertex_and_label(self):
+        g = Graph()
+        g.add_vertex(3, "x")
+        assert g.has_vertex(3)
+        assert g.label(3) == "x"
+        assert g.vertex_count == 1
+
+    def test_duplicate_vertex_rejected(self):
+        g = Graph()
+        g.add_vertex(0, "a")
+        with pytest.raises(DuplicateVertexError):
+            g.add_vertex(0, "b")
+
+    def test_add_edge_both_directions(self):
+        g = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.edge_count == 1
+
+    def test_add_edge_idempotent(self):
+        g = Graph.from_edges({0: "a", 1: "b"}, [(0, 1), (0, 1), (1, 0)])
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        g.add_vertex(0, "a")
+        with pytest.raises(SelfLoopError):
+            g.add_edge(0, 0)
+
+    def test_edge_to_missing_vertex_rejected(self):
+        g = Graph()
+        g.add_vertex(0, "a")
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(0, 1)
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(2, 0)
+
+    def test_from_edges(self, triangle_graph):
+        assert triangle_graph.vertex_count == 3
+        assert triangle_graph.edge_count == 3
+
+    def test_noncontiguous_vertex_ids(self):
+        g = Graph.from_edges({10: "a", 99: "b"}, [(10, 99)])
+        assert g.has_edge(10, 99)
+        assert sorted(g.vertices()) == [10, 99]
+
+
+class TestRemoval:
+    def test_remove_vertex_drops_edges(self, triangle_graph):
+        triangle_graph.remove_vertex(0)
+        assert triangle_graph.vertex_count == 2
+        assert triangle_graph.edge_count == 1
+        assert not triangle_graph.has_vertex(0)
+
+    def test_remove_missing_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().remove_vertex(0)
+
+    def test_remove_clears_label_index(self):
+        g = Graph.from_edges({0: "a", 1: "a"}, [(0, 1)])
+        g.remove_vertex(0)
+        assert g.vertices_with_label("a") == frozenset({1})
+        g.remove_vertex(1)
+        assert g.vertices_with_label("a") == frozenset()
+        assert "a" not in g.distinct_labels()
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self, triangle_graph):
+        assert triangle_graph.neighbors(0) == {1, 2}
+        assert triangle_graph.degree(0) == 2
+
+    def test_neighbors_missing_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().neighbors(0)
+
+    def test_label_missing_vertex(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().label(0)
+
+    def test_vertices_with_label(self):
+        g = Graph.from_edges({0: "a", 1: "a", 2: "b"}, [])
+        assert g.vertices_with_label("a") == frozenset({0, 1})
+        assert g.vertices_with_label("zzz") == frozenset()
+
+    def test_distinct_labels(self, triangle_graph):
+        assert triangle_graph.distinct_labels() == {"a", "b", "c"}
+
+    def test_max_degree(self, path_graph):
+        assert path_graph.max_degree() == 2
+        assert Graph().max_degree() == 0
+
+    def test_density(self, triangle_graph, path_graph):
+        assert triangle_graph.density() == pytest.approx(1.0)
+        assert path_graph.density() == pytest.approx(0.5)
+        assert Graph().density() == 0.0
+
+    def test_is_clique(self, k4_graph, path_graph):
+        assert k4_graph.is_clique([0, 1, 2, 3])
+        assert k4_graph.is_clique([0, 2])
+        assert k4_graph.is_clique([1])
+        assert k4_graph.is_clique([])
+        assert not path_graph.is_clique([0, 1, 2])
+
+    def test_is_clique_unknown_vertex(self, k4_graph):
+        with pytest.raises(VertexNotFoundError):
+            k4_graph.is_clique([0, 99])
+
+    def test_label_multiset_sorted(self):
+        g = Graph.from_edges({0: "z", 1: "a", 2: "m"}, [])
+        assert g.label_multiset([0, 1, 2]) == ("a", "m", "z")
+
+    def test_common_neighbors(self, k4_graph):
+        assert k4_graph.common_neighbors([0, 1]) == {2, 3}
+        assert k4_graph.common_neighbors([0, 1, 2]) == {3}
+
+    def test_common_neighbors_empty_input(self, k4_graph):
+        with pytest.raises(GraphError):
+            k4_graph.common_neighbors([])
+
+    def test_common_neighbors_excludes_members(self, triangle_graph):
+        assert 1 not in triangle_graph.common_neighbors([0, 1])
+
+    def test_connected_components(self):
+        g = Graph.from_edges({0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (2, 3)])
+        components = sorted(g.connected_components(), key=min)
+        assert components == [{0, 1}, {2, 3}]
+
+    def test_contains_len_iter(self, triangle_graph):
+        assert 0 in triangle_graph
+        assert 9 not in triangle_graph
+        assert len(triangle_graph) == 3
+        assert sorted(triangle_graph) == [0, 1, 2]
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_vertex(0)
+        assert triangle_graph.vertex_count == 3
+        assert clone.vertex_count == 2
+
+    def test_copy_equality(self, triangle_graph):
+        assert triangle_graph.copy() == triangle_graph
+
+    def test_relabeled_shifts_ids(self, triangle_graph):
+        shifted = triangle_graph.relabeled(10)
+        assert sorted(shifted.vertices()) == [10, 11, 12]
+        assert shifted.has_edge(10, 11)
+        assert shifted.label(10) == triangle_graph.label(0)
+
+    def test_induced_subgraph(self, k4_graph):
+        sub = k4_graph.induced_subgraph([0, 1, 2])
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 3
+        assert sub.is_clique([0, 1, 2])
+
+    def test_induced_subgraph_keeps_ids(self, k4_graph):
+        sub = k4_graph.induced_subgraph([1, 3])
+        assert sorted(sub.vertices()) == [1, 3]
+        assert sub.has_edge(1, 3)
+
+    def test_equality_structural(self):
+        a = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        b = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        c = Graph.from_edges({0: "a", 1: "b"}, [])
+        assert a == b
+        assert a != c
+
+    def test_graphs_unhashable(self, triangle_graph):
+        with pytest.raises(TypeError):
+            hash(triangle_graph)
+
+    def test_repr_mentions_counts(self, triangle_graph):
+        assert "|V|=3" in repr(triangle_graph)
+        assert "|E|=3" in repr(triangle_graph)

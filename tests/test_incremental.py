@@ -1,0 +1,113 @@
+"""Tests for incremental mining on transaction append."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncrementalMiner, MinerConfig, mine_closed_cliques
+from repro.exceptions import MiningError
+from repro.graphdb import Graph, paper_example_database, paper_graph_g1, paper_graph_g2
+from tests.conftest import make_random_database
+
+
+class TestBasics:
+    def test_matches_batch_on_paper_example(self):
+        miner = IncrementalMiner(min_sup=2)
+        miner.add_transaction(paper_graph_g1())
+        miner.add_transaction(paper_graph_g2())
+        incremental = miner.result()
+        batch = mine_closed_cliques(paper_example_database(), 2)
+        assert sorted(p.key() for p in incremental) == sorted(
+            p.key() for p in batch
+        )
+
+    def test_result_before_threshold_reached(self):
+        miner = IncrementalMiner(min_sup=2)
+        miner.add_transaction(paper_graph_g1())
+        # Single transaction: nothing reaches support 2 yet... except
+        # patterns with two embeddings?  Support counts transactions,
+        # so everything is below threshold.
+        assert len(miner.result()) == 0
+
+    def test_relative_support_rejected(self):
+        with pytest.raises(MiningError):
+            IncrementalMiner(min_sup=0.85)  # type: ignore[arg-type]
+        with pytest.raises(MiningError):
+            IncrementalMiner(min_sup=0)
+
+    def test_requires_redundancy_pruning(self):
+        config = MinerConfig(
+            closed_only=False,
+            structural_redundancy_pruning=False,
+            nonclosed_prefix_pruning=False,
+        )
+        with pytest.raises(MiningError):
+            IncrementalMiner(min_sup=1, config=config)
+
+    def test_constructor_seeds_from_database(self, paper_db):
+        miner = IncrementalMiner(paper_db, min_sup=2)
+        assert len(miner) == 2
+        assert sorted(p.key() for p in miner.result()) == ["abcd:2", "bde:2"]
+
+    def test_input_graphs_are_copied(self, paper_db):
+        miner = IncrementalMiner(min_sup=1)
+        g = paper_graph_g1()
+        miner.add_transaction(g)
+        g.remove_vertex(1)
+        assert miner.database[0].has_vertex(1)
+
+
+class TestReuse:
+    def test_disjoint_transaction_skips_old_roots(self):
+        miner = IncrementalMiner(min_sup=1)
+        miner.add_transaction(paper_graph_g1())  # labels a..e
+        remined_before = miner.roots_remined
+        zz = Graph.from_edges({0: "x", 1: "y"}, [(0, 1)])
+        stale = miner.add_transaction(zz)
+        assert stale == {"x", "y"}
+        assert miner.roots_remined == remined_before + 2
+
+    def test_overlapping_transaction_remines_only_its_labels(self):
+        miner = IncrementalMiner(min_sup=1)
+        miner.add_transaction(paper_graph_g1())
+        partial = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        stale = miner.add_transaction(partial)
+        assert stale == {"a", "b"}
+
+    def test_label_crossing_threshold_gets_mined(self):
+        miner = IncrementalMiner(min_sup=2)
+        miner.add_transaction(Graph.from_edges({0: "q"}, []))
+        assert len(miner.result()) == 0
+        miner.add_transaction(Graph.from_edges({0: "q"}, []))
+        assert [p.key() for p in miner.result()] == ["q:2"]
+
+
+class TestAgainstBatch:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50_000), min_sup=st.integers(1, 3))
+    def test_every_prefix_of_a_stream_matches_batch(self, seed, min_sup):
+        stream = make_random_database(seed, n_graphs=5)
+        miner = IncrementalMiner(min_sup=min_sup)
+        for count, graph in enumerate(stream, start=1):
+            miner.add_transaction(graph)
+            incremental = sorted(p.key() for p in miner.result())
+            if count < min_sup:
+                # The batch miner rejects min_sup > |D|; nothing can be
+                # frequent yet either way.
+                assert incremental == []
+                continue
+            batch = sorted(
+                p.key()
+                for p in mine_closed_cliques(stream.subset(range(count)), min_sup)
+            )
+            assert incremental == batch, count
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_witnesses_stay_valid(self, seed):
+        stream = make_random_database(seed, n_graphs=4)
+        miner = IncrementalMiner(min_sup=2)
+        for graph in stream:
+            miner.add_transaction(graph)
+        for pattern in miner.result():
+            pattern.verify(miner.database)

@@ -1,0 +1,144 @@
+"""End-to-end user journeys across subsystems."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import gspan_format
+
+
+class TestGenerateTransformMineRecordReplay:
+    def test_full_journey(self, tmp_path):
+        """generate → restrict → mine → record → replay, all green."""
+        from repro.analysis import evaluate_recovery
+        from repro.core import CliqueConstraints, mine_with_constraints
+        from repro.graphdb import database_with_planted_cliques, restrict_labels
+        from repro.io.runlog import open_record, record_run, replay, save_record
+
+        synthetic = database_with_planted_cliques(
+            n_graphs=5,
+            n_vertices=10,
+            edge_probability=0.2,
+            n_labels=3,
+            planted_specs=[
+                (("P", "Q", "R", "S"), (0, 1, 2, 3)),
+                (("X", "Y", "Z"), (1, 2, 3, 4)),
+            ],
+            seed=42,
+        )
+        db = synthetic.database
+
+        # Constraint mining finds the motif containing P.
+        result = mine_with_constraints(
+            db, 4, CliqueConstraints.of(required=["P"], min_size=4)
+        )
+        assert any(p.labels == ("P", "Q", "R", "S") for p in result)
+
+        # Ground truth scoring sees both planted cliques.
+        full = record_run(db, 4)
+        report = evaluate_recovery(
+            full.patterns(),
+            [(spec.canonical_labels, spec.support) for spec in synthetic.planted],
+        )
+        assert report.exact_recall == 1.0
+
+        # Record → file → replay reproduces.
+        path = tmp_path / "run.json"
+        save_record(full, path)
+        outcome = replay(open_record(path), db)
+        assert outcome.reproduced
+
+        # Restricting to the planted labels keeps the motifs minable.
+        small = restrict_labels(db, ["P", "Q", "R", "S"])
+        from repro.core import mine_closed_cliques
+
+        again = mine_closed_cliques(small, 4)
+        assert any(p.labels == ("P", "Q", "R", "S") for p in again)
+
+    def test_market_returns_variant_pipeline(self):
+        """prices → log-return correlations → graphs → CLAN, end to end."""
+        from repro.core import mine_closed_cliques
+        from repro.graphdb import GraphDatabase
+        from repro.stockmarket import (
+            FIGURE5_TICKERS,
+            StockMarketSimulator,
+            market_config,
+            market_graph_from_correlations,
+            returns_correlation_matrix,
+        )
+
+        simulator = StockMarketSimulator(market_config("tiny"))
+        database = GraphDatabase(name="returns-based")
+        for panel in simulator.simulate_all():
+            corr = returns_correlation_matrix(panel.prices)
+            database.add(
+                market_graph_from_correlations(panel.tickers, corr, 0.85)
+            )
+        result = mine_closed_cliques(database, 1.0, min_size=3)
+        top = result.maximum_patterns()
+        assert top
+        # The fund group dominates under either correlation definition.
+        assert len(set(top[0].labels) & set(FIGURE5_TICKERS)) >= 8
+
+    def test_protein_quasi_extension(self):
+        """Quasi-clique mining finds near-motifs the exact miner misses."""
+        from repro.bio import FamilyConfig, MotifSpec, protein_family
+        from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+
+        config = FamilyConfig(
+            n_proteins=8,
+            motifs=(MotifSpec(("C", "C", "H", "H"), 1.0),),
+            seed=5,
+        )
+        family = protein_family(config)
+        # Remove one motif edge per protein: CCHH becomes a near-clique.
+        for graph in family:
+            c_and_h = sorted(
+                v for v in graph.vertices() if graph.label(v) in ("C", "H")
+            )
+            for u in c_and_h:
+                for v in c_and_h:
+                    if u < v and graph.has_edge(u, v) and graph.label(u) == "C" \
+                            and graph.label(v) == "C":
+                        graph._adjacency[u].discard(v)
+                        graph._adjacency[v].discard(u)
+                        graph._edge_count -= 1
+                        break
+                else:
+                    continue
+                break
+        exact = mine_closed_cliques(family, 1.0, min_size=4)
+        assert all(p.labels != ("C", "C", "H", "H") for p in exact)
+        quasi = mine_closed_quasi_cliques(
+            family, 1.0, gamma=0.6, min_size=4, max_size=4
+        )
+        assert any(p.labels == ("C", "C", "H", "H") for p in quasi)
+
+
+class TestCliRecordReplay:
+    def test_cli_round_trip(self, tmp_path, capsys):
+        from repro.graphdb import paper_example_database
+
+        db_path = tmp_path / "d.tve"
+        gspan_format.save_database(paper_example_database(), db_path)
+        rec_path = tmp_path / "run.json"
+
+        assert main(["record", str(db_path), str(rec_path), "--min-sup", "2"]) == 0
+        assert "recorded 2 patterns" in capsys.readouterr().out
+
+        assert main(["replay", str(rec_path), str(db_path)]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_cli_replay_detects_change(self, tmp_path, capsys):
+        from repro.graphdb import paper_example_database
+
+        db_path = tmp_path / "d.tve"
+        db = paper_example_database()
+        gspan_format.save_database(db, db_path)
+        rec_path = tmp_path / "run.json"
+        assert main(["record", str(db_path), str(rec_path), "--min-sup", "2"]) == 0
+        capsys.readouterr()
+
+        db[1].remove_vertex(6)
+        gspan_format.save_database(db, db_path)
+        assert main(["replay", str(rec_path), str(db_path)]) == 1
+        assert "NOT reproduced" in capsys.readouterr().out

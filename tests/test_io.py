@@ -1,0 +1,153 @@
+"""Round-trip and error tests for all I/O formats."""
+
+import pytest
+
+from repro.core import mine_closed_cliques, mine_frequent_cliques
+from repro.exceptions import FormatError
+from repro.graphdb import GraphDatabase, paper_example_database, random_database
+from repro.io import gspan_format, json_format, matrix_format, patterns
+
+
+def assert_databases_equal(a: GraphDatabase, b: GraphDatabase) -> None:
+    assert len(a) == len(b)
+    for ga, gb in zip(a, b):
+        assert ga.labels() == gb.labels()
+        assert sorted(ga.edges()) == sorted(gb.edges())
+
+
+class TestGspanFormat:
+    def test_round_trip_paper_example(self, paper_db):
+        text = gspan_format.dumps_database(paper_db)
+        again = gspan_format.loads_database(text)
+        assert_databases_equal(paper_db, again)
+
+    def test_round_trip_random(self):
+        db = random_database(4, 9, 0.4, 3, seed=2)
+        again = gspan_format.loads_database(gspan_format.dumps_database(db))
+        assert_databases_equal(db, again)
+
+    def test_file_round_trip(self, tmp_path, paper_db):
+        path = tmp_path / "db.tve"
+        gspan_format.save_database(paper_db, path)
+        assert_databases_equal(paper_db, gspan_format.open_database(path))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nt # 0\nv 0 a\nv 1 b\ne 0 1\n"
+        db = gspan_format.loads_database(text)
+        assert len(db) == 1
+        assert db[0].edge_count == 1
+
+    def test_edge_labels_ignored(self):
+        text = "t # 0\nv 0 a\nv 1 b\ne 0 1 bond\n"
+        db = gspan_format.loads_database(text)
+        assert db[0].has_edge(0, 1)
+
+    def test_mined_results_survive_round_trip(self, paper_db):
+        again = gspan_format.loads_database(gspan_format.dumps_database(paper_db))
+        assert sorted(p.key() for p in mine_closed_cliques(again, 2)) == [
+            "abcd:2", "bde:2"
+        ]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "v 0 a\n",                # vertex before t
+            "t # 0\ne 0 1\n",         # edge before vertices
+            "t # 0\nv x a\n",         # non-integer id
+            "t # 0\nv 0\n",           # missing label
+            "t # 0\nv 0 a\ne 0\n",    # missing endpoint
+            "t # 0\nv 0 a\ne 0 z\n",  # non-integer endpoint
+            "q nonsense\n",           # unknown record
+        ],
+    )
+    def test_malformed_inputs_raise_with_line_numbers(self, bad):
+        with pytest.raises(FormatError):
+            gspan_format.loads_database(bad)
+
+
+class TestMatrixFormat:
+    def test_round_trip(self, paper_db):
+        text = matrix_format.dumps_database(paper_db)
+        again = matrix_format.loads_database(text)
+        assert len(again) == 2
+        # Vertex ids are re-based but patterns are identical.
+        assert sorted(p.key() for p in mine_closed_cliques(again, 2)) == [
+            "abcd:2", "bde:2"
+        ]
+
+    def test_file_round_trip(self, tmp_path, paper_db):
+        path = tmp_path / "db.matrix"
+        matrix_format.save_database(paper_db, path)
+        again = matrix_format.open_database(path)
+        assert len(again) == 2
+
+    def test_non_square_rejected(self):
+        with pytest.raises(FormatError):
+            matrix_format.loads_database("a 1\n1 b 0\n")
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(FormatError):
+            matrix_format.loads_database("a 2\n2 b\n")
+
+    def test_numeric_label_rejected(self):
+        with pytest.raises(FormatError):
+            matrix_format.loads_database("1 0\n0 b\n")
+
+    def test_asymmetry_rejected(self):
+        with pytest.raises(FormatError):
+            matrix_format.loads_database("a 1\n0 b\n")
+
+
+class TestJsonFormat:
+    def test_database_round_trip(self, tmp_path, paper_db):
+        path = tmp_path / "db.json"
+        json_format.save_database(paper_db, path)
+        assert_databases_equal(paper_db, json_format.open_database(path))
+
+    def test_result_round_trip(self, tmp_path, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        path = tmp_path / "result.json"
+        json_format.save_result(result, path)
+        again = json_format.open_result(path)
+        assert sorted(p.key() for p in again) == sorted(p.key() for p in result)
+        for pattern in again:
+            pattern.verify(paper_db)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(FormatError):
+            json_format.database_from_dict({"kind": "zebra"})
+        with pytest.raises(FormatError):
+            json_format.result_from_dict({"kind": "zebra"})
+
+
+class TestPatternListings:
+    def test_round_trip_single_char_labels(self, paper_db):
+        result = mine_frequent_cliques(paper_db, 2)
+        text = patterns.dumps_result(result)
+        again = patterns.loads_result(text, closed_only=False)
+        assert sorted(p.key() for p in again) == sorted(p.key() for p in result)
+
+    def test_round_trip_ticker_labels(self):
+        from repro.core import make_pattern, MiningResult
+
+        result = MiningResult([make_pattern(["DMF", "NUV", "XAA"], 11)])
+        text = patterns.dumps_result(result)
+        assert text.strip() == "DMF.NUV.XAA:11"
+        again = patterns.loads_result(text)
+        assert again.keys() == ["DMF.NUV.XAA:11"]
+
+    def test_file_round_trip(self, tmp_path, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        path = tmp_path / "patterns.txt"
+        patterns.save_result(result, path)
+        again = patterns.open_result(path)
+        assert again.keys() == ["abcd:2", "bde:2"]
+
+    def test_comments_skipped(self):
+        result = patterns.loads_result("# note\nab:3\n")
+        assert result.keys() == ["ab:3"]
+
+    @pytest.mark.parametrize("bad", ["ab", "ab:x", ":3", "a..b:2"])
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(FormatError):
+            patterns.loads_result(bad + "\n")

@@ -1,0 +1,151 @@
+"""Tests for the VF2-style isomorphism matcher."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import (
+    Graph,
+    are_isomorphic,
+    find_subgraph_isomorphism,
+    find_subgraph_isomorphisms,
+    is_subgraph_isomorphic,
+    paper_graph_g1,
+)
+from repro.graphdb.generators import default_label_alphabet, random_transaction
+
+
+def triangle(labels="abc"):
+    g = Graph()
+    for i, l in enumerate(labels):
+        g.add_vertex(i, l)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 2)
+    return g
+
+
+class TestSubgraphIsomorphism:
+    def test_triangle_in_k4(self, k4_graph):
+        assert is_subgraph_isomorphic(triangle(), k4_graph)
+        mapping = find_subgraph_isomorphism(triangle(), k4_graph)
+        assert mapping is not None
+        assert len(set(mapping.values())) == 3
+
+    def test_labels_respected(self, k4_graph):
+        assert not is_subgraph_isomorphic(triangle("abz"), k4_graph)
+
+    def test_edges_respected(self, path_graph):
+        assert not is_subgraph_isomorphic(triangle(), path_graph)
+
+    def test_monomorphism_allows_extra_edges(self):
+        path = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        assert is_subgraph_isomorphic(path, triangle())
+
+    def test_induced_forbids_extra_edges(self):
+        path = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        assert not is_subgraph_isomorphic(path, triangle(), induced=True)
+
+    def test_empty_pattern_matches_once(self, k4_graph):
+        assert list(find_subgraph_isomorphisms(Graph(), k4_graph)) == [{}]
+
+    def test_pattern_larger_than_target(self, triangle_graph, k4_graph):
+        assert not is_subgraph_isomorphic(k4_graph, triangle_graph)
+
+    def test_all_mappings_enumerated(self):
+        """An 'aa' edge in a triangle of a's has 3 edges x 2 directions."""
+        pattern = Graph.from_edges({0: "a", 1: "a"}, [(0, 1)])
+        target = triangle("aaa")
+        mappings = list(find_subgraph_isomorphisms(pattern, target))
+        assert len(mappings) == 6
+
+    def test_limit(self):
+        pattern = Graph.from_edges({0: "a", 1: "a"}, [(0, 1)])
+        target = triangle("aaa")
+        assert len(list(find_subgraph_isomorphisms(pattern, target, limit=2))) == 2
+
+    def test_disconnected_pattern(self):
+        pattern = Graph.from_edges({0: "a", 1: "b"}, [])
+        target = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 2)])
+        mapping = find_subgraph_isomorphism(pattern, target)
+        assert mapping == {0: 0, 1: 1}
+
+    def test_every_mapping_is_valid(self, paper_db):
+        g1 = paper_graph_g1()
+        pattern = triangle("abd")
+        for mapping in find_subgraph_isomorphisms(pattern, g1):
+            for u, v in pattern.edges():
+                assert g1.has_edge(mapping[u], mapping[v])
+            for v in pattern.vertices():
+                assert g1.label(mapping[v]) == pattern.label(v)
+
+
+class TestWholeGraphIsomorphism:
+    def test_relabeled_ids(self):
+        a = triangle()
+        b = Graph.from_edges({7: "a", 9: "b", 11: "c"}, [(7, 9), (7, 11), (9, 11)])
+        assert are_isomorphic(a, b)
+
+    def test_label_mismatch(self):
+        assert not are_isomorphic(triangle("abc"), triangle("abd"))
+
+    def test_structure_mismatch(self):
+        path = Graph.from_edges({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2)])
+        assert not are_isomorphic(path, triangle("aaa"))
+
+    def test_counts_shortcut(self, k4_graph, triangle_graph):
+        assert not are_isomorphic(k4_graph, triangle_graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_invariant_under_vertex_permutation(self, seed):
+        rng = random.Random(seed)
+        g = random_transaction(rng, 7, 0.45, default_label_alphabet(3))
+        order = sorted(g.vertices())
+        shuffled = list(order)
+        rng.shuffle(shuffled)
+        relabeling = dict(zip(order, shuffled))
+        h = Graph()
+        for v in order:
+            h.add_vertex(relabeling[v], g.label(v))
+        for u, v in g.edges():
+            h.add_edge(relabeling[u], relabeling[v])
+        assert are_isomorphic(g, h)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_agrees_with_min_dfs_code_on_connected_graphs(self, seed):
+        """Two independent isomorphism deciders must agree."""
+        from repro.baselines import minimum_dfs_code
+
+        rng = random.Random(seed)
+        g = random_transaction(rng, 6, 0.5, default_label_alphabet(2))
+        h = random_transaction(rng, 6, 0.5, default_label_alphabet(2))
+        if len(g.connected_components()) != 1 or len(h.connected_components()) != 1:
+            return
+        by_vf2 = are_isomorphic(g, h)
+        by_code = minimum_dfs_code(g) == minimum_dfs_code(h)
+        assert by_vf2 == by_code
+
+
+class TestAgainstCliqueMachinery:
+    def test_clique_embeddings_match_occurrences(self, paper_db):
+        """VF2 on a clique pattern finds the same vertex sets as the
+        miner's embedding store (each set size! times, as mappings)."""
+        from repro.core import CanonicalForm, occurrence_counts
+
+        pattern = triangle("abd")
+        g1 = paper_graph_g1()
+        vf2_sets = {
+            frozenset(m.values())
+            for m in find_subgraph_isomorphisms(pattern, g1)
+        }
+        from repro.core import embeddings_in_graph
+
+        store_sets = {
+            frozenset(e)
+            for e in embeddings_in_graph(g1, CanonicalForm.from_labels("abd"))
+        }
+        assert vf2_sets == store_sets

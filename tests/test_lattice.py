@@ -1,0 +1,80 @@
+"""Unit tests for the Figure 4 lattice structure."""
+
+import pytest
+
+from repro.core import CanonicalForm, CliqueLattice, make_pattern, mine_closed_cliques, mine_frequent_cliques
+from repro.exceptions import PatternError
+
+
+@pytest.fixture
+def paper_lattice(paper_db):
+    return CliqueLattice.from_result(mine_frequent_cliques(paper_db, 2))
+
+
+class TestConstruction:
+    def test_from_closed_result_expands_first(self, paper_db):
+        lattice = CliqueLattice.from_result(mine_closed_cliques(paper_db, 2))
+        assert len(lattice) == 19
+
+    def test_duplicate_patterns_rejected(self):
+        with pytest.raises(PatternError):
+            CliqueLattice([make_pattern("a", 1), make_pattern("a", 1)])
+
+    def test_contains_and_pattern(self, paper_lattice):
+        form = CanonicalForm.from_labels("bde")
+        assert form in paper_lattice
+        assert paper_lattice.pattern(form).support == 2
+        with pytest.raises(PatternError):
+            paper_lattice.pattern(CanonicalForm.from_labels("zz"))
+
+
+class TestStructure:
+    def test_levels(self, paper_lattice):
+        levels = paper_lattice.levels()
+        assert {k: len(v) for k, v in levels.items()} == {1: 5, 2: 8, 3: 5, 4: 1}
+
+    def test_up_and_down_edges_are_inverses(self, paper_lattice):
+        for level in paper_lattice.levels().values():
+            for pattern in level:
+                for sub in paper_lattice.direct_subcliques(pattern.form):
+                    assert pattern.form in paper_lattice.direct_supercliques(sub)
+
+    def test_edge_count_matches_figure4(self, paper_lattice):
+        valid, redundant = paper_lattice.edge_count()
+        # 14 nodes above level 1, each grown from exactly one prefix.
+        assert valid == 14
+        assert redundant == 21
+
+    def test_closed_marking(self, paper_lattice):
+        assert paper_lattice.is_closed(CanonicalForm.from_labels("abcd"))
+        assert not paper_lattice.is_closed(CanonicalForm.from_labels("abc"))
+
+
+class TestCriticalPath:
+    def test_path_is_prefix_chain(self, paper_lattice):
+        path = paper_lattice.critical_path(CanonicalForm.from_labels("abcd"))
+        assert [str(f) for f in path] == ["a", "ab", "abc", "abcd"]
+
+    def test_missing_target(self, paper_lattice):
+        with pytest.raises(PatternError):
+            paper_lattice.critical_path(CanonicalForm.from_labels("zzz"))
+
+    def test_missing_prefix_detected(self):
+        lattice = CliqueLattice([make_pattern("ab", 2)])  # 'a' absent
+        with pytest.raises(PatternError):
+            lattice.critical_path(CanonicalForm.from_labels("ab"))
+
+
+class TestRendering:
+    def test_render_marks_closed_with_brackets(self, paper_lattice):
+        text = paper_lattice.render()
+        assert "[abcd:2]" in text
+        assert "(abc:2)" in text
+        assert text.splitlines()[0].startswith("level 1:")
+
+    def test_dot_output_well_formed(self, paper_lattice):
+        dot = paper_lattice.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"abc:2" -> "abcd:2" [style=solid];' in dot
+        assert '"bcd:2" -> "abcd:2" [style=dashed];' in dot

@@ -1,0 +1,106 @@
+"""Unit tests for repro.graphdb.matrix (the Figure 2 representation)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphdb import AdjacencyMatrix, Graph, clique_matrix
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            AdjacencyMatrix(["a", "b"], [[0, 1]])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(GraphError):
+            AdjacencyMatrix(["a"], [[1]])
+
+    def test_rejects_asymmetry(self):
+        with pytest.raises(GraphError):
+            AdjacencyMatrix(["a", "b"], [[0, 1], [0, 0]])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(GraphError):
+            AdjacencyMatrix(["a", "b"], [[0, 2], [2, 0]])
+
+
+class TestConversions:
+    def test_round_trip_graph(self, k4_graph):
+        matrix = AdjacencyMatrix.from_graph(k4_graph)
+        again = matrix.to_graph()
+        assert again.edge_count == 6
+        assert again.label_multiset(again.vertices()) == ("a", "b", "c", "d")
+
+    def test_from_graph_respects_order(self, triangle_graph):
+        matrix = AdjacencyMatrix.from_graph(triangle_graph, order=[2, 0, 1])
+        assert matrix.labels == ("c", "a", "b")
+
+    def test_from_graph_bad_order(self, triangle_graph):
+        with pytest.raises(GraphError):
+            AdjacencyMatrix.from_graph(triangle_graph, order=[0, 1])
+
+    def test_paper_example_matrices_symmetric(self, paper_db):
+        for graph in paper_db:
+            matrix = AdjacencyMatrix.from_graph(graph)
+            n = len(matrix.labels)
+            for i in range(n):
+                for j in range(n):
+                    assert matrix.bits[i][j] == matrix.bits[j][i]
+
+
+class TestCodes:
+    def test_code_contains_labels_then_bits(self, triangle_graph):
+        matrix = AdjacencyMatrix.from_graph(triangle_graph)
+        assert matrix.code() == ("a", "b", "c", 1, 1, 1)
+
+    def test_permuted_swaps(self, triangle_graph):
+        matrix = AdjacencyMatrix.from_graph(triangle_graph)
+        swapped = matrix.permuted([2, 1, 0])
+        assert swapped.labels == ("c", "b", "a")
+
+    def test_permuted_invalid(self, triangle_graph):
+        matrix = AdjacencyMatrix.from_graph(triangle_graph)
+        with pytest.raises(GraphError):
+            matrix.permuted([0, 0, 1])
+
+    def test_canonical_code_is_permutation_invariant(self):
+        g = Graph.from_edges({0: "b", 1: "a", 2: "c"}, [(0, 1), (1, 2)])
+        m1 = AdjacencyMatrix.from_graph(g, order=[0, 1, 2])
+        m2 = AdjacencyMatrix.from_graph(g, order=[2, 1, 0])
+        assert m1.canonical_code() == m2.canonical_code()
+
+    def test_canonical_code_distinguishes_structures(self):
+        path = Graph.from_edges({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2)])
+        tri = Graph.from_edges({0: "a", 1: "a", 2: "a"}, [(0, 1), (1, 2), (0, 2)])
+        assert (
+            AdjacencyMatrix.from_graph(path).canonical_code()
+            != AdjacencyMatrix.from_graph(tri).canonical_code()
+        )
+
+    def test_canonical_code_size_cap(self):
+        labels = {i: "a" for i in range(10)}
+        g = Graph.from_edges(labels, [(i, (i + 1) % 10) for i in range(10)])
+        with pytest.raises(GraphError):
+            AdjacencyMatrix.from_graph(g).canonical_code()
+
+
+class TestCliqueMatrices:
+    def test_clique_matrix_is_clique(self):
+        assert clique_matrix(["a", "b", "c"]).is_clique_matrix()
+
+    def test_non_clique_detected(self, path_graph):
+        assert not AdjacencyMatrix.from_graph(path_graph).is_clique_matrix()
+
+    def test_single_vertex_is_clique(self):
+        assert clique_matrix(["a"]).is_clique_matrix()
+
+    def test_render_shows_labels_on_diagonal(self):
+        text = clique_matrix(["a", "b"]).render()
+        rows = text.splitlines()
+        assert rows[0].split() == ["a", "1"]
+        assert rows[1].split() == ["1", "b"]
+
+    def test_equality_and_hash(self):
+        assert clique_matrix(["a", "b"]) == clique_matrix(["a", "b"])
+        assert hash(clique_matrix(["a"])) == hash(clique_matrix(["a"]))
+        assert clique_matrix(["a", "b"]) != clique_matrix(["b", "a"])

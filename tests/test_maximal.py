@@ -1,0 +1,104 @@
+"""Tests for maximal frequent clique mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    maximal_subset,
+    mine_closed_cliques,
+    mine_frequent_cliques,
+    mine_maximal_cliques,
+)
+from repro.graphdb import labelled_clique_database
+from tests.conftest import make_random_database
+
+
+def bruteforce_maximal(db, min_sup):
+    frequent = list(mine_frequent_cliques(db, min_sup))
+    return sorted(
+        p.key()
+        for p in frequent
+        if not any(p.form.is_proper_subclique_of(q.form) for q in frequent)
+    )
+
+
+class TestPaperExample:
+    def test_maximal_set(self, paper_db):
+        result = mine_maximal_cliques(paper_db, 2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+    def test_bcd_is_not_maximal_due_to_old_label(self, paper_db):
+        """bcd extends by the *old* label a; a prefix-only check would
+        wrongly call it maximal."""
+        result = mine_maximal_cliques(paper_db, 2)
+        assert "bcd" not in {str(p.form) for p in result}
+
+    def test_min_size_filter(self, paper_db):
+        result = mine_maximal_cliques(paper_db, 2, min_size=4)
+        assert [p.key() for p in result] == ["abcd:2"]
+
+
+class TestStructuredDatabases:
+    def test_nested_cliques_report_only_outermost(self):
+        db = labelled_clique_database(
+            [(("a", "b", "c", "d"), 3), (("a", "b", "c"), 1)], n_graphs=4
+        )
+        # abc has support 4 (inside abcd + standalone) but abcd is
+        # frequent at 3, so at min_sup=3 only abcd is maximal.
+        result = mine_maximal_cliques(db, 3)
+        assert sorted(p.key() for p in result) == ["abcd:3"]
+
+    def test_support_drop_exposes_submaximal(self):
+        db = labelled_clique_database(
+            [(("a", "b", "c", "d"), 2), (("a", "b", "c"), 4)], n_graphs=4
+        )
+        # At min_sup=3 abcd (support 2) is infrequent; abc, standalone
+        # in all four transactions, becomes the maximal pattern.
+        result = mine_maximal_cliques(db, 3)
+        assert sorted(p.key() for p in result) == ["abc:4"]
+
+
+class TestAgainstReference:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 50_000), min_sup=st.integers(1, 3))
+    def test_matches_bruteforce(self, seed, min_sup):
+        db = make_random_database(seed)
+        result = mine_maximal_cliques(db, min_sup)
+        assert sorted(p.key() for p in result) == bruteforce_maximal(db, min_sup)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50_000), min_sup=st.integers(1, 3))
+    def test_maximal_subset_of_closed(self, seed, min_sup):
+        db = make_random_database(seed)
+        maximal = {p.key() for p in mine_maximal_cliques(db, min_sup)}
+        closed = {p.key() for p in mine_closed_cliques(db, min_sup)}
+        assert maximal <= closed
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50_000), min_sup=st.integers(1, 3))
+    def test_every_frequent_below_some_maximal(self, seed, min_sup):
+        db = make_random_database(seed)
+        maximal = list(mine_maximal_cliques(db, min_sup))
+        for pattern in mine_frequent_cliques(db, min_sup):
+            assert any(pattern.form.is_subclique_of(m.form) for m in maximal)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50_000), min_sup=st.integers(1, 3))
+    def test_maximal_subset_helper_agrees(self, seed, min_sup):
+        db = make_random_database(seed)
+        direct = {p.key() for p in mine_maximal_cliques(db, min_sup)}
+        from_closed = {
+            p.key() for p in maximal_subset(mine_closed_cliques(db, min_sup))
+        }
+        from_frequent = {
+            p.key() for p in maximal_subset(mine_frequent_cliques(db, min_sup))
+        }
+        assert direct == from_closed == from_frequent
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_witnesses_verify(self, seed):
+        db = make_random_database(seed)
+        for pattern in mine_maximal_cliques(db, 2):
+            pattern.verify(db)

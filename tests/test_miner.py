@@ -1,0 +1,132 @@
+"""Unit tests for the ClanMiner (Algorithm 1) beyond the running example."""
+
+import pytest
+
+from repro.core import CACHED, RESCAN, ClanMiner, MinerConfig, mine_closed_cliques, mine_frequent_cliques
+from repro.exceptions import InvalidSupportError, MiningError
+from repro.graphdb import Graph, GraphDatabase, labelled_clique_database, paper_example_database
+
+
+class TestSupportThresholds:
+    def test_relative_and_absolute_agree(self, paper_db):
+        by_int = mine_closed_cliques(paper_db, 2)
+        by_frac = mine_closed_cliques(paper_db, 1.0)
+        assert sorted(by_int.keys()) == sorted(by_frac.keys())
+
+    def test_invalid_support_raises(self, paper_db):
+        with pytest.raises(InvalidSupportError):
+            mine_closed_cliques(paper_db, 0)
+        with pytest.raises(InvalidSupportError):
+            mine_closed_cliques(paper_db, 3)
+
+    def test_support_one_single_graph(self):
+        g = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (0, 2), (1, 2)])
+        result = mine_closed_cliques(GraphDatabase([g]), 1)
+        assert [p.key() for p in result] == ["abc:1"]
+
+
+class TestSizeWindows:
+    def test_min_size_filters_output_not_search(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2, min_size=4)
+        assert [p.key() for p in result] == ["abcd:2"]
+
+    def test_max_size_truncates(self, paper_db):
+        result = mine_frequent_cliques(paper_db, 2, max_size=2)
+        assert result.max_size() == 2
+        assert len(result) == 13  # 5 singles + 8 pairs
+
+    def test_max_size_closure_still_exact(self, paper_db):
+        """A size-capped closed run keeps exact closedness semantics:
+        bde is the only closed pattern of size <= 3 (everything smaller
+        is absorbed by equal-support supercliques)."""
+        result = mine_closed_cliques(paper_db, 2, max_size=3)
+        assert [p.key() for p in result] == ["bde:2"]
+
+
+class TestStrategiesAndFlags:
+    @pytest.mark.parametrize("strategy", [CACHED, RESCAN])
+    def test_strategies_equal_results(self, paper_db, strategy):
+        config = MinerConfig(embedding_strategy=strategy)
+        result = ClanMiner(paper_db, config).mine(2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+    def test_low_degree_off_same_results(self, paper_db):
+        for strategy in (CACHED, RESCAN):
+            config = MinerConfig(embedding_strategy=strategy).without("low_degree")
+            result = ClanMiner(paper_db, config).mine(2)
+            assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+    def test_nonclosed_prefix_off_same_results(self, paper_db):
+        config = MinerConfig().without("nonclosed_prefix")
+        result = ClanMiner(paper_db, config).mine(2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+        assert result.statistics.closure_rejections > 0
+
+    def test_redundancy_off_same_results(self, paper_db):
+        config = MinerConfig().without("structural_redundancy")
+        result = ClanMiner(paper_db, config).mine(2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+
+class TestWitnesses:
+    def test_witnesses_verify_against_database(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        for pattern in result:
+            assert set(pattern.witnesses) == set(pattern.transactions)
+            pattern.verify(paper_db)
+
+    def test_witness_collection_can_be_disabled(self, paper_db):
+        config = MinerConfig(collect_witnesses=False)
+        result = ClanMiner(paper_db, config).mine(2)
+        assert all(not p.witnesses for p in result)
+
+
+class TestGuards:
+    def test_max_embeddings_aborts(self, paper_db):
+        config = MinerConfig(max_embeddings=1)
+        with pytest.raises(MiningError):
+            ClanMiner(paper_db, config).mine(2)
+
+    def test_extension_support_invariant_holds_on_clique_db(self):
+        db = labelled_clique_database(
+            [(("a", "b", "c", "d"), 3), (("c", "d", "e"), 2)], n_graphs=3
+        )
+        result = mine_closed_cliques(db, 2)
+        assert sorted(p.key() for p in result) == ["abcd:3", "cde:2"]
+
+
+class TestDuplicateLabelPatterns:
+    def test_multiset_patterns(self):
+        """Patterns with repeated labels (the paper's aac example)."""
+        g1 = Graph.from_edges({0: "a", 1: "a", 2: "c"}, [(0, 1), (0, 2), (1, 2)])
+        g2 = Graph.from_edges({0: "a", 1: "a", 2: "c"}, [(0, 1), (0, 2), (1, 2)])
+        result = mine_closed_cliques(GraphDatabase([g1, g2]), 2)
+        assert [p.key() for p in result] == ["aac:2"]
+
+    def test_overcounting_does_not_happen(self):
+        """Three mutually adjacent 'a's = one aaa pattern, one embedding set."""
+        g = Graph.from_edges(
+            {0: "a", 1: "a", 2: "a"}, [(0, 1), (0, 2), (1, 2)]
+        )
+        result = mine_frequent_cliques(GraphDatabase([g]), 1)
+        keys = [p.key() for p in result]
+        assert keys == ["a:1", "aa:1", "aaa:1"]
+
+
+class TestStatisticsAndTiming:
+    def test_elapsed_recorded(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_statistics_consistency(self, paper_db):
+        result = mine_frequent_cliques(paper_db, 2)
+        stats = result.statistics
+        assert stats.frequent_cliques == len(result) == 19
+        assert stats.max_depth == 4
+        assert sum(stats.frequent_by_size.values()) == 19
+
+    def test_empty_result_on_impossible_support(self):
+        g1 = Graph.from_edges({0: "a"}, [])
+        g2 = Graph.from_edges({0: "b"}, [])
+        result = mine_closed_cliques(GraphDatabase([g1, g2]), 2)
+        assert len(result) == 0

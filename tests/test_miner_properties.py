@@ -1,0 +1,152 @@
+"""Property-based cross-checks of the CLAN miner (hypothesis).
+
+The central guarantees:
+
+* CLAN's closed set equals the brute-force closed set on arbitrary
+  databases (soundness + completeness of all prunings together);
+* disabling any pruning or switching embedding strategy never changes
+  the result set, only the work done;
+* the closed set expands exactly to the frequent set (the concision
+  argument of Section 1);
+* every frequent clique has a closed superclique of equal support.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    bruteforce_closed_cliques,
+    bruteforce_frequent_cliques,
+    mine_closed_by_postfilter,
+    mine_closed_with_duplicates,
+)
+from repro.core import CACHED, RESCAN, ClanMiner, MinerConfig, mine_closed_cliques, mine_frequent_cliques
+from tests.conftest import make_random_database
+
+SEEDS = st.integers(0, 100_000)
+SUPPORTS = st.integers(1, 3)
+
+
+def keys(result):
+    return sorted(p.key() for p in result)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_clan_closed_equals_bruteforce(seed, min_sup):
+    db = make_random_database(seed)
+    assert keys(mine_closed_cliques(db, min_sup)) == keys(
+        bruteforce_closed_cliques(db, min_sup)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_clan_frequent_equals_bruteforce(seed, min_sup):
+    db = make_random_database(seed)
+    assert keys(mine_frequent_cliques(db, min_sup)) == keys(
+        bruteforce_frequent_cliques(db, min_sup)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_prunings_do_not_change_results(seed, min_sup):
+    db = make_random_database(seed)
+    reference = keys(mine_closed_cliques(db, min_sup))
+    for pruning in ("structural_redundancy", "low_degree", "nonclosed_prefix"):
+        config = MinerConfig().without(pruning)
+        assert keys(ClanMiner(db, config).mine(min_sup)) == reference, pruning
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_embedding_strategies_agree(seed, min_sup):
+    db = make_random_database(seed)
+    cached = ClanMiner(db, MinerConfig(embedding_strategy=CACHED)).mine(min_sup)
+    rescan = ClanMiner(db, MinerConfig(embedding_strategy=RESCAN)).mine(min_sup)
+    assert keys(cached) == keys(rescan)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_rescan_without_low_degree_agrees(seed, min_sup):
+    db = make_random_database(seed)
+    config = MinerConfig(embedding_strategy=RESCAN).without("low_degree")
+    assert keys(ClanMiner(db, config).mine(min_sup)) == keys(
+        mine_closed_cliques(db, min_sup)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_closed_expansion_recovers_frequent_set(seed, min_sup):
+    db = make_random_database(seed)
+    closed = mine_closed_cliques(db, min_sup)
+    frequent = mine_frequent_cliques(db, min_sup)
+    assert keys(closed.expand_to_frequent()) == keys(frequent)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_every_frequent_has_closed_superclique_same_support(seed, min_sup):
+    db = make_random_database(seed)
+    closed = list(mine_closed_cliques(db, min_sup))
+    for pattern in mine_frequent_cliques(db, min_sup):
+        assert any(
+            pattern.form.is_subclique_of(c.form) and c.support == pattern.support
+            for c in closed
+        ), pattern.key()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_closed_set_is_antichain_under_equal_support(seed, min_sup):
+    """No closed pattern dominates another with equal support."""
+    db = make_random_database(seed)
+    closed = list(mine_closed_cliques(db, min_sup))
+    for a in closed:
+        for b in closed:
+            assert not a.makes_nonclosed(b), (a.key(), b.key())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_naive_baselines_agree(seed, min_sup):
+    db = make_random_database(seed)
+    reference = keys(mine_closed_cliques(db, min_sup))
+    assert keys(mine_closed_by_postfilter(db, min_sup)) == reference
+    assert keys(mine_closed_with_duplicates(db, min_sup)) == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_witnesses_always_verify(seed, min_sup):
+    db = make_random_database(seed)
+    for pattern in mine_closed_cliques(db, min_sup):
+        pattern.verify(db)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS)
+def test_support_monotone_in_threshold(seed):
+    """Raising min_sup can only shrink the frequent set."""
+    db = make_random_database(seed)
+    previous = None
+    for min_sup in (1, 2, 3, 4):
+        current = {p.key() for p in mine_frequent_cliques(db, min_sup)}
+        if previous is not None:
+            assert current <= previous
+        previous = current
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS, min_sup=SUPPORTS)
+def test_duplicate_label_databases(seed, min_sup):
+    """Dense label collisions (2 labels, 9 vertices) stress multisets."""
+    db = make_random_database(seed, n_graphs=3, n_vertices=9, n_labels=2,
+                              edge_probability=0.6)
+    assert keys(mine_closed_cliques(db, min_sup)) == keys(
+        bruteforce_closed_cliques(db, min_sup)
+    )

@@ -1,0 +1,98 @@
+"""Tests for occurrence counting (the §4.3 occurrence discussion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CanonicalForm,
+    embeddings_in_graph,
+    iter_embeddings,
+    mine_frequent_cliques,
+    occurrence_counts,
+    occurrence_report,
+    total_occurrences,
+    transaction_support,
+)
+from repro.graphdb import GraphDatabase, paper_example_database
+from tests.conftest import make_random_database
+
+
+class TestPaperFacts:
+    def test_bd_has_four_occurrences(self, paper_db):
+        """§4.3: 'bd:2 ... has totally four occurrences'."""
+        form = CanonicalForm.from_labels("bd")
+        assert total_occurrences(paper_db, form) == 4
+        assert occurrence_counts(paper_db, form) == {0: 2, 1: 2}
+
+    def test_abcd_embedding_counts(self, paper_db):
+        """Figure 3: two embeddings in G1, one in G2."""
+        form = CanonicalForm.from_labels("abcd")
+        assert occurrence_counts(paper_db, form) == {0: 2, 1: 1}
+
+    def test_every_bd_occurrence_inside_an_abd_occurrence(self, paper_db):
+        """The occurrence-match situation that §4.3 argues about."""
+        bd = {
+            (tid, frozenset(v))
+            for tid, v in iter_embeddings(paper_db, CanonicalForm.from_labels("bd"))
+        }
+        abd = {
+            (tid, frozenset(v))
+            for tid, v in iter_embeddings(paper_db, CanonicalForm.from_labels("abd"))
+        }
+        for tid, vertices in bd:
+            assert any(t == tid and vertices <= bigger for t, bigger in abd)
+
+
+class TestCounting:
+    def test_transaction_support_matches_miner(self, paper_db):
+        for pattern in mine_frequent_cliques(paper_db, 2):
+            assert transaction_support(paper_db, pattern.form) == pattern.support
+
+    def test_missing_pattern_counts_zero(self, paper_db):
+        form = CanonicalForm.from_labels("zzz")
+        assert total_occurrences(paper_db, form) == 0
+        assert occurrence_counts(paper_db, form) == {}
+
+    def test_embeddings_in_graph(self, paper_db):
+        embeddings = embeddings_in_graph(paper_db[0], CanonicalForm.from_labels("bd"))
+        assert sorted(embeddings) == [(2, 3), (2, 5)]
+
+    def test_embeddings_are_valid_cliques(self, paper_db):
+        form = CanonicalForm.from_labels("abc")
+        for tid, vertices in iter_embeddings(paper_db, form):
+            graph = paper_db[tid]
+            assert graph.is_clique(vertices)
+            assert graph.label_multiset(vertices) == form.labels
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_each_vertex_set_once(self, seed):
+        db = make_random_database(seed, n_graphs=2)
+        for pattern in mine_frequent_cliques(db, 1):
+            seen = list(iter_embeddings(db, pattern.form))
+            assert len(seen) == len(set(seen))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_counts_match_bruteforce(self, seed):
+        from itertools import combinations
+
+        db = make_random_database(seed, n_graphs=2, n_vertices=7)
+        for pattern in mine_frequent_cliques(db, 1):
+            form = pattern.form
+            expected = 0
+            for graph in db:
+                for subset in combinations(sorted(graph.vertices()), form.size):
+                    if graph.is_clique(subset) and graph.label_multiset(subset) == form.labels:
+                        expected += 1
+            assert total_occurrences(db, form) == expected, form
+
+
+class TestReport:
+    def test_report_layout(self, paper_db):
+        forms = [CanonicalForm.from_labels(x) for x in ("bd", "abd", "abcd")]
+        text = occurrence_report(paper_db, forms)
+        lines = text.splitlines()
+        assert "support" in lines[0] and "occurrences" in lines[0]
+        assert any("bd" in line and "4" in line for line in lines[1:])

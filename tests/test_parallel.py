@@ -1,0 +1,100 @@
+"""Tests for parallel mining over DFS roots."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClanMiner,
+    MinerConfig,
+    mine_closed_cliques,
+    mine_closed_cliques_parallel,
+    partition_roots,
+)
+from repro.exceptions import MiningError
+from tests.conftest import make_random_database
+
+
+class TestRootPartitioning:
+    def test_round_robin(self):
+        chunks = partition_roots(list("abcdef"), 2)
+        assert chunks == [("a", "c", "e"), ("b", "d", "f")]
+
+    def test_more_chunks_than_labels(self):
+        chunks = partition_roots(["a", "b"], 5)
+        assert chunks == [("a",), ("b",)]
+
+    def test_empty_labels(self):
+        assert partition_roots([], 3) == []
+
+    def test_invalid_chunks(self):
+        with pytest.raises(MiningError):
+            partition_roots(["a"], 0)
+
+
+class TestRootRestrictedMining:
+    def test_single_root_subtree(self, paper_db):
+        result = ClanMiner(paper_db).mine(2, root_labels=("b",))
+        assert sorted(p.key() for p in result) == ["bde:2"]
+
+    def test_union_over_roots_is_complete(self, paper_db):
+        serial = mine_closed_cliques(paper_db, 2)
+        pieces = []
+        for label in "abcde":
+            pieces.extend(ClanMiner(paper_db).mine(2, root_labels=(label,)))
+        assert sorted(p.key() for p in pieces) == sorted(p.key() for p in serial)
+
+    def test_roots_require_redundancy_pruning(self, paper_db):
+        config = MinerConfig(
+            closed_only=False,
+            structural_redundancy_pruning=False,
+            nonclosed_prefix_pruning=False,
+        )
+        with pytest.raises(MiningError):
+            ClanMiner(paper_db, config).mine(2, root_labels=("a",))
+
+
+class TestParallelMining:
+    def test_processes_one_bypasses_pool(self, paper_db):
+        result = mine_closed_cliques_parallel(paper_db, 2, processes=1)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+    def test_two_processes_match_serial(self, paper_db):
+        result = mine_closed_cliques_parallel(paper_db, 2, processes=2)
+        assert sorted(p.key() for p in result) == ["abcd:2", "bde:2"]
+
+    def test_result_order_is_canonical(self, paper_db):
+        result = mine_closed_cliques_parallel(paper_db, 2, processes=2)
+        forms = [p.form.labels for p in result]
+        assert forms == sorted(forms)
+
+    def test_statistics_are_merged(self, paper_db):
+        parallel = mine_closed_cliques_parallel(paper_db, 2, processes=2)
+        serial = mine_closed_cliques(paper_db, 2)
+        # Per-subtree work is identical; only the level-1 scan repeats.
+        assert parallel.statistics.closed_cliques == serial.statistics.closed_cliques
+        assert parallel.statistics.nonclosed_prefix_prunes == (
+            serial.statistics.nonclosed_prefix_prunes
+        )
+        assert parallel.statistics.max_depth == serial.statistics.max_depth
+
+    def test_requires_redundancy_pruning(self, paper_db):
+        config = MinerConfig(
+            closed_only=False,
+            structural_redundancy_pruning=False,
+            nonclosed_prefix_pruning=False,
+        )
+        with pytest.raises(MiningError):
+            mine_closed_cliques_parallel(paper_db, 2, processes=2, config=config)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_serial_on_random_databases(self, seed):
+        db = make_random_database(seed)
+        parallel = mine_closed_cliques_parallel(db, 2, processes=2)
+        serial = mine_closed_cliques(db, 2)
+        assert sorted(p.key() for p in parallel) == sorted(p.key() for p in serial)
+
+    def test_witnesses_preserved(self, paper_db):
+        for pattern in mine_closed_cliques_parallel(paper_db, 2, processes=2):
+            pattern.verify(paper_db)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.pattern."""
+
+import pytest
+
+from repro.core import CanonicalForm, CliquePattern, make_pattern
+from repro.exceptions import PatternError
+from repro.graphdb import paper_example_database
+
+
+class TestConstruction:
+    def test_make_pattern_sorts(self):
+        pattern = make_pattern("cab", support=2, transactions=[1, 0])
+        assert pattern.labels == ("a", "b", "c")
+        assert pattern.transactions == (0, 1)
+        assert pattern.size == 3
+
+    def test_key_format(self):
+        assert make_pattern("abcd", 2).key() == "abcd:2"
+
+    def test_negative_support_rejected(self):
+        with pytest.raises(PatternError):
+            make_pattern("a", -1)
+
+    def test_transaction_count_must_match_support(self):
+        with pytest.raises(PatternError):
+            CliquePattern(CanonicalForm.from_labels("a"), support=2, transactions=(0,))
+
+    def test_relative_support(self):
+        assert make_pattern("a", 2).relative_support(4) == pytest.approx(0.5)
+        with pytest.raises(PatternError):
+            make_pattern("a", 2).relative_support(0)
+
+
+class TestRelationships:
+    def test_is_subpattern_of(self):
+        assert make_pattern("ab", 2).is_subpattern_of(make_pattern("abc", 2))
+        assert not make_pattern("ad", 2).is_subpattern_of(make_pattern("abc", 2))
+
+    def test_makes_nonclosed_requires_equal_support_and_proper_superset(self):
+        small = make_pattern("ab", 2)
+        assert small.makes_nonclosed(make_pattern("abc", 2))
+        assert not small.makes_nonclosed(make_pattern("abc", 1))
+        assert not small.makes_nonclosed(make_pattern("ab", 2))
+        assert not small.makes_nonclosed(make_pattern("cd", 2))
+
+
+class TestVerification:
+    def test_valid_witnesses_pass(self):
+        db = paper_example_database()
+        pattern = make_pattern(
+            "abcd", 2, transactions=[0, 1],
+            witnesses={0: (1, 2, 3, 4), 1: (1, 2, 4, 5)},
+        )
+        pattern.verify(db)
+
+    def test_wrong_labels_fail(self):
+        db = paper_example_database()
+        pattern = make_pattern(
+            "abce", 2, transactions=[0, 1], witnesses={0: (1, 2, 3, 4)}
+        )
+        with pytest.raises(PatternError):
+            pattern.verify(db)
+
+    def test_non_clique_witness_fails(self):
+        db = paper_example_database()
+        # u3 (d) and u5 (d) are not adjacent in G1.
+        pattern = make_pattern("add", 1, transactions=[0], witnesses={0: (1, 3, 5)})
+        with pytest.raises(PatternError):
+            pattern.verify(db)
+
+    def test_wrong_size_witness_fails(self):
+        db = paper_example_database()
+        pattern = make_pattern("ab", 1, transactions=[0], witnesses={0: (1,)})
+        with pytest.raises(PatternError):
+            pattern.verify(db)
+
+    def test_repeated_vertex_fails(self):
+        db = paper_example_database()
+        pattern = make_pattern("aa", 1, transactions=[0], witnesses={0: (1, 1)})
+        with pytest.raises(PatternError):
+            pattern.verify(db)
+
+    def test_missing_witness_is_skipped(self):
+        db = paper_example_database()
+        make_pattern("ab", 2, transactions=[0, 1]).verify(db)

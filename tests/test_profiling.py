@@ -1,0 +1,34 @@
+"""Tests for the profiling helper."""
+
+import pytest
+
+from repro.bench.profiling import profiled
+from repro.core import mine_closed_cliques
+from repro.graphdb import paper_example_database
+
+
+class TestProfiled:
+    def test_returns_value(self):
+        report = profiled(lambda: 2 + 2)
+        assert report.value == 4
+        assert report.total_seconds >= 0.0
+
+    def test_mining_hotspots_point_at_library_code(self):
+        db = paper_example_database()
+        report = profiled(lambda: mine_closed_cliques(db, 2))
+        assert sorted(p.key() for p in report.value) == ["abcd:2", "bde:2"]
+        assert report.hotspots
+        assert all(spot.function.startswith("repro/") for spot in report.hotspots)
+        names = " ".join(spot.function for spot in report.hotspots)
+        assert "miner" in names or "embeddings" in names
+
+    def test_render_limit(self):
+        db = paper_example_database()
+        report = profiled(lambda: mine_closed_cliques(db, 2))
+        text = report.render(limit=3)
+        assert text.count("\n") <= 3
+        assert "total:" in text
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            profiled(lambda: (_ for _ in ()).throw(RuntimeError("boom")))

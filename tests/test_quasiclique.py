@@ -1,0 +1,150 @@
+"""Tests for the closed quasi-clique extension (paper §6 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    is_quasi_clique,
+    mine_closed_cliques,
+    mine_closed_quasi_cliques,
+    quasi_cliques_in_graph,
+    required_degree,
+)
+from repro.exceptions import MiningError
+from repro.graphdb import Graph, GraphDatabase
+from tests.conftest import make_random_database
+
+
+def k5_minus_edge() -> Graph:
+    labels = {i: l for i, l in enumerate("pqrst")}
+    edges = [(i, j) for i in range(5) for j in range(i + 1, 5) if (i, j) != (3, 4)]
+    return Graph.from_edges(labels, edges)
+
+
+class TestDefinitions:
+    def test_required_degree(self):
+        assert required_degree(1.0, 4) == 3
+        assert required_degree(0.5, 5) == 2
+        assert required_degree(0.6, 6) == 3
+        assert required_degree(0.9, 1) == 0
+
+    def test_clique_is_quasi_clique_at_any_gamma(self, k4_graph):
+        assert is_quasi_clique(k4_graph, frozenset(k4_graph.vertices()), 1.0)
+        assert is_quasi_clique(k4_graph, frozenset(k4_graph.vertices()), 0.5)
+
+    def test_k5_minus_edge(self):
+        g = k5_minus_edge()
+        everyone = frozenset(g.vertices())
+        assert not is_quasi_clique(g, everyone, 1.0)
+        assert is_quasi_clique(g, everyone, 0.75)
+
+
+class TestEnumeration:
+    def test_gamma_one_equals_cliques(self, k4_graph):
+        from repro.graphdb import all_cliques
+
+        quasi = set(quasi_cliques_in_graph(k4_graph, 1.0, 1, 4))
+        exact = set(all_cliques(k4_graph, min_size=1, max_size=4))
+        assert quasi == exact
+
+    def test_each_set_once(self):
+        g = k5_minus_edge()
+        found = list(quasi_cliques_in_graph(g, 0.75, 2, 5))
+        assert len(found) == len(set(found))
+
+    def test_k5_minus_edge_found_at_075(self):
+        g = k5_minus_edge()
+        found = set(quasi_cliques_in_graph(g, 0.75, 5, 5))
+        assert frozenset(g.vertices()) in found
+
+    def test_not_found_at_gamma_one(self):
+        g = k5_minus_edge()
+        assert set(quasi_cliques_in_graph(g, 1.0, 5, 5)) == set()
+
+    def test_invalid_gamma(self, k4_graph):
+        with pytest.raises(MiningError):
+            list(quasi_cliques_in_graph(k4_graph, 0.3, 1, 3))
+        with pytest.raises(MiningError):
+            list(quasi_cliques_in_graph(k4_graph, 1.2, 1, 3))
+
+    def test_invalid_window(self, k4_graph):
+        with pytest.raises(MiningError):
+            list(quasi_cliques_in_graph(k4_graph, 0.9, 3, 2))
+
+    def test_disconnected_prefix_reachable(self):
+        """Ascending-id prefixes may be disconnected; sets must still appear.
+
+        Quasi-clique {1,2,3,4} where 1-2 is the missing edge: the prefix
+        {1, 2} has no edge, yet the full set must be enumerated.
+        """
+        g = Graph.from_edges(
+            {1: "a", 2: "b", 3: "c", 4: "d"},
+            [(1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        )
+        found = set(quasi_cliques_in_graph(g, 0.6, 4, 4))
+        assert frozenset({1, 2, 3, 4}) in found
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_gamma_one_matches_cliques_on_random_graphs(self, seed):
+        db = make_random_database(seed, n_graphs=1, n_vertices=8)
+        g = db[0]
+        from repro.graphdb import all_cliques
+
+        quasi = set(quasi_cliques_in_graph(g, 1.0, 1, 8))
+        exact = set(all_cliques(g, min_size=1, max_size=8))
+        assert quasi == exact
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), gamma=st.sampled_from([0.5, 0.6, 0.75, 0.9]))
+    def test_soundness_every_result_is_quasi_clique(self, seed, gamma):
+        db = make_random_database(seed, n_graphs=1, n_vertices=8)
+        g = db[0]
+        for vertex_set in quasi_cliques_in_graph(g, gamma, 2, 5):
+            assert is_quasi_clique(g, vertex_set, gamma)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), gamma=st.sampled_from([0.5, 0.75]))
+    def test_completeness_against_bruteforce(self, seed, gamma):
+        from itertools import combinations
+
+        db = make_random_database(seed, n_graphs=1, n_vertices=7)
+        g = db[0]
+        expected = {
+            frozenset(sub)
+            for size in (2, 3, 4)
+            for sub in combinations(sorted(g.vertices()), size)
+            if is_quasi_clique(g, frozenset(sub), gamma)
+        }
+        found = set(quasi_cliques_in_graph(g, gamma, 2, 4))
+        assert found == expected
+
+
+class TestMining:
+    def test_gamma_one_matches_clan(self, paper_db):
+        quasi = mine_closed_quasi_cliques(paper_db, 2, gamma=1.0, min_size=1, max_size=4)
+        exact = mine_closed_cliques(paper_db, 2)
+        assert sorted(p.key() for p in quasi) == sorted(p.key() for p in exact)
+
+    def test_near_clique_pattern_mined(self):
+        db = GraphDatabase([k5_minus_edge(), k5_minus_edge()])
+        result = mine_closed_quasi_cliques(db, 2, gamma=0.75, min_size=5, max_size=5)
+        assert [p.key() for p in result] == ["pqrst:2"]
+
+    def test_closed_only_flag(self):
+        db = GraphDatabase([k5_minus_edge(), k5_minus_edge()])
+        every = mine_closed_quasi_cliques(
+            db, 2, gamma=0.75, min_size=2, max_size=5, closed_only=False
+        )
+        closed = mine_closed_quasi_cliques(
+            db, 2, gamma=0.75, min_size=2, max_size=5, closed_only=True
+        )
+        assert len(closed) < len(every)
+        assert {p.key() for p in closed} <= {p.key() for p in every}
+
+    def test_witnesses_are_quasi_cliques(self, paper_db):
+        result = mine_closed_quasi_cliques(paper_db, 2, gamma=0.75, min_size=3, max_size=4)
+        for pattern in result:
+            for tid, witness in pattern.witnesses.items():
+                assert is_quasi_clique(paper_db[tid], frozenset(witness), 0.75)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.results."""
+
+import pytest
+
+from repro.core import CanonicalForm, MiningResult, make_pattern, mine_frequent_cliques
+from repro.core.results import _sub_multisets
+from repro.exceptions import PatternError
+
+
+def sample_result() -> MiningResult:
+    return MiningResult(
+        [
+            make_pattern("abcd", 2),
+            make_pattern("bde", 2),
+            make_pattern("x", 5),
+        ],
+        min_sup=2,
+        closed_only=True,
+    )
+
+
+class TestCollection:
+    def test_len_iter_contains(self):
+        result = sample_result()
+        assert len(result) == 3
+        assert CanonicalForm.from_labels("bde") in result
+        assert CanonicalForm.from_labels("zz") not in result
+
+    def test_duplicate_rejected(self):
+        result = sample_result()
+        with pytest.raises(PatternError):
+            result.add(make_pattern("abcd", 2))
+
+    def test_get(self):
+        result = sample_result()
+        assert result.get(CanonicalForm.from_labels("x")).support == 5
+        assert result.get(CanonicalForm.from_labels("zz")) is None
+
+    def test_keys_in_insertion_order(self):
+        assert sample_result().keys() == ["abcd:2", "bde:2", "x:5"]
+
+    def test_sorted_by_form(self):
+        forms = [str(p.form) for p in sample_result().sorted_by_form()]
+        assert forms == ["abcd", "bde", "x"]
+
+
+class TestQueries:
+    def test_of_size_and_at_least(self):
+        result = sample_result()
+        assert [p.key() for p in result.of_size(3)] == ["bde:2"]
+        assert len(result.at_least_size(3)) == 2
+
+    def test_size_histogram_sorted(self):
+        assert sample_result().size_histogram() == {1: 1, 3: 1, 4: 1}
+
+    def test_max_and_maximum_patterns(self):
+        result = sample_result()
+        assert result.max_size() == 4
+        assert [p.key() for p in result.maximum_patterns()] == ["abcd:2"]
+        assert MiningResult().max_size() == 0
+        assert MiningResult().maximum_patterns() == []
+
+    def test_supersets_of(self):
+        result = sample_result()
+        found = [p.key() for p in result.supersets_of(CanonicalForm.from_labels("bd"))]
+        assert found == ["abcd:2", "bde:2"]
+
+
+class TestDerivations:
+    def test_sub_multisets_enumerates_once(self):
+        subs = list(_sub_multisets(("a", "a", "b")))
+        assert sorted(subs) == [
+            ("a",), ("a", "a"), ("a", "a", "b"), ("a", "b"), ("b",)
+        ]
+
+    def test_expand_takes_max_support(self):
+        closed = MiningResult(
+            [make_pattern("ab", 2), make_pattern("abc", 2), make_pattern("ad", 4)],
+            min_sup=2,
+            closed_only=True,
+        )
+        expanded = closed.expand_to_frequent()
+        assert expanded.get(CanonicalForm.from_labels("a")).support == 4
+        assert expanded.get(CanonicalForm.from_labels("b")).support == 2
+
+    def test_closed_subset(self, paper_db):
+        frequent = mine_frequent_cliques(paper_db, 2)
+        closed = frequent.closed_subset()
+        assert sorted(closed.keys()) == ["abcd:2", "bde:2"]
+
+    def test_expand_then_close_is_identity(self, paper_db):
+        from repro.core import mine_closed_cliques
+
+        closed = mine_closed_cliques(paper_db, 2)
+        roundtrip = closed.expand_to_frequent().closed_subset()
+        assert sorted(roundtrip.keys()) == sorted(closed.keys())
+
+
+class TestReporting:
+    def test_report_mentions_counts(self):
+        text = sample_result().report(min_size=3)
+        assert "3 frequent closed cliques" in text
+        assert "abcd:2" in text
+        assert "x:5" not in text
+
+    def test_report_limit(self):
+        text = sample_result().report(limit=1)
+        assert text.count("\n") == 1
+
+    def test_repr(self):
+        assert "closed" in repr(sample_result())

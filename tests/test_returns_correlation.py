@@ -1,0 +1,72 @@
+"""Tests for the log-returns correlation variant."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataGenerationError
+from repro.stockmarket import (
+    StockMarketSimulator,
+    correlation_matrix,
+    log_returns,
+    market_config,
+    market_graph_from_correlations,
+    returns_correlation_matrix,
+)
+
+
+class TestLogReturns:
+    def test_shape_and_values(self):
+        prices = np.array([[100.0, 50.0], [110.0, 55.0], [121.0, 55.0]])
+        returns = log_returns(prices)
+        assert returns.shape == (2, 2)
+        assert returns[0, 0] == pytest.approx(np.log(1.1))
+        assert returns[1, 1] == pytest.approx(0.0)
+
+    def test_requires_positive_prices(self):
+        with pytest.raises(DataGenerationError):
+            log_returns(np.array([[1.0, -1.0], [2.0, 1.0]]))
+
+    def test_requires_two_days(self):
+        with pytest.raises(DataGenerationError):
+            log_returns(np.array([[1.0, 2.0]]))
+
+
+class TestReturnsCorrelation:
+    def test_perfectly_coupled_series(self):
+        rng = np.random.default_rng(0)
+        base = np.exp(0.01 * rng.normal(size=200).cumsum())
+        panel = np.column_stack([100 * base, 55 * base])
+        corr = returns_correlation_matrix(panel)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_independent_series_decorrelate(self):
+        rng = np.random.default_rng(1)
+        a = np.exp(0.01 * rng.normal(size=2000).cumsum())
+        b = np.exp(0.01 * rng.normal(size=2000).cumsum())
+        corr = returns_correlation_matrix(np.column_stack([a, b]))
+        # Return correlations of independent walks concentrate near 0 —
+        # unlike price-level correlations, which can be spuriously large.
+        assert abs(corr[0, 1]) < 0.1
+
+    def test_sparser_graphs_than_price_levels(self):
+        """Same θ, fewer edges on returns — the methodological contrast."""
+        sim = StockMarketSimulator(market_config("tiny"))
+        panel = sim.simulate_period(0)
+        by_price = market_graph_from_correlations(
+            panel.tickers, correlation_matrix(panel.prices), 0.80
+        )
+        by_returns = market_graph_from_correlations(
+            panel.tickers, returns_correlation_matrix(panel.prices), 0.80
+        )
+        assert by_returns.edge_count <= by_price.edge_count
+
+    def test_fund_group_survives_either_way(self):
+        from repro.stockmarket import FIGURE5_TICKERS
+
+        sim = StockMarketSimulator(market_config("tiny"))
+        panel = sim.simulate_period(0)
+        index = {t: i for i, t in enumerate(panel.tickers)}
+        cols = [index[t] for t in FIGURE5_TICKERS]
+        corr = returns_correlation_matrix(panel.prices[:, cols])
+        off = corr[~np.eye(12, dtype=bool)]
+        assert off.min() > 0.85

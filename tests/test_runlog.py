@@ -1,0 +1,90 @@
+"""Tests for reproducible run records."""
+
+import pytest
+
+from repro.core import MinerConfig
+from repro.exceptions import FormatError
+from repro.graphdb import paper_example_database
+from repro.io.runlog import (
+    RunRecord,
+    database_fingerprint,
+    open_record,
+    record_run,
+    replay,
+    save_record,
+)
+
+
+class TestFingerprint:
+    def test_deterministic(self, paper_db):
+        assert database_fingerprint(paper_db) == database_fingerprint(
+            paper_example_database()
+        )
+
+    def test_sensitive_to_structure(self, paper_db):
+        other = paper_example_database()
+        other[0].remove_vertex(6)
+        assert database_fingerprint(paper_db) != database_fingerprint(other)
+
+    def test_sensitive_to_labels(self, paper_db):
+        from repro.graphdb import relabel_database
+
+        other = relabel_database(paper_db, {"a": "z"})
+        assert database_fingerprint(paper_db) != database_fingerprint(other)
+
+
+class TestRecordRun:
+    def test_record_contents(self, paper_db):
+        record = record_run(paper_db, 2)
+        assert record.n_transactions == 2
+        assert record.min_sup == 2
+        assert record.config["closed_only"] is True
+        assert record.statistics["closed_cliques"] == 2
+        assert sorted(p.key() for p in record.patterns()) == ["abcd:2", "bde:2"]
+
+    def test_custom_config_round_trips(self, paper_db):
+        config = MinerConfig(
+            closed_only=False, nonclosed_prefix_pruning=False, min_size=2
+        )
+        record = record_run(paper_db, 2, config)
+        rehydrated = record.miner_config()
+        assert rehydrated.closed_only is False
+        assert rehydrated.min_size == 2
+
+    def test_save_and_open(self, tmp_path, paper_db):
+        record = record_run(paper_db, 2)
+        path = tmp_path / "run.json"
+        save_record(record, path)
+        loaded = open_record(path)
+        assert loaded == record
+
+    def test_open_rejects_non_records(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(FormatError):
+            open_record(path)
+
+
+class TestReplay:
+    def test_faithful_replay(self, paper_db):
+        record = record_run(paper_db, 2)
+        outcome = replay(record, paper_example_database())
+        assert outcome.reproduced
+        assert outcome.recorded_patterns == outcome.replayed_patterns == 2
+
+    def test_changed_database_detected(self, paper_db):
+        record = record_run(paper_db, 2)
+        altered = paper_example_database()
+        altered[1].remove_vertex(6)  # breaks bde's support
+        outcome = replay(record, altered)
+        assert not outcome.fingerprint_matches
+        assert not outcome.patterns_match
+        assert not outcome.reproduced
+
+    def test_cosmetic_change_with_same_patterns(self, paper_db):
+        record = record_run(paper_db, 2)
+        altered = paper_example_database()
+        altered[0].add_vertex(99, "zz")  # isolated vertex, patterns unchanged
+        outcome = replay(record, altered)
+        assert not outcome.fingerprint_matches
+        assert outcome.patterns_match

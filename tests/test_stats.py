@@ -1,0 +1,53 @@
+"""Tests for database characteristics reporting (Table 1 machinery)."""
+
+import pytest
+
+from repro.graphdb import (
+    characteristics_table,
+    database_characteristics,
+    paper_example_database,
+)
+
+
+class TestCharacteristics:
+    def test_paper_example_values(self, paper_db):
+        ch = database_characteristics(paper_db)
+        assert ch.n_graphs == 2
+        assert ch.avg_vertices == pytest.approx(6.0)
+        assert ch.avg_edges == pytest.approx(10.5)
+        assert ch.distinct_labels == 5
+        assert ch.max_vertices == 6
+        assert ch.max_edges == 11
+        assert ch.max_degree == 5
+        assert ch.max_clique_upper_bound == 4
+
+    def test_name_override(self, paper_db):
+        assert database_characteristics(paper_db, name="D").name == "D"
+        assert database_characteristics(paper_db).name == "paper-example"
+
+    def test_as_table1_row(self, paper_db):
+        row = database_characteristics(paper_db).as_table1_row()
+        assert row == ("paper-example", 2, 6, 10)  # 10.5 rounds to even
+
+    def test_avg_degree(self, paper_db):
+        ch = database_characteristics(paper_db)
+        assert ch.avg_degree == pytest.approx(2 * 21 / 12)
+
+
+class TestTableRendering:
+    def test_basic_table_columns(self, paper_db):
+        text = characteristics_table([database_characteristics(paper_db)])
+        header = text.splitlines()[0]
+        assert "Database" in header
+        assert "Avg. # edges" in header
+        assert "Max degree" not in header
+
+    def test_extended_table_columns(self, paper_db):
+        text = characteristics_table(
+            [database_characteristics(paper_db)], extended=True
+        )
+        assert "Max degree" in text.splitlines()[0]
+
+    def test_empty_table(self):
+        text = characteristics_table([])
+        assert "Database" in text

@@ -1,0 +1,230 @@
+"""Tests for the stock-market substrate (Section 5.1 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataGenerationError
+from repro.stockmarket import (
+    FIGURE5_TICKERS,
+    GroupSpec,
+    MarketConfig,
+    StockMarketSimulator,
+    correlation_matrix,
+    generate_tickers,
+    market_config,
+    market_graph_from_correlations,
+    market_graph_from_prices,
+    pair_correlation,
+    stock_market_database,
+    stock_market_series,
+    universe_with_figure5,
+)
+from repro.stockmarket.pricegen import default_group_structure
+
+
+class TestTickers:
+    def test_figure5_tickers(self):
+        assert len(FIGURE5_TICKERS) == 12
+        assert "NUV" in FIGURE5_TICKERS
+
+    def test_generate_avoids_reserved(self):
+        tickers = generate_tickers(2000)
+        assert len(tickers) == 2000
+        assert len(set(tickers)) == 2000
+        assert not set(tickers) & set(FIGURE5_TICKERS)
+
+    def test_universe_sorted_and_contains_figure5(self):
+        universe = universe_with_figure5(100)
+        assert len(universe) == 100
+        assert universe == sorted(universe)
+        assert set(FIGURE5_TICKERS) <= set(universe)
+
+    def test_universe_too_small(self):
+        with pytest.raises(DataGenerationError):
+            universe_with_figure5(5)
+
+    def test_negative_count(self):
+        with pytest.raises(DataGenerationError):
+            generate_tickers(-1)
+
+
+class TestEquation1:
+    def test_pair_correlation_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=100).cumsum() + 50
+        b = 0.5 * a + rng.normal(size=100).cumsum()
+        ours = pair_correlation(a, b)
+        numpy_corr = np.corrcoef(a, b)[0, 1]
+        assert ours == pytest.approx(numpy_corr, abs=1e-10)
+
+    def test_perfect_correlation(self):
+        a = np.linspace(1, 10, 50)
+        assert pair_correlation(a, 3 * a + 2) == pytest.approx(1.0)
+        assert pair_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(DataGenerationError):
+            pair_correlation([1.0] * 10, list(range(10)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataGenerationError):
+            pair_correlation([1, 2, 3], [1, 2])
+
+    def test_matrix_matches_pairwise(self):
+        rng = np.random.default_rng(1)
+        panel = rng.normal(size=(60, 5)).cumsum(axis=0) + 100
+        matrix = correlation_matrix(panel)
+        for i in range(5):
+            for j in range(5):
+                expected = pair_correlation(panel[:, i], panel[:, j])
+                assert matrix[i, j] == pytest.approx(expected, abs=1e-10)
+
+    def test_matrix_diagonal_and_symmetry(self):
+        rng = np.random.default_rng(2)
+        panel = rng.normal(size=(40, 6))
+        matrix = correlation_matrix(panel)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_degenerate_column_zeroed(self):
+        panel = np.column_stack([np.ones(30), np.arange(30.0)])
+        matrix = correlation_matrix(panel)
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 0] == 1.0
+
+    def test_bad_shapes(self):
+        with pytest.raises(DataGenerationError):
+            correlation_matrix(np.ones(10))
+        with pytest.raises(DataGenerationError):
+            correlation_matrix(np.ones((1, 3)))
+
+
+class TestSimulator:
+    def test_deterministic(self):
+        cfg = market_config("tiny")
+        p1 = StockMarketSimulator(cfg).simulate_period(0)
+        p2 = StockMarketSimulator(cfg).simulate_period(0)
+        assert p1.tickers == p2.tickers
+        assert np.array_equal(p1.prices, p2.prices)
+
+    def test_periods_differ(self):
+        sim = StockMarketSimulator(market_config("tiny"))
+        p0, p1 = sim.simulate_period(0), sim.simulate_period(1)
+        assert not np.array_equal(p0.prices[:, :10], p1.prices[:, :10])
+
+    def test_prices_positive(self):
+        panel = StockMarketSimulator(market_config("tiny")).simulate_period(0)
+        assert np.all(panel.prices > 0)
+
+    def test_universe_shrinks_but_groups_survive(self):
+        sim = StockMarketSimulator(market_config("tiny"))
+        panels = sim.simulate_all()
+        counts = [len(p.tickers) for p in panels]
+        assert counts[0] >= counts[-1]
+        for panel in panels:
+            assert set(FIGURE5_TICKERS) <= set(panel.tickers)
+
+    def test_figure5_group_stays_above_090(self):
+        sim = StockMarketSimulator(market_config("small"))
+        index12 = None
+        for panel in sim.simulate_all():
+            idx = {t: i for i, t in enumerate(panel.tickers)}
+            cols = [idx[t] for t in FIGURE5_TICKERS]
+            corr = correlation_matrix(panel.prices[:, cols])
+            off = corr[~np.eye(12, dtype=bool)]
+            assert off.min() > 0.90
+
+    def test_invalid_period(self):
+        sim = StockMarketSimulator(market_config("tiny"))
+        with pytest.raises(DataGenerationError):
+            sim.simulate_period(99)
+
+    def test_group_spec_validation(self):
+        with pytest.raises(DataGenerationError):
+            GroupSpec(tickers=("A", "B"), noise_scales=(0.1,))
+        with pytest.raises(DataGenerationError):
+            GroupSpec(tickers=("A", "A"), noise_scales=(0.1, 0.1))
+        with pytest.raises(DataGenerationError):
+            GroupSpec(tickers=("A",), noise_scales=(0.0,))
+
+    def test_duplicate_group_membership_rejected(self):
+        cfg = market_config("tiny")
+        cfg = MarketConfig(
+            n_stocks=cfg.n_stocks,
+            days_per_period=cfg.days_per_period,
+            n_sectors=cfg.n_sectors,
+            groups=[
+                GroupSpec.uniform(["DMF", "IQM"], 0.1),
+                GroupSpec.uniform(["DMF", "NUV"], 0.1),
+            ],
+        )
+        with pytest.raises(DataGenerationError):
+            StockMarketSimulator(cfg)
+
+    def test_unknown_group_ticker_rejected(self):
+        cfg = MarketConfig(groups=[GroupSpec.uniform(["@@@"], 0.1)])
+        with pytest.raises(DataGenerationError):
+            StockMarketSimulator(cfg)
+
+    def test_default_group_layout_uses_universe(self):
+        rng = np.random.default_rng(0)
+        universe = universe_with_figure5(200)
+        groups = default_group_structure(universe, 11, rng)
+        members = [t for g in groups for t in g.tickers]
+        assert len(members) == len(set(members))
+        assert set(members) <= set(universe)
+
+
+class TestMarketGraphs:
+    def test_threshold_validation(self):
+        with pytest.raises(DataGenerationError):
+            market_graph_from_correlations(["A"], np.eye(1), 1.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(DataGenerationError):
+            market_graph_from_correlations(["A", "B"], np.eye(3), 0.9)
+
+    def test_isolated_vertices_dropped_by_default(self):
+        corr = np.array([[1.0, 0.95, 0.0], [0.95, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        g = market_graph_from_correlations(["A", "B", "C"], corr, 0.9)
+        assert g.vertex_count == 2
+        kept = market_graph_from_correlations(["A", "B", "C"], corr, 0.9,
+                                              keep_isolated=True)
+        assert kept.vertex_count == 3
+
+    def test_edges_follow_threshold_strictly(self):
+        corr = np.array([[1.0, 0.90], [0.90, 1.0]])
+        g = market_graph_from_correlations(["A", "B"], corr, 0.90)
+        assert g.vertex_count == 0  # 0.90 is not > 0.90
+
+    def test_graph_from_prices_labels_are_tickers(self):
+        sim = StockMarketSimulator(market_config("tiny"))
+        panel = sim.simulate_period(0)
+        graph = market_graph_from_prices(panel, 0.9)
+        for v in graph.vertices():
+            assert graph.label(v) in panel.tickers
+
+    def test_density_increases_as_theta_falls(self):
+        dbs = stock_market_series((0.95, 0.90), scale="tiny")
+        assert dbs[1].total_edges() > dbs[0].total_edges()
+
+    def test_series_cache_returns_same_object(self):
+        a = stock_market_database(0.95, scale="tiny")
+        b = stock_market_database(0.95, scale="tiny")
+        assert a is b
+
+    def test_unknown_scale(self):
+        with pytest.raises(DataGenerationError):
+            market_config("galactic")
+
+
+class TestEndToEnd:
+    def test_figure5_recovered_at_tiny_scale(self):
+        from repro.core import mine_closed_cliques
+        from repro.stockmarket import maximum_group
+
+        db = stock_market_database(0.90, scale="tiny")
+        result = mine_closed_cliques(db, 1.0)
+        top = maximum_group(result, n_periods=len(db))
+        assert top is not None
+        assert set(FIGURE5_TICKERS) <= set(top.tickers)

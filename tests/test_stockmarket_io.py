@@ -1,0 +1,105 @@
+"""Tests for CSV price-panel I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FormatError
+from repro.stockmarket import (
+    StockMarketSimulator,
+    load_panels_csv,
+    load_period_csv,
+    market_config,
+    save_panels_csv,
+    save_period_csv,
+)
+from repro.stockmarket.pricegen import PeriodPrices
+
+
+def small_panel(period=0):
+    prices = np.array([[1.0, 2.0], [1.1, 2.2], [1.2, 2.1]])
+    return PeriodPrices(period=period, tickers=("AAA", "BBB"), prices=prices)
+
+
+class TestRoundTrip:
+    def test_single_period(self, tmp_path):
+        path = tmp_path / "p0.csv"
+        save_period_csv(small_panel(), path)
+        again = load_period_csv(path, period=0)
+        assert again.tickers == ("AAA", "BBB")
+        assert np.allclose(again.prices, small_panel().prices)
+
+    def test_custom_dates(self, tmp_path):
+        path = tmp_path / "p0.csv"
+        save_period_csv(small_panel(), path, dates=["d1", "d2", "d3"])
+        text = path.read_text()
+        assert text.splitlines()[1].startswith("d1,")
+
+    def test_date_count_mismatch(self, tmp_path):
+        with pytest.raises(FormatError):
+            save_period_csv(small_panel(), tmp_path / "x.csv", dates=["only-one"])
+
+    def test_multi_period_directory(self, tmp_path):
+        sim = StockMarketSimulator(market_config("tiny"))
+        panels = [sim.simulate_period(p) for p in range(3)]
+        paths = save_panels_csv(panels, tmp_path / "panels")
+        assert len(paths) == 3
+        again = load_panels_csv(paths)
+        for original, loaded in zip(panels, again):
+            assert loaded.tickers == original.tickers
+            assert np.allclose(loaded.prices, original.prices, atol=1e-5)
+
+    def test_pipeline_from_csv(self, tmp_path):
+        """Real-data path: CSV -> panels -> market graphs -> CLAN."""
+        from repro.core import mine_closed_cliques
+        from repro.graphdb import GraphDatabase
+        from repro.stockmarket import market_graph_from_prices
+
+        sim = StockMarketSimulator(market_config("tiny"))
+        paths = save_panels_csv(sim.simulate_all(), tmp_path / "panels")
+        panels = load_panels_csv(paths)
+        db = GraphDatabase(
+            [market_graph_from_prices(p, 0.9) for p in panels], name="csv"
+        )
+        result = mine_closed_cliques(db, 1.0)
+        assert result.max_size() >= 3
+
+
+class TestErrors:
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.csv"
+        path.write_text(text)
+        return path
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, ""))
+
+    def test_bad_header(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, "AAA,BBB\n1,2\n2,3\n"))
+
+    def test_duplicate_ticker(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, "date,A,A\nd,1,2\nd,2,3\n"))
+
+    def test_empty_ticker(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, "date,A,\nd,1,2\nd,2,3\n"))
+
+    def test_ragged_row(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, "date,A,B\nd,1\nd,2,3\n"))
+
+    def test_non_numeric_price(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, "date,A,B\nd,1,x\nd,2,3\n"))
+
+    def test_too_few_days(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_period_csv(self.write(tmp_path, "date,A,B\nd,1,2\n"))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        panel = load_period_csv(
+            self.write(tmp_path, "date,A,B\nd,1,2\n\nd,2,3\n")
+        )
+        assert panel.prices.shape == (2, 2)

@@ -1,0 +1,92 @@
+"""Tests for the call-graph substrate."""
+
+import pytest
+
+from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.exceptions import DataGenerationError
+from repro.telecom import (
+    CallGraphConfig,
+    CommunitySpec,
+    call_graph_database,
+    expected_communities,
+    subscriber_label,
+)
+
+
+class TestSpecs:
+    def test_community_validation(self):
+        with pytest.raises(DataGenerationError):
+            CommunitySpec(size=2)
+        with pytest.raises(DataGenerationError):
+            CommunitySpec(size=4, density=0.0)
+        with pytest.raises(DataGenerationError):
+            CommunitySpec(size=4, activity=1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenerationError):
+            CallGraphConfig(n_subscribers=5)
+        with pytest.raises(DataGenerationError):
+            CallGraphConfig(
+                n_subscribers=10,
+                communities=(CommunitySpec(size=6), CommunitySpec(size=6)),
+            )
+
+    def test_subscriber_labels_sort_numerically(self):
+        labels = [subscriber_label(i) for i in (0, 5, 50, 500)]
+        assert labels == sorted(labels)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = call_graph_database()
+        b = call_graph_database()
+        for g1, g2 in zip(a, b):
+            assert g1 == g2
+
+    def test_one_graph_per_day(self):
+        cfg = CallGraphConfig(n_days=7)
+        assert len(call_graph_database(cfg)) == 7
+
+    def test_all_subscribers_present_every_day(self):
+        db = call_graph_database()
+        for graph in db:
+            assert graph.vertex_count == 60
+
+    def test_full_density_community_is_daily_clique(self):
+        db = call_graph_database()
+        labels, spec = expected_communities()[2]
+        assert spec.density == 1.0
+        for graph in db:
+            vertices = [
+                v for v in graph.vertices() if graph.label(v) in set(labels)
+            ]
+            assert graph.is_clique(vertices)
+
+
+class TestMiningStory:
+    def test_exact_mining_finds_only_full_density_community(self):
+        db = call_graph_database()
+        result = mine_closed_cliques(db, 0.7, min_size=4)
+        found = {p.labels for p in result}
+        full = {l for l, s in expected_communities() if s.density == 1.0}
+        partial = {l for l, s in expected_communities() if s.density < 1.0}
+        assert found & full == full
+        assert not (found & partial)
+
+    def test_quasi_mining_recovers_partial_communities(self):
+        db = call_graph_database()
+        result = mine_closed_quasi_cliques(
+            db, 0.7, gamma=0.6, min_size=4, max_size=6
+        )
+        found = {p.labels for p in result}
+        labels, spec = expected_communities()[0]  # 6-member, density 0.85
+        assert labels in found
+
+    def test_low_activity_community_needs_lower_support(self):
+        db = call_graph_database()
+        labels, spec = expected_communities()[3]  # active 60% of days
+        assert spec.activity < 1.0
+        high = mine_closed_quasi_cliques(db, 0.8, gamma=0.6, min_size=5, max_size=5)
+        low = mine_closed_quasi_cliques(db, 0.4, gamma=0.6, min_size=5, max_size=5)
+        assert labels not in {p.labels for p in high}
+        assert labels in {p.labels for p in low}

@@ -1,0 +1,95 @@
+"""Tests for top-k closed clique mining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import mine_closed_cliques, mine_top_k_closed_cliques
+from repro.graphdb import labelled_clique_database
+from tests.conftest import make_random_database
+
+
+def reference_top_k(db, min_sup, k, min_size=1):
+    """Ground truth: mine everything, keep the k largest.
+
+    Ties at equal size break by the reversed-label tuple, descending —
+    the documented deterministic order of the top-k heap.
+    """
+    everything = mine_closed_cliques(db, min_sup, min_size=min_size)
+    ordered = sorted(
+        (p for p in everything if p.size >= min_size),
+        key=lambda p: (p.size, tuple(reversed(p.labels))),
+        reverse=True,
+    )
+    return ordered[:k]
+
+
+class TestBasics:
+    def test_top_one_is_maximum(self, paper_db):
+        result = mine_top_k_closed_cliques(paper_db, 2, k=1)
+        assert [p.key() for p in result] == ["abcd:2"]
+
+    def test_top_two_covers_all_closed(self, paper_db):
+        result = mine_top_k_closed_cliques(paper_db, 2, k=2)
+        assert [p.key() for p in result] == ["abcd:2", "bde:2"]
+
+    def test_k_larger_than_result_set(self, paper_db):
+        result = mine_top_k_closed_cliques(paper_db, 2, k=50)
+        assert len(result) == 2
+
+    def test_largest_first_ordering(self):
+        db = labelled_clique_database(
+            [(("a", "b", "c", "d", "e"), 2), (("p", "q", "r"), 2), (("x", "y"), 2)],
+            n_graphs=2,
+        )
+        result = mine_top_k_closed_cliques(db, 2, k=3)
+        assert [p.size for p in result] == [5, 3, 2]
+
+    def test_min_size_floor(self):
+        db = labelled_clique_database(
+            [(("a", "b", "c"), 2), (("x", "y"), 2)], n_graphs=2
+        )
+        result = mine_top_k_closed_cliques(db, 2, k=5, min_size=3)
+        assert [p.key() for p in result] == ["abc:2"]
+
+    def test_witnesses_verify(self, paper_db):
+        for pattern in mine_top_k_closed_cliques(paper_db, 2, k=2):
+            pattern.verify(paper_db)
+
+    def test_bound_prunes_subtrees(self):
+        """With k=1 and one dominant clique, the bound must cut work
+        relative to exhaustive closed mining."""
+        db = labelled_clique_database(
+            [(("a", "b", "c", "d", "e", "f"), 2)]
+            + [((chr(ord("g") + i), chr(ord("g") + i + 1)), 2) for i in range(0, 12, 2)],
+            n_graphs=2,
+        )
+        full = mine_closed_cliques(db, 2)
+        topk = mine_top_k_closed_cliques(db, 2, k=1)
+        assert topk.statistics.prefixes_visited <= full.statistics.prefixes_visited
+        assert [p.size for p in topk] == [6]
+
+
+class TestAgainstReference:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 50_000), k=st.integers(1, 6), min_sup=st.integers(1, 3))
+    def test_matches_truncated_full_mining(self, seed, k, min_sup):
+        db = make_random_database(seed)
+        expected = [(p.size, p.labels) for p in reference_top_k(db, min_sup, k)]
+        found = [
+            (p.size, p.labels) for p in mine_top_k_closed_cliques(db, min_sup, k)
+        ]
+        assert found == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_min_size_consistency(self, seed):
+        db = make_random_database(seed)
+        expected = [
+            (p.size, p.labels) for p in reference_top_k(db, 2, 4, min_size=2)
+        ]
+        found = [
+            (p.size, p.labels)
+            for p in mine_top_k_closed_cliques(db, 2, k=4, min_size=2)
+        ]
+        assert found == expected

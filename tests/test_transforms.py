@@ -1,0 +1,129 @@
+"""Tests for database transformations."""
+
+import pytest
+
+from repro.core import mine_closed_cliques
+from repro.exceptions import DatabaseError
+from repro.graphdb import (
+    GraphDatabase,
+    add_edge_noise,
+    drop_labels,
+    filter_transactions,
+    label_projection_map,
+    merge_databases,
+    paper_example_database,
+    relabel_database,
+    restrict_labels,
+)
+
+
+class TestMerge:
+    def test_merge_concatenates(self, paper_db):
+        merged = merge_databases([paper_db, paper_db])
+        assert len(merged) == 4
+        assert merged[2].labels() == paper_db[0].labels()
+
+    def test_merge_doubles_supports(self, paper_db):
+        merged = merge_databases([paper_db, paper_db])
+        result = mine_closed_cliques(merged, 4)
+        assert sorted(p.key() for p in result) == ["abcd:4", "bde:4"]
+
+    def test_merge_copies(self, paper_db):
+        merged = merge_databases([paper_db])
+        merged[0].remove_vertex(1)
+        assert paper_db[0].has_vertex(1)
+
+
+class TestRelabel:
+    def test_identity_mapping(self, paper_db):
+        same = relabel_database(paper_db, {})
+        assert same.distinct_labels() == paper_db.distinct_labels()
+
+    def test_rename(self, paper_db):
+        renamed = relabel_database(paper_db, {"a": "alpha"})
+        assert "alpha" in renamed.distinct_labels()
+        assert "a" not in renamed.distinct_labels()
+
+    def test_merging_labels_coarsens_patterns(self, paper_db):
+        # Map d -> b: the abcd clique becomes abbc.
+        coarse = relabel_database(paper_db, {"d": "b"})
+        result = mine_closed_cliques(coarse, 2)
+        keys = {p.key() for p in result}
+        assert "abbc:2" in keys
+
+    def test_strict_requires_total_mapping(self, paper_db):
+        with pytest.raises(DatabaseError):
+            relabel_database(paper_db, {"a": "x"}, strict=True)
+        total = label_projection_map(paper_db, {"a": "x"})
+        relabel_database(paper_db, total, strict=True)
+
+
+class TestLabelRestriction:
+    def test_restrict_keeps_only_whitelist(self, paper_db):
+        small = restrict_labels(paper_db, ["b", "d", "e"])
+        assert small.distinct_labels() == {"b", "d", "e"}
+        result = mine_closed_cliques(small, 2)
+        assert "bde:2" in {p.key() for p in result}
+
+    def test_drop_labels_complement(self, paper_db):
+        dropped = drop_labels(paper_db, ["a", "c"])
+        assert dropped.distinct_labels() == {"b", "d", "e"}
+
+    def test_restriction_preserves_transaction_count(self, paper_db):
+        small = restrict_labels(paper_db, ["zz"])
+        assert len(small) == 2
+        assert all(g.vertex_count == 0 for g in small)
+
+
+class TestFilterTransactions:
+    def test_predicate_filtering(self, paper_db):
+        only_big = filter_transactions(paper_db, lambda g: g.edge_count > 10)
+        assert len(only_big) == 1
+
+    def test_empty_result_allowed(self, paper_db):
+        none = filter_transactions(paper_db, lambda g: False)
+        assert len(none) == 0
+
+
+class TestEdgeNoise:
+    def test_zero_noise_is_identity(self, paper_db):
+        same = add_edge_noise(paper_db, 0.0, 0.0, seed=1)
+        for original, copy in zip(paper_db, same):
+            assert original == copy
+
+    def test_full_removal(self, paper_db):
+        empty = add_edge_noise(paper_db, remove_probability=1.0, seed=1)
+        assert empty.total_edges() == 0
+
+    def test_full_addition(self, paper_db):
+        complete = add_edge_noise(paper_db, add_probability=1.0, seed=1)
+        for graph in complete:
+            n = graph.vertex_count
+            assert graph.edge_count == n * (n - 1) // 2
+
+    def test_determinism(self, paper_db):
+        a = add_edge_noise(paper_db, 0.3, 0.3, seed=9)
+        b = add_edge_noise(paper_db, 0.3, 0.3, seed=9)
+        for g1, g2 in zip(a, b):
+            assert g1 == g2
+
+    def test_invalid_probability(self, paper_db):
+        with pytest.raises(DatabaseError):
+            add_edge_noise(paper_db, add_probability=1.5)
+
+    def test_noise_degrades_recovery(self):
+        """Robustness loop: with enough removal noise the planted
+        pattern stops being exactly recoverable."""
+        from repro.analysis import evaluate_recovery
+        from repro.graphdb import labelled_clique_database
+
+        db = labelled_clique_database([(tuple("PQRSTU"), 4)], n_graphs=4)
+        clean = evaluate_recovery(
+            mine_closed_cliques(db, 4), [(tuple("PQRSTU"), 4)]
+        )
+        assert clean.exact_recall == 1.0
+        noisy_db = add_edge_noise(db, remove_probability=0.5, seed=3)
+        noisy = evaluate_recovery(
+            mine_closed_cliques(noisy_db, 4), [(tuple("PQRSTU"), 4)]
+        )
+        assert noisy.mean_coverage < 1.0

@@ -1,0 +1,89 @@
+"""Tests for database validation."""
+
+import pytest
+
+from repro.exceptions import DatabaseError
+from repro.graphdb import Graph, GraphDatabase, paper_example_database, validate_database
+
+
+class TestCleanDatabases:
+    def test_paper_example_valid(self, paper_db):
+        report = validate_database(paper_db)
+        assert report.ok
+        assert report.findings == []
+        assert "no findings" in report.render()
+        report.raise_if_invalid()
+
+    def test_replicated_database_warns_about_duplicates(self, paper_db):
+        report = validate_database(paper_db.replicate(2))
+        assert report.ok  # duplicates are warnings, not errors
+        assert any("identical to transaction" in f.message for f in report.warnings)
+
+
+class TestProblemDetection:
+    def test_empty_database_is_error(self):
+        report = validate_database(GraphDatabase())
+        assert not report.ok
+        with pytest.raises(DatabaseError):
+            report.raise_if_invalid()
+
+    def test_empty_transaction_warns(self):
+        db = GraphDatabase([Graph(), Graph.from_edges({0: "a"}, [])])
+        report = validate_database(db)
+        assert report.ok
+        assert any("no vertices" in f.message for f in report.warnings)
+
+    def test_edgeless_transaction_warns(self):
+        db = GraphDatabase([Graph.from_edges({0: "a", 1: "b"}, [])])
+        report = validate_database(db)
+        assert any("no edges" in f.message for f in report.warnings)
+
+    def test_empty_label_is_error(self):
+        g = Graph()
+        g.add_vertex(0, "")
+        report = validate_database(GraphDatabase([g]))
+        assert not report.ok
+        assert any("empty label" in f.message for f in report.errors)
+
+    def test_whitespace_label_warns(self):
+        g = Graph()
+        g.add_vertex(0, " a")
+        report = validate_database(GraphDatabase([g]))
+        assert report.ok
+        assert any("whitespace" in f.message for f in report.warnings)
+
+    def test_non_string_label_is_error(self):
+        g = Graph()
+        g.add_vertex(0, 42)  # type: ignore[arg-type]
+        report = validate_database(GraphDatabase([g]))
+        assert not report.ok
+
+    def test_corrupted_adjacency_is_error(self):
+        g = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        g._adjacency[0].add(99)  # simulate internal corruption
+        report = validate_database(GraphDatabase([g]))
+        assert not report.ok
+        assert any("unknown vertex" in f.message for f in report.errors)
+
+    def test_asymmetric_adjacency_is_error(self):
+        g = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1)])
+        g._adjacency[0].add(2)  # one-directional corruption
+        report = validate_database(GraphDatabase([g]))
+        assert not report.ok
+        assert any("asymmetric" in f.message for f in report.errors)
+
+    def test_finding_cap(self):
+        g = Graph()
+        for i in range(300):
+            g.add_vertex(i, "")
+        report = validate_database(GraphDatabase([g]), max_findings=10)
+        assert len(report.findings) == 10
+
+    def test_error_summary_truncated(self):
+        g = Graph()
+        for i in range(10):
+            g.add_vertex(i, "")
+        report = validate_database(GraphDatabase([g]))
+        with pytest.raises(DatabaseError) as excinfo:
+            report.raise_if_invalid()
+        assert "more)" in str(excinfo.value)
