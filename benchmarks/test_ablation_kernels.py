@@ -1,0 +1,110 @@
+"""Ablation — set kernel vs bitset kernel on the paper workloads.
+
+Both kernels run the identical CLAN algorithm (the differential suite
+enforces byte-identical results and statistics); the only difference
+is the candidate-set representation, so the runtime gap is a pure
+measure of the bitset engineering.  Measured on the Figure 6(a) sweep
+(six market databases × four thresholds) and a Figure 7(b) style
+replicated workload; the Figure 6(a) numbers are also written to
+``BENCH_kernels.json`` at the repo root as the perf-trajectory
+baseline for future PRs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.core import BITSET, SET, ClanMiner, MinerConfig
+from repro.stockmarket import PAPER_THETAS
+
+from conftest import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUPPORTS = (1.00, 0.95, 0.90, 0.85)
+ROUNDS = 3  # best-of, to shed scheduler noise
+
+
+def fig6a_sweep(market_databases, kernel):
+    config = MinerConfig(kernel=kernel)
+    keys = []
+    started = time.perf_counter()
+    for theta in PAPER_THETAS:
+        miner = ClanMiner(market_databases[theta], config)
+        for min_sup in SUPPORTS:
+            keys.append(sorted(p.key() for p in miner.mine(min_sup)))
+    return time.perf_counter() - started, keys
+
+
+def fig7b_cell(market_databases, kernel):
+    replica = market_databases[0.95].replicate(4)
+    config = MinerConfig(kernel=kernel)
+    started = time.perf_counter()
+    result = ClanMiner(replica, config).mine(0.85)
+    return time.perf_counter() - started, sorted(p.key() for p in result)
+
+
+def best_of(measure, *args):
+    best_seconds, keys = measure(*args)
+    for _ in range(ROUNDS - 1):
+        seconds, _ = measure(*args)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, keys
+
+
+def test_ablation_kernels(benchmark, market_databases, scale):
+    benchmark.pedantic(
+        lambda: fig6a_sweep(market_databases, BITSET), rounds=1, iterations=1
+    )
+
+    timings = {}
+    reference_keys = {}
+    for kernel in (SET, BITSET):
+        sweep_seconds, sweep_keys = best_of(fig6a_sweep, market_databases, kernel)
+        cell_seconds, cell_keys = best_of(fig7b_cell, market_databases, kernel)
+        timings[kernel] = {"fig6a_sweep": sweep_seconds, "fig7b_x4": cell_seconds}
+        keys = {"fig6a": sweep_keys, "fig7b": cell_keys}
+        if not reference_keys:
+            reference_keys = keys
+        else:
+            # The kernels must be indistinguishable on results.
+            assert keys == reference_keys, kernel
+
+    rows = []
+    for workload in ("fig6a_sweep", "fig7b_x4"):
+        set_s = timings[SET][workload]
+        bit_s = timings[BITSET][workload]
+        rows.append(
+            [workload, f"{set_s:.3f}", f"{bit_s:.3f}", f"{set_s / bit_s:.2f}x"]
+        )
+    table = format_table(
+        ["workload", "set (s)", "bitset (s)", "speedup"],
+        rows,
+        title=f"Kernel ablation, best of {ROUNDS} (scale={scale})",
+    )
+    write_report("kernels", table)
+
+    record = {
+        "benchmark": "kernel ablation (set vs bitset)",
+        "scale": scale,
+        "rounds": ROUNDS,
+        "workloads": {
+            "fig6a_sweep": "6 market databases x supports 100/95/90/85%",
+            "fig7b_x4": "SM-0.95 replicated x4 @ 85%",
+        },
+        "set_seconds": timings[SET],
+        "bitset_seconds": timings[BITSET],
+        "speedup": {
+            workload: timings[SET][workload] / timings[BITSET][workload]
+            for workload in timings[SET]
+        },
+    }
+    (REPO_ROOT / "BENCH_kernels.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Acceptance bar: the default (bitset) kernel is at least 2x the
+    # set kernel on the fig6a workload (generous slack for CI noise —
+    # the recorded json carries the true ratio).
+    if scale in ("small", "medium", "paper"):
+        assert record["speedup"]["fig6a_sweep"] >= 1.5

@@ -89,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--stats", action="store_true", help="print search statistics")
     mine.add_argument("--processes", type=int, default=1,
                       help="worker processes for parallel closed mining")
+    mine.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
+                      help="candidate-intersection kernel: integer bitmasks "
+                           "(default) or the hashed-set reference")
     mine.add_argument("--require", default=None, metavar="L1,L2",
                       help="only report cliques containing all these labels")
     mine.add_argument("--allow", default=None, metavar="L1,L2",
@@ -210,7 +213,9 @@ def cmd_mine(args: argparse.Namespace) -> int:
     elif args.processes > 1 and not args.all_frequent:
         from .core.parallel import mine_closed_cliques_parallel
 
-        config = MinerConfig(min_size=args.min_size, max_size=args.max_size)
+        config = MinerConfig(
+            min_size=args.min_size, max_size=args.max_size, kernel=args.kernel
+        )
         result = mine_closed_cliques_parallel(
             database, min_sup, processes=args.processes, config=config
         )
@@ -221,6 +226,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             nonclosed_prefix_pruning=not args.all_frequent,
             min_size=args.min_size,
             max_size=args.max_size,
+            kernel=args.kernel,
         )
         result = ClanMiner(database, config).mine(min_sup)
         kind = "frequent" if args.all_frequent else "closed"

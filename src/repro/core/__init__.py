@@ -28,7 +28,7 @@ from .constraints import (
     mine_with_constraints,
     project_database,
 )
-from .embeddings import CACHED, RESCAN, EmbeddingStore
+from .embeddings import BITSET, CACHED, RESCAN, SET, EmbeddingStore
 from .incremental import IncrementalMiner
 from .lattice import CliqueLattice
 from .maximal import maximal_subset, mine_maximal_cliques
@@ -55,7 +55,9 @@ from .results import MiningResult
 from .statistics import MinerStatistics
 
 __all__ = [
+    "BITSET",
     "CACHED",
+    "SET",
     "CanonicalForm",
     "ClanMiner",
     "CliqueConstraints",

@@ -128,18 +128,26 @@ class CanonicalForm:
                 f"extension label {label!r} is smaller than the last label "
                 f"{self.labels[-1]!r}; CLAN only grows canonical prefixes"
             )
-        return CanonicalForm(self.labels + (label,))
+        # Canonical by induction (sorted prefix + label ≥ last), so the
+        # ctor's re-validation — O(size) per DFS step — is skipped.
+        form = CanonicalForm.__new__(CanonicalForm)
+        form.labels = self.labels + (label,)
+        return form
 
     def direct_prefix(self) -> "CanonicalForm":
         """Drop the last label (Lemma 4.2 guarantees this is canonical)."""
         if not self.labels:
             raise PatternError("the empty canonical form has no direct prefix")
-        return CanonicalForm(self.labels[:-1])
+        form = CanonicalForm.__new__(CanonicalForm)
+        form.labels = self.labels[:-1]
+        return form
 
     def prefixes(self) -> Iterator["CanonicalForm"]:
         """Yield all non-empty proper prefixes, shortest first."""
         for length in range(1, len(self.labels)):
-            yield CanonicalForm(self.labels[:length])
+            form = CanonicalForm.__new__(CanonicalForm)
+            form.labels = self.labels[:length]
+            yield form
 
     def label_counts(self) -> Dict[Label, int]:
         """Return the multiplicity of each label."""

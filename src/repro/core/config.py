@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..exceptions import MiningError
-from .embeddings import CACHED, RESCAN
+from .embeddings import BITSET, CACHED, RESCAN, SET
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,13 @@ class MinerConfig:
     embedding_strategy:
         ``"cached"`` (incremental common-neighbour sets, default) or
         ``"rescan"`` (paper-literal database scans).
+    kernel:
+        ``"bitset"`` (default) intersects candidate-extension sets as
+        arbitrary-precision integer bitmasks — one ``&`` per
+        intersection; ``"set"`` is the original hashed-``set``
+        implementation, kept for ablation and differential testing.
+        Both kernels produce identical results under every strategy
+        and pruning combination.
     collect_witnesses:
         Record one witness embedding per supporting transaction in each
         reported pattern.
@@ -58,6 +65,7 @@ class MinerConfig:
     min_size: int = 1
     max_size: Optional[int] = None
     embedding_strategy: str = CACHED
+    kernel: str = BITSET
     collect_witnesses: bool = True
     max_embeddings: Optional[int] = None
 
@@ -72,6 +80,10 @@ class MinerConfig:
             raise MiningError(
                 f"embedding_strategy must be {CACHED!r} or {RESCAN!r}, "
                 f"got {self.embedding_strategy!r}"
+            )
+        if self.kernel not in (SET, BITSET):
+            raise MiningError(
+                f"kernel must be {SET!r} or {BITSET!r}, got {self.kernel!r}"
             )
         if self.nonclosed_prefix_pruning and not self.closed_only:
             raise MiningError(
@@ -96,6 +108,12 @@ class MinerConfig:
     def all_frequent(cls, **overrides: object) -> "MinerConfig":
         """Mine all frequent cliques (Figure 4's full lattice contents)."""
         return cls(closed_only=False, nonclosed_prefix_pruning=False, **overrides)  # type: ignore[arg-type]
+
+    def with_kernel(self, kernel: str) -> "MinerConfig":
+        """Return a copy running on the named kernel (for ablations)."""
+        from dataclasses import replace
+
+        return replace(self, kernel=kernel)
 
     def without(self, pruning: str) -> "MinerConfig":
         """Return a copy with one named pruning disabled (for ablations)."""

@@ -16,7 +16,7 @@ Two candidate-generation strategies are provided:
 ``cached``
     Each embedding carries its *extension-vertex set* (the common
     neighbourhood of its vertices, the ``V_i`` of Section 4.3), updated
-    incrementally by one set intersection per extension.  This is the
+    incrementally by one intersection per extension.  This is the
     default and by far the fastest in Python.
 
 ``rescan``
@@ -27,6 +27,22 @@ Two candidate-generation strategies are provided:
     exists so the pseudo low-degree pruning ablation measures what the
     paper's design actually saves.
 
+Orthogonally to the strategy, two *kernels* implement the set algebra:
+
+``bitset`` (default)
+    Vertex sets are arbitrary-precision integer bitmasks over the
+    graph's sorted-vertex-id bit order
+    (:meth:`repro.graphdb.graph.Graph.bit_index`).  Intersections are
+    single ``&`` operations, the pseudo-database survivor index is
+    ANDed in as a mask, and per-transaction extension labels are read
+    off the union mask's set bits.
+
+``set``
+    The original hashed ``set`` implementation, kept for ablation and
+    as the differential-testing reference.  Both kernels enumerate
+    embeddings in identical order (ascending vertex id within each
+    label group) and produce identical results.
+
 Embeddings with equal labels are generated with vertex ids ascending
 inside each label group, so every vertex *set* is enumerated exactly
 once even though label multisets are not sets.
@@ -34,26 +50,46 @@ once even though label multisets are not sets.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..exceptions import MiningError
+from ..graphdb.bitset import iter_bits, lowest_bit, popcount
 from ..graphdb.core_index import PseudoDatabase
 from ..graphdb.database import GraphDatabase
 from .canonical import Label
+from .closure import fully_connected_old_labels, fully_connected_old_labels_mask
 
 #: One embedding: its vertex tuple (in canonical label order) and, in
-#: ``cached`` mode, the set of vertices adjacent to all of them.
-EmbeddingRecord = Tuple[Tuple[int, ...], Optional[Set[int]]]
+#: ``cached`` mode, its extension-vertex set — a ``set`` of vertex ids
+#: under the ``set`` kernel, an ``int`` bitmask under ``bitset``.
+EmbeddingRecord = Tuple[Tuple[int, ...], Union[Set[int], int, None]]
 
 CACHED = "cached"
 RESCAN = "rescan"
 _STRATEGIES = (CACHED, RESCAN)
 
+SET = "set"
+BITSET = "bitset"
+_KERNELS = (SET, BITSET)
+
+# Sentinel: "look the aligned space up from the database" (``None`` is
+# a valid explicit value, meaning "no aligned space").
+_SPACE_LOOKUP = object()
+
 
 class EmbeddingStore:
     """Embeddings of one prefix clique across all supporting transactions."""
 
-    __slots__ = ("database", "pseudo", "strategy", "size", "by_transaction")
+    __slots__ = (
+        "database",
+        "pseudo",
+        "strategy",
+        "kernel",
+        "size",
+        "by_transaction",
+        "space",
+        "_ties",
+    )
 
     def __init__(
         self,
@@ -62,15 +98,37 @@ class EmbeddingStore:
         strategy: str,
         size: int,
         by_transaction: Dict[int, List[EmbeddingRecord]],
+        kernel: str = BITSET,
+        space: object = _SPACE_LOOKUP,
     ) -> None:
-        """``pseudo=None`` disables low-degree pruning in ``rescan`` mode."""
+        """``pseudo=None`` disables low-degree pruning in ``rescan`` mode.
+
+        ``space`` is internal plumbing: derived stores (``extend`` and
+        friends) hand their own aligned label space down so the
+        database-level lookup-and-validate happens once per mining
+        call, not once per prefix.
+        """
         if strategy not in _STRATEGIES:
             raise MiningError(f"unknown embedding strategy {strategy!r}; use one of {_STRATEGIES}")
+        if kernel not in _KERNELS:
+            raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
         self.database = database
         self.pseudo = pseudo
         self.strategy = strategy
+        self.kernel = kernel
         self.size = size
         self.by_transaction = by_transaction
+        # Aligned label space (unique-label databases only): masks live
+        # in the database-global label bit order instead of per-graph
+        # vertex bit order, enabling bit-sliced support counting.
+        if space is _SPACE_LOOKUP:
+            space = database.aligned_space() if kernel == BITSET else None
+        self.space = space
+        # Tie cache: labels whose extension support equals the prefix
+        # support, recorded by the last extension_plan() call.  A
+        # Lemma 4.4 blocking label necessarily ties the support, so
+        # the nonclosed scan restricts itself to this set when known.
+        self._ties: Optional[Union[Set[Label], int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,19 +140,32 @@ class EmbeddingStore:
         pseudo: Optional[PseudoDatabase],
         label: Label,
         strategy: str = CACHED,
+        kernel: str = BITSET,
     ) -> "EmbeddingStore":
         """Embeddings of the 1-clique with the given label."""
+        if strategy not in _STRATEGIES:
+            raise MiningError(f"unknown embedding strategy {strategy!r}; use one of {_STRATEGIES}")
+        if kernel not in _KERNELS:
+            raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
+        bitset = kernel == BITSET
+        space = database.aligned_space() if bitset else None
         by_transaction: Dict[int, List[EmbeddingRecord]] = {}
         for tid, graph in enumerate(database):
             records: List[EmbeddingRecord] = []
             for vertex in sorted(graph.vertices_with_label(label)):
                 if strategy == CACHED:
-                    records.append(((vertex,), set(graph.neighbors(vertex))))
+                    if space is not None:
+                        cached: Union[Set[int], int] = space.views[tid].neighbor_masks[vertex]
+                    elif bitset:
+                        cached = graph.neighbor_mask(vertex)
+                    else:
+                        cached = set(graph.neighbors(vertex))
+                    records.append(((vertex,), cached))
                 else:
                     records.append(((vertex,), None))
             if records:
                 by_transaction[tid] = records
-        return cls(database, pseudo, strategy, 1, by_transaction)
+        return cls(database, pseudo, strategy, 1, by_transaction, kernel, space)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -107,18 +178,26 @@ class EmbeddingStore:
     @property
     def embedding_count(self) -> int:
         """Total embeddings across all transactions."""
-        return sum(len(records) for records in self.by_transaction.values())
+        return sum(map(len, self.by_transaction.values()))
 
     def transactions(self) -> Tuple[int, ...]:
         """Supporting transaction ids, sorted."""
         return tuple(sorted(self.by_transaction))
 
     def witnesses(self) -> Dict[int, Tuple[int, ...]]:
-        """One witness embedding (sorted vertex tuple) per transaction."""
-        return {
-            tid: tuple(sorted(records[0][0]))
-            for tid, records in self.by_transaction.items()
-        }
+        """One witness embedding (sorted vertex tuple) per transaction.
+
+        The lexicographically smallest embedding is chosen so the
+        reported witness is deterministic and identical across kernels
+        and embedding strategies.
+        """
+        witnesses: Dict[int, Tuple[int, ...]] = {}
+        for tid, records in self.by_transaction.items():
+            if len(records) == 1:
+                witnesses[tid] = tuple(sorted(records[0][0]))
+            else:
+                witnesses[tid] = min(tuple(sorted(vertices)) for vertices, _ in records)
+        return witnesses
 
     def iter_embeddings(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
         """Yield ``(transaction id, vertex tuple)`` for every embedding."""
@@ -130,7 +209,18 @@ class EmbeddingStore:
     # Candidate (extension-vertex) computation
     # ------------------------------------------------------------------
     def _candidates(self, tid: int, record: EmbeddingRecord) -> Set[int]:
-        """The extension-vertex set ``V_i`` of one embedding."""
+        """The extension-vertex set ``V_i`` of one embedding, as a set.
+
+        Kernel-independent accessor (under the bitset kernel the mask
+        is expanded to vertex ids); external consumers such as the
+        top-k miner use it, while the hot paths below stay in whichever
+        representation the kernel dictates.
+        """
+        if self.kernel == BITSET:
+            mask = self._candidates_mask(tid, record)
+            if self.space is not None:
+                return set(self.space.views[tid].vertices_of(mask))
+            return set(self.database[tid].vertices_from_mask(mask))
         vertices, cached = record
         if cached is not None:
             return cached
@@ -153,6 +243,40 @@ class EmbeddingStore:
                 candidates.add(vertex)
         return candidates
 
+    def _candidates_mask(self, tid: int, record: EmbeddingRecord) -> int:
+        """The extension-vertex set of one embedding, as a bitmask.
+
+        In ``rescan`` mode the pseudo-database pruning of Observation
+        4.1 becomes one AND with the level's surviving-vertex mask, and
+        "adjacent to the whole embedding" is the AND of the members'
+        neighbour masks (each member is absent from its own mask, so
+        members need no explicit exclusion).
+        """
+        vertices, cached = record
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        space = self.space
+        if space is not None:
+            view = space.views[tid]
+            if self.pseudo is not None:
+                mask = view.usable_mask_at(self.pseudo.index(tid), self.size + 1)
+            else:
+                mask = view.present_mask
+            neighbor_masks = view.neighbor_masks
+        else:
+            graph = self.database[tid]
+            index = graph.bit_index()
+            if self.pseudo is not None:
+                mask = self.pseudo.index(tid).usable_mask_at(self.size + 1)
+            else:
+                mask = index.all_mask
+            neighbor_masks = index.neighbor_masks
+        for vertex in vertices:
+            mask &= neighbor_masks[vertex]
+            if not mask:
+                break
+        return mask
+
     # ------------------------------------------------------------------
     # Scans of Algorithm 1
     # ------------------------------------------------------------------
@@ -164,6 +288,10 @@ class EmbeddingStore:
         (β ≥ last label) and *old* (β < last label) extension vertices,
         which is exactly what the closure check of Lemma 4.3 needs.
         """
+        if self.kernel == BITSET:
+            if self.space is not None:
+                return self._extension_supports_aligned()
+            return self._extension_supports_mask()
         supports: Dict[Label, int] = {}
         for tid, records in self.by_transaction.items():
             get_label = self.database[tid].label_map().__getitem__
@@ -174,6 +302,208 @@ class EmbeddingStore:
                 supports[label] = supports.get(label, 0) + 1
         return supports
 
+    def _extension_slices(self) -> List[int]:
+        """Carry-save counter of extension labels across transactions.
+
+        Aligned space only: per-transaction candidate unions all live
+        in the same label bit space, so "in how many transactions does
+        label β extend C" is binary addition of the union masks.  The
+        returned slice masks hold every label's count bit-sliced (bit
+        β of ``slices[i]`` is bit ``i`` of β's count), built with a
+        couple of word-parallel operations per transaction — no
+        per-label work happens here at all.
+        """
+        slices: List[int] = []
+        if self.strategy == CACHED:
+            for records in self.by_transaction.values():
+                if len(records) == 1:
+                    carry = records[0][1]
+                else:
+                    carry = 0
+                    for _, cached in records:
+                        carry |= cached  # type: ignore[operator]
+                for i in range(len(slices)):
+                    if not carry:
+                        break
+                    slice_i = slices[i]
+                    slices[i] = slice_i ^ carry
+                    carry &= slice_i
+                if carry:
+                    slices.append(carry)
+            return slices
+        for tid, records in self.by_transaction.items():
+            carry = 0
+            for record in records:
+                carry |= self._candidates_mask(tid, record)
+            for i in range(len(slices)):
+                if not carry:
+                    break
+                slice_i = slices[i]
+                slices[i] = slice_i ^ carry
+                carry &= slice_i
+            if carry:
+                slices.append(carry)
+        return slices
+
+    def _extension_supports_aligned(self) -> Dict[Label, int]:
+        """Aligned-space kernel: read the supports off the slice counter."""
+        slices = self._extension_slices()
+        supports: Dict[Label, int] = {}
+        total = 0
+        for slice_i in slices:
+            total |= slice_i
+        labels = self.space.labels  # type: ignore[union-attr]
+        n_slices = len(slices)
+        while total:
+            top = total.bit_length() - 1
+            bit = 1 << top
+            total ^= bit
+            count = 0
+            for i in range(n_slices):
+                if slices[i] & bit:
+                    count += 1 << i
+            supports[labels[top]] = count
+        return supports
+
+    def extension_plan(
+        self, abs_sup: int
+    ) -> Tuple[List[Tuple[Label, int]], int, bool]:
+        """Digest of one extension scan, as the miner consumes it.
+
+        Returns ``(frequent, n_infrequent, blocking)``:
+
+        * ``frequent`` — the extension labels with support ≥ ``abs_sup``
+          in ascending label order, each with its support,
+        * ``n_infrequent`` — how many extension labels fell below the
+          threshold (feeds the statistics counter),
+        * ``blocking`` — whether some extension label ties the prefix
+          support, i.e. the Lemma 4.3 closure check *fails*.
+
+        Semantically equivalent to post-processing
+        :meth:`extension_supports`, which is what the generic kernels
+        do; the aligned bitset kernel instead answers the threshold
+        and tie questions word-parallel on the bit-sliced counter and
+        only ever extracts the (few) frequent labels.
+        """
+        if self.space is not None:
+            return self._extension_plan_aligned(abs_sup)
+        supports = self.extension_supports()
+        prefix_support = self.support
+        frequent: List[Tuple[Label, int]] = []
+        infrequent = 0
+        ties: Set[Label] = set()
+        for label in sorted(supports):
+            count = supports[label]
+            if count == prefix_support:
+                ties.add(label)
+            if count >= abs_sup:
+                frequent.append((label, count))
+            else:
+                infrequent += 1
+        self._ties = ties
+        return frequent, infrequent, bool(ties)
+
+    def _extension_plan_aligned(
+        self, abs_sup: int
+    ) -> Tuple[List[Tuple[Label, int]], int, bool]:
+        """Word-parallel threshold/tie tests on the slice counter.
+
+        ``count == prefix support`` is an AND chain matching the
+        support's binary digits; ``count >= abs_sup`` is the standard
+        bit-sliced subtraction borrow (a label is frequent iff
+        ``count - abs_sup`` produces no borrow).  Only frequent labels
+        — the ones the miner recurses into anyway — are extracted.
+        """
+        slices = self._extension_slices()
+        total = 0
+        for slice_i in slices:
+            total |= slice_i
+        if not total:
+            return [], 0, False
+        n_slices = len(slices)
+
+        prefix_support = self.support
+        equal = 0
+        if not prefix_support >> n_slices:  # else no count can reach it
+            equal = total
+            for i in range(n_slices):
+                if (prefix_support >> i) & 1:
+                    equal &= slices[i]
+                else:
+                    equal &= ~slices[i]
+                if not equal:
+                    break
+        self._ties = equal
+        blocking = bool(equal)
+
+        if abs_sup >> n_slices:  # threshold above any representable count
+            frequent_mask = 0
+        else:
+            borrow = 0
+            for i in range(n_slices):
+                slice_i = slices[i]
+                if (abs_sup >> i) & 1:
+                    borrow = ~slice_i | (borrow & slice_i)
+                else:
+                    borrow &= ~slice_i
+            frequent_mask = total & ~borrow
+        infrequent = popcount(total) - popcount(frequent_mask)
+
+        labels = self.space.labels  # type: ignore[union-attr]
+        frequent: List[Tuple[Label, int]] = []
+        scan = frequent_mask
+        while scan:
+            low = scan & -scan
+            scan ^= low
+            count = 0
+            for i in range(n_slices):
+                if slices[i] & low:
+                    count += 1 << i
+            frequent.append((labels[low.bit_length() - 1], count))
+        return frequent, infrequent, blocking
+
+    def _extension_supports_mask(self) -> Dict[Label, int]:
+        """Bitset kernel: union the candidate masks, then read labels off.
+
+        One ``|`` per embedding collapses the transaction's candidate
+        sets before any label work happens; labels are then read off
+        the union's set bits top-down (``bit_length`` isolates the
+        highest bit in O(1)).  When the graph's labels are unique per
+        vertex, each label can appear at most once per union, so the
+        per-transaction dedup set is skipped and counts are bumped
+        directly.
+        """
+        supports: Dict[Label, int] = {}
+        get = supports.get
+        cached_mode = self.strategy == CACHED
+        for tid, records in self.by_transaction.items():
+            union = 0
+            if cached_mode:
+                for _, cached in records:
+                    union |= cached  # type: ignore[operator]
+            else:
+                for record in records:
+                    union |= self._candidates_mask(tid, record)
+            if not union:
+                continue
+            index = self.database[tid].bit_index()
+            labels_by_bit = index.labels_by_bit
+            if index.unique_labels:
+                while union:
+                    top = union.bit_length() - 1
+                    union ^= 1 << top
+                    label = labels_by_bit[top]
+                    supports[label] = get(label, 0) + 1
+            else:
+                seen: Set[Label] = set()
+                while union:
+                    top = union.bit_length() - 1
+                    union ^= 1 << top
+                    seen.add(labels_by_bit[top])
+                for label in seen:
+                    supports[label] = get(label, 0) + 1
+        return supports
+
     def nonclosed_extension_label(self, last_label: Label) -> Optional[Label]:
         """The Lemma 4.4 test: find a non-closed extension vertex label.
 
@@ -182,31 +512,87 @@ class EmbeddingStore:
         all other extension vertices of that embedding — or ``None`` if
         no such label exists.  A non-None result licenses pruning the
         whole subtree rooted at the current prefix.
+
+        A blocking label extends C in every supporting transaction, so
+        its extension support necessarily ties ``sup(C)``; when a
+        preceding :meth:`extension_plan` recorded the tied labels, the
+        scan starts from that (usually empty) set instead of from
+        scratch.
         """
-        common: Optional[Set[Label]] = None
+        if self.space is not None:
+            return self._nonclosed_extension_label_aligned(last_label)
+        bitset = self.kernel == BITSET
+        common: Optional[Set[Label]] = self._ties  # type: ignore[assignment]
+        if common is not None:
+            # The tie set also holds new labels (≥ last_label); only old
+            # labels can block, so drop the rest before seeding the scan.
+            common = {label for label in common if label < last_label}
+            if not common:
+                return None
         for tid, records in self.by_transaction.items():
             graph = self.database[tid]
-            label_of = graph.label_map()
-            adjacency = graph.adjacency_map()
+            if not bitset:
+                label_of = graph.label_map()
+                adjacency = graph.adjacency_map()
             for record in records:
-                candidates = self._candidates(tid, record)
-                fully_connected: Set[Label] = set()
-                target = len(candidates) - 1
-                for vertex in candidates:
-                    label = label_of[vertex]
-                    if label >= last_label:
-                        continue
-                    if common is not None and label not in common:
-                        continue
-                    if label in fully_connected:
-                        continue
-                    if len(candidates & adjacency[vertex]) == target:
-                        fully_connected.add(label)
+                if bitset:
+                    fully_connected = fully_connected_old_labels_mask(
+                        self._candidates_mask(tid, record), graph, last_label, common
+                    )
+                else:
+                    fully_connected = fully_connected_old_labels(
+                        self._candidates(tid, record), adjacency, label_of, last_label, common
+                    )
                 common = fully_connected if common is None else common & fully_connected
                 if not common:
                     return None
         if common:
             return min(common)
+        return None
+
+    def _nonclosed_extension_label_aligned(self, last_label: Label) -> Optional[Label]:
+        """Aligned-space Lemma 4.4: the label intersection is one AND.
+
+        Qualifying old-label sets come back as masks in the global
+        label space, so intersecting across embeddings and picking the
+        smallest surviving label (= lowest set bit, since bit order is
+        label order) never touches a Python set.
+        """
+        space = self.space
+        views = space.views  # type: ignore[union-attr]
+        # Only labels sorting below the last label can block, and any
+        # blocking label must tie the prefix support (when known from a
+        # preceding extension_plan) — both restrictions are loop
+        # invariants, so the running intersection starts from their
+        # conjunction and the hot path usually exits here.
+        common: int = space.mask_below(last_label)  # type: ignore[union-attr]
+        ties = self._ties
+        if ties is not None:
+            common &= ties  # type: ignore[operator]
+        if not common:
+            return None
+        cached_mode = self.strategy == CACHED
+        for tid, records in self.by_transaction.items():
+            view = views[tid]
+            vertex_by_bit = view.vertex_by_bit
+            neighbor_masks = view.neighbor_masks
+            for record in records:
+                candidates = (
+                    record[1] if cached_mode else self._candidates_mask(tid, record)
+                )
+                scan = candidates & common  # type: ignore[operator]
+                qualifying = 0
+                while scan:
+                    top = scan.bit_length() - 1
+                    bit = 1 << top
+                    scan ^= bit
+                    if (candidates ^ bit) & ~neighbor_masks[vertex_by_bit[top]] == 0:  # type: ignore[operator]
+                        qualifying |= bit
+                common &= qualifying
+                if not common:
+                    return None
+        if common:
+            return space.labels[lowest_bit(common)]  # type: ignore[union-attr]
         return None
 
     def extend(self, label: Label, last_label: Optional[Label]) -> "EmbeddingStore":
@@ -217,6 +603,10 @@ class EmbeddingStore:
         label, only vertices with ids above the previous same-label
         vertex are taken, so each vertex set appears exactly once.
         """
+        if self.kernel == BITSET:
+            if self.space is not None:
+                return self._extend_aligned(label)
+            return self._extend_mask(label, last_label)
         same_label_tail = last_label is not None and label == last_label
         by_transaction: Dict[int, List[EmbeddingRecord]] = {}
         for tid, records in self.by_transaction.items():
@@ -227,7 +617,7 @@ class EmbeddingStore:
             for record in records:
                 vertices, cached = record
                 floor = vertices[-1] if same_label_tail else None
-                for vertex in self._candidates(tid, record):
+                for vertex in sorted(self._candidates(tid, record)):
                     if label_of[vertex] != label:
                         continue
                     if floor is not None and vertex <= floor:
@@ -240,7 +630,105 @@ class EmbeddingStore:
             if extended:
                 by_transaction[tid] = extended
         return EmbeddingStore(
-            self.database, self.pseudo, self.strategy, self.size + 1, by_transaction
+            self.database,
+            self.pseudo,
+            self.strategy,
+            self.size + 1,
+            by_transaction,
+            self.kernel,
+            self.space,
+        )
+
+    def _extend_aligned(self, label: Label) -> "EmbeddingStore":
+        """Aligned-space ``extend``: the label filter is a 1-bit AND.
+
+        With unique per-vertex labels a label names at most one vertex
+        per transaction, so "candidates carrying β" is ``candidates &
+        (1 << bit(β))`` and the same-label ascending-id discipline is
+        vacuous: a repeated label would need two distinct vertices with
+        the same label in one transaction, which cannot exist here (the
+        label's one vertex is already an embedding member, and members
+        are absent from their own candidate masks).
+        """
+        space = self.space
+        bit = space.bit_of.get(label)  # type: ignore[union-attr]
+        by_transaction: Dict[int, List[EmbeddingRecord]] = {}
+        if bit is not None:
+            label_mask = 1 << bit
+            views = space.views  # type: ignore[union-attr]
+            cached_mode = self.strategy == CACHED
+            for tid, records in self.by_transaction.items():
+                view = views[tid]
+                vertex = view.vertex_by_bit.get(bit)
+                if vertex is None:
+                    continue
+                extended: List[EmbeddingRecord] = []
+                if cached_mode:
+                    neighbor_mask = view.neighbor_masks[vertex]
+                    for vertices, cached in records:
+                        if cached & label_mask:  # type: ignore[operator]
+                            extended.append((vertices + (vertex,), cached & neighbor_mask))  # type: ignore[operator]
+                else:
+                    for record in records:
+                        if self._candidates_mask(tid, record) & label_mask:
+                            extended.append((record[0] + (vertex,), None))
+                if extended:
+                    by_transaction[tid] = extended
+        return EmbeddingStore(
+            self.database,
+            self.pseudo,
+            self.strategy,
+            self.size + 1,
+            by_transaction,
+            self.kernel,
+            self.space,
+        )
+
+    def _extend_mask(self, label: Label, last_label: Optional[Label]) -> "EmbeddingStore":
+        """Bitset kernel ``extend``: one AND per label filter and per growth.
+
+        Restricting candidates to the extension label is ``mask &
+        label_mask``; the same-label ascending-id discipline is a shift
+        mask (bit order is sorted vertex id, so "ids above the floor"
+        is "bits above the floor's bit").
+        """
+        same_label_tail = last_label is not None and label == last_label
+        cached_mode = self.strategy == CACHED
+        by_transaction: Dict[int, List[EmbeddingRecord]] = {}
+        for tid, records in self.by_transaction.items():
+            graph = self.database[tid]
+            index = graph.bit_index()
+            label_mask = index.label_masks.get(label, 0)
+            if not label_mask:
+                continue
+            order = index.order
+            bit_of = index.bit
+            neighbor_masks = index.neighbor_masks
+            extended: List[EmbeddingRecord] = []
+            for record in records:
+                vertices, cached = record
+                grow = self._candidates_mask(tid, record) & label_mask
+                if same_label_tail:
+                    grow &= -1 << (bit_of[vertices[-1]] + 1)
+                while grow:
+                    low = grow & -grow
+                    grow ^= low
+                    vertex = order[low.bit_length() - 1]
+                    if cached_mode:
+                        new_cached: Optional[int] = cached & neighbor_masks[vertex]  # type: ignore[operator]
+                    else:
+                        new_cached = None
+                    extended.append((vertices + (vertex,), new_cached))
+            if extended:
+                by_transaction[tid] = extended
+        return EmbeddingStore(
+            self.database,
+            self.pseudo,
+            self.strategy,
+            self.size + 1,
+            by_transaction,
+            self.kernel,
+            self.space,
         )
 
     def extend_unordered(self, label: Label) -> "EmbeddingStore":
@@ -251,29 +739,55 @@ class EmbeddingStore:
         so the per-label ascending-id trick no longer applies and
         duplicate vertex sets are collapsed explicitly per transaction.
         """
+        bitset = self.kernel == BITSET
+        space = self.space
         by_transaction: Dict[int, List[EmbeddingRecord]] = {}
         for tid, records in self.by_transaction.items():
             graph = self.database[tid]
+            if space is not None:
+                view = space.views[tid]
+                neighbor_masks = view.neighbor_masks
+            elif bitset:
+                index = graph.bit_index()
+                neighbor_masks = index.neighbor_masks
             seen: Set[frozenset] = set()
             extended: List[EmbeddingRecord] = []
             for record in records:
                 vertices, cached = record
-                for vertex in self._candidates(tid, record):
+                if space is not None:
+                    candidates: Iterable[int] = view.vertices_of(
+                        self._candidates_mask(tid, record)
+                    )
+                elif bitset:
+                    candidates = graph.vertices_from_mask(
+                        self._candidates_mask(tid, record)
+                    )
+                else:
+                    candidates = sorted(self._candidates(tid, record))
+                for vertex in candidates:
                     if graph.label(vertex) != label:
                         continue
                     key = frozenset(vertices) | {vertex}
                     if key in seen:
                         continue
                     seen.add(key)
-                    if cached is not None:
-                        new_cached: Optional[Set[int]] = cached & graph.neighbors(vertex)
+                    if cached is None:
+                        new_cached: Union[Set[int], int, None] = None
+                    elif bitset:
+                        new_cached = cached & neighbor_masks[vertex]  # type: ignore[operator]
                     else:
-                        new_cached = None
+                        new_cached = cached & graph.neighbors(vertex)
                     extended.append((vertices + (vertex,), new_cached))
             if extended:
                 by_transaction[tid] = extended
         return EmbeddingStore(
-            self.database, self.pseudo, self.strategy, self.size + 1, by_transaction
+            self.database,
+            self.pseudo,
+            self.strategy,
+            self.size + 1,
+            by_transaction,
+            self.kernel,
+            self.space,
         )
 
     def restrict_to(self, transaction_ids: Iterable[int]) -> "EmbeddingStore":
@@ -285,10 +799,13 @@ class EmbeddingStore:
             self.strategy,
             self.size,
             {tid: recs for tid, recs in self.by_transaction.items() if tid in keep},
+            self.kernel,
+            self.space,
         )
 
     def __repr__(self) -> str:
         return (
             f"<EmbeddingStore size={self.size} support={self.support} "
-            f"embeddings={self.embedding_count} strategy={self.strategy}>"
+            f"embeddings={self.embedding_count} strategy={self.strategy} "
+            f"kernel={self.kernel}>"
         )

@@ -27,7 +27,6 @@ from ..exceptions import MiningError
 from ..graphdb.core_index import PseudoDatabase
 from ..graphdb.database import GraphDatabase
 from .canonical import CanonicalForm, Label
-from .closure import is_closed
 from .config import MinerConfig
 from .embeddings import EmbeddingStore
 from .pattern import CliquePattern
@@ -92,7 +91,7 @@ class ClanMiner:
                 stats.infrequent_extensions += 1
                 continue
             store = EmbeddingStore.for_label(
-                self.database, pseudo, label, config.embedding_strategy
+                self.database, pseudo, label, config.embedding_strategy, config.kernel
             )
             self._recurse(
                 CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms
@@ -131,9 +130,11 @@ class ClanMiner:
         stats.record_frequent(form.size)
 
         # Lines 01-03: one scan finds every extension label's support.
-        extension_supports = store.extension_supports()
+        # The store returns the digest the recursion consumes: frequent
+        # extensions (label, support), the infrequent count, and the
+        # Lemma 4.3 closure verdict (some extension ties the support).
+        frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
         stats.database_scans += 1
-        support = store.support
 
         # Lines 04-05: non-closed prefix pruning (Lemma 4.4).
         if config.nonclosed_prefix_pruning:
@@ -144,7 +145,7 @@ class ClanMiner:
 
         # Lines 06-07: closure check (Lemma 4.3) and output.
         if config.closed_only:
-            if is_closed(support, extension_supports):
+            if not blocked:
                 self._emit(form, store, result, stats)
             else:
                 stats.closure_rejections += 1
@@ -155,11 +156,8 @@ class ClanMiner:
         if config.max_size is not None and form.size >= config.max_size:
             return
         last_label = form.last_label if form.size else None
-        for label in sorted(extension_supports):
-            ext_support = extension_supports[label]
-            if ext_support < abs_sup:
-                stats.infrequent_extensions += 1
-                continue
+        stats.infrequent_extensions += n_infrequent
+        for label, ext_support in frequent_extensions:
             if config.structural_redundancy_pruning:
                 if last_label is not None and label < last_label:
                     stats.redundancy_skips += 1

@@ -85,7 +85,11 @@ def mine_closed_cliques_parallel(
     Results are identical to :class:`ClanMiner` (tested); statistics
     are summed across workers.  With ``processes=1`` the pool is
     bypassed entirely, which keeps the call cheap to use in code that
-    sometimes runs small inputs.
+    sometimes runs small inputs.  The candidate-intersection kernel
+    (``config.kernel``, bitset by default) travels with the pickled
+    config, so every worker runs the same set algebra as the serial
+    miner; each worker rebuilds its own per-graph mask indices lazily
+    after the fork.
     """
     started = time.perf_counter()
     if config is None:

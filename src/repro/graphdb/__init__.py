@@ -42,6 +42,7 @@ from .generators import (
     random_database,
     random_transaction,
 )
+from .bitset import GraphBitIndex, iter_bits, lowest_bit, mask_from_bits, popcount
 from .graph import Graph, Label
 from .matrix import AdjacencyMatrix, clique_matrix
 from .stats import DatabaseCharacteristics, characteristics_table, database_characteristics
@@ -52,6 +53,7 @@ from .transforms import (
     filter_transactions,
     label_projection_map,
     merge_databases,
+    permute_vertex_ids,
     relabel_database,
     restrict_labels,
 )
@@ -62,6 +64,7 @@ __all__ = [
     "DatabaseCharacteristics",
     "Finding",
     "Graph",
+    "GraphBitIndex",
     "ValidationReport",
     "validate_database",
     "GraphDatabase",
@@ -82,6 +85,7 @@ __all__ = [
     "filter_transactions",
     "label_projection_map",
     "merge_databases",
+    "permute_vertex_ids",
     "relabel_database",
     "restrict_labels",
     "characteristics_table",
@@ -99,10 +103,14 @@ __all__ = [
     "maximal_cliques",
     "maximum_clique",
     "overlapping_cliques_graph",
+    "iter_bits",
+    "lowest_bit",
+    "mask_from_bits",
     "paper_example_database",
     "paper_graph_g1",
     "paper_graph_g2",
     "plant_clique",
+    "popcount",
     "random_database",
     "random_transaction",
 ]

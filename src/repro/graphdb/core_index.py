@@ -71,7 +71,7 @@ class CoreIndex:
     what the miner's label-directed extension scans consume.
     """
 
-    __slots__ = ("graph", "_cores", "_levels", "_label_levels", "max_core")
+    __slots__ = ("graph", "_cores", "_levels", "_label_levels", "_mask_levels", "max_core")
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
@@ -81,6 +81,10 @@ class CoreIndex:
         # directly by clique size k, for k in 1..max_core+1.
         self._levels: Dict[int, FrozenSet[int]] = {}
         self._label_levels: Dict[Tuple[int, Label], FrozenSet[int]] = {}
+        # Bitset kernel analogue: _mask_levels[k] is the surviving-vertex
+        # set of level k as a mask, so the miner's core pruning is one
+        # AND per candidate set instead of a per-vertex membership scan.
+        self._mask_levels: Dict[int, int] = {}
 
     def core_number(self, vertex: int) -> int:
         """Return the core number of ``vertex``."""
@@ -108,6 +112,27 @@ class CoreIndex:
             cached = frozenset(v for v, c in self._cores.items() if c >= threshold)
             self._levels[clique_size] = cached
         return cached
+
+    def usable_mask_at(self, clique_size: int) -> int:
+        """The level's surviving-vertex set as a bitmask.
+
+        Mask form of :meth:`usable_at` over the graph's bit order; the
+        bitset kernel applies pseudo low-degree pruning by ANDing this
+        into each candidate-extension mask.
+        """
+        if clique_size <= 1:
+            return self.graph.vertices_mask()
+        if clique_size > self.max_core + 1:
+            return 0
+        cached = self._mask_levels.get(clique_size)
+        if cached is None:
+            cached = self.graph.mask_of(self.usable_at(clique_size))
+            self._mask_levels[clique_size] = cached
+        return cached
+
+    def usable_mask_with_label(self, clique_size: int, label: Label) -> int:
+        """Mask of the vertices with ``label`` usable at the given size."""
+        return self.graph.label_mask(label) & self.usable_mask_at(clique_size)
 
     def usable_with_label(self, clique_size: int, label: Label) -> FrozenSet[int]:
         """Vertices with ``label`` usable at the given clique size."""
@@ -137,7 +162,10 @@ class PseudoDatabase:
 
     def __init__(self, database: GraphDatabase) -> None:
         self.database = database
-        self.indices: List[CoreIndex] = [CoreIndex(graph) for graph in database]
+        # Per-graph indices are owned (and invalidation-tracked) by the
+        # graphs themselves, so repeated PseudoDatabase construction
+        # over an unchanged database reuses the core decompositions.
+        self.indices: List[CoreIndex] = [graph.core_index() for graph in database]
 
     def index(self, tid: int) -> CoreIndex:
         """Return the core index of transaction ``tid``."""

@@ -12,7 +12,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from ..exceptions import DatabaseError, InvalidSupportError
+from .bitset import DatabaseLabelSpace, build_label_space
 from .graph import Graph, Label
+
+# Sentinel: the aligned label space has not been computed yet (``None``
+# is a valid cached answer, meaning "alignment impossible").
+_SPACE_UNSET = object()
 
 
 class GraphDatabase:
@@ -30,11 +35,12 @@ class GraphDatabase:
     1
     """
 
-    __slots__ = ("_graphs", "name")
+    __slots__ = ("_graphs", "name", "_aligned_space")
 
     def __init__(self, graphs: Optional[Iterable[Graph]] = None, name: str = "") -> None:
         self._graphs: List[Graph] = []
         self.name = name
+        self._aligned_space: object = _SPACE_UNSET
         for graph in graphs or ():
             self.add(graph)
 
@@ -47,7 +53,23 @@ class GraphDatabase:
         if graph.graph_id is None:
             graph.graph_id = tid
         self._graphs.append(graph)
+        self._aligned_space = _SPACE_UNSET
         return tid
+
+    def aligned_space(self) -> Optional[DatabaseLabelSpace]:
+        """The database-global label bit space, or ``None``.
+
+        Available exactly when every transaction's labels are unique
+        per vertex (see :class:`~repro.graphdb.bitset.DatabaseLabelSpace`);
+        the bitset kernel then counts extension supports bit-sliced
+        across transactions.  Cached, and rebuilt lazily when a
+        transaction was added or an existing graph mutated.
+        """
+        space = self._aligned_space
+        if space is _SPACE_UNSET or (space is not None and space.stale()):  # type: ignore[union-attr]
+            space = build_label_space(self._graphs)
+            self._aligned_space = space
+        return space  # type: ignore[return-value]
 
     def replicate(self, factor: int, name: str = "") -> "GraphDatabase":
         """Return a database with every transaction repeated ``factor`` times.

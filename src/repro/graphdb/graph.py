@@ -12,7 +12,11 @@ The representation here favours the access patterns CLAN needs:
   "is v adjacent to every vertex of this embedding" and common-neighbour
   intersections are fast;
 * vertices of each label are indexed (``vertices_with_label``) because
-  clique extension enumerates candidate vertices label by label.
+  clique extension enumerates candidate vertices label by label;
+* a lazily-built bitset index (``neighbor_mask``/``label_mask``, one
+  bit per vertex in sorted-id order) serves the miner's ``bitset``
+  kernel, which intersects candidate sets with integer ``&`` instead
+  of hashed set operations.
 
 Vertex ids are small integers supplied by the caller; they do not need
 to be contiguous, which lets pruned "pseudo databases" reuse the ids of
@@ -29,6 +33,7 @@ from ..exceptions import (
     SelfLoopError,
     VertexNotFoundError,
 )
+from .bitset import GraphBitIndex
 
 Label = str
 
@@ -54,7 +59,15 @@ class Graph:
     [1]
     """
 
-    __slots__ = ("graph_id", "_labels", "_adjacency", "_label_index", "_edge_count")
+    __slots__ = (
+        "graph_id",
+        "_labels",
+        "_adjacency",
+        "_label_index",
+        "_edge_count",
+        "_bit_index",
+        "_core_index",
+    )
 
     def __init__(self, graph_id: Optional[int] = None) -> None:
         self.graph_id = graph_id
@@ -62,6 +75,8 @@ class Graph:
         self._adjacency: Dict[int, Set[int]] = {}
         self._label_index: Dict[Label, Set[int]] = {}
         self._edge_count = 0
+        self._bit_index: Optional[GraphBitIndex] = None
+        self._core_index = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -76,6 +91,8 @@ class Graph:
         self._labels[vertex] = label
         self._adjacency[vertex] = set()
         self._label_index.setdefault(label, set()).add(vertex)
+        self._bit_index = None
+        self._core_index = None
 
     def add_edge(self, u: int, v: int) -> None:
         """Add an undirected edge between two existing vertices.
@@ -94,6 +111,8 @@ class Graph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._edge_count += 1
+        self._bit_index = None
+        self._core_index = None
 
     def remove_vertex(self, vertex: int) -> None:
         """Remove a vertex and all its incident edges."""
@@ -108,6 +127,8 @@ class Graph:
             del self._label_index[label]
         del self._adjacency[vertex]
         del self._labels[vertex]
+        self._bit_index = None
+        self._core_index = None
 
     @classmethod
     def from_edges(
@@ -294,6 +315,76 @@ class Graph:
                 break
         result.difference_update(vertex_list)
         return result
+
+    # ------------------------------------------------------------------
+    # Bitset kernel (lazily-built mask index)
+    # ------------------------------------------------------------------
+    def bit_index(self) -> GraphBitIndex:
+        """Return the lazily-built mask index of this graph.
+
+        Bit ``i`` stands for the ``i``-th smallest vertex id, so the
+        mapping is a pure function of the vertex set — stable across
+        construction order and isomorphic re-insertion.  The index is
+        invalidated by any mutation (``add_vertex``/``add_edge``/
+        ``remove_vertex``) and rebuilt on next access.
+        """
+        index = self._bit_index
+        if index is None:
+            index = self._bit_index = GraphBitIndex(self._labels, self._adjacency)
+        return index
+
+    def core_index(self):
+        """Return the lazily-built core-decomposition index of this graph.
+
+        The :class:`~repro.graphdb.core_index.CoreIndex` is a pure
+        function of the graph structure, so it is cached here and
+        invalidated on mutation — repeated mining runs over the same
+        database (parameter sweeps, benchmarks) pay for the core
+        decomposition once instead of once per run.
+        """
+        index = self._core_index
+        if index is None:
+            from .core_index import CoreIndex
+
+            index = self._core_index = CoreIndex(self)
+        return index
+
+    def vertex_bit_order(self) -> Tuple[int, ...]:
+        """Bit position → vertex id (ascending vertex ids)."""
+        return self.bit_index().order
+
+    def bit_of(self, vertex: int) -> int:
+        """Bit position of a vertex in this graph's masks."""
+        try:
+            return self.bit_index().bit[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def neighbor_mask(self, vertex: int) -> int:
+        """Neighbour set of ``vertex`` as a bitmask."""
+        try:
+            return self.bit_index().neighbor_masks[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def label_mask(self, label: Label) -> int:
+        """Mask of the vertices carrying ``label`` (0 if none)."""
+        return self.bit_index().label_masks.get(label, 0)
+
+    def vertices_mask(self) -> int:
+        """Mask with every vertex bit set."""
+        return self.bit_index().all_mask
+
+    def mask_of(self, vertices: Iterable[int]) -> int:
+        """Mask of an arbitrary vertex-id collection."""
+        try:
+            return self.bit_index().mask_of(vertices)
+        except KeyError as exc:
+            raise VertexNotFoundError(exc.args[0]) from None
+
+    def vertices_from_mask(self, mask: int) -> List[int]:
+        """Vertex ids of the set bits of ``mask``, ascending."""
+        return self.bit_index().vertices_of(mask)
 
     def connected_components(self) -> List[Set[int]]:
         """Return connected components as vertex-id sets."""

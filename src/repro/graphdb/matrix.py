@@ -16,6 +16,7 @@ from itertools import permutations
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import GraphError
+from .bitset import popcount
 from .graph import Graph, Label
 
 
@@ -115,6 +116,44 @@ class AdjacencyMatrix:
         """Return whether every off-diagonal bit is 1 (the graph is a clique)."""
         n = len(self.labels)
         return all(self.bits[i][j] == 1 for i in range(n) for j in range(i + 1, n))
+
+    # ------------------------------------------------------------------
+    # Bitset interop
+    # ------------------------------------------------------------------
+    def bit_rows(self) -> Tuple[int, ...]:
+        """Pack each adjacency row into one integer mask.
+
+        Row ``i``'s bit ``j`` is set iff an edge joins positions ``i``
+        and ``j`` — the same packing the miner's bitset kernel builds
+        per graph via :meth:`Graph.neighbor_mask`, so the two layers
+        can be checked against each other.
+        """
+        n = len(self.labels)
+        rows = []
+        for i in range(n):
+            mask = 0
+            row = self.bits[i]
+            for j in range(n):
+                if row[j]:
+                    mask |= 1 << j
+            rows.append(mask)
+        return tuple(rows)
+
+    @classmethod
+    def from_bit_rows(cls, labels: Sequence[Label], rows: Sequence[int]) -> "AdjacencyMatrix":
+        """Rebuild a matrix from labels and packed adjacency rows."""
+        n = len(labels)
+        if len(rows) != n:
+            raise GraphError("need one packed row per label")
+        for i, mask in enumerate(rows):
+            if mask < 0 or mask >> n:
+                raise GraphError(f"row {i} has bits outside positions 0..{n - 1}")
+        bits = [[(rows[i] >> j) & 1 for j in range(n)] for i in range(n)]
+        return cls(labels, bits)
+
+    def edge_count(self) -> int:
+        """Number of undirected edges, via popcount over the packed rows."""
+        return sum(popcount(row) for row in self.bit_rows()) // 2
 
     # ------------------------------------------------------------------
     # Rendering (matches the look of Figure 2)

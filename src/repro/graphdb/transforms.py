@@ -2,8 +2,9 @@
 
 Whole-database operations downstream pipelines need around the miner:
 merging, label remapping, label-based restriction (the projection that
-constraint pushdown uses), transaction filtering, and noise injection
-for robustness experiments.
+constraint pushdown uses), transaction filtering, vertex-id
+permutation (the mining-invariance probe), and noise injection for
+robustness experiments.
 All transforms return new databases; inputs are never mutated.
 """
 
@@ -130,6 +131,36 @@ def add_edge_noise(
                 if not present and (not add_probability or rng.random() >= add_probability):
                     continue
                 clone.add_edge(u, v)
+        result.add(clone)
+    return result
+
+
+def permute_vertex_ids(
+    database: GraphDatabase,
+    seed: int = 0,
+    name: str = "",
+) -> GraphDatabase:
+    """Apply a random vertex-id permutation to every transaction.
+
+    Each transaction is replaced by an isomorphic copy whose ids are a
+    seeded random permutation of the originals (labels and edges follow
+    the permutation).  Mining is invariant under this transform —
+    canonical forms, supports, and supporting transactions must not
+    change — which makes it the regression probe for any state keyed
+    by vertex id, such as the bitset kernel's vertex → bit mapping.
+    """
+    rng = random.Random(seed)
+    result = GraphDatabase(name=name or f"{database.name}|permuted")
+    for graph in database:
+        original = sorted(graph.vertices())
+        shuffled = list(original)
+        rng.shuffle(shuffled)
+        mapping = dict(zip(original, shuffled))
+        clone = Graph(len(result))
+        for vertex in original:
+            clone.add_vertex(mapping[vertex], graph.label(vertex))
+        for u, v in graph.edges():
+            clone.add_edge(mapping[u], mapping[v])
         result.add(clone)
     return result
 

@@ -1,0 +1,226 @@
+"""Property tests for the bitset kernel's mask primitives.
+
+Every mask-valued primitive must agree exactly with its set-valued
+counterpart: neighbour masks with :meth:`Graph.neighbors`, popcount
+and bit iteration with set cardinality and membership, core-pruning
+masks with the set-based survivor sets, and the aligned database-wide
+label space with the per-graph local bit spaces it is derived from.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import (
+    fully_connected_old_labels,
+    fully_connected_old_labels_aligned,
+    fully_connected_old_labels_mask,
+)
+from repro.graphdb import Graph, GraphDatabase
+from repro.graphdb.bitset import (
+    build_label_space,
+    iter_bits,
+    lowest_bit,
+    mask_from_bits,
+    popcount,
+)
+
+from tests.conftest import make_random_database
+from tests.strategies import graph_databases, labeled_graphs
+from tests.test_kernel_differential import unique_label_database
+
+bitsets = st.integers(min_value=0, max_value=(1 << 80) - 1)
+
+
+class TestPrimitives:
+    @given(mask=bitsets)
+    def test_popcount_matches_bit_iteration(self, mask):
+        bits = list(iter_bits(mask))
+        assert popcount(mask) == len(bits)
+        assert bits == sorted(set(bits))
+
+    @given(bits=st.sets(st.integers(0, 80)))
+    def test_mask_roundtrip(self, bits):
+        mask = mask_from_bits(bits)
+        assert set(iter_bits(mask)) == bits
+        assert popcount(mask) == len(bits)
+        for position in range(82):
+            assert bool(mask & (1 << position)) == (position in bits)
+
+    @given(mask=bitsets.filter(bool))
+    def test_lowest_bit(self, mask):
+        assert lowest_bit(mask) == min(iter_bits(mask))
+
+
+class TestGraphMasks:
+    @settings(deadline=None)
+    @given(graph=labeled_graphs())
+    def test_neighbor_mask_roundtrips_neighbors(self, graph):
+        for vertex in graph.vertices():
+            decoded = set(graph.vertices_from_mask(graph.neighbor_mask(vertex)))
+            assert decoded == graph.neighbors(vertex)
+
+    @settings(deadline=None)
+    @given(graph=labeled_graphs())
+    def test_label_masks_partition_vertices(self, graph):
+        index = graph.bit_index()
+        for label, mask in index.label_masks.items():
+            assert set(index.vertices_of(mask)) == graph.vertices_with_label(label)
+        assert sum(index.label_masks.values()) == index.all_mask
+
+    @settings(deadline=None)
+    @given(graph=labeled_graphs())
+    def test_mask_below_is_prefix_union(self, graph):
+        index = graph.bit_index()
+        for probe in sorted(set(index.labels_by_bit)) + ["~beyond", ""]:
+            expected = {
+                v for v in graph.vertices() if graph.label(v) < probe
+            }
+            assert set(index.vertices_of(index.mask_below(probe))) == expected
+
+    def test_mask_invalidation_on_mutation(self):
+        graph = Graph()
+        graph.add_vertex(0, "a")
+        graph.add_vertex(1, "b")
+        graph.add_edge(0, 1)
+        assert graph.vertices_from_mask(graph.neighbor_mask(0)) == [1]
+        graph.add_vertex(2, "c")
+        graph.add_edge(0, 2)
+        assert graph.vertices_from_mask(graph.neighbor_mask(0)) == [1, 2]
+        graph.remove_vertex(1)
+        assert graph.vertices_from_mask(graph.neighbor_mask(0)) == [2]
+
+
+class TestCoreMasks:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_usable_mask_matches_usable_set(self, seed):
+        database = make_random_database(seed)
+        for graph in database:
+            index = graph.core_index()
+            for size in range(1, index.max_clique_upper_bound() + 2):
+                survivors = index.usable_at(size)
+                assert set(graph.vertices_from_mask(index.usable_mask_at(size))) == set(
+                    survivors
+                )
+
+    def test_core_index_cached_and_invalidated(self):
+        graph = Graph()
+        for vertex, label in enumerate("abc"):
+            graph.add_vertex(vertex, label)
+        graph.add_edge(0, 1)
+        first = graph.core_index()
+        assert graph.core_index() is first
+        graph.add_edge(1, 2)
+        second = graph.core_index()
+        assert second is not first
+        assert second.max_core == 1
+
+
+class TestAlignedSpace:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_views_agree_with_local_indices(self, seed):
+        database = unique_label_database(seed)
+        space = database.aligned_space()
+        assert space is not None
+        assert list(space.labels) == sorted(space.labels)
+        for tid, graph in enumerate(database):
+            view = space.views[tid]
+            for vertex in graph.vertices():
+                decoded = set(view.vertices_of(view.neighbor_masks[vertex]))
+                assert decoded == graph.neighbors(vertex)
+            assert set(view.vertices_of(view.present_mask)) == set(graph.vertices())
+            # Bit ↔ label bijection: each vertex sits at its label's rank.
+            for vertex in graph.vertices():
+                assert view.bit_of_vertex[vertex] == space.bit_of[graph.label(vertex)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mask_below_is_contiguous_rank_mask(self, seed):
+        space = unique_label_database(seed).aligned_space()
+        for probe in list(space.labels) + ["", "~beyond"]:
+            rank = bisect_left(space.labels, probe)
+            assert space.mask_below(probe) == (1 << rank) - 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_usable_mask_at_matches_core_index(self, seed):
+        database = unique_label_database(seed)
+        space = database.aligned_space()
+        for tid, graph in enumerate(database):
+            view = space.views[tid]
+            core = graph.core_index()
+            for size in range(1, core.max_clique_upper_bound() + 2):
+                decoded = set(view.vertices_of(view.usable_mask_at(core, size)))
+                expected = (
+                    set(graph.vertices()) if size <= 1 else set(core.usable_at(size))
+                )
+                assert decoded == expected
+
+    def test_space_rebuilt_after_mutation(self):
+        database = unique_label_database(3)
+        first = database.aligned_space()
+        assert database.aligned_space() is first  # cached while fresh
+        graph = database[0]
+        new_vertex = max(graph.vertices()) + 1
+        graph.add_vertex(new_vertex, "ZZZ")
+        second = database.aligned_space()
+        assert second is not first
+        assert "ZZZ" in second.bit_of
+
+    def test_duplicate_label_anywhere_disables_space(self):
+        database = unique_label_database(4)
+        graph = database[0]
+        vertex = max(graph.vertices()) + 1
+        existing_label = next(iter(graph.labels().values()))
+        graph.add_vertex(vertex, existing_label)
+        assert build_label_space(list(database)) is None
+        assert database.aligned_space() is None
+
+    @settings(deadline=None)
+    @given(database=graph_databases())
+    def test_build_label_space_iff_unique_labels(self, database):
+        unique = all(g.bit_index().unique_labels for g in database) and len(database)
+        space = build_label_space(list(database))
+        assert (space is not None) == bool(unique)
+
+
+class TestClosureVariantsAgree:
+    """The three Lemma 4.4 per-embedding scans are interchangeable."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_local_mask_variant_matches_set_variant(self, seed):
+        database = make_random_database(seed)
+        for graph in database:
+            adjacency = graph.adjacency_map()
+            label_of = graph.label_map()
+            candidates = {v for v in graph.vertices() if v % 2 == 0}
+            for probe in sorted(graph.distinct_labels()) + ["~beyond"]:
+                expected = fully_connected_old_labels(
+                    candidates, adjacency, label_of, probe
+                )
+                mask = graph.mask_of(candidates)
+                assert (
+                    fully_connected_old_labels_mask(mask, graph, probe) == expected
+                )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_aligned_variant_matches_set_variant(self, seed):
+        database = unique_label_database(seed)
+        space = database.aligned_space()
+        for tid, graph in enumerate(database):
+            view = space.views[tid]
+            adjacency = graph.adjacency_map()
+            label_of = graph.label_map()
+            candidates = {v for v in graph.vertices() if v % 2 == 0}
+            mask = 0
+            for vertex in candidates:
+                mask |= 1 << view.bit_of_vertex[vertex]
+            for probe in list(space.labels) + ["~beyond"]:
+                expected = fully_connected_old_labels(
+                    candidates, adjacency, label_of, probe
+                )
+                result = fully_connected_old_labels_aligned(mask, view, space, probe)
+                decoded = {space.labels[i] for i in iter_bits(result)}
+                assert decoded == expected

@@ -83,3 +83,34 @@ def test_merging_distinct_databases_unions_patterns(seed):
     }
     found = {str(p.form) for p in mine_frequent_cliques(merged, 1)}
     assert found == union
+
+
+@pytest.mark.parametrize("kernel", ("set", "bitset"))
+@pytest.mark.parametrize("seed,permutation_seed,min_sup", [
+    (0, 1, 1), (7, 42, 2), (13, 99, 2), (21, 5, 3), (34, 17, 1), (48, 3, 2),
+])
+def test_mining_invariant_under_vertex_permutation(
+    kernel, seed, permutation_seed, min_sup
+):
+    """Vertex-id permutation must not change any mining observable.
+
+    The regression probe for state keyed by vertex id — above all the
+    bitset kernel's vertex → bit mapping, which must be stable under
+    relabeling (bit order follows sorted vertex ids, so a permutation
+    reorders bits but never changes label masks or adjacency masks).
+    """
+    from repro.core import ClanMiner, MinerConfig
+    from repro.graphdb import permute_vertex_ids
+    from tests.test_kernel_differential import unique_label_database
+
+    config = MinerConfig(kernel=kernel)
+    for db in (make_random_database(seed), unique_label_database(seed % 100)):
+        permuted = permute_vertex_ids(db, seed=permutation_seed)
+        base = ClanMiner(db, config).mine(min_sup)
+        moved = ClanMiner(permuted, config).mine(min_sup)
+        assert sorted(
+            (p.form.labels, p.support, tuple(sorted(p.transactions))) for p in base
+        ) == sorted(
+            (p.form.labels, p.support, tuple(sorted(p.transactions))) for p in moved
+        )
+        assert str(base.statistics) == str(moved.statistics)
