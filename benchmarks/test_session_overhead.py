@@ -1,0 +1,126 @@
+"""Session-instrumentation overhead on the Figure 6(a) workload.
+
+The MiningSession control plane threads a ``hooks`` object through
+``ClanMiner._recurse``; every call site is guarded with
+``if hooks is not None`` so a plain mine pays nothing, and a session
+with *no sinks attached* pays only a couple of integer increments per
+prefix.  This benchmark quantifies both:
+
+* ``plain``      — ``ClanMiner.mine`` exactly as before the control
+  plane existed (``hooks=None`` fast path);
+* ``hooks``      — the same mine with an armed :class:`SearchHooks`
+  carrying no sinks, budget, or token (what a budgeted-but-quiet
+  session costs inside the DFS);
+* ``session``    — a full :class:`MiningSession` with an in-memory
+  ring sink and sampled prefix events (the observable configuration).
+
+The acceptance bar is hooks-vs-plain overhead under 5% on the
+Figure 6(a) sweep; the measured numbers are written to
+``BENCH_session.json`` at the repo root as the perf-trajectory record.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.core import ClanMiner, MinerConfig, MiningSession, RingBufferSink
+from repro.core.session import SearchHooks
+from repro.stockmarket import PAPER_THETAS
+
+from conftest import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUPPORTS = (1.00, 0.95, 0.90, 0.85)
+ROUNDS = 5  # best-of, to shed scheduler noise
+
+
+def sweep_plain(market_databases):
+    keys = []
+    started = time.perf_counter()
+    for theta in PAPER_THETAS:
+        miner = ClanMiner(market_databases[theta], MinerConfig())
+        for min_sup in SUPPORTS:
+            keys.append(sorted(p.key() for p in miner.mine(min_sup)))
+    return time.perf_counter() - started, keys
+
+
+def sweep_hooks(market_databases):
+    keys = []
+    started = time.perf_counter()
+    for theta in PAPER_THETAS:
+        miner = ClanMiner(market_databases[theta], MinerConfig())
+        for min_sup in SUPPORTS:
+            keys.append(
+                sorted(p.key() for p in miner.mine(min_sup, hooks=SearchHooks()))
+            )
+    return time.perf_counter() - started, keys
+
+
+def sweep_session(market_databases):
+    keys = []
+    started = time.perf_counter()
+    for theta in PAPER_THETAS:
+        for min_sup in SUPPORTS:
+            session = MiningSession(
+                market_databases[theta],
+                min_sup,
+                sinks=(RingBufferSink(),),
+                sample_every=64,
+            )
+            keys.append(sorted(p.key() for p in session.run()))
+    return time.perf_counter() - started, keys
+
+
+def best_of(measure, *args):
+    best_seconds, keys = measure(*args)
+    for _ in range(ROUNDS - 1):
+        seconds, _ = measure(*args)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, keys
+
+
+def test_session_overhead(benchmark, market_databases, scale):
+    benchmark.pedantic(lambda: sweep_hooks(market_databases), rounds=1, iterations=1)
+
+    plain_seconds, plain_keys = best_of(sweep_plain, market_databases)
+    hooks_seconds, hooks_keys = best_of(sweep_hooks, market_databases)
+    session_seconds, session_keys = best_of(sweep_session, market_databases)
+
+    # Instrumentation must be invisible in the results.
+    assert hooks_keys == plain_keys
+    assert session_keys == plain_keys
+
+    hooks_overhead = hooks_seconds / plain_seconds - 1.0
+    session_overhead = session_seconds / plain_seconds - 1.0
+
+    table = format_table(
+        ["mode", "seconds", "overhead"],
+        [
+            ["plain", f"{plain_seconds:.3f}", "-"],
+            ["hooks, no sinks", f"{hooks_seconds:.3f}", f"{hooks_overhead:+.1%}"],
+            ["session + ring sink", f"{session_seconds:.3f}", f"{session_overhead:+.1%}"],
+        ],
+        title=f"Session instrumentation overhead, best of {ROUNDS} (scale={scale})",
+    )
+    write_report("session_overhead", table)
+
+    record = {
+        "benchmark": "session instrumentation overhead",
+        "scale": scale,
+        "rounds": ROUNDS,
+        "workload": "fig6a sweep: 6 market databases x supports 100/95/90/85%",
+        "plain_seconds": plain_seconds,
+        "hooks_no_sinks_seconds": hooks_seconds,
+        "session_ring_sink_seconds": session_seconds,
+        "hooks_overhead_fraction": hooks_overhead,
+        "session_overhead_fraction": session_overhead,
+    }
+    (REPO_ROOT / "BENCH_session.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Acceptance bar: dormant hooks cost < 5% on a meaningfully sized
+    # workload (tiny runs are too short to time reliably).
+    if scale in ("small", "medium", "paper"):
+        assert hooks_overhead < 0.05, f"hooks overhead {hooks_overhead:.1%}"

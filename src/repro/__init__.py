@@ -14,9 +14,15 @@ the full surface:
 
 Quickstart::
 
-    from repro import mine_closed_cliques, paper_example_database
-    result = mine_closed_cliques(paper_example_database(), min_sup=2)
+    from repro import mine, paper_example_database
+    result = mine(paper_example_database(), min_sup=2)
     print([p.key() for p in result])          # ['abcd:2', 'bde:2']
+
+``repro.mine`` is the unified entry point — ``task=`` selects closed /
+frequent / maximal / top-k / quasi mining, and budgets, event sinks,
+checkpoints, and ``stream=True`` sessions hang off the same call (see
+:mod:`repro.core.session`).  The older per-task functions remain
+supported as thin wrappers.
 """
 
 from .core import (
@@ -25,15 +31,19 @@ from .core import (
     CliqueLattice,
     CliquePattern,
     MinerConfig,
+    MiningBudget,
     MiningResult,
+    MiningSession,
+    mine,
     mine_closed_cliques,
     mine_closed_quasi_cliques,
     mine_frequent_cliques,
+    parse_support,
 )
 from .exceptions import ReproError
 from .graphdb import Graph, GraphDatabase, paper_example_database
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CanonicalForm",
@@ -43,11 +53,15 @@ __all__ = [
     "Graph",
     "GraphDatabase",
     "MinerConfig",
+    "MiningBudget",
     "MiningResult",
+    "MiningSession",
     "ReproError",
     "__version__",
+    "mine",
     "mine_closed_cliques",
     "mine_closed_quasi_cliques",
     "mine_frequent_cliques",
     "paper_example_database",
+    "parse_support",
 ]

@@ -58,13 +58,14 @@ def _save(database: GraphDatabase, path: str, fmt: str) -> None:
 
 
 def _parse_min_sup(text: str) -> float:
-    """Accept '10' (absolute), '0.85' (fraction), or '85%'."""
-    text = text.strip()
-    if text.endswith("%"):
-        return float(text[:-1]) / 100.0
-    if "." in text:
-        return float(text)
-    return int(text)
+    """Accept '10' (absolute), '0.85' (fraction), or '85%'.
+
+    Thin alias over the shared :func:`repro.core.support.parse_support`
+    so the CLI and the Python API accept identical spellings.
+    """
+    from .core.support import parse_support
+
+    return parse_support(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +99,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict mining to these vertex labels")
     mine.add_argument("--forbid", default=None, metavar="L1,L2",
                       help="exclude these vertex labels from mining")
+    mine.add_argument("--progress", action="store_true",
+                      help="print per-root heartbeat lines to stderr")
+    mine.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                      help="stop cooperatively after this much wall-clock time "
+                           "and return the completed DFS roots")
+    mine.add_argument("--max-patterns", type=int, default=None, metavar="N",
+                      help="stop cooperatively once N patterns have been mined")
+    mine.add_argument("--trace", default=None, metavar="FILE",
+                      help="write the typed session event stream as JSONL")
+    mine.add_argument("--checkpoint", default=None, metavar="FILE",
+                      help="write a resumable checkpoint of the completed roots")
+    mine.add_argument("--resume", default=None, metavar="FILE",
+                      help="resume from a checkpoint written by --checkpoint")
 
     topk = sub.add_parser("topk", help="mine the k largest closed cliques")
     topk.add_argument("database")
@@ -175,12 +189,81 @@ def _split_labels(text: Optional[str]) -> Optional[List[str]]:
     return labels
 
 
+def _session_mine(args: argparse.Namespace, database, min_sup):
+    """The ``clan mine`` control-plane path (--progress/--deadline/...)."""
+    from .core.session import (
+        JsonlTraceSink,
+        MiningBudget,
+        MiningSession,
+        ProgressSink,
+    )
+    from .io.runlog import open_checkpoint, save_checkpoint
+
+    sinks = []
+    if args.progress:
+        sinks.append(ProgressSink())
+    if args.trace:
+        sinks.append(JsonlTraceSink(args.trace))
+    budget = None
+    if args.deadline is not None or args.max_patterns is not None:
+        budget = MiningBudget(
+            deadline_seconds=args.deadline, max_patterns=args.max_patterns
+        )
+    resume_from = open_checkpoint(args.resume) if args.resume else None
+    task = "frequent" if args.all_frequent else "closed"
+    config = MinerConfig(
+        closed_only=not args.all_frequent,
+        nonclosed_prefix_pruning=not args.all_frequent,
+        min_size=args.min_size,
+        max_size=args.max_size,
+        kernel=args.kernel,
+    )
+    session = MiningSession(
+        database,
+        min_sup,
+        task=task,
+        config=config,
+        budget=budget,
+        sinks=sinks,
+        processes=max(args.processes, 1),
+        resume_from=resume_from,
+    )
+    result = session.run()
+    if args.checkpoint:
+        save_checkpoint(session.checkpoint(), args.checkpoint)
+        print(
+            f"# checkpoint ({len(result.completed_roots or ())} completed roots) "
+            f"written to {args.checkpoint}",
+            file=sys.stderr,
+        )
+    if result.truncated:
+        print(
+            f"# TRUNCATED: partial result covers {len(result.completed_roots or ())} "
+            f"completed roots; resume with --resume to finish",
+            file=sys.stderr,
+        )
+    return result, ("frequent" if args.all_frequent else "closed")
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
     database = _load(args.database, args.format)
     min_sup = _parse_min_sup(args.min_sup)
     require = _split_labels(args.require)
     allow = _split_labels(args.allow)
     forbid = _split_labels(args.forbid)
+    session_wanted = bool(
+        args.progress
+        or args.deadline is not None
+        or args.max_patterns is not None
+        or args.trace
+        or args.checkpoint
+        or args.resume
+    )
+    if session_wanted and (args.maximal or require or allow or forbid):
+        raise ReproError(
+            "--progress/--deadline/--max-patterns/--trace/--checkpoint/--resume "
+            "apply to closed or all-frequent mining only"
+        )
     if require or allow or forbid:
         if args.maximal or args.all_frequent:
             raise ReproError(
@@ -205,7 +288,9 @@ def cmd_mine(args: argparse.Namespace) -> int:
         if args.output:
             patterns.save_result(result, args.output)
         return 0
-    if args.maximal:
+    if session_wanted:
+        result, kind = _session_mine(args, database, min_sup)
+    elif args.maximal:
         from .core.maximal import mine_maximal_cliques
 
         result = mine_maximal_cliques(database, min_sup, min_size=args.min_size)

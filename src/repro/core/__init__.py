@@ -8,6 +8,7 @@ The public surface of the paper's contribution.  Typical use::
         print(pattern.key())
 """
 
+from .api import MINING_TASKS, mine
 from .canonical import (
     CanonicalForm,
     Label,
@@ -52,12 +53,55 @@ from .quasiclique import (
     required_degree,
 )
 from .results import MiningResult
+from .session import (
+    CallbackSink,
+    CancellationToken,
+    EventSink,
+    JsonlTraceSink,
+    MiningBudget,
+    MiningCheckpoint,
+    MiningEvent,
+    MiningSession,
+    PatternEmitted,
+    PrefixVisited,
+    ProgressSink,
+    RingBufferSink,
+    RootFinished,
+    RootStarted,
+    SearchFinished,
+    SearchHooks,
+    SearchStarted,
+    SubtreePruned,
+    event_from_dict,
+    event_to_dict,
+    iter_session_events,
+)
 from .statistics import MinerStatistics
+from .support import parse_support
 
 __all__ = [
     "BITSET",
     "CACHED",
+    "CallbackSink",
+    "CancellationToken",
+    "EventSink",
+    "JsonlTraceSink",
+    "MINING_TASKS",
+    "MiningBudget",
+    "MiningCheckpoint",
+    "MiningEvent",
+    "MiningSession",
+    "PatternEmitted",
+    "PrefixVisited",
+    "ProgressSink",
+    "RingBufferSink",
+    "RootFinished",
+    "RootStarted",
     "SET",
+    "SearchFinished",
+    "SearchHooks",
+    "SearchStarted",
+    "SubtreePruned",
     "CanonicalForm",
     "ClanMiner",
     "CliqueConstraints",
@@ -81,7 +125,12 @@ __all__ = [
     "is_quasi_clique",
     "is_submultiset",
     "iter_embeddings",
+    "iter_session_events",
+    "event_from_dict",
+    "event_to_dict",
     "make_pattern",
+    "mine",
+    "parse_support",
     "maximal_subset",
     "mine_closed_cliques",
     "mine_maximal_cliques",

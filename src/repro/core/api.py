@@ -1,0 +1,267 @@
+"""The unified mining entry point: :func:`repro.mine`.
+
+The library grew seven near-duplicate entry points (closed, frequent,
+maximal, top-k, quasi, parallel, incremental), each with subtly
+different knobs.  :func:`mine` is the one façade new code needs: pick
+the task with ``task=...``, and every cross-cutting option — size
+window, kernel, worker processes, budgets, event sinks, streaming — is
+spelled the same way regardless of task.  The legacy entry points keep
+working (several are now thin wrappers over this function) and are
+documented as soft-legacy: no ``DeprecationWarning``, no removal
+planned, just no new features.
+
+Dispatch table::
+
+    task="closed"    closed cliques        ClanMiner / parallel / session
+    task="frequent"  all frequent cliques  ClanMiner / parallel / session
+    task="maximal"   maximal cliques       mine_maximal_cliques
+    task="topk"      k largest closed      mine_top_k_closed_cliques (k=...)
+    task="quasi"     closed quasi-cliques  mine_closed_quasi_cliques
+                                           (gamma=..., max_size required)
+
+``stream=True`` (closed/frequent only) returns an unstarted
+:class:`~repro.core.session.MiningSession` instead of running it, so
+callers can attach a cancellation handler before calling
+:meth:`~repro.core.session.MiningSession.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Union
+
+from ..exceptions import MiningError
+from ..graphdb.database import GraphDatabase
+from .canonical import Label
+from .config import MinerConfig
+from .results import MiningResult
+from .session import EventSink, MiningBudget, MiningCheckpoint, MiningSession
+from .support import parse_support
+
+__all__ = ["mine", "MINING_TASKS"]
+
+MINING_TASKS = ("closed", "frequent", "maximal", "topk", "quasi")
+
+#: Options only the session engine honours; used for error messages
+#: when they are combined with a task the session cannot run.
+_SESSION_ONLY = (
+    "budget/deadline/max_patterns/max_expanded_prefixes",
+    "sinks",
+    "sample_every",
+    "resume_from",
+    "stream",
+)
+
+
+def mine(
+    database: GraphDatabase,
+    min_sup: Union[int, float, str] = 2,
+    *,
+    task: str = "closed",
+    stream: bool = False,
+    min_size: int = 1,
+    max_size: Optional[int] = None,
+    k: Optional[int] = None,
+    gamma: float = 0.8,
+    config: Optional[MinerConfig] = None,
+    kernel: Optional[str] = None,
+    collect_witnesses: Optional[bool] = None,
+    processes: int = 1,
+    root_labels: Optional[Tuple[Label, ...]] = None,
+    budget: Optional[MiningBudget] = None,
+    deadline: Optional[float] = None,
+    max_patterns: Optional[int] = None,
+    max_expanded_prefixes: Optional[int] = None,
+    sinks: Sequence[EventSink] = (),
+    sample_every: int = 0,
+    resume_from: Optional[MiningCheckpoint] = None,
+) -> Union[MiningResult, MiningSession]:
+    """Mine clique patterns from a graph transaction database.
+
+    Parameters
+    ----------
+    database:
+        The :class:`~repro.graphdb.database.GraphDatabase` to mine.
+    min_sup:
+        Support threshold: an absolute count (``10``), a fraction
+        (``0.85``), or a string in either spelling plus percentages
+        (``"85%"``) — see :func:`repro.core.support.parse_support`.
+    task:
+        One of ``"closed"`` (default), ``"frequent"``, ``"maximal"``,
+        ``"topk"`` (requires ``k``), ``"quasi"`` (requires ``max_size``;
+        ``gamma`` tunes the relaxation).
+    stream:
+        Return an unstarted :class:`MiningSession` instead of a result
+        (closed/frequent only).
+    min_size / max_size:
+        Size window on reported patterns.
+    config:
+        Full :class:`MinerConfig` control (closed/frequent only).  May
+        be combined with ``min_size``/``max_size``; contradictions
+        raise :class:`MiningError`.
+    kernel / collect_witnesses:
+        Shorthand config overrides (closed/frequent only).
+    processes:
+        Mine DFS roots in a process pool when > 1 (closed/frequent).
+    root_labels:
+        Restrict the search to the given DFS roots (closed/frequent,
+        non-session runs) — the partitioning primitive sessions and the
+        pool build on.
+    budget / deadline / max_patterns / max_expanded_prefixes:
+        Cooperative budgets.  Either pass a ready
+        :class:`MiningBudget`, or the individual shorthands (mutually
+        exclusive with ``budget``).  Any budget routes the run through
+        a :class:`MiningSession`; the result may come back
+        ``truncated`` with its ``completed_roots`` set.
+    sinks / sample_every:
+        Event-stream plumbing; implies a session.
+    resume_from:
+        A :class:`MiningCheckpoint` to continue from; implies a session.
+
+    Returns
+    -------
+    A :class:`MiningResult`, or a :class:`MiningSession` when
+    ``stream=True``.
+    """
+    if task not in MINING_TASKS:
+        raise MiningError(f"unknown task {task!r}; expected one of {MINING_TASKS}")
+    min_sup = parse_support(min_sup)
+    budget = _resolve_budget(budget, deadline, max_patterns, max_expanded_prefixes)
+
+    wants_session = bool(
+        stream or sinks or sample_every or resume_from or (budget is not None)
+    )
+    if task in ("closed", "frequent"):
+        resolved = _resolve_config(task, config, min_size, max_size, kernel, collect_witnesses)
+        if wants_session:
+            if root_labels is not None:
+                raise MiningError(
+                    "root_labels cannot be combined with session options; "
+                    "sessions manage root scheduling themselves"
+                )
+            session = MiningSession(
+                database,
+                min_sup,
+                task=task,
+                config=resolved,
+                budget=budget,
+                sinks=sinks,
+                sample_every=sample_every,
+                processes=processes,
+                resume_from=resume_from,
+            )
+            return session if stream else session.run()
+        if processes > 1:
+            from .parallel import mine_closed_cliques_parallel
+
+            if root_labels is not None:
+                raise MiningError("root_labels and processes>1 cannot be combined")
+            return mine_closed_cliques_parallel(
+                database, min_sup, processes=processes, config=resolved
+            )
+        from .miner import ClanMiner
+
+        return ClanMiner(database, resolved).mine(min_sup, root_labels=root_labels)
+
+    # The specialised tasks have their own search shapes: no sessions,
+    # no custom configs, no pools (yet).
+    _reject_engine_options(
+        task,
+        config=config,
+        kernel=kernel,
+        collect_witnesses=collect_witnesses,
+        root_labels=root_labels,
+        processes=processes if processes != 1 else None,
+        session=wants_session or None,
+    )
+    if task == "maximal":
+        from .maximal import mine_maximal_cliques
+
+        return mine_maximal_cliques(database, min_sup, min_size=min_size)
+    if task == "topk":
+        from .topk import mine_top_k_closed_cliques
+
+        if k is None:
+            raise MiningError("task='topk' requires k=<number of patterns>")
+        return mine_top_k_closed_cliques(database, min_sup, k=k, min_size=min_size)
+    from .quasiclique import mine_closed_quasi_cliques
+
+    if max_size is None:
+        raise MiningError(
+            "task='quasi' requires max_size (the quasi-clique search is "
+            "enumeration-bounded; see repro.core.quasiclique)"
+        )
+    return mine_closed_quasi_cliques(
+        database,
+        min_sup,
+        gamma=gamma,
+        min_size=min_size if min_size != 1 else 2,
+        max_size=max_size,
+    )
+
+
+def _resolve_budget(
+    budget: Optional[MiningBudget],
+    deadline: Optional[float],
+    max_patterns: Optional[int],
+    max_expanded_prefixes: Optional[int],
+) -> Optional[MiningBudget]:
+    shorthand = (
+        deadline is not None
+        or max_patterns is not None
+        or max_expanded_prefixes is not None
+    )
+    if budget is not None and shorthand:
+        raise MiningError(
+            "pass either budget=MiningBudget(...) or the deadline/max_patterns/"
+            "max_expanded_prefixes shorthands, not both"
+        )
+    if shorthand:
+        return MiningBudget(
+            deadline_seconds=deadline,
+            max_patterns=max_patterns,
+            max_expanded_prefixes=max_expanded_prefixes,
+        )
+    if budget is not None and budget.unbounded:
+        return None
+    return budget
+
+
+def _resolve_config(
+    task: str,
+    config: Optional[MinerConfig],
+    min_size: int,
+    max_size: Optional[int],
+    kernel: Optional[str],
+    collect_witnesses: Optional[bool],
+) -> MinerConfig:
+    """Build/merge the MinerConfig for a closed/frequent run."""
+    closed = task == "closed"
+    if config is None:
+        resolved = MinerConfig(
+            closed_only=closed,
+            nonclosed_prefix_pruning=closed,
+            min_size=min_size,
+            max_size=max_size,
+        )
+    else:
+        if config.closed_only != closed:
+            raise MiningError(
+                f"config.closed_only={config.closed_only} contradicts task {task!r}"
+            )
+        resolved = config.with_window(min_size=min_size, max_size=max_size)
+    if kernel is not None:
+        resolved = resolved.with_kernel(kernel)
+    if collect_witnesses is not None and collect_witnesses != resolved.collect_witnesses:
+        from dataclasses import replace
+
+        resolved = replace(resolved, collect_witnesses=collect_witnesses)
+    return resolved
+
+
+def _reject_engine_options(task: str, **given: Any) -> None:
+    offending = sorted(name for name, value in given.items() if value is not None)
+    if offending:
+        raise MiningError(
+            f"task={task!r} does not support the option(s) {offending}; "
+            f"they apply to the closed/frequent engine only"
+        )

@@ -115,6 +115,77 @@ class MinerConfig:
 
         return replace(self, kernel=kernel)
 
+    def with_window(
+        self, min_size: int = 1, max_size: Optional[int] = None
+    ) -> "MinerConfig":
+        """Merge an explicitly requested size window into this config.
+
+        Used by the entry points that accept both a ``config`` and bare
+        ``min_size``/``max_size`` arguments.  Default window arguments
+        (``min_size=1``, ``max_size=None``) defer to the config; a
+        non-default argument that *contradicts* a non-default config
+        field raises :class:`MiningError` instead of silently picking a
+        winner (the historical behaviour was to silently ignore the
+        arguments — see ``tests/test_miner.py``).
+        """
+        from dataclasses import replace
+
+        overrides = {}
+        if min_size != 1:
+            if self.min_size != 1 and self.min_size != min_size:
+                raise MiningError(
+                    f"conflicting min_size: argument {min_size} vs "
+                    f"config.min_size {self.min_size}"
+                )
+            overrides["min_size"] = min_size
+        if max_size is not None:
+            if self.max_size is not None and self.max_size != max_size:
+                raise MiningError(
+                    f"conflicting max_size: argument {max_size} vs "
+                    f"config.max_size {self.max_size}"
+                )
+            overrides["max_size"] = max_size
+        return replace(self, **overrides) if overrides else self
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict of every field (run records, checkpoints)."""
+        return {
+            "closed_only": self.closed_only,
+            "structural_redundancy_pruning": self.structural_redundancy_pruning,
+            "low_degree_pruning": self.low_degree_pruning,
+            "nonclosed_prefix_pruning": self.nonclosed_prefix_pruning,
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+            "embedding_strategy": self.embedding_strategy,
+            "kernel": self.kernel,
+            "collect_witnesses": self.collect_witnesses,
+            "max_embeddings": self.max_embeddings,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MinerConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected (typo safety); missing keys fall back
+        to the defaults, so configs recorded by older versions load.
+        """
+        known = {
+            "closed_only",
+            "structural_redundancy_pruning",
+            "low_degree_pruning",
+            "nonclosed_prefix_pruning",
+            "min_size",
+            "max_size",
+            "embedding_strategy",
+            "kernel",
+            "collect_witnesses",
+            "max_embeddings",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise MiningError(f"unknown MinerConfig fields: {sorted(unknown)}")
+        return cls(**payload)
+
     def without(self, pruning: str) -> "MinerConfig":
         """Return a copy with one named pruning disabled (for ablations)."""
         flags = {

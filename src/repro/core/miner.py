@@ -21,7 +21,7 @@ paper describes (duplicates are generated, detected, and thrown away).
 from __future__ import annotations
 
 import time
-from typing import Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from ..exceptions import MiningError
 from ..graphdb.core_index import PseudoDatabase
@@ -32,6 +32,9 @@ from .embeddings import EmbeddingStore
 from .pattern import CliquePattern
 from .results import MiningResult
 from .statistics import MinerStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import SearchHooks
 
 
 class ClanMiner:
@@ -48,11 +51,37 @@ class ClanMiner:
     def __init__(self, database: GraphDatabase, config: Optional[MinerConfig] = None) -> None:
         self.database = database
         self.config = config if config is not None else MinerConfig()
+        # Database-wide indexes, built once per miner (lazily by mine,
+        # eagerly by prepare).  The miner snapshots the database at
+        # first use — create a new ClanMiner after mutating it, as
+        # IncrementalMiner does.
+        self._pseudo: Optional[PseudoDatabase] = None
+        self._label_supports: Optional[Dict[Label, int]] = None
+
+    def prepare(self) -> "ClanMiner":
+        """Build the label-support and core-number indexes now.
+
+        :meth:`mine` builds them lazily (counting one database scan);
+        root-by-root callers — :class:`repro.core.session.MiningSession`
+        and its pool workers — call this eagerly so repeated ``mine``
+        calls on the same miner pay for the indexes once and per-root
+        statistics do not depend on which root ran first.
+        """
+        if self._label_supports is None:
+            self._label_supports = self.database.label_supports()
+        if self._pseudo is None and self.config.low_degree_pruning:
+            self._pseudo = PseudoDatabase(self.database)
+        return self
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def mine(self, min_sup: float, root_labels: Optional[Tuple[Label, ...]] = None) -> MiningResult:
+    def mine(
+        self,
+        min_sup: float,
+        root_labels: Optional[Tuple[Label, ...]] = None,
+        hooks: Optional["SearchHooks"] = None,
+    ) -> MiningResult:
         """Mine with the given support threshold (absolute int or fraction).
 
         Returns a :class:`MiningResult` of closed cliques (or of all
@@ -67,6 +96,14 @@ class ClanMiner:
         :func:`repro.core.parallel.mine_closed_cliques_parallel` builds
         on.  Note it requires structural redundancy pruning (otherwise
         patterns are reachable from any of their labels).
+
+        ``hooks`` is the session layer's instrumentation object (see
+        :class:`repro.core.session.SearchHooks`): when given, it is
+        notified at every prefix, emitted pattern, and pruned subtree,
+        and may abort the search by raising
+        :class:`~repro.core.session.SearchAborted` at a prefix boundary.
+        When ``None`` (the default) the search runs exactly as before —
+        the only added cost is one ``is not None`` test per hook site.
         """
         started = time.perf_counter()
         abs_sup = self.database.absolute_support(min_sup)
@@ -78,9 +115,15 @@ class ClanMiner:
         stats = MinerStatistics()
         result = MiningResult(min_sup=abs_sup, closed_only=config.closed_only, statistics=stats)
 
-        pseudo = PseudoDatabase(self.database) if config.low_degree_pruning else None
-        label_supports = self.database.label_supports()
-        stats.database_scans += 1
+        pseudo = None
+        if config.low_degree_pruning:
+            if self._pseudo is None:
+                self._pseudo = PseudoDatabase(self.database)
+            pseudo = self._pseudo
+        if self._label_supports is None:
+            self._label_supports = self.database.label_supports()
+            stats.database_scans += 1
+        label_supports = self._label_supports
         seen_forms: Set[Tuple[Label, ...]] = set()
         wanted = set(root_labels) if root_labels is not None else None
 
@@ -94,7 +137,7 @@ class ClanMiner:
                 self.database, pseudo, label, config.embedding_strategy, config.kernel
             )
             self._recurse(
-                CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms
+                CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms, hooks
             )
 
         result.elapsed_seconds = time.perf_counter() - started
@@ -111,10 +154,13 @@ class ClanMiner:
         result: MiningResult,
         stats: MinerStatistics,
         seen_forms: Set[Tuple[Label, ...]],
+        hooks: Optional["SearchHooks"] = None,
     ) -> None:
         config = self.config
         stats.record_prefix(form.size)
         stats.record_embeddings(store.embedding_count)
+        if hooks is not None:
+            hooks.enter_prefix(form, store)
         if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
             raise MiningError(
                 f"prefix {form} materialised {store.embedding_count} embeddings, "
@@ -141,16 +187,18 @@ class ClanMiner:
             blocking = store.nonclosed_extension_label(form.last_label)
             if blocking is not None:
                 stats.nonclosed_prefix_prunes += 1
+                if hooks is not None:
+                    hooks.pruned(form, "nonclosed_prefix")
                 return
 
         # Lines 06-07: closure check (Lemma 4.3) and output.
         if config.closed_only:
             if not blocked:
-                self._emit(form, store, result, stats)
+                self._emit(form, store, result, stats, hooks)
             else:
                 stats.closure_rejections += 1
         else:
-            self._emit(form, store, result, stats)
+            self._emit(form, store, result, stats, hooks)
 
         # Lines 08-09: recurse into each frequent valid extension.
         if config.max_size is not None and form.size >= config.max_size:
@@ -172,7 +220,9 @@ class ClanMiner:
                     f"extension scan predicted support {ext_support} for "
                     f"{child_form} but materialisation found {child_store.support}"
                 )
-            self._recurse(child_form, child_store, abs_sup, result, stats, seen_forms)
+            self._recurse(
+                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+            )
 
     # ------------------------------------------------------------------
     def _emit(
@@ -181,6 +231,7 @@ class ClanMiner:
         store: EmbeddingStore,
         result: MiningResult,
         stats: MinerStatistics,
+        hooks: Optional["SearchHooks"] = None,
     ) -> None:
         """Report one pattern, honouring the size window."""
         config = self.config
@@ -197,6 +248,8 @@ class ClanMiner:
         result.add(pattern)
         if config.closed_only:
             stats.closed_cliques += 1
+        if hooks is not None:
+            hooks.pattern(pattern)
 
 
 def mine_closed_cliques(
@@ -206,14 +259,27 @@ def mine_closed_cliques(
     max_size: Optional[int] = None,
     config: Optional[MinerConfig] = None,
 ) -> MiningResult:
-    """One-call convenience wrapper around :class:`ClanMiner`.
+    """One-call convenience wrapper; soft-legacy, kept indefinitely.
 
-    ``config`` overrides everything else when given; otherwise the
-    paper-default configuration is used with the size window applied.
+    New code can call :func:`repro.mine` (this is now a thin wrapper
+    over it with ``task="closed"``), which also exposes streaming,
+    budgets, and the other mining tasks behind one signature.
+
+    When both ``config`` and a ``min_size``/``max_size`` window are
+    given, the window is merged into the config; contradictory values
+    raise :class:`MiningError` (historically the window was silently
+    ignored).
     """
-    if config is None:
-        config = MinerConfig(min_size=min_size, max_size=max_size)
-    return ClanMiner(database, config).mine(min_sup)
+    from .api import mine
+
+    return mine(
+        database,
+        min_sup,
+        task="closed",
+        min_size=min_size,
+        max_size=max_size,
+        config=config,
+    )
 
 
 def mine_frequent_cliques(
@@ -221,12 +287,21 @@ def mine_frequent_cliques(
     min_sup: float,
     min_size: int = 1,
     max_size: Optional[int] = None,
+    config: Optional[MinerConfig] = None,
 ) -> MiningResult:
-    """Mine the complete frequent (not only closed) clique set."""
-    config = MinerConfig(
-        closed_only=False,
-        nonclosed_prefix_pruning=False,
+    """Mine the complete frequent (not only closed) clique set.
+
+    Soft-legacy: a thin wrapper over :func:`repro.mine` with
+    ``task="frequent"``; kept indefinitely for existing callers.
+    ``config``/window merging follows :func:`mine_closed_cliques`.
+    """
+    from .api import mine
+
+    return mine(
+        database,
+        min_sup,
+        task="frequent",
         min_size=min_size,
         max_size=max_size,
+        config=config,
     )
-    return ClanMiner(database, config).mine(min_sup)

@@ -43,20 +43,7 @@ def _mine_roots(root_labels: Tuple[Label, ...]) -> MiningResult:
 
 
 def _merge_statistics(into: MinerStatistics, part: MinerStatistics) -> None:
-    into.prefixes_visited += part.prefixes_visited
-    into.frequent_cliques += part.frequent_cliques
-    into.closed_cliques += part.closed_cliques
-    into.nonclosed_prefix_prunes += part.nonclosed_prefix_prunes
-    into.closure_rejections += part.closure_rejections
-    into.infrequent_extensions += part.infrequent_extensions
-    into.redundancy_skips += part.redundancy_skips
-    into.duplicates_collapsed += part.duplicates_collapsed
-    into.embeddings_created += part.embeddings_created
-    into.peak_embeddings = max(into.peak_embeddings, part.peak_embeddings)
-    into.database_scans += part.database_scans
-    into.max_depth = max(into.max_depth, part.max_depth)
-    for size, count in part.frequent_by_size.items():
-        into.frequent_by_size[size] = into.frequent_by_size.get(size, 0) + count
+    into.merge(part)
 
 
 def partition_roots(labels: Sequence[Label], chunks: int) -> List[Tuple[Label, ...]]:

@@ -21,7 +21,16 @@ from .statistics import MinerStatistics
 class MiningResult:
     """An ordered, indexed collection of mined clique patterns."""
 
-    __slots__ = ("_patterns", "_by_form", "min_sup", "closed_only", "elapsed_seconds", "statistics")
+    __slots__ = (
+        "_patterns",
+        "_by_form",
+        "min_sup",
+        "closed_only",
+        "elapsed_seconds",
+        "statistics",
+        "truncated",
+        "completed_roots",
+    )
 
     def __init__(
         self,
@@ -30,6 +39,8 @@ class MiningResult:
         closed_only: bool = True,
         elapsed_seconds: float = 0.0,
         statistics: Optional[MinerStatistics] = None,
+        truncated: bool = False,
+        completed_roots: Optional[Tuple[Label, ...]] = None,
     ) -> None:
         self._patterns: List[CliquePattern] = []
         self._by_form: Dict[CanonicalForm, CliquePattern] = {}
@@ -37,6 +48,13 @@ class MiningResult:
         self.closed_only = closed_only
         self.elapsed_seconds = elapsed_seconds
         self.statistics = statistics if statistics is not None else MinerStatistics()
+        #: True when a budget or cancellation stopped the search early.
+        #: A truncated result is still exact for ``completed_roots``: it
+        #: equals a ``root_labels``-restricted mine of those roots.
+        self.truncated = truncated
+        #: DFS root labels whose subtrees were fully mined, or ``None``
+        #: for runs that did not track roots (the plain miner).
+        self.completed_roots = completed_roots
         for pattern in patterns:
             self.add(pattern)
 
@@ -169,7 +187,11 @@ class MiningResult:
 
     def __repr__(self) -> str:
         kind = "closed" if self.closed_only else "frequent"
-        return f"<MiningResult {len(self._patterns)} {kind} patterns min_sup={self.min_sup}>"
+        cut = " truncated" if self.truncated else ""
+        return (
+            f"<MiningResult {len(self._patterns)} {kind} patterns "
+            f"min_sup={self.min_sup}{cut}>"
+        )
 
 
 def _sub_multisets(labels: Tuple[Label, ...]) -> Iterator[Tuple[Label, ...]]:

@@ -61,6 +61,56 @@ class MinerStatistics:
         if count > self.peak_embeddings:
             self.peak_embeddings = count
 
+    def merge(self, part: "MinerStatistics") -> None:
+        """Fold another run's counters into this one.
+
+        Additive counters sum, high-water marks take the maximum, and
+        the per-size histogram merges pointwise.  This is how the
+        parallel pool and :class:`~repro.core.session.MiningSession`
+        combine per-root (or per-worker) statistics into one run-wide
+        view.
+        """
+        self.prefixes_visited += part.prefixes_visited
+        self.frequent_cliques += part.frequent_cliques
+        self.closed_cliques += part.closed_cliques
+        self.nonclosed_prefix_prunes += part.nonclosed_prefix_prunes
+        self.closure_rejections += part.closure_rejections
+        self.infrequent_extensions += part.infrequent_extensions
+        self.redundancy_skips += part.redundancy_skips
+        self.duplicates_collapsed += part.duplicates_collapsed
+        self.embeddings_created += part.embeddings_created
+        self.peak_embeddings = max(self.peak_embeddings, part.peak_embeddings)
+        self.database_scans += part.database_scans
+        self.max_depth = max(self.max_depth, part.max_depth)
+        for size, count in part.frequent_by_size.items():
+            self.frequent_by_size[size] = self.frequent_by_size.get(size, 0) + count
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready copy of every counter (heartbeats, traces)."""
+        return {
+            "prefixes_visited": self.prefixes_visited,
+            "frequent_cliques": self.frequent_cliques,
+            "closed_cliques": self.closed_cliques,
+            "nonclosed_prefix_prunes": self.nonclosed_prefix_prunes,
+            "closure_rejections": self.closure_rejections,
+            "infrequent_extensions": self.infrequent_extensions,
+            "redundancy_skips": self.redundancy_skips,
+            "duplicates_collapsed": self.duplicates_collapsed,
+            "embeddings_created": self.embeddings_created,
+            "peak_embeddings": self.peak_embeddings,
+            "database_scans": self.database_scans,
+            "max_depth": self.max_depth,
+            "frequent_by_size": {
+                str(size): count for size, count in sorted(self.frequent_by_size.items())
+            },
+        }
+
+    def prefixes_per_second(self, elapsed_seconds: float) -> float:
+        """Search throughput over a given wall-clock span (0 if unknown)."""
+        if elapsed_seconds <= 0.0:
+            return 0.0
+        return self.prefixes_visited / elapsed_seconds
+
     def summary(self) -> str:
         """One-line human-readable digest."""
         return (

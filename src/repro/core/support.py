@@ -1,0 +1,91 @@
+"""Shared minimum-support parsing.
+
+Historically the CLI accepted ``"0.85"``, ``"85%"``, and absolute-count
+strings while the Python API accepted only ``int`` counts and ``float``
+fractions; the two surfaces interpreted borderline inputs differently.
+:func:`parse_support` is the single normaliser both use: it maps any
+accepted spelling onto the canonical pair the rest of the library
+understands — an ``int`` absolute count, or a ``float`` fraction in
+``(0, 1]`` — and rejects everything ambiguous with a precise
+:class:`~repro.exceptions.InvalidSupportError` *before* a database is
+ever consulted.
+
+Database-dependent validation (is the absolute count within ``[1,
+|D|]``?) stays in :meth:`repro.graphdb.database.GraphDatabase.
+absolute_support`, which accepts this module's output.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..exceptions import InvalidSupportError
+
+SupportValue = Union[int, float]
+SupportInput = Union[int, float, str]
+
+
+def parse_support(value: SupportInput) -> SupportValue:
+    """Normalise a support threshold into an int count or float fraction.
+
+    Accepted spellings:
+
+    ``10`` / ``"10"``
+        An absolute transaction count (positive integers only).
+    ``0.85`` / ``"0.85"``
+        A relative fraction in ``(0, 1]``.
+    ``"85%"``
+        A percentage in ``(0, 100]``; returned as the fraction ``0.85``.
+
+    Everything else — booleans, zero or negative counts, fractions
+    outside ``(0, 1]``, floats ≥ 1 that *look* like counts — raises
+    :class:`InvalidSupportError` with a message explaining the accepted
+    forms.  In particular ``2.0`` is rejected rather than silently read
+    as the absolute count ``2``: a float is always a fraction here.
+    """
+    if isinstance(value, bool):
+        raise InvalidSupportError(value, "booleans are not a support threshold")
+    if isinstance(value, str):
+        value = _parse_support_text(value)
+    if isinstance(value, int):
+        if value < 1:
+            raise InvalidSupportError(
+                value,
+                "an absolute support count must be >= 1 (use a float in (0, 1] "
+                "or a percentage string for relative thresholds)",
+            )
+        return value
+    if isinstance(value, float):
+        if not 0.0 < value <= 1.0:
+            raise InvalidSupportError(
+                value,
+                "a fractional support must be in (0, 1]; write an int for an "
+                "absolute count or '85%' for a percentage",
+            )
+        return value
+    raise InvalidSupportError(
+        value, "expected an int count, a float fraction, or a string like '85%'"
+    )
+
+
+def _parse_support_text(text: str) -> SupportValue:
+    """Parse the string spellings ('10', '0.85', '85%')."""
+    stripped = text.strip()
+    if not stripped:
+        raise InvalidSupportError(text, "empty support string")
+    if stripped.endswith("%"):
+        try:
+            percent = float(stripped[:-1])
+        except ValueError:
+            raise InvalidSupportError(text, "not a percentage") from None
+        if not 0.0 < percent <= 100.0:
+            raise InvalidSupportError(text, "percentage must be in (0, 100]")
+        return percent / 100.0
+    try:
+        if "." in stripped or "e" in stripped.lower():
+            return float(stripped)
+        return int(stripped)
+    except ValueError:
+        raise InvalidSupportError(
+            text, "expected an int count, a decimal fraction, or a percentage"
+        ) from None

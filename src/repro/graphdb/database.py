@@ -100,28 +100,29 @@ class GraphDatabase:
     def absolute_support(self, min_sup: float) -> int:
         """Convert a support threshold to an absolute transaction count.
 
-        ``min_sup`` may be given either as an absolute integer count
-        (``1 <= min_sup <= |D|``, integers only) or as a relative
-        fraction in ``(0, 1]`` (floats only).  The relative form rounds
-        *up*, matching the usual "at least x%" semantics: 85% of 11
-        graphs requires support 10.
+        ``min_sup`` may be an absolute integer count (``1 <= min_sup <=
+        |D|``, integers only), a relative fraction in ``(0, 1]`` (floats
+        only), or any string :func:`repro.core.support.parse_support`
+        accepts (``"10"``, ``"0.85"``, ``"85%"``).  The relative form
+        rounds *up*, matching the usual "at least x%" semantics: 85% of
+        11 graphs requires support 10.  Zero, negative, and float-count
+        spellings like ``2.0`` are ambiguous and rejected outright.
         """
+        from ..core.support import parse_support
+
         if not self._graphs:
             raise DatabaseError("cannot derive a support threshold for an empty database")
-        if isinstance(min_sup, bool):
-            raise InvalidSupportError(min_sup, "booleans are not a support threshold")
+        min_sup = parse_support(min_sup)
         if isinstance(min_sup, int):
-            if not 1 <= min_sup <= len(self._graphs):
+            if min_sup > len(self._graphs):
                 raise InvalidSupportError(
-                    min_sup, f"absolute support must be in [1, {len(self._graphs)}]"
+                    min_sup,
+                    f"absolute support exceeds the database's {len(self._graphs)} "
+                    f"transactions",
                 )
             return min_sup
-        if isinstance(min_sup, float):
-            if not 0.0 < min_sup <= 1.0:
-                raise InvalidSupportError(min_sup, "relative support must be in (0, 1]")
-            absolute = -int(-min_sup * len(self._graphs) // 1)  # ceil without math import
-            return max(1, absolute)
-        raise InvalidSupportError(min_sup, "expected an int count or a float fraction")
+        absolute = -int(-min_sup * len(self._graphs) // 1)  # ceil without math import
+        return max(1, absolute)
 
     def label_supports(self) -> Dict[Label, int]:
         """Return, for each label, the number of transactions containing it."""

@@ -1,10 +1,18 @@
-"""Reproducible run records.
+"""Reproducible run records, session traces, and checkpoints.
 
 A :class:`RunRecord` captures everything needed to audit or replay a
 mining run: the configuration, the threshold, a structural fingerprint
 of the input database, the environment, the search statistics, and the
 patterns themselves.  Records serialise to JSON; replaying re-mines and
 diffs against the recorded patterns.
+
+This module is also the persistence layer for the session control
+plane (:mod:`repro.core.session`): :func:`open_trace` reads the JSONL
+event streams written by
+:class:`~repro.core.session.JsonlTraceSink`, and
+:func:`save_checkpoint` / :func:`open_checkpoint` round-trip
+:class:`~repro.core.session.MiningCheckpoint` snapshots so an
+interrupted mine can resume in another process.
 """
 
 from __future__ import annotations
@@ -15,13 +23,14 @@ import platform
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from .. import __version__
 from ..core.config import MinerConfig
 from ..core.miner import ClanMiner
 from ..core.results import MiningResult
-from ..exceptions import FormatError
+from ..core.session import MiningCheckpoint, MiningEvent, event_from_dict
+from ..exceptions import FormatError, MiningError
 from ..graphdb.database import GraphDatabase
 from .json_format import result_from_dict, result_to_dict
 
@@ -70,7 +79,7 @@ class RunRecord:
 
     def miner_config(self) -> MinerConfig:
         """Rehydrate the recorded configuration."""
-        return MinerConfig(**self.config)
+        return MinerConfig.from_dict(self.config)
 
 
 def record_run(
@@ -91,27 +100,8 @@ def record_run(
         database_fingerprint=database_fingerprint(database),
         n_transactions=len(database),
         min_sup=result.min_sup,
-        config={
-            "closed_only": config.closed_only,
-            "structural_redundancy_pruning": config.structural_redundancy_pruning,
-            "low_degree_pruning": config.low_degree_pruning,
-            "nonclosed_prefix_pruning": config.nonclosed_prefix_pruning,
-            "min_size": config.min_size,
-            "max_size": config.max_size,
-            "embedding_strategy": config.embedding_strategy,
-            "collect_witnesses": config.collect_witnesses,
-            "max_embeddings": config.max_embeddings,
-        },
-        statistics={
-            "prefixes_visited": stats.prefixes_visited,
-            "frequent_cliques": stats.frequent_cliques,
-            "closed_cliques": stats.closed_cliques,
-            "nonclosed_prefix_prunes": stats.nonclosed_prefix_prunes,
-            "closure_rejections": stats.closure_rejections,
-            "embeddings_created": stats.embeddings_created,
-            "database_scans": stats.database_scans,
-            "max_depth": stats.max_depth,
-        },
+        config=config.to_dict(),
+        statistics=stats.snapshot(),
         elapsed_seconds=result.elapsed_seconds,
         result=result_to_dict(result),
     )
@@ -167,3 +157,44 @@ def replay(record: RunRecord, database: GraphDatabase) -> ReplayOutcome:
         recorded_patterns=len(recorded),
         replayed_patterns=len(replayed),
     )
+
+
+# ----------------------------------------------------------------------
+# Session traces (JSONL event streams)
+# ----------------------------------------------------------------------
+def open_trace(path: PathLike) -> List[MiningEvent]:
+    """Read back a JSONL event trace written by ``JsonlTraceSink``.
+
+    Returns the typed events in file order.  Malformed lines raise
+    :class:`FormatError` with the offending line number.
+    """
+    events: List[MiningEvent] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except (MiningError, ValueError, KeyError, TypeError) as exc:
+                raise FormatError(f"bad trace event: {exc}", line_number=number) from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# Session checkpoints
+# ----------------------------------------------------------------------
+def save_checkpoint(checkpoint: MiningCheckpoint, path: PathLike) -> None:
+    """Write a session checkpoint as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(checkpoint.to_dict(), stream, indent=1)
+
+
+def open_checkpoint(path: PathLike) -> MiningCheckpoint:
+    """Read a session checkpoint back."""
+    with open(path, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    try:
+        return MiningCheckpoint.from_dict(payload)
+    except (KeyError, TypeError) as exc:
+        raise FormatError(f"not a mining checkpoint: {exc}") from exc

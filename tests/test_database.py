@@ -68,9 +68,22 @@ class TestSupportArithmetic:
         with pytest.raises(InvalidSupportError):
             two_graph_db().absolute_support(True)
 
+    def test_support_strings_parse_like_the_cli(self):
+        db = GraphDatabase([Graph() for _ in range(11)])
+        assert db.absolute_support("85%") == 10
+        assert db.absolute_support("0.85") == 10
+        assert db.absolute_support("2") == 2
+
     def test_non_numeric_rejected(self):
         with pytest.raises(InvalidSupportError):
-            two_graph_db().absolute_support("85%")
+            two_graph_db().absolute_support("dense")
+        with pytest.raises(InvalidSupportError):
+            two_graph_db().absolute_support(None)
+
+    def test_ambiguous_float_count_rejected(self):
+        # 2.0 could mean "count 2" or a (bad) fraction; neither is allowed.
+        with pytest.raises(InvalidSupportError):
+            two_graph_db().absolute_support(2.0)
 
     def test_empty_database_has_no_threshold(self):
         with pytest.raises(DatabaseError):

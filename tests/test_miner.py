@@ -130,3 +130,45 @@ class TestStatisticsAndTiming:
         g2 = Graph.from_edges({0: "b"}, [])
         result = mine_closed_cliques(GraphDatabase([g1, g2]), 2)
         assert len(result) == 0
+
+
+class TestConfigWindowMerging:
+    """Regression: ``mine_closed_cliques(..., config=...)`` used to
+    silently ignore ``min_size``/``max_size`` whenever a config was
+    passed.  The window now merges into the config, and genuine
+    contradictions raise instead of picking a silent winner."""
+
+    def test_window_args_respected_alongside_config(self, paper_db):
+        config = MinerConfig(embedding_strategy=RESCAN)
+        result = mine_closed_cliques(paper_db, 2, min_size=4, config=config)
+        assert [p.key() for p in result] == ["abcd:2"]
+
+    def test_max_size_respected_alongside_config(self, paper_db):
+        config = MinerConfig(embedding_strategy=RESCAN)
+        result = mine_closed_cliques(paper_db, 2, max_size=3, config=config)
+        assert [p.key() for p in result] == ["bde:2"]
+
+    def test_window_in_config_alone_still_works(self, paper_db):
+        result = mine_closed_cliques(paper_db, 2, config=MinerConfig(min_size=4))
+        assert [p.key() for p in result] == ["abcd:2"]
+
+    def test_agreeing_window_is_fine(self, paper_db):
+        config = MinerConfig(min_size=4)
+        result = mine_closed_cliques(paper_db, 2, min_size=4, config=config)
+        assert [p.key() for p in result] == ["abcd:2"]
+
+    def test_conflicting_min_size_raises(self, paper_db):
+        config = MinerConfig(min_size=3)
+        with pytest.raises(MiningError, match="conflicting min_size"):
+            mine_closed_cliques(paper_db, 2, min_size=4, config=config)
+
+    def test_conflicting_max_size_raises(self, paper_db):
+        config = MinerConfig(max_size=2)
+        with pytest.raises(MiningError, match="conflicting max_size"):
+            mine_closed_cliques(paper_db, 2, max_size=3, config=config)
+
+    def test_frequent_wrapper_merges_too(self, paper_db):
+        config = MinerConfig.all_frequent()
+        result = mine_frequent_cliques(paper_db, 2, max_size=2, config=config)
+        assert result.max_size() == 2
+        assert len(result) == 13

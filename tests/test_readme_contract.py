@@ -12,11 +12,28 @@ README = (Path(__file__).resolve().parent.parent / "README.md").read_text()
 
 class TestQuickstartSnippets:
     def test_running_example_snippet(self):
-        from repro import mine_closed_cliques, paper_example_database
+        from repro import mine, paper_example_database
 
         database = paper_example_database()
-        result = mine_closed_cliques(database, min_sup=2)
+        result = mine(database, min_sup=2)
         assert [p.key() for p in result] == ["abcd:2", "bde:2"]
+
+    def test_facade_matches_legacy_wrappers(self):
+        """The README's claim: the per-task functions remain supported
+        and agree with the façade, byte for byte."""
+        from repro import mine, mine_closed_cliques, mine_frequent_cliques
+        from repro import paper_example_database
+
+        database = paper_example_database()
+        assert [p.key() for p in mine(database, 2)] == [
+            p.key() for p in mine_closed_cliques(database, 2)
+        ]
+        assert [p.key() for p in mine(database, 2, task="frequent")] == [
+            p.key() for p in mine_frequent_cliques(database, 2)
+        ]
+        assert [p.key() for p in mine(database, "100%")] == [
+            p.key() for p in mine(database, 2)
+        ]
 
     def test_own_data_snippet(self):
         from repro import Graph, GraphDatabase, mine_closed_cliques
@@ -31,6 +48,40 @@ class TestQuickstartSnippets:
         db = GraphDatabase([g, g.copy()])
         result = mine_closed_cliques(db, min_sup=1.0)
         assert [p.key() for p in result] == ["abc:2"]
+
+    def test_long_running_mines_snippet(self):
+        from repro import mine, paper_example_database
+
+        database = paper_example_database()
+        partial = mine(database, min_sup=2, max_expanded_prefixes=3)
+        if partial.truncated:
+            finished = mine(
+                database, min_sup=2, root_labels=partial.completed_roots
+            )
+            assert [p.key() for p in partial] == [p.key() for p in finished]
+        # The README also promises the truncation actually triggers on
+        # this example (3 prefixes cannot cover all five roots).
+        assert partial.truncated
+
+    def test_long_running_cli_flags_exist(self):
+        """Every session flag the README shows is a real mine option."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        mine_options = {
+            option
+            for action in sub.choices["mine"]._actions
+            for option in action.option_strings
+        }
+        for flag in ("--progress", "--deadline", "--max-patterns",
+                     "--trace", "--checkpoint", "--resume"):
+            assert flag in mine_options, flag
+        for flag in ("--progress", "--deadline", "--trace",
+                     "--checkpoint", "--resume"):
+            assert flag in README, flag
 
     def test_stock_market_snippet(self):
         from repro import mine_closed_cliques

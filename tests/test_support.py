@@ -1,0 +1,79 @@
+"""The shared support-threshold parser (CLI and Python API)."""
+
+import pytest
+
+from repro.core.support import parse_support
+from repro.exceptions import InvalidSupportError
+
+
+class TestParseSupport:
+    def test_absolute_ints_pass_through(self):
+        assert parse_support(1) == 1
+        assert parse_support(10) == 10
+        assert isinstance(parse_support(10), int)
+
+    def test_fractions_pass_through(self):
+        assert parse_support(0.85) == pytest.approx(0.85)
+        assert parse_support(1.0) == pytest.approx(1.0)
+
+    def test_count_strings(self):
+        assert parse_support("2") == 2
+        assert isinstance(parse_support("2"), int)
+
+    def test_fraction_strings(self):
+        assert parse_support("0.85") == pytest.approx(0.85)
+        assert parse_support("1e-1") == pytest.approx(0.1)
+
+    def test_percentage_strings(self):
+        assert parse_support("85%") == pytest.approx(0.85)
+        assert parse_support("100%") == pytest.approx(1.0)
+        assert parse_support(" 85 % ".replace(" ", "")) == pytest.approx(0.85)
+
+    def test_whitespace_tolerated(self):
+        assert parse_support("  2  ") == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [0, -3, "0", "-3", 0.0, -0.5, 1.5, "1.5", "0%", "101%", "-5%",
+         True, False, "", "  ", "dense", "85%%", None, [2]],
+    )
+    def test_rejections(self, bad):
+        with pytest.raises(InvalidSupportError):
+            parse_support(bad)
+
+    def test_float_counts_are_ambiguous(self):
+        # 2.0 might mean "count 2" or a fraction typo; both readings are
+        # refused so the CLI and API cannot drift apart again.
+        with pytest.raises(InvalidSupportError):
+            parse_support(2.0)
+        with pytest.raises(InvalidSupportError):
+            parse_support("2.0")
+
+
+class TestSurfacesAgree:
+    """The CLI helper and the database arithmetic use the same parser."""
+
+    def test_cli_helper_delegates(self):
+        from repro.cli import _parse_min_sup
+
+        assert _parse_min_sup("85%") == parse_support("85%")
+        assert _parse_min_sup("2") == parse_support("2")
+        with pytest.raises(InvalidSupportError):
+            _parse_min_sup("nope")
+
+    def test_database_accepts_all_spellings(self):
+        from repro.graphdb import paper_example_database
+
+        db = paper_example_database()  # 2 transactions
+        assert db.absolute_support("100%") == 2
+        assert db.absolute_support("0.5") == 1
+        assert db.absolute_support("2") == 2
+        assert db.absolute_support(2) == 2
+
+    def test_facade_accepts_strings(self):
+        from repro import mine, paper_example_database
+
+        db = paper_example_database()
+        assert [p.key() for p in mine(db, "100%")] == [
+            p.key() for p in mine(db, 2)
+        ]
