@@ -32,6 +32,7 @@ from .core import (
     CliquePattern,
     MinerConfig,
     MiningBudget,
+    MiningExecutor,
     MiningResult,
     MiningSession,
     mine,
@@ -54,6 +55,7 @@ __all__ = [
     "GraphDatabase",
     "MinerConfig",
     "MiningBudget",
+    "MiningExecutor",
     "MiningResult",
     "MiningSession",
     "ReproError",

@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--stats", action="store_true", help="print search statistics")
     mine.add_argument("--processes", type=int, default=1,
                       help="worker processes for parallel closed mining")
+    mine.add_argument("--scheduler", default="stealing",
+                      choices=("stealing", "static"),
+                      help="parallel root scheduler: adaptive work-stealing "
+                           "with cost-guided splitting (default) or static "
+                           "round-robin chunks; results are identical")
     mine.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
                       help="candidate-intersection kernel: integer bitmasks "
                            "(default) or the hashed-set reference")
@@ -226,6 +231,7 @@ def _session_mine(args: argparse.Namespace, database, min_sup):
         budget=budget,
         sinks=sinks,
         processes=max(args.processes, 1),
+        scheduler=args.scheduler,
         resume_from=resume_from,
     )
     result = session.run()
@@ -302,7 +308,11 @@ def cmd_mine(args: argparse.Namespace) -> int:
             min_size=args.min_size, max_size=args.max_size, kernel=args.kernel
         )
         result = mine_closed_cliques_parallel(
-            database, min_sup, processes=args.processes, config=config
+            database,
+            min_sup,
+            processes=args.processes,
+            config=config,
+            scheduler=args.scheduler,
         )
         kind = "closed"
     else:

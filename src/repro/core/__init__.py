@@ -29,7 +29,15 @@ from .constraints import (
     mine_with_constraints,
     project_database,
 )
-from .embeddings import BITSET, CACHED, RESCAN, SET, EmbeddingStore
+from .embeddings import BITSET, CACHED, RESCAN, SET, EmbeddingStore, warm_kernel_indexes
+from .executor import (
+    STATIC,
+    STEALING,
+    ExecutorReport,
+    MiningExecutor,
+    MiningTask,
+    estimate_root_costs,
+)
 from .incremental import IncrementalMiner
 from .lattice import CliqueLattice
 from .maximal import maximal_subset, mine_maximal_cliques
@@ -98,6 +106,8 @@ __all__ = [
     "RootFinished",
     "RootStarted",
     "SET",
+    "STATIC",
+    "STEALING",
     "SearchFinished",
     "SearchHooks",
     "SearchStarted",
@@ -109,16 +119,20 @@ __all__ = [
     "CliquePattern",
     "ConstrainedMiner",
     "EmbeddingStore",
+    "ExecutorReport",
     "HistoryClosureIndex",
     "IncrementalMiner",
     "Label",
     "MinerConfig",
     "MinerStatistics",
+    "MiningExecutor",
     "MiningResult",
+    "MiningTask",
     "RESCAN",
     "blocking_extension_labels",
     "canonical_label_sequence",
     "embedding_store_for",
+    "estimate_root_costs",
     "embeddings_in_graph",
     "is_canonical_sequence",
     "is_closed",
@@ -148,4 +162,5 @@ __all__ = [
     "split_extension_labels",
     "total_occurrences",
     "transaction_support",
+    "warm_kernel_indexes",
 ]

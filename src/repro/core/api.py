@@ -66,6 +66,7 @@ def mine(
     kernel: Optional[str] = None,
     collect_witnesses: Optional[bool] = None,
     processes: int = 1,
+    scheduler: str = "stealing",
     root_labels: Optional[Tuple[Label, ...]] = None,
     budget: Optional[MiningBudget] = None,
     deadline: Optional[float] = None,
@@ -102,6 +103,13 @@ def mine(
         Shorthand config overrides (closed/frequent only).
     processes:
         Mine DFS roots in a process pool when > 1 (closed/frequent).
+    scheduler:
+        How the pool schedules roots: ``"stealing"`` (default) is the
+        adaptive work queue with cost-guided root splitting,
+        ``"static"`` the legacy round-robin chunks — see
+        :class:`repro.core.executor.MiningExecutor`.  Results are
+        identical either way; only wall-clock differs.  Ignored when
+        ``processes=1``.
     root_labels:
         Restrict the search to the given DFS roots (closed/frequent,
         non-session runs) — the partitioning primitive sessions and the
@@ -124,6 +132,10 @@ def mine(
     """
     if task not in MINING_TASKS:
         raise MiningError(f"unknown task {task!r}; expected one of {MINING_TASKS}")
+    from .executor import SCHEDULERS, STEALING
+
+    if scheduler not in SCHEDULERS:
+        raise MiningError(f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
     min_sup = parse_support(min_sup)
     budget = _resolve_budget(budget, deadline, max_patterns, max_expanded_prefixes)
 
@@ -147,6 +159,7 @@ def mine(
                 sinks=sinks,
                 sample_every=sample_every,
                 processes=processes,
+                scheduler=scheduler,
                 resume_from=resume_from,
             )
             return session if stream else session.run()
@@ -156,7 +169,11 @@ def mine(
             if root_labels is not None:
                 raise MiningError("root_labels and processes>1 cannot be combined")
             return mine_closed_cliques_parallel(
-                database, min_sup, processes=processes, config=resolved
+                database,
+                min_sup,
+                processes=processes,
+                config=resolved,
+                scheduler=scheduler,
             )
         from .miner import ClanMiner
 
@@ -171,6 +188,7 @@ def mine(
         collect_witnesses=collect_witnesses,
         root_labels=root_labels,
         processes=processes if processes != 1 else None,
+        scheduler=scheduler if scheduler != STEALING else None,
         session=wants_session or None,
     )
     if task == "maximal":

@@ -56,6 +56,19 @@ class MinerConfig:
     max_embeddings:
         Optional safety valve: abort with :class:`MiningError` if the
         live embedding count for a single prefix exceeds this bound.
+
+    Notes
+    -----
+    Execution-layer knobs — ``processes`` and the parallel
+    ``scheduler`` (``"stealing"`` work queue with cost-guided root
+    splitting vs ``"static"`` round-robin chunks) — are deliberately
+    *not* config fields: they cannot change the mined result, only
+    wall-clock, so they live on the call sites instead
+    (:func:`repro.mine`, :class:`~repro.core.session.MiningSession`,
+    :class:`~repro.core.executor.MiningExecutor`, ``clan mine
+    --processes/--scheduler``) and stay out of checkpoints' config
+    fingerprints — a checkpoint written serially resumes in parallel
+    and vice versa.
     """
 
     closed_only: bool = True

@@ -809,3 +809,28 @@ class EmbeddingStore:
             f"embeddings={self.embedding_count} strategy={self.strategy} "
             f"kernel={self.kernel}>"
         )
+
+
+def warm_kernel_indexes(database: GraphDatabase, kernel: str = BITSET) -> None:
+    """Force-build the lazy per-graph indexes the given kernel reads.
+
+    The mask layer (:meth:`Graph.bit_index`, the aligned
+    :meth:`GraphDatabase.aligned_space`) and the adjacency maps are all
+    built lazily on first touch and cached on the graph objects.  The
+    parallel executor calls this in the *parent* before forking its
+    pool so every worker inherits the finished indexes copy-on-write
+    instead of rebuilding them per process — the "shared index warm-up"
+    of the executor design.  Safe to call repeatedly; subsequent calls
+    hit the caches.
+    """
+    if kernel not in _KERNELS:
+        raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
+    if kernel == BITSET:
+        space = database.aligned_space()
+        if space is None:
+            for graph in database:
+                graph.bit_index()
+        return
+    for graph in database:
+        graph.label_map()
+        graph.adjacency_map()

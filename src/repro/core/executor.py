@@ -1,0 +1,682 @@
+"""Adaptive parallel execution of CLAN's root-partitioned search.
+
+Static round-robin chunking (the original
+:func:`repro.core.parallel.mine_closed_cliques_parallel` scheduler)
+divides DFS roots up front, so one heavy low-alphabet root — the norm
+in the paper's dense stock-market graphs, where structural redundancy
+pruning concentrates work in the smallest labels — leaves every other
+worker idle.  :class:`MiningExecutor` replaces that with a
+work-stealing design:
+
+* a **work queue of tasks** (initially one whole subtree per frequent
+  root) that idle workers pull from, heaviest first, one task at a
+  time;
+* **cost-guided splitting** — each root gets a static cost estimate
+  from label support × candidate-degree statistics
+  (:func:`estimate_root_costs`), refined by live per-task timings fed
+  back through the result channel; when a queued root's (calibrated)
+  cost exceeds a fair share of the remaining work, the parent
+  re-enqueues it as its independent level-2 subtrees
+  (``first_extensions`` tasks of :meth:`ClanMiner.mine`), which the
+  root-partitioning property makes exact one level down;
+* **shared index warm-up** — the parent builds the label supports,
+  the :class:`~repro.graphdb.core_index.PseudoDatabase`, and the
+  per-graph bitset masks once (:meth:`ClanMiner.prepare`) *before*
+  creating the pool, so under the ``fork`` start method every worker
+  inherits the finished indexes copy-on-write instead of rebuilding
+  them; under ``spawn`` the workers rebuild from the pickled database
+  (the initargs double as the fallback payload);
+* a **persistent pool**: the executor keeps its workers alive across
+  :meth:`mine` calls, so repeated mining of the same database (support
+  sweeps, benchmark loops) pays process start-up once.
+
+Correctness contract: for every scheduler and any interleaving, the
+merged :class:`MiningResult` — patterns, order, and statistics — is
+byte-identical to the serial :class:`ClanMiner`'s, and the per-root
+event substreams replayed by :class:`~repro.core.session.MiningSession`
+in canonical task order are byte-identical to a serial session's.
+Split tasks record *every* prefix (``sample_every=1``) and the parent
+re-derives the serial sampling while renumbering ordinals during
+replay, so even sampled streams match.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import queue
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import MiningError
+from ..graphdb.database import GraphDatabase
+from .canonical import Label
+from .config import MinerConfig
+from .miner import ClanMiner
+from .results import MiningResult
+from .session import MiningEvent, PrefixVisited, SearchHooks, _ListSink
+
+__all__ = [
+    "DEFAULT_SPLIT_FACTOR",
+    "ExecutorReport",
+    "MiningExecutor",
+    "MiningTask",
+    "SCHEDULERS",
+    "STATIC",
+    "STEALING",
+    "estimate_root_costs",
+    "partition_roots",
+]
+
+#: Scheduler names: static round-robin chunks vs the adaptive queue.
+STATIC = "static"
+STEALING = "stealing"
+SCHEDULERS = (STATIC, STEALING)
+
+#: Split when a task's cost exceeds this multiple of the fair share
+#: (remaining work / processes).  At 1.0 a task splits exactly when it
+#: alone would dominate a perfectly balanced schedule — so small,
+#: even workloads never split, while one hub root always does.
+DEFAULT_SPLIT_FACTOR = 1.0
+
+
+def partition_roots(labels: Sequence[Label], chunks: int) -> List[Tuple[Label, ...]]:
+    """Split root labels into round-robin chunks (the static scheduler).
+
+    Round-robin (rather than contiguous blocks) spreads the typically
+    heavy low-alphabet roots across workers.
+    """
+    if chunks < 1:
+        raise MiningError("need at least one chunk")
+    buckets: List[List[Label]] = [[] for _ in range(min(chunks, max(1, len(labels))))]
+    for index, label in enumerate(labels):
+        buckets[index % len(buckets)].append(label)
+    return [tuple(bucket) for bucket in buckets if bucket]
+
+
+def estimate_root_costs(
+    database: GraphDatabase, roots: Sequence[Label]
+) -> Dict[Label, float]:
+    """Static per-root subtree cost estimates, from one database pass.
+
+    Under structural redundancy pruning the subtree of root ℓ explores
+    cliques inside the *forward* neighbourhoods of ℓ-vertices — the
+    neighbours whose labels sort ≥ ℓ.  Each such vertex therefore
+    contributes its embedding (1), one candidate per forward neighbour
+    (f), and a quadratic term for the intersections among them
+    (f²/2).  The absolute scale is irrelevant; only the ratios steer
+    the heaviest-first ordering and the split decision, and live
+    per-task timings recalibrate them as results arrive.
+    """
+    wanted = set(roots)
+    costs: Dict[Label, float] = {root: 1.0 for root in roots}
+    for graph in database:
+        label_map = graph.label_map()
+        adjacency = graph.adjacency_map()
+        for vertex, label in label_map.items():
+            if label not in wanted:
+                continue
+            forward = 0
+            for neighbor in adjacency[vertex]:
+                if label_map[neighbor] >= label:
+                    forward += 1
+            costs[label] += 1.0 + forward + 0.5 * forward * forward
+    return costs
+
+
+@dataclass(frozen=True)
+class MiningTask:
+    """One unit of schedulable work: a subtree (or sub-subtree) mine.
+
+    ``roots``
+        The DFS root labels this task mines (one root per task under
+        the stealing scheduler; a chunk under static).
+    ``first_extensions``
+        ``None`` mines the whole subtree(s); a tuple restricts the
+        task to the level-2 subtrees ``root ◇ β`` for those β (split
+        tasks — exactly one root then).
+    ``include_root``
+        Whether this task owns the root-level work: the root's own
+        pattern, its statistics, its events, and the Lemma 4.4 check.
+        Exactly one task per root carries ``True``.
+    ``cost``
+        The scheduler's current cost estimate (arbitrary units).
+    ``seq``
+        Position in the root's task plan; replay order key.
+    """
+
+    roots: Tuple[Label, ...]
+    first_extensions: Optional[Tuple[Label, ...]] = None
+    include_root: bool = True
+    cost: float = 1.0
+    seq: int = 0
+
+    @property
+    def splittable(self) -> bool:
+        """Whole single-root subtrees can split; split tasks cannot."""
+        return len(self.roots) == 1 and self.first_extensions is None
+
+
+@dataclass
+class ExecutorReport:
+    """Observability record of one executor run (``last_report``)."""
+
+    scheduler: str
+    processes: int
+    roots: int = 0
+    tasks: int = 0
+    splits: int = 0
+    elapsed_seconds: float = 0.0
+    #: Summed in-worker mining time (the statistics' ``cpu_seconds``).
+    cpu_seconds: float = 0.0
+    #: Per-worker busy seconds, keyed by worker pid.
+    worker_busy_seconds: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, pid: int, seconds: float) -> None:
+        self.tasks += 1
+        self.cpu_seconds += seconds
+        self.worker_busy_seconds[pid] = (
+            self.worker_busy_seconds.get(pid, 0.0) + seconds
+        )
+
+    @property
+    def max_straggler_ratio(self) -> float:
+        """Busiest worker's share over a perfectly even share.
+
+        ``max(busy) / (total busy / processes)`` — 1.0 is a perfectly
+        balanced schedule, ``processes`` is one worker doing all the
+        work while the rest idle.
+        """
+        if not self.worker_busy_seconds or self.cpu_seconds <= 0.0:
+            return 1.0
+        fair = self.cpu_seconds / self.processes
+        if fair <= 0.0:
+            return 1.0
+        return max(self.worker_busy_seconds.values()) / fair
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing
+# ----------------------------------------------------------------------
+#: Parent-side registry of prepared miners, set *before* the pool is
+#: created so fork-started workers inherit the entry (and the already
+#: built indexes behind it) copy-on-write.
+_PARENT_MINERS: Dict[int, ClanMiner] = {}
+_TOKENS = itertools.count(1)
+
+#: Worker-side state, installed by the pool initializer.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _init_executor_worker(
+    token: int, database: GraphDatabase, config: MinerConfig
+) -> None:
+    miner = _PARENT_MINERS.get(token)
+    if miner is None:
+        # spawn/forkserver start methods: no inherited parent state, so
+        # rebuild (and warm) the miner from the pickled initargs.
+        miner = ClanMiner(database, config).prepare()
+    _WORKER_STATE["miner"] = miner
+
+
+def _execute_task(
+    payload: Tuple[
+        int, int, Tuple[Label, ...], Optional[Tuple[Label, ...]], bool, int, int, bool
+    ],
+) -> Tuple[int, Tuple[Label, ...], int, MiningResult, Tuple[MiningEvent, ...], float, int]:
+    """Run one :class:`MiningTask` in a worker; the result channel.
+
+    Returns the task identity, its :class:`MiningResult`, the recorded
+    event substream (when capturing), the measured mining seconds (the
+    live feedback that recalibrates cost estimates), and the worker
+    pid (straggler accounting).
+    """
+    generation, abs_sup, roots, first_extensions, include_root, seq, sample_every, capture = payload
+    miner: ClanMiner = _WORKER_STATE["miner"]
+    started = time.perf_counter()
+    hooks = None
+    recorder = None
+    if capture:
+        recorder = _ListSink()
+        hooks = SearchHooks(sinks=(recorder,), sample_every=sample_every)
+        hooks.begin_root(roots[0])
+    result = miner.mine(
+        abs_sup,
+        root_labels=roots,
+        hooks=hooks,
+        first_extensions=first_extensions,
+        include_root=include_root,
+    )
+    events: Tuple[MiningEvent, ...] = ()
+    if recorder is not None:
+        events = tuple(recorder.events)
+    elapsed = time.perf_counter() - started
+    return generation, roots, seq, result, events, elapsed, os.getpid()
+
+
+def _replay_substreams(
+    substreams: Sequence[Sequence[MiningEvent]], sample_every: int
+) -> Tuple[MiningEvent, ...]:
+    """Concatenate split-task substreams in canonical task order.
+
+    Split tasks record every prefix (``sample_every=1``); the serial
+    session samples every N-th prefix *of the whole root* and numbers
+    them with a root-wide ordinal.  Replaying in task order walks the
+    prefixes in exactly the serial DFS order, so re-deriving the
+    sampling here — count every prefix, keep each N-th, rewrite its
+    ordinal — reproduces the serial stream byte for byte.
+    """
+    out: List[MiningEvent] = []
+    counter = 0
+    for events in substreams:
+        for event in events:
+            if isinstance(event, PrefixVisited):
+                counter += 1
+                if sample_every and counter % sample_every == 0:
+                    out.append(replace(event, ordinal=counter))
+            else:
+                out.append(event)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class MiningExecutor:
+    """A persistent worker pool mining CLAN's DFS roots adaptively.
+
+    Examples
+    --------
+    >>> from repro.graphdb import paper_example_database
+    >>> with MiningExecutor(paper_example_database(), processes=2) as ex:
+    ...     sorted(str(p.form) for p in ex.mine(2))
+    ['abcd', 'bde']
+
+    Parameters
+    ----------
+    database, config:
+        As for :class:`ClanMiner`; structural redundancy pruning must
+        be on (root partitioning).
+    processes:
+        Pool size (default: CPU count).
+    scheduler:
+        ``"stealing"`` (default): one task per root, pulled heaviest
+        first, heavy roots split into level-2 subtrees when they
+        dominate the remaining queue.  ``"static"``: the legacy
+        round-robin chunks, kept as the comparison baseline.
+    split_factor:
+        Split threshold multiplier over the fair share
+        (:data:`DEFAULT_SPLIT_FACTOR`); ``0.0`` splits every splittable
+        root (used by the equivalence tests), large values never split.
+    chunks_per_process:
+        Static scheduler's chunk multiplicity (ignored by stealing).
+
+    The pool is created lazily on first use and survives across
+    :meth:`mine` calls; :meth:`close` (or the context manager) tears it
+    down.  After each run, :attr:`last_report` holds an
+    :class:`ExecutorReport` with task/split counts and per-worker busy
+    time.
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        config: Optional[MinerConfig] = None,
+        processes: Optional[int] = None,
+        scheduler: str = STEALING,
+        split_factor: float = DEFAULT_SPLIT_FACTOR,
+        chunks_per_process: int = 4,
+    ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise MiningError(
+                f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}"
+            )
+        if config is None:
+            config = MinerConfig()
+        if not config.structural_redundancy_pruning:
+            raise MiningError(
+                "parallel mining partitions DFS roots and requires structural "
+                "redundancy pruning"
+            )
+        if processes is None:
+            processes = multiprocessing.cpu_count()
+        if processes < 1:
+            raise MiningError(f"processes must be >= 1, got {processes}")
+        if split_factor < 0:
+            raise MiningError(f"split_factor must be >= 0, got {split_factor}")
+        self.database = database
+        self.config = config
+        self.processes = processes
+        self.scheduler = scheduler
+        self.split_factor = split_factor
+        self.chunks_per_process = chunks_per_process
+        self.last_report: Optional[ExecutorReport] = None
+        # Shared index warm-up: build every index in the parent now, so
+        # the forked workers inherit them copy-on-write.
+        self._miner = ClanMiner(database, config).prepare()
+        self._token = next(_TOKENS)
+        self._pool: Optional[Any] = None
+        self._generation = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "MiningExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the pool and release the parent-side miner registry."""
+        if self._closed:
+            return
+        self._closed = True
+        _PARENT_MINERS.pop(self._token, None)
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self) -> Any:
+        if self._closed:
+            raise MiningError("this MiningExecutor is closed; create a new one")
+        if self._pool is None:
+            # Registered before Pool() so the forked children see it.
+            _PARENT_MINERS[self._token] = self._miner
+            context = multiprocessing.get_context()
+            self._pool = context.Pool(
+                processes=self.processes,
+                initializer=_init_executor_worker,
+                initargs=(self._token, self.database, self.config),
+            )
+        return self._pool
+
+    # -- the drained entry point ---------------------------------------
+    def mine(self, min_sup: float) -> MiningResult:
+        """Mine the whole database; byte-identical to serial ClanMiner.
+
+        Statistics are summed across tasks, ``elapsed_seconds`` is
+        wall-clock, and ``statistics.cpu_seconds`` is the summed
+        in-worker mining time.
+        """
+        started = time.perf_counter()
+        abs_sup = self.database.absolute_support(min_sup)
+        roots = tuple(self.database.frequent_labels(abs_sup))
+        merged = MiningResult(min_sup=abs_sup, closed_only=self.config.closed_only)
+        collected: List[Any] = []
+        if self.scheduler == STATIC:
+            parts = self._run_static(abs_sup, roots)
+        else:
+            parts = (
+                part for _root, part, _events in self.iter_roots(abs_sup, roots)
+            )
+        for part in parts:
+            merged.statistics.merge(part.statistics)
+            collected.extend(part)
+        # Restore the serial miner's deterministic enumeration order.
+        for pattern in sorted(collected, key=lambda p: p.form.labels):
+            merged.add(pattern)
+        # The parent's frequent_labels() root scan stands in for the
+        # serial miner's label-support scan, so parallel database_scans
+        # equals serial (workers inherit prepared indexes and never
+        # rescan for label supports).
+        merged.statistics.database_scans += 1
+        merged.elapsed_seconds = time.perf_counter() - started
+        if self.last_report is not None:
+            self.last_report.elapsed_seconds = merged.elapsed_seconds
+        return merged
+
+    # -- the streaming entry point (session integration) ---------------
+    def iter_roots(
+        self,
+        min_sup: float,
+        roots: Sequence[Label],
+        sample_every: int = 0,
+        capture_events: bool = False,
+    ) -> Iterator[Tuple[Label, MiningResult, Tuple[MiningEvent, ...]]]:
+        """Mine the given roots, yielding each in canonical order.
+
+        Yields ``(root, merged_result, events)`` for every root, in the
+        order given (the canonical serial order), regardless of the
+        order workers finish in — split tasks are merged and their
+        event substreams replayed in canonical task order first, which
+        is what preserves the serial==parallel byte-identity contract.
+        The consumer may stop iterating at any root boundary (budgets,
+        cancellation); in-flight work is then simply abandoned.
+        """
+        abs_sup = self.database.absolute_support(min_sup)
+        roots = tuple(roots)
+        report = ExecutorReport(scheduler=self.scheduler, processes=self.processes)
+        report.roots = len(roots)
+        self.last_report = report
+        if not roots:
+            return
+        started = time.perf_counter()
+        pool = self._ensure_pool()
+        self._generation += 1
+        generation = self._generation
+        arrivals: "queue.Queue[Any]" = queue.Queue()
+
+        if self.scheduler == STEALING:
+            estimates = estimate_root_costs(self.database, roots)
+        else:
+            estimates = {root: 1.0 for root in roots}
+        #: root -> its task plan, in replay (seq) order.  A plan grows
+        #: from one whole-subtree task to the split tasks at most once.
+        plan: Dict[Label, List[MiningTask]] = {
+            root: [MiningTask(roots=(root,), cost=estimates[root])] for root in roots
+        }
+        finished: Dict[Label, Dict[int, Tuple[MiningResult, Tuple[MiningEvent, ...]]]] = {
+            root: {} for root in roots
+        }
+
+        # Pending tasks: a heap ordered heaviest-first under stealing,
+        # submission order under static (priority = arrival counter).
+        tiebreak = itertools.count()
+        pending: List[Tuple[float, int, MiningTask]] = []
+        #: Every task not yet completed (queued or in flight), keyed by
+        #: (root, seq) — the basis of the remaining-work sum the split
+        #: threshold compares against.
+        outstanding: Dict[Tuple[Label, int], MiningTask] = {}
+
+        def push(task: MiningTask) -> None:
+            if self.scheduler == STEALING:
+                priority = -task.cost
+            else:
+                priority = 0.0
+            outstanding[(task.roots[0], task.seq)] = task
+            heapq.heappush(pending, (priority, next(tiebreak), task))
+
+        for root in roots:
+            push(plan[root][0])
+
+        # Live calibration: measured worker seconds per estimated cost
+        # unit, globally and per root.  A root whose completed split
+        # tasks run slower than the global rate inflates its remaining
+        # siblings' costs — the "timings fed back through the result
+        # channel" refinement — which in turn raises the remaining-work
+        # sum and so sharpens later split decisions.
+        measured_total = 0.0
+        estimated_total = 0.0
+        root_measured: Dict[Label, float] = {}
+        root_estimated: Dict[Label, float] = {}
+
+        def calibrated(task: MiningTask) -> float:
+            root = task.roots[0]
+            if (
+                root_estimated.get(root, 0.0) > 0.0
+                and root_measured.get(root, 0.0) > 0.0
+                and measured_total > 0.0
+            ):
+                scale = root_measured[root] / root_estimated[root]
+                baseline = measured_total / estimated_total
+                if baseline > 0.0:
+                    return task.cost * scale / baseline
+            return task.cost
+
+        def remaining_work() -> float:
+            return sum(calibrated(task) for task in outstanding.values())
+
+        def try_split(task: MiningTask) -> Optional[List[MiningTask]]:
+            extensions = self._miner.root_extension_plan(abs_sup, task.roots[0])
+            if len(extensions) < 2:
+                return None
+            total_support = sum(sup for _label, sup in extensions) or 1
+            subtasks = []
+            for index, (label, sup) in enumerate(extensions):
+                subtasks.append(
+                    MiningTask(
+                        roots=task.roots,
+                        first_extensions=(label,),
+                        include_root=index == 0,
+                        cost=task.cost * sup / total_support,
+                        seq=index,
+                    )
+                )
+            return subtasks
+
+        def submit(task: MiningTask) -> None:
+            root = task.roots[0]
+            task_sample = sample_every
+            if capture_events and len(plan[root]) > 1:
+                # Split tasks record every prefix; the parent re-derives
+                # the sampling during canonical-order replay.
+                task_sample = 1 if sample_every else 0
+            pool.apply_async(
+                _execute_task,
+                (
+                    (
+                        generation,
+                        abs_sup,
+                        task.roots,
+                        task.first_extensions,
+                        task.include_root,
+                        task.seq,
+                        task_sample,
+                        capture_events,
+                    ),
+                ),
+                callback=arrivals.put,
+                error_callback=arrivals.put,
+            )
+
+        # Keep slightly more tasks in flight than workers so nobody
+        # idles between arrivals, but not so many that queue residents
+        # lose their chance to split.
+        high_water = self.processes + 2
+        in_flight = 0
+        flush_index = 0
+
+        while flush_index < len(roots):
+            while pending and in_flight < high_water:
+                _, _, task = heapq.heappop(pending)
+                if (
+                    self.scheduler == STEALING
+                    and task.splittable
+                    and calibrated(task)
+                    > self.split_factor * (remaining_work() / self.processes)
+                ):
+                    subtasks = try_split(task)
+                    if subtasks is not None:
+                        report.splits += 1
+                        plan[task.roots[0]] = subtasks
+                        del outstanding[(task.roots[0], task.seq)]
+                        for subtask in subtasks:
+                            push(subtask)
+                        continue
+                submit(task)
+                in_flight += 1
+
+            arrival = arrivals.get()
+            if isinstance(arrival, BaseException):
+                raise MiningError(f"parallel worker failed: {arrival}") from arrival
+            task_generation, task_roots, seq, part, events, seconds, pid = arrival
+            if task_generation != generation:  # pragma: no cover - stale run
+                continue
+            in_flight -= 1
+            root = task_roots[0]
+            task_cost = plan[root][seq].cost
+            del outstanding[(root, seq)]
+            measured_total += seconds
+            estimated_total += task_cost
+            root_measured[root] = root_measured.get(root, 0.0) + seconds
+            root_estimated[root] = root_estimated.get(root, 0.0) + task_cost
+            report.record(pid, seconds)
+            finished[root][seq] = (part, events)
+
+            while flush_index < len(roots):
+                next_root = roots[flush_index]
+                tasks = plan[next_root]
+                done = finished[next_root]
+                if len(done) < len(tasks):
+                    break
+                merged_part, merged_events = self._merge_root(
+                    tasks, done, sample_every, capture_events
+                )
+                report.elapsed_seconds = time.perf_counter() - started
+                flush_index += 1
+                yield next_root, merged_part, merged_events
+
+        report.elapsed_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def _merge_root(
+        self,
+        tasks: List[MiningTask],
+        done: Dict[int, Tuple[MiningResult, Tuple[MiningEvent, ...]]],
+        sample_every: int,
+        capture_events: bool,
+    ) -> Tuple[MiningResult, Tuple[MiningEvent, ...]]:
+        """Fold one root's task results back into the serial shape."""
+        if len(tasks) == 1:
+            return done[0]
+        parts = [done[task.seq][0] for task in tasks]
+        merged = MiningResult(
+            min_sup=parts[0].min_sup, closed_only=self.config.closed_only
+        )
+        collected: List[Any] = []
+        for part in parts:
+            merged.statistics.merge(part.statistics)
+            collected.extend(part)
+        # Within one root, task order ≡ extension order ≡ canonical
+        # order, but sort anyway: MiningResult.add rejects duplicates,
+        # an independent safety net under the split's disjointness.
+        for pattern in sorted(collected, key=lambda p: p.form.labels):
+            merged.add(pattern)
+        merged.elapsed_seconds = sum(part.elapsed_seconds for part in parts)
+        events: Tuple[MiningEvent, ...] = ()
+        if capture_events:
+            events = _replay_substreams(
+                [done[task.seq][1] for task in tasks], sample_every
+            )
+        return merged, events
+
+    def _run_static(
+        self, abs_sup: int, roots: Tuple[Label, ...]
+    ) -> List[MiningResult]:
+        """The legacy baseline: round-robin chunks, no splitting."""
+        report = ExecutorReport(scheduler=self.scheduler, processes=self.processes)
+        report.roots = len(roots)
+        self.last_report = report
+        if not roots:
+            return []
+        pool = self._ensure_pool()
+        self._generation += 1
+        generation = self._generation
+        chunks = partition_roots(roots, self.processes * self.chunks_per_process)
+        handles = [
+            pool.apply_async(
+                _execute_task,
+                ((generation, abs_sup, chunk, None, True, index, 0, False),),
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+        parts: List[MiningResult] = []
+        for handle in handles:
+            _generation, _roots, _seq, part, _events, seconds, pid = handle.get()
+            report.record(pid, seconds)
+            parts.append(part)
+        return parts

@@ -7,57 +7,34 @@ subtree consult only that subtree's embeddings.  Partitioning the
 frequent 1-clique roots across worker processes therefore partitions
 both the work and the result set exactly.
 
-The pool is fork-friendly: each worker re-creates its miner from the
-pickled database once (in the initializer), then mines the root labels
-it is handed.  For small databases the serial miner wins — process
-startup dominates — so this is for the long-running workloads.
+The scheduling itself lives in :mod:`repro.core.executor`:
+``scheduler="stealing"`` (the default) runs the adaptive work queue
+with cost-guided root splitting and shared index warm-up;
+``scheduler="static"`` keeps the original round-robin chunking as the
+comparison baseline.  Either way the merged result is byte-identical
+to the serial miner's, merged statistics sum the per-task counters
+(``statistics.cpu_seconds`` aggregates in-worker mining time), and
+``elapsed_seconds`` is this call's wall-clock time.
+
+For small databases the serial miner wins — process startup dominates —
+so this is for the long-running workloads; ``processes=1`` bypasses
+the pool entirely.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
-from .canonical import Label
 from .config import MinerConfig
+from .executor import STEALING, MiningExecutor, partition_roots
 from .miner import ClanMiner
 from .results import MiningResult
-from .statistics import MinerStatistics
 
-# Per-worker state, installed by the pool initializer.
-_WORKER: Dict[str, object] = {}
-
-
-def _init_worker(database: GraphDatabase, config: MinerConfig, abs_sup: int) -> None:
-    _WORKER["miner"] = ClanMiner(database, config)
-    _WORKER["abs_sup"] = abs_sup
-
-
-def _mine_roots(root_labels: Tuple[Label, ...]) -> MiningResult:
-    miner: ClanMiner = _WORKER["miner"]  # type: ignore[assignment]
-    abs_sup: int = _WORKER["abs_sup"]  # type: ignore[assignment]
-    return miner.mine(abs_sup, root_labels=root_labels)
-
-
-def _merge_statistics(into: MinerStatistics, part: MinerStatistics) -> None:
-    into.merge(part)
-
-
-def partition_roots(labels: Sequence[Label], chunks: int) -> List[Tuple[Label, ...]]:
-    """Split root labels into round-robin chunks.
-
-    Round-robin (rather than contiguous blocks) spreads the typically
-    heavy low-alphabet roots across workers.
-    """
-    if chunks < 1:
-        raise MiningError("need at least one chunk")
-    buckets: List[List[Label]] = [[] for _ in range(min(chunks, max(1, len(labels))))]
-    for index, label in enumerate(labels):
-        buckets[index % len(buckets)].append(label)
-    return [tuple(bucket) for bucket in buckets if bucket]
+__all__ = ["mine_closed_cliques_parallel", "partition_roots"]
 
 
 def mine_closed_cliques_parallel(
@@ -66,17 +43,21 @@ def mine_closed_cliques_parallel(
     processes: Optional[int] = None,
     config: Optional[MinerConfig] = None,
     chunks_per_process: int = 4,
+    scheduler: str = STEALING,
 ) -> MiningResult:
     """Mine closed cliques with a process pool over DFS roots.
 
     Results are identical to :class:`ClanMiner` (tested); statistics
-    are summed across workers.  With ``processes=1`` the pool is
-    bypassed entirely, which keeps the call cheap to use in code that
-    sometimes runs small inputs.  The candidate-intersection kernel
+    are summed across workers, with ``cpu_seconds`` aggregating the
+    in-worker mining time and ``elapsed_seconds`` reporting this
+    call's wall clock.  With ``processes=1`` the pool is bypassed
+    entirely, which keeps the call cheap to use in code that sometimes
+    runs small inputs.  The candidate-intersection kernel
     (``config.kernel``, bitset by default) travels with the pickled
-    config, so every worker runs the same set algebra as the serial
-    miner; each worker rebuilds its own per-graph mask indices lazily
-    after the fork.
+    config, and the parent warms every kernel index before forking so
+    workers inherit them copy-on-write.  ``scheduler`` selects the
+    adaptive work-stealing executor (default) or the legacy static
+    round-robin chunks — see :class:`repro.core.executor.MiningExecutor`.
     """
     started = time.perf_counter()
     if config is None:
@@ -86,31 +67,21 @@ def mine_closed_cliques_parallel(
             "parallel mining partitions DFS roots and requires structural "
             "redundancy pruning"
         )
-    abs_sup = database.absolute_support(min_sup)
     if processes is None:
         processes = multiprocessing.cpu_count()
 
     if processes <= 1:
-        result = ClanMiner(database, config).mine(abs_sup)
+        result = ClanMiner(database, config).mine(min_sup)
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
-    roots = database.frequent_labels(abs_sup)
-    chunks = partition_roots(roots, processes * chunks_per_process)
-
-    merged = MiningResult(min_sup=abs_sup, closed_only=config.closed_only)
-    collected = []
-    context = multiprocessing.get_context()
-    with context.Pool(
+    with MiningExecutor(
+        database,
+        config,
         processes=processes,
-        initializer=_init_worker,
-        initargs=(database, config, abs_sup),
-    ) as pool:
-        for partial in pool.imap(_mine_roots, chunks):
-            collected.extend(partial)
-            _merge_statistics(merged.statistics, partial.statistics)
-    # Restore the serial miner's deterministic enumeration order.
-    for pattern in sorted(collected, key=lambda p: p.form.labels):
-        merged.add(pattern)
-    merged.elapsed_seconds = time.perf_counter() - started
-    return merged
+        scheduler=scheduler,
+        chunks_per_process=chunks_per_process,
+    ) as executor:
+        result = executor.mine(min_sup)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -30,13 +30,15 @@ remainder, and the union is identical to an uninterrupted mine.
 Events are deterministic — they carry no wall-clock timestamps — so a
 serial session and a parallel one (``processes > 1``, workers streaming
 per-root heartbeats back through the pool) produce byte-identical
-streams for the same database.
+streams for the same database.  Parallel scheduling — including the
+work-stealing executor's cost-guided root splitting — lives in
+:mod:`repro.core.executor`; the session replays its per-root
+substreams in canonical order, which is what keeps the contract.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import threading
 import time
 from collections import deque
@@ -578,34 +580,6 @@ class MiningCheckpoint:
 
 
 # ----------------------------------------------------------------------
-# Parallel worker plumbing
-# ----------------------------------------------------------------------
-_SESSION_WORKER: Dict[str, Any] = {}
-
-
-def _init_session_worker(
-    database: GraphDatabase, config: MinerConfig, abs_sup: int, sample_every: int
-) -> None:
-    _SESSION_WORKER["miner"] = ClanMiner(database, config).prepare()
-    _SESSION_WORKER["abs_sup"] = abs_sup
-    _SESSION_WORKER["sample_every"] = sample_every
-
-
-def _mine_root_traced(
-    root: Label,
-) -> Tuple[Label, MiningResult, Tuple[MiningEvent, ...]]:
-    """Mine one root, capturing its event stream for parent replay."""
-    miner: ClanMiner = _SESSION_WORKER["miner"]
-    abs_sup: int = _SESSION_WORKER["abs_sup"]
-    sample_every: int = _SESSION_WORKER["sample_every"]
-    recorder = _ListSink()
-    hooks = SearchHooks(sinks=(recorder,), sample_every=sample_every)
-    hooks.begin_root(root)
-    result = miner.mine(abs_sup, root_labels=(root,), hooks=hooks)
-    return root, result, tuple(recorder.events)
-
-
-# ----------------------------------------------------------------------
 # The session
 # ----------------------------------------------------------------------
 class MiningSession:
@@ -638,10 +612,23 @@ class MiningSession:
         Emit every N-th prefix of each root as :class:`PrefixVisited`
         (0, the default, disables prefix events).
     processes:
-        ``> 1`` mines roots in a process pool; workers stream per-root
-        heartbeats (and their full event substreams) back through the
-        pool, so the observable stream matches the serial one.  Budgets
-        and cancellation then act at root granularity.
+        ``> 1`` mines roots in a process pool
+        (:class:`repro.core.executor.MiningExecutor`); workers stream
+        per-root heartbeats (and their full event substreams) back
+        through the pool, and the parent replays them in canonical
+        root order, so the observable stream matches the serial one
+        byte for byte.  Budgets and cancellation then act at root
+        granularity.
+    scheduler:
+        ``"stealing"`` (default) pulls one root at a time, heaviest
+        first, splitting dominant roots into their level-2 subtrees;
+        ``"static"`` submits roots in canonical order with no
+        splitting (the legacy behaviour).  Either way the stream and
+        result are identical — the knob only changes wall-clock.
+    split_factor:
+        Optional override of the stealing scheduler's split threshold
+        (see :data:`repro.core.executor.DEFAULT_SPLIT_FACTOR`); the
+        equivalence tests force every root to split with ``0.0``.
     resume_from:
         A :class:`MiningCheckpoint`; its completed roots are loaded,
         not re-mined.
@@ -657,6 +644,8 @@ class MiningSession:
         sinks: Sequence[EventSink] = (),
         sample_every: int = 0,
         processes: int = 1,
+        scheduler: str = "stealing",
+        split_factor: Optional[float] = None,
         resume_from: Optional[MiningCheckpoint] = None,
     ) -> None:
         if task not in ("closed", "frequent"):
@@ -680,6 +669,12 @@ class MiningSession:
             raise MiningError(f"sample_every must be >= 0, got {sample_every}")
         if processes < 1:
             raise MiningError(f"processes must be >= 1, got {processes}")
+        from .executor import SCHEDULERS
+
+        if scheduler not in SCHEDULERS:
+            raise MiningError(
+                f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}"
+            )
         self.database = database
         self.task = task
         self.config = config
@@ -688,6 +683,8 @@ class MiningSession:
         self.sinks = tuple(sinks)
         self.sample_every = sample_every
         self.processes = processes
+        self.scheduler = scheduler
+        self.split_factor = split_factor
         self.token = CancellationToken()
         self.result: Optional[MiningResult] = None
         self._completed: Dict[Label, List[CliquePattern]] = {}
@@ -782,16 +779,32 @@ class MiningSession:
     ) -> Optional[str]:
         if not pending:
             return None
+        from .executor import STATIC, MiningExecutor
+
         budget = self.budget
         produced = 0
         expanded = 0
-        context = multiprocessing.get_context()
-        with context.Pool(
-            processes=min(self.processes, len(pending)),
-            initializer=_init_session_worker,
-            initargs=(self.database, self.config, self.abs_sup, self.sample_every),
-        ) as pool:
-            arrivals = pool.imap(_mine_root_traced, pending)
+        processes = self.processes
+        if self.scheduler == STATIC:
+            # No splitting under static, so extra workers would idle.
+            processes = min(processes, len(pending))
+        executor_options = {}
+        if self.split_factor is not None:
+            executor_options["split_factor"] = self.split_factor
+        executor = MiningExecutor(
+            self.database,
+            self.config,
+            processes=processes,
+            scheduler=self.scheduler,
+            **executor_options,
+        )
+        try:
+            arrivals = executor.iter_roots(
+                self.abs_sup,
+                pending,
+                sample_every=self.sample_every,
+                capture_events=True,
+            )
             for index, (root, part, events) in enumerate(arrivals):
                 self._emit(RootStarted(root=root, index=index, n_pending=len(pending)))
                 for event in events:
@@ -816,6 +829,8 @@ class MiningSession:
                         and index + 1 < len(pending)
                     ):
                         return "max_prefixes"
+        finally:
+            executor.close()
         return None
 
     def _finish_root(

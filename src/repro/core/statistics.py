@@ -40,6 +40,13 @@ class MinerStatistics:
     database_scans: int = 0
     #: Deepest prefix size reached.
     max_depth: int = 0
+    #: CPU time spent inside :meth:`ClanMiner.mine` calls.  Serially
+    #: this tracks wall-clock; across a worker pool it *sums* over
+    #: workers, so ``cpu_seconds / elapsed_seconds`` reads as effective
+    #: parallelism.  Deliberately absent from :meth:`snapshot` *and*
+    #: the repr: event streams and differential comparisons must stay
+    #: deterministic, and timings are not.
+    cpu_seconds: float = field(default=0.0, repr=False)
     #: Frequent cliques per size (the series of Figure 6(b) uses the
     #: closed analogue from the result set).
     frequent_by_size: Dict[int, int] = field(default_factory=dict)
@@ -82,11 +89,18 @@ class MinerStatistics:
         self.peak_embeddings = max(self.peak_embeddings, part.peak_embeddings)
         self.database_scans += part.database_scans
         self.max_depth = max(self.max_depth, part.max_depth)
+        self.cpu_seconds += part.cpu_seconds
         for size, count in part.frequent_by_size.items():
             self.frequent_by_size[size] = self.frequent_by_size.get(size, 0) + count
 
     def snapshot(self) -> Dict[str, object]:
-        """A JSON-ready copy of every counter (heartbeats, traces)."""
+        """A JSON-ready copy of every *deterministic* counter.
+
+        Used by heartbeats and traces — :class:`RootFinished` events
+        carry these dicts, and serial and parallel sessions promise
+        byte-identical streams, so ``cpu_seconds`` (a timing) is
+        intentionally left out.
+        """
         return {
             "prefixes_visited": self.prefixes_visited,
             "frequent_cliques": self.frequent_cliques,

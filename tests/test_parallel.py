@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core import (
     ClanMiner,
     MinerConfig,
+    MinerStatistics,
     mine_closed_cliques,
     mine_closed_cliques_parallel,
     partition_roots,
@@ -98,3 +99,53 @@ class TestParallelMining:
     def test_witnesses_preserved(self, paper_db):
         for pattern in mine_closed_cliques_parallel(paper_db, 2, processes=2):
             pattern.verify(paper_db)
+
+    @pytest.mark.parametrize("scheduler", ["static", "stealing"])
+    def test_schedulers_match_serial(self, paper_db, scheduler):
+        result = mine_closed_cliques_parallel(
+            paper_db, 2, processes=2, scheduler=scheduler
+        )
+        serial = mine_closed_cliques(paper_db, 2)
+        assert sorted(p.key() for p in result) == sorted(p.key() for p in serial)
+        assert result.statistics.snapshot() == serial.statistics.snapshot()
+
+    def test_unknown_scheduler_rejected(self, paper_db):
+        with pytest.raises(MiningError, match="scheduler"):
+            mine_closed_cliques_parallel(paper_db, 2, processes=2, scheduler="fifo")
+
+
+class TestStatisticsMerge:
+    """Regression tests for the merged-statistics contract.
+
+    Historically the pool summed per-chunk ``database_scans`` (counting
+    the label-support scan once per worker) and stamped a sum of
+    per-chunk elapsed times over the wall clock; merged results now
+    report wall-clock ``elapsed_seconds``, summed worker time in
+    ``statistics.cpu_seconds``, and serial-equal ``database_scans``.
+    """
+
+    def test_database_scans_equal_serial(self, paper_db):
+        parallel = mine_closed_cliques_parallel(paper_db, 2, processes=2)
+        serial = mine_closed_cliques(paper_db, 2)
+        assert parallel.statistics.database_scans == serial.statistics.database_scans
+
+    def test_elapsed_is_wall_clock_and_cpu_is_summed(self, paper_db):
+        parallel = mine_closed_cliques_parallel(paper_db, 2, processes=2)
+        assert parallel.elapsed_seconds > 0.0
+        assert parallel.statistics.cpu_seconds > 0.0
+
+    def test_serial_mine_records_cpu_seconds(self, paper_db):
+        serial = mine_closed_cliques(paper_db, 2)
+        assert serial.statistics.cpu_seconds > 0.0
+
+    def test_merge_sums_cpu_seconds(self):
+        left, right = MinerStatistics(), MinerStatistics()
+        left.cpu_seconds, right.cpu_seconds = 1.5, 2.5
+        left.merge(right)
+        assert left.cpu_seconds == pytest.approx(4.0)
+
+    def test_cpu_seconds_stays_out_of_deterministic_views(self):
+        stats = MinerStatistics()
+        stats.cpu_seconds = 1.23
+        assert "cpu_seconds" not in stats.snapshot()
+        assert "cpu_seconds" not in repr(stats)

@@ -83,6 +83,36 @@ class TestQuickstartSnippets:
                      "--checkpoint", "--resume"):
             assert flag in README, flag
 
+    def test_scaling_out_snippet(self):
+        from repro import MiningExecutor, mine, paper_example_database
+
+        database = paper_example_database()
+        stealing = mine(database, min_sup=2, processes=2)
+        static = mine(database, min_sup=2, processes=2, scheduler="static")
+        assert [p.key() for p in stealing] == [p.key() for p in static]
+        with MiningExecutor(database, processes=2) as executor:
+            sizes = {min_sup: len(executor.mine(min_sup)) for min_sup in (2, 1)}
+            report = executor.last_report
+        assert sizes[2] == 2
+        assert sizes[1] >= sizes[2]
+        assert report.tasks >= report.roots
+
+    def test_scaling_out_cli_flags_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        mine_options = {
+            option
+            for action in sub.choices["mine"]._actions
+            for option in action.option_strings
+        }
+        for flag in ("--processes", "--scheduler"):
+            assert flag in mine_options, flag
+            assert flag in README, flag
+
     def test_stock_market_snippet(self):
         from repro import mine_closed_cliques
         from repro.stockmarket import maximum_group, stock_market_database

@@ -13,6 +13,8 @@ The contracts here are the PR's acceptance criteria:
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import mine
 from repro.core import (
@@ -41,6 +43,7 @@ from repro.core.topk import mine_top_k_closed_cliques
 from repro.exceptions import FormatError, MiningError, ReproError
 from repro.graphdb import paper_example_database, random_database
 from repro.io.runlog import open_checkpoint, open_trace, save_checkpoint
+from tests.conftest import make_random_database
 
 
 @pytest.fixture()
@@ -172,6 +175,51 @@ class TestEventStream:
             event_to_dict(e) for e in parallel.events
         ]
 
+    def test_static_scheduler_stream_identical_to_serial(self, dense_db):
+        serial, static = RingBufferSink(capacity=None), RingBufferSink(capacity=None)
+        r1 = MiningSession(dense_db, 3, sinks=(serial,), sample_every=7).run()
+        r2 = MiningSession(
+            dense_db,
+            3,
+            sinks=(static,),
+            sample_every=7,
+            processes=2,
+            scheduler="static",
+        ).run()
+        assert keys(r1) == keys(r2)
+        assert list(serial.events) == list(static.events)
+
+    def test_forced_split_stream_identical_to_serial(self, dense_db):
+        # split_factor=0 makes the executor split every splittable root
+        # into its level-2 subtasks — the adversarial schedule for the
+        # substream replay that rebuilds the serial sampling.
+        serial, split = RingBufferSink(capacity=None), RingBufferSink(capacity=None)
+        r1 = MiningSession(dense_db, 3, sinks=(serial,), sample_every=7).run()
+        r2 = MiningSession(
+            dense_db,
+            3,
+            sinks=(split,),
+            sample_every=7,
+            processes=2,
+            split_factor=0.0,
+        ).run()
+        assert keys(r1) == keys(r2)
+        assert list(serial.events) == list(split.events)
+        assert r1.statistics.snapshot() == r2.statistics.snapshot()
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_stealing_streams_identical_on_random_databases(self, seed):
+        db = make_random_database(seed)
+        serial, stolen = RingBufferSink(capacity=None), RingBufferSink(capacity=None)
+        r1 = MiningSession(db, 2, sinks=(serial,), sample_every=3).run()
+        r2 = MiningSession(
+            db, 2, sinks=(stolen,), sample_every=3, processes=2, split_factor=0.0
+        ).run()
+        assert keys(r1) == keys(r2)
+        assert list(serial.events) == list(stolen.events)
+        assert r1.statistics.snapshot() == r2.statistics.snapshot()
+
     def test_sampled_prefix_events(self, dense_db):
         ring = RingBufferSink(capacity=None)
         MiningSession(dense_db, 3, sinks=(ring,), sample_every=5).run()
@@ -289,6 +337,36 @@ class TestBudgets:
         reference = ClanMiner(dense_db).mine(3, root_labels=partial.completed_roots)
         assert keys(partial) == keys(reference)
 
+    def test_cancel_mid_split_keeps_root_exactness(self, dense_db):
+        # Cancelling while the stealing executor has roots split into
+        # in-flight subtasks must still truncate at a root boundary:
+        # the partial equals a root-restricted mine of exactly the
+        # completed roots, never a half-merged split.
+        session = MiningSession(dense_db, 3, processes=2, split_factor=0.0)
+
+        def stop_after_first_root(event):
+            if isinstance(event, RootFinished):
+                session.cancel()
+
+        session.sinks = (CallbackSink(stop_after_first_root),)
+        partial = session.run()
+        assert partial.truncated
+        assert len(partial.completed_roots) >= 1
+        reference = ClanMiner(dense_db).mine(3, root_labels=partial.completed_roots)
+        assert keys(partial) == keys(reference)
+
+    def test_budget_mid_split_keeps_root_exactness(self, dense_db):
+        partial = MiningSession(
+            dense_db,
+            3,
+            budget=MiningBudget(max_expanded_prefixes=5),
+            processes=2,
+            split_factor=0.0,
+        ).run()
+        assert partial.truncated
+        reference = ClanMiner(dense_db).mine(3, root_labels=partial.completed_roots)
+        assert keys(partial) == keys(reference)
+
     def test_budget_validation(self):
         with pytest.raises(MiningError, match="positive"):
             MiningBudget(max_patterns=0)
@@ -337,6 +415,40 @@ class TestCheckpointResume:
         assert set(started.resumed_roots) == set(checkpoint.completed_roots)
         mined_again = {e.root for e in ring.of_kind("root_started")}
         assert mined_again.isdisjoint(checkpoint.completed_roots)
+
+    def test_resume_with_stealing_splits_completes_to_identical_union(
+        self, dense_db
+    ):
+        truncated = MiningSession(
+            dense_db,
+            3,
+            budget=MiningBudget(max_expanded_prefixes=5),
+            processes=2,
+            split_factor=0.0,
+        )
+        partial = truncated.run()
+        assert partial.truncated
+        final = MiningSession(
+            dense_db,
+            3,
+            resume_from=truncated.checkpoint(),
+            processes=2,
+            split_factor=0.0,
+        ).run()
+        assert not final.truncated
+        assert keys(final) == keys(ClanMiner(dense_db).mine(3))
+
+    def test_serial_checkpoint_resumes_in_parallel(self, dense_db):
+        # processes/scheduler are execution-layer knobs, deliberately
+        # outside the checkpoint's config fingerprint.
+        truncated = MiningSession(
+            dense_db, 3, budget=MiningBudget(max_expanded_prefixes=5)
+        )
+        truncated.run()
+        final = MiningSession(
+            dense_db, 3, resume_from=truncated.checkpoint(), processes=2
+        ).run()
+        assert keys(final) == keys(ClanMiner(dense_db).mine(3))
 
     def test_checkpoint_file_round_trip(self, dense_db, tmp_path):
         session = MiningSession(dense_db, 3, budget=MiningBudget(max_patterns=2))
@@ -416,6 +528,12 @@ class TestSessionGuards:
         )
         with pytest.raises(MiningError, match="structural redundancy"):
             MiningSession(paper_db, 2, config=loose)
+
+    def test_unknown_scheduler_rejected(self, paper_db):
+        with pytest.raises(MiningError, match="scheduler"):
+            MiningSession(paper_db, 2, scheduler="fifo")
+        with pytest.raises(MiningError, match="scheduler"):
+            mine(paper_db, 2, scheduler="fifo")
 
     def test_root_labels_incompatible_with_session_options(self, paper_db):
         with pytest.raises(MiningError, match="root_labels"):
