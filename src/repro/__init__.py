@@ -32,6 +32,7 @@ from .core import (
     CliquePattern,
     MinerConfig,
     MiningBudget,
+    MiningCache,
     MiningExecutor,
     MiningResult,
     MiningSession,
@@ -40,6 +41,7 @@ from .core import (
     mine_closed_quasi_cliques,
     mine_frequent_cliques,
     parse_support,
+    sweep,
 )
 from .exceptions import ReproError
 from .graphdb import Graph, GraphDatabase, paper_example_database
@@ -55,6 +57,7 @@ __all__ = [
     "GraphDatabase",
     "MinerConfig",
     "MiningBudget",
+    "MiningCache",
     "MiningExecutor",
     "MiningResult",
     "MiningSession",
@@ -66,4 +69,5 @@ __all__ = [
     "mine_frequent_cliques",
     "paper_example_database",
     "parse_support",
+    "sweep",
 ]

@@ -3,6 +3,7 @@
 ::
 
     clan mine DATABASE --min-sup 0.85 [--all-frequent|--maximal] [--min-size 3]
+    clan sweep DATABASE --min-sups 1.00,0.95,0.90,0.85 [--cache DIR]
     clan topk DATABASE --min-sup 85% -k 5
     clan quasi DATABASE --min-sup 2 --gamma 0.8 --max-size 5
     clan stats DATABASE [--extended]
@@ -117,6 +118,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a resumable checkpoint of the completed roots")
     mine.add_argument("--resume", default=None, metavar="FILE",
                       help="resume from a checkpoint written by --checkpoint")
+    mine.add_argument("--cache", default=None, metavar="DIR",
+                      help="reuse (and update) a persistent mining cache in "
+                           "this directory; repeated runs and threshold "
+                           "sweeps skip already-mined DFS roots")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="mine at several support thresholds, sharing work between them",
+    )
+    sweep.add_argument("database", help="input database file")
+    sweep.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    sweep.add_argument("--min-sups", default="1.00,0.95,0.90,0.85",
+                       metavar="S1,S2,...",
+                       help="comma-separated thresholds (counts, fractions, or "
+                            "percentages); one real mine at the lowest, the "
+                            "rest answered by support filtering")
+    sweep.add_argument("--all-frequent", action="store_true",
+                       help="sweep the all-frequent task instead of closed")
+    sweep.add_argument("--min-size", type=int, default=1)
+    sweep.add_argument("--max-size", type=int, default=None)
+    sweep.add_argument("--kernel", default="bitset", choices=("bitset", "set"))
+    sweep.add_argument("--processes", type=int, default=1,
+                       help="worker processes for the mining calls")
+    sweep.add_argument("--scheduler", default="stealing",
+                       choices=("stealing", "static"))
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="persist the cache here: later sweeps and "
+                            "'clan mine --cache' runs start warm")
+    sweep.add_argument("--output-dir", default=None, metavar="DIR",
+                       help="write one pattern file per threshold into DIR")
 
     topk = sub.add_parser("topk", help="mine the k largest closed cliques")
     topk.add_argument("database")
@@ -194,7 +225,32 @@ def _split_labels(text: Optional[str]) -> Optional[List[str]]:
     return labels
 
 
-def _session_mine(args: argparse.Namespace, database, min_sup):
+def _open_cli_cache(path: Optional[str]):
+    """Load (or create) the persistent cache behind ``--cache DIR``."""
+    if not path:
+        return None
+    from pathlib import Path
+
+    from .io.runlog import load_or_create_cache
+
+    Path(path).mkdir(parents=True, exist_ok=True)
+    return load_or_create_cache(path)
+
+
+def _save_cli_cache(cache, path: Optional[str]) -> None:
+    if cache is None or not path:
+        return
+    from .io.runlog import save_cache
+
+    target = save_cache(cache, path)
+    print(
+        f"# cache: {cache.hits} root hits, {cache.misses} misses "
+        f"({len(cache)} entries saved to {target})",
+        file=sys.stderr,
+    )
+
+
+def _session_mine(args: argparse.Namespace, database, min_sup, cache=None):
     """The ``clan mine`` control-plane path (--progress/--deadline/...)."""
     from .core.session import (
         JsonlTraceSink,
@@ -233,6 +289,7 @@ def _session_mine(args: argparse.Namespace, database, min_sup):
         processes=max(args.processes, 1),
         scheduler=args.scheduler,
         resume_from=resume_from,
+        cache=cache,
     )
     result = session.run()
     if args.checkpoint:
@@ -270,6 +327,11 @@ def cmd_mine(args: argparse.Namespace) -> int:
             "--progress/--deadline/--max-patterns/--trace/--checkpoint/--resume "
             "apply to closed or all-frequent mining only"
         )
+    if args.cache and (args.maximal or require or allow or forbid):
+        raise ReproError(
+            "--cache applies to closed or all-frequent mining only"
+        )
+    cache = _open_cli_cache(args.cache)
     if require or allow or forbid:
         if args.maximal or args.all_frequent:
             raise ReproError(
@@ -295,12 +357,31 @@ def cmd_mine(args: argparse.Namespace) -> int:
             patterns.save_result(result, args.output)
         return 0
     if session_wanted:
-        result, kind = _session_mine(args, database, min_sup)
+        result, kind = _session_mine(args, database, min_sup, cache=cache)
     elif args.maximal:
         from .core.maximal import mine_maximal_cliques
 
         result = mine_maximal_cliques(database, min_sup, min_size=args.min_size)
         kind = "maximal"
+    elif cache is not None:
+        from .core.cache import mine_with_cache
+
+        config = MinerConfig(
+            closed_only=not args.all_frequent,
+            nonclosed_prefix_pruning=not args.all_frequent,
+            min_size=args.min_size,
+            max_size=args.max_size,
+            kernel=args.kernel,
+        )
+        result = mine_with_cache(
+            database,
+            min_sup,
+            cache=cache,
+            config=config,
+            processes=max(args.processes, 1),
+            scheduler=args.scheduler if args.processes > 1 else None,
+        )
+        kind = "frequent" if args.all_frequent else "closed"
     elif args.processes > 1 and not args.all_frequent:
         from .core.parallel import mine_closed_cliques_parallel
 
@@ -325,6 +406,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         )
         result = ClanMiner(database, config).mine(min_sup)
         kind = "frequent" if args.all_frequent else "closed"
+    _save_cli_cache(cache, args.cache)
     if args.output:
         patterns.save_result(result, args.output)
         print(f"{len(result)} patterns written to {args.output}")
@@ -337,6 +419,48 @@ def cmd_mine(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print("# " + result.statistics.summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.cache import sweep as run_sweep
+
+    database = _load(args.database, args.format)
+    specs = [token.strip() for token in args.min_sups.split(",") if token.strip()]
+    if not specs:
+        raise ReproError(f"no thresholds in {args.min_sups!r}")
+    supports = [_parse_min_sup(token) for token in specs]
+    cache = _open_cli_cache(args.cache)
+    results = run_sweep(
+        database,
+        supports,
+        task="frequent" if args.all_frequent else "closed",
+        cache=cache,
+        min_size=args.min_size,
+        max_size=args.max_size,
+        kernel=args.kernel,
+        processes=max(args.processes, 1),
+        scheduler=args.scheduler if args.processes > 1 else None,
+    )
+    print(f"{'min_sup':>10} {'absolute':>8} {'patterns':>8} "
+          f"{'cached_roots':>12} {'seconds':>8}")
+    for token, spec in zip(specs, supports):
+        result = results[spec]
+        print(
+            f"{token:>10} {result.min_sup:>8} {len(result):>8} "
+            f"{result.statistics.roots_from_cache:>12} "
+            f"{result.elapsed_seconds:>8.3f}"
+        )
+    if args.output_dir:
+        from pathlib import Path
+
+        out = Path(args.output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for token, spec in zip(specs, supports):
+            target = out / f"patterns-{token.replace('%', 'pct')}.json"
+            patterns.save_result(results[spec], target)
+        print(f"# {len(specs)} pattern files written to {out}", file=sys.stderr)
+    _save_cli_cache(cache, args.cache)
     return 0
 
 
@@ -469,6 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "mine": cmd_mine,
+        "sweep": cmd_sweep,
         "topk": cmd_topk,
         "quasi": cmd_quasi,
         "stats": cmd_stats,

@@ -9,6 +9,7 @@ The public surface of the paper's contribution.  Typical use::
 """
 
 from .api import MINING_TASKS, mine
+from .cache import CachedRoot, MiningCache, mine_with_cache, sweep
 from .canonical import (
     CanonicalForm,
     Label,
@@ -112,6 +113,7 @@ __all__ = [
     "SearchHooks",
     "SearchStarted",
     "SubtreePruned",
+    "CachedRoot",
     "CanonicalForm",
     "ClanMiner",
     "CliqueConstraints",
@@ -125,6 +127,7 @@ __all__ = [
     "Label",
     "MinerConfig",
     "MinerStatistics",
+    "MiningCache",
     "MiningExecutor",
     "MiningResult",
     "MiningTask",
@@ -153,7 +156,9 @@ __all__ = [
     "mine_frequent_cliques",
     "partition_roots",
     "mine_top_k_closed_cliques",
+    "mine_with_cache",
     "mine_with_constraints",
+    "sweep",
     "occurrence_counts",
     "occurrence_report",
     "project_database",

@@ -31,6 +31,7 @@ from typing import Any, Optional, Sequence, Tuple, Union
 
 from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
+from .cache import MiningCache
 from .canonical import Label
 from .config import MinerConfig
 from .results import MiningResult
@@ -75,6 +76,7 @@ def mine(
     sinks: Sequence[EventSink] = (),
     sample_every: int = 0,
     resume_from: Optional[MiningCheckpoint] = None,
+    cache: Optional[MiningCache] = None,
 ) -> Union[MiningResult, MiningSession]:
     """Mine clique patterns from a graph transaction database.
 
@@ -124,6 +126,14 @@ def mine(
         Event-stream plumbing; implies a session.
     resume_from:
         A :class:`MiningCheckpoint` to continue from; implies a session.
+    cache:
+        A :class:`~repro.core.cache.MiningCache` shared across calls
+        (closed/frequent only).  Roots it can answer are replayed
+        instead of mined, and mined roots are stored back — repeated
+        mines of the same database, support sweeps, and incremental
+        workloads reuse each other's work.  See
+        :func:`repro.core.cache.sweep` for the multi-threshold
+        convenience wrapper and ``docs/API.md`` for the reuse tiers.
 
     Returns
     -------
@@ -144,6 +154,11 @@ def mine(
     )
     if task in ("closed", "frequent"):
         resolved = _resolve_config(task, config, min_size, max_size, kernel, collect_witnesses)
+        if cache is not None and root_labels is not None:
+            raise MiningError(
+                "root_labels cannot be combined with cache; cached mining "
+                "covers every frequent root"
+            )
         if wants_session:
             if root_labels is not None:
                 raise MiningError(
@@ -161,8 +176,20 @@ def mine(
                 processes=processes,
                 scheduler=scheduler,
                 resume_from=resume_from,
+                cache=cache,
             )
             return session if stream else session.run()
+        if cache is not None:
+            from .cache import mine_with_cache
+
+            return mine_with_cache(
+                database,
+                min_sup,
+                cache=cache,
+                config=resolved,
+                processes=processes,
+                scheduler=scheduler if processes > 1 else None,
+            )
         if processes > 1:
             from .parallel import mine_closed_cliques_parallel
 
@@ -190,6 +217,7 @@ def mine(
         processes=processes if processes != 1 else None,
         scheduler=scheduler if scheduler != STEALING else None,
         session=wants_session or None,
+        cache=cache,
     )
     if task == "maximal":
         from .maximal import mine_maximal_cliques

@@ -160,6 +160,22 @@ class MinerConfig:
             overrides["max_size"] = max_size
         return replace(self, **overrides) if overrides else self
 
+    def digest(self) -> str:
+        """A stable SHA-256 over :meth:`to_dict` (cache/checkpoint keys).
+
+        Two configs share a digest iff every field matches.  The digest
+        deliberately covers execution-irrelevant fields too (``kernel``,
+        ``embedding_strategy``): they cannot change the mined patterns,
+        but they do change search *statistics*, and cached statistics
+        are replayed verbatim — keying on the full config keeps that
+        replay exact at the cost of a conservative miss.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def to_dict(self) -> dict:
         """A JSON-ready dict of every field (run records, checkpoints)."""
         return {

@@ -53,6 +53,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
+from .cache import CachedRoot, MiningCache
 from .canonical import Label
 from .config import MinerConfig
 from .miner import ClanMiner
@@ -170,6 +171,9 @@ class ExecutorReport:
     tasks: int = 0
     splits: int = 0
     elapsed_seconds: float = 0.0
+    #: Roots answered from the executor's :class:`MiningCache` instead
+    #: of entering the work queue at all.
+    roots_from_cache: int = 0
     #: Summed in-worker mining time (the statistics' ``cpu_seconds``).
     cpu_seconds: float = 0.0
     #: Per-worker busy seconds, keyed by worker pid.
@@ -313,6 +317,13 @@ class MiningExecutor:
         root (used by the equivalence tests), large values never split.
     chunks_per_process:
         Static scheduler's chunk multiplicity (ignored by stealing).
+    cache:
+        Optional :class:`~repro.core.cache.MiningCache`.  Roots it can
+        answer skip the work queue entirely (their stored patterns,
+        statistics, and event substreams are replayed), and every root
+        actually mined by :meth:`iter_roots` is stored back.
+        :meth:`mine`'s legacy static chunk path ignores it (chunks are
+        not per-root units).
 
     The pool is created lazily on first use and survives across
     :meth:`mine` calls; :meth:`close` (or the context manager) tears it
@@ -329,6 +340,7 @@ class MiningExecutor:
         scheduler: str = STEALING,
         split_factor: float = DEFAULT_SPLIT_FACTOR,
         chunks_per_process: int = 4,
+        cache: Optional[MiningCache] = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise MiningError(
@@ -353,6 +365,7 @@ class MiningExecutor:
         self.scheduler = scheduler
         self.split_factor = split_factor
         self.chunks_per_process = chunks_per_process
+        self.cache = cache
         self.last_report: Optional[ExecutorReport] = None
         # Shared index warm-up: build every index in the parent now, so
         # the forked workers inherit them copy-on-write.
@@ -424,6 +437,11 @@ class MiningExecutor:
         # equals serial (workers inherit prepared indexes and never
         # rescan for label supports).
         merged.statistics.database_scans += 1
+        if self.cache is not None and self.last_report is not None:
+            hits = self.last_report.roots_from_cache
+            merged.statistics.roots_from_cache += hits
+            merged.statistics.cache_hits += hits
+            merged.statistics.cache_misses += len(roots) - hits
         merged.elapsed_seconds = time.perf_counter() - started
         if self.last_report is not None:
             self.last_report.elapsed_seconds = merged.elapsed_seconds
@@ -436,6 +454,7 @@ class MiningExecutor:
         roots: Sequence[Label],
         sample_every: int = 0,
         capture_events: bool = False,
+        allow_sweep: bool = False,
     ) -> Iterator[Tuple[Label, MiningResult, Tuple[MiningEvent, ...]]]:
         """Mine the given roots, yielding each in canonical order.
 
@@ -446,6 +465,14 @@ class MiningExecutor:
         is what preserves the serial==parallel byte-identity contract.
         The consumer may stop iterating at any root boundary (budgets,
         cancellation); in-flight work is then simply abandoned.
+
+        With a :attr:`cache`, roots answered from it never enter the
+        work queue; every mined root is stored back.  By default only
+        exact-tier entries (with replayable statistics, and events when
+        ``capture_events``) are accepted, keeping the byte-identity
+        contract; ``allow_sweep=True`` additionally accepts
+        patterns-only entries derived from a lower cached threshold
+        (:func:`~repro.core.cache.mine_with_cache`'s sweep tier).
         """
         abs_sup = self.database.absolute_support(min_sup)
         roots = tuple(roots)
@@ -455,22 +482,47 @@ class MiningExecutor:
         if not roots:
             return
         started = time.perf_counter()
-        pool = self._ensure_pool()
+
+        cached: Dict[Label, CachedRoot] = {}
+        fingerprint = config_digest = ""
+        if self.cache is not None:
+            from ..io.runlog import database_fingerprint
+
+            fingerprint = database_fingerprint(self.database)
+            config_digest = self.config.digest()
+            for root in roots:
+                entry = self.cache.lookup(
+                    fingerprint,
+                    config_digest,
+                    abs_sup,
+                    root,
+                    need_statistics=not allow_sweep,
+                    need_events=capture_events,
+                    sample_every=sample_every,
+                    allow_sweep=allow_sweep,
+                )
+                if entry is not None:
+                    cached[root] = entry
+        report.roots_from_cache = len(cached)
+        to_mine = tuple(root for root in roots if root not in cached)
+
+        # Everything cached: replay without ever touching the pool.
+        pool = self._ensure_pool() if to_mine else None
         self._generation += 1
         generation = self._generation
         arrivals: "queue.Queue[Any]" = queue.Queue()
 
         if self.scheduler == STEALING:
-            estimates = estimate_root_costs(self.database, roots)
+            estimates = estimate_root_costs(self.database, to_mine)
         else:
-            estimates = {root: 1.0 for root in roots}
+            estimates = {root: 1.0 for root in to_mine}
         #: root -> its task plan, in replay (seq) order.  A plan grows
         #: from one whole-subtree task to the split tasks at most once.
         plan: Dict[Label, List[MiningTask]] = {
-            root: [MiningTask(roots=(root,), cost=estimates[root])] for root in roots
+            root: [MiningTask(roots=(root,), cost=estimates[root])] for root in to_mine
         }
         finished: Dict[Label, Dict[int, Tuple[MiningResult, Tuple[MiningEvent, ...]]]] = {
-            root: {} for root in roots
+            root: {} for root in to_mine
         }
 
         # Pending tasks: a heap ordered heaviest-first under stealing,
@@ -490,7 +542,7 @@ class MiningExecutor:
             outstanding[(task.roots[0], task.seq)] = task
             heapq.heappush(pending, (priority, next(tiebreak), task))
 
-        for root in roots:
+        for root in to_mine:
             push(plan[root][0])
 
         # Live calibration: measured worker seconds per estimated cost
@@ -571,6 +623,48 @@ class MiningExecutor:
         flush_index = 0
 
         while flush_index < len(roots):
+            next_root = roots[flush_index]
+
+            # Cache hit: replay the stored result in place of mining.
+            entry = cached.get(next_root)
+            if entry is not None:
+                part = entry.result(self.config.closed_only)
+                entry_events: Tuple[MiningEvent, ...] = ()
+                if capture_events and entry.events is not None:
+                    entry_events = entry.events
+                report.elapsed_seconds = time.perf_counter() - started
+                flush_index += 1
+                yield next_root, part, entry_events
+                continue
+
+            # Mined root whose tasks all arrived: merge, store, yield.
+            tasks = plan[next_root]
+            done = finished[next_root]
+            if len(done) == len(tasks):
+                merged_part, merged_events = self._merge_root(
+                    tasks, done, sample_every, capture_events
+                )
+                if self.cache is not None:
+                    self.cache.store(
+                        fingerprint,
+                        config_digest,
+                        CachedRoot(
+                            root=next_root,
+                            abs_sup=abs_sup,
+                            patterns=tuple(merged_part),
+                            statistics=merged_part.statistics.snapshot(),
+                            events=merged_events if capture_events else None,
+                            events_sample_every=sample_every if capture_events else 0,
+                        ),
+                    )
+                report.elapsed_seconds = time.perf_counter() - started
+                flush_index += 1
+                yield next_root, merged_part, merged_events
+                continue
+
+            # The front root is still mining: keep the queue fed, then
+            # block on the next arrival (the outer loop re-checks the
+            # front afterwards).
             while pending and in_flight < high_water:
                 _, _, task = heapq.heappop(pending)
                 if (
@@ -606,19 +700,6 @@ class MiningExecutor:
             root_estimated[root] = root_estimated.get(root, 0.0) + task_cost
             report.record(pid, seconds)
             finished[root][seq] = (part, events)
-
-            while flush_index < len(roots):
-                next_root = roots[flush_index]
-                tasks = plan[next_root]
-                done = finished[next_root]
-                if len(done) < len(tasks):
-                    break
-                merged_part, merged_events = self._merge_root(
-                    tasks, done, sample_every, capture_events
-                )
-                report.elapsed_seconds = time.perf_counter() - started
-                flush_index += 1
-                yield next_root, merged_part, merged_events
 
         report.elapsed_seconds = time.perf_counter() - started
 

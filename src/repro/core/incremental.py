@@ -15,10 +15,17 @@ that is:
     subtrees rooted at labels absent from T are byte-for-byte stable —
     results, supports, witnesses, closedness.
 
-``IncrementalMiner`` therefore caches results per root label and, on
-append, re-mines only the roots labelled in the new transaction (plus
-any labels whose global frequency status flipped).  Equality with full
-re-mining is property-tested.
+``IncrementalMiner`` therefore keeps its per-root results in a
+:class:`~repro.core.cache.MiningCache` and, on append, re-mines only
+the roots labelled in the new transaction (plus any labels whose global
+frequency status flipped).  The append maps onto the cache as
+:meth:`MiningCache.rekey_database`: entries of untouched roots migrate
+to the grown database's fingerprint, touched roots' entries are
+dropped (at *every* threshold — their subtrees changed), and threshold
+changes invalidate nothing at all.  Sharing the cache with
+:func:`~repro.core.cache.mine_with_cache` therefore lets a later
+sweep at a higher threshold answer from the incremental state via the
+sweep tier.  Equality with full re-mining is property-tested.
 
 Only *closed* (or all-frequent) mining with an **absolute** support
 threshold is supported: a relative threshold re-scales with every
@@ -28,11 +35,12 @@ append and would invalidate every subtree.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
 from ..graphdb.graph import Graph
+from .cache import CachedRoot, MiningCache
 from .canonical import Label
 from .config import MinerConfig
 from .miner import ClanMiner
@@ -41,13 +49,20 @@ from .results import MiningResult
 
 
 class IncrementalMiner:
-    """Closed clique mining with cheap transaction appends."""
+    """Closed clique mining with cheap transaction appends.
+
+    ``cache`` may be an externally shared :class:`MiningCache`; by
+    default each miner owns a private one.  Either way the miner's
+    state *is* the cache content under the current database
+    fingerprint — there is no separate per-root store.
+    """
 
     def __init__(
         self,
         database: Optional[GraphDatabase] = None,
         min_sup: int = 1,
         config: Optional[MinerConfig] = None,
+        cache: Optional[MiningCache] = None,
     ) -> None:
         if not isinstance(min_sup, int) or isinstance(min_sup, bool) or min_sup < 1:
             raise MiningError(
@@ -62,45 +77,72 @@ class IncrementalMiner:
             )
         self.min_sup = min_sup
         self.database = GraphDatabase(name="incremental")
-        #: Cached per-root pattern lists (only for frequent roots).
-        self._root_patterns: Dict[Label, List[CliquePattern]] = {}
+        self.cache = cache if cache is not None else MiningCache()
+        self._config_digest = self.config.digest()
+        self._fingerprint = self._fingerprint_of(self.database)
         #: Counters of re-mining work, for tests and curiosity.
+        #: ``roots_remined`` counts root subtrees searched; per append,
+        #: ``roots_reused`` counts the frequent roots *not* re-mined —
+        #: the work the incremental lemma saved over a full re-mine.
         self.roots_remined = 0
         self.roots_reused = 0
         for graph in database or ():
             self.add_transaction(graph)
 
+    @staticmethod
+    def _fingerprint_of(database: GraphDatabase) -> str:
+        from ..io.runlog import database_fingerprint
+
+        return database_fingerprint(database)
+
     # ------------------------------------------------------------------
     def add_transaction(self, graph: Graph) -> Set[Label]:
         """Append one transaction; returns the root labels re-mined."""
+        old_fingerprint = self._fingerprint
         self.database.add(graph.copy(graph_id=len(self.database)))
+        self._fingerprint = self._fingerprint_of(self.database)
         label_supports = self.database.label_supports()
 
         touched = set(graph.distinct_labels())
         stale: Set[Label] = set()
-        for label in touched:
-            if label_supports.get(label, 0) >= self.min_sup:
-                stale.add(label)
-        # Roots cached earlier but no longer frequent cannot exist —
-        # supports only grow on append — but roots that just crossed
-        # the threshold are covered by `touched` (their support changed
-        # by this very transaction).
-        for label in stale:
+        frequent: Set[Label] = set()
+        for label, support in label_supports.items():
+            if support >= self.min_sup:
+                frequent.add(label)
+                if label in touched:
+                    stale.add(label)
+        # Untouched roots' subtrees are byte-for-byte stable (module
+        # docstring), so their entries stay valid under the grown
+        # database — migrate them to its fingerprint.  Touched roots'
+        # entries are dropped at every cached threshold.  Roots cached
+        # earlier but no longer frequent cannot exist — supports only
+        # grow on append — and roots that just crossed the threshold
+        # are in `touched` (their support changed by this very
+        # transaction), hence re-mined.
+        self.cache.rekey_database(
+            old_fingerprint, self._fingerprint, drop_roots=sorted(stale)
+        )
+        for label in sorted(stale):
             self._remine_root(label)
-        dropped = [
-            label
-            for label in self._root_patterns
-            if label_supports.get(label, 0) < self.min_sup
-        ]
-        for label in dropped:  # pragma: no cover - impossible on append
-            del self._root_patterns[label]
-        self.roots_reused += len(self._root_patterns) - len(stale & set(self._root_patterns))
+        # Reused = frequent roots this append did *not* re-mine: every
+        # one of them was frequent before (its support is unchanged)
+        # and is served from the migrated cache entries.
+        self.roots_reused += len(frequent - stale)
         return stale
 
     def _remine_root(self, label: Label) -> None:
         miner = ClanMiner(self.database, self.config)
         result = miner.mine(self.min_sup, root_labels=(label,))
-        self._root_patterns[label] = list(result)
+        self.cache.store(
+            self._fingerprint,
+            self._config_digest,
+            CachedRoot(
+                root=label,
+                abs_sup=self.min_sup,
+                patterns=tuple(result),
+                statistics=result.statistics.snapshot(),
+            ),
+        )
         self.roots_remined += 1
 
     # ------------------------------------------------------------------
@@ -109,8 +151,27 @@ class IncrementalMiner:
         started = time.perf_counter()
         merged = MiningResult(min_sup=self.min_sup, closed_only=self.config.closed_only)
         patterns: List[CliquePattern] = []
-        for root in self._root_patterns.values():
-            patterns.extend(root)
+        for root in self.database.frequent_labels(self.min_sup):
+            entry = self.cache.lookup(
+                self._fingerprint,
+                self._config_digest,
+                self.min_sup,
+                root,
+                allow_sweep=False,
+                record=False,
+            )
+            if entry is None:  # pragma: no cover - shared cache cleared
+                self._remine_root(root)
+                entry = self.cache.lookup(
+                    self._fingerprint,
+                    self._config_digest,
+                    self.min_sup,
+                    root,
+                    allow_sweep=False,
+                    record=False,
+                )
+                assert entry is not None
+            patterns.extend(entry.patterns)
         for pattern in sorted(patterns, key=lambda p: p.form.labels):
             merged.add(pattern)
         merged.elapsed_seconds = time.perf_counter() - started

@@ -57,6 +57,10 @@ class ClanMiner:
         # IncrementalMiner does.
         self._pseudo: Optional[PseudoDatabase] = None
         self._label_supports: Optional[Dict[Label, int]] = None
+        #: ``sorted(self._label_supports)``, built alongside it so the
+        #: session/executor root-by-root callers do not re-sort the full
+        #: label space on every single-root ``mine`` call.
+        self._sorted_labels: Optional[Tuple[Label, ...]] = None
 
     def prepare(self) -> "ClanMiner":
         """Build the label-support, core-number, and kernel indexes now.
@@ -72,6 +76,8 @@ class ClanMiner:
         """
         if self._label_supports is None:
             self._label_supports = self.database.label_supports()
+        if self._sorted_labels is None:
+            self._sorted_labels = tuple(sorted(self._label_supports))
         if self._pseudo is None and self.config.low_degree_pruning:
             self._pseudo = PseudoDatabase(self.database)
         warm_kernel_indexes(self.database, self.config.kernel)
@@ -152,11 +158,13 @@ class ClanMiner:
         if self._label_supports is None:
             self._label_supports = self.database.label_supports()
             stats.database_scans += 1
+        if self._sorted_labels is None:
+            self._sorted_labels = tuple(sorted(self._label_supports))
         label_supports = self._label_supports
         seen_forms: Set[Tuple[Label, ...]] = set()
         wanted = set(root_labels) if root_labels is not None else None
 
-        for label in sorted(label_supports):
+        for label in self._sorted_labels:
             if wanted is not None and label not in wanted:
                 continue
             if label_supports[label] < abs_sup:

@@ -148,6 +148,40 @@ class MiningResult:
             )
         return expanded
 
+    def filter_support(self, min_support: int) -> "MiningResult":
+        """Restrict this result to patterns with support ≥ ``min_support``.
+
+        For a complete closed (or all-frequent) result mined at
+        threshold ``s``, this *is* the result of re-mining at any
+        ``t ≥ s``: support does not depend on the threshold, and by
+        Lemma 4.3 closedness is threshold-independent too — a clique is
+        non-closed iff some superclique ties its support, and that
+        superclique is then frequent whenever the clique is.  This
+        exactness is what the sweep tier of
+        :class:`repro.core.cache.MiningCache` rests on; it is
+        property-tested against fresh mines and the brute-force oracle
+        in ``tests/test_cache.py``.
+
+        Patterns are shared (not copied) and keep their enumeration
+        order; statistics are *not* carried over — they describe the
+        original search, not the hypothetical re-mine.
+        """
+        if min_support < self.min_sup:
+            raise PatternError(
+                f"cannot filter down to min_support {min_support}: this result "
+                f"was mined at {self.min_sup} and lower-support patterns were "
+                f"never enumerated"
+            )
+        filtered = MiningResult(
+            min_sup=min_support,
+            closed_only=self.closed_only,
+            elapsed_seconds=self.elapsed_seconds,
+        )
+        for pattern in self._patterns:
+            if pattern.support >= min_support:
+                filtered.add(pattern)
+        return filtered
+
     def closed_subset(self) -> "MiningResult":
         """Filter an all-frequent result down to its closed patterns."""
         closed = MiningResult(

@@ -44,6 +44,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, fields
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     ClassVar,
@@ -68,6 +69,9 @@ from .miner import ClanMiner
 from .pattern import CliquePattern
 from .results import MiningResult
 from .statistics import MinerStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import MiningCache
 
 __all__ = [
     "CallbackSink",
@@ -632,6 +636,18 @@ class MiningSession:
     resume_from:
         A :class:`MiningCheckpoint`; its completed roots are loaded,
         not re-mined.
+    cache:
+        Optional :class:`~repro.core.cache.MiningCache`.  Roots it
+        holds exact entries for (with statistics *and* an event
+        substream recorded at this ``sample_every``) are replayed
+        instead of mined — the emitted stream stays byte-identical to
+        a cold run — and every root this session mines is stored back.
+        Sessions never use the sweep tier: their events and per-root
+        statistics cannot be derived by filtering.  Budgets see
+        replayed roots at root granularity: a replay expands no
+        prefixes and is never interrupted, but its pattern/prefix
+        counts still advance the budget counters, so roots mined
+        afterwards respect the budget.
     """
 
     def __init__(
@@ -647,6 +663,7 @@ class MiningSession:
         scheduler: str = "stealing",
         split_factor: Optional[float] = None,
         resume_from: Optional[MiningCheckpoint] = None,
+        cache: Optional["MiningCache"] = None,
     ) -> None:
         if task not in ("closed", "frequent"):
             raise MiningError(
@@ -685,6 +702,7 @@ class MiningSession:
         self.processes = processes
         self.scheduler = scheduler
         self.split_factor = split_factor
+        self.cache = cache
         self.token = CancellationToken()
         self.result: Optional[MiningResult] = None
         self._completed: Dict[Label, List[CliquePattern]] = {}
@@ -756,7 +774,13 @@ class MiningSession:
     def _run_serial(
         self, pending: Tuple[Label, ...], deadline_at: Optional[float]
     ) -> Optional[str]:
-        miner = ClanMiner(self.database, self.config).prepare()
+        fingerprint = config_digest = ""
+        if self.cache is not None:
+            from ..io.runlog import database_fingerprint
+
+            fingerprint = database_fingerprint(self.database)
+            config_digest = self.config.digest()
+        miner: Optional[ClanMiner] = None
         hooks = SearchHooks(
             sinks=self.sinks,
             budget=self.budget,
@@ -767,10 +791,62 @@ class MiningSession:
         for index, root in enumerate(pending):
             self._emit(RootStarted(root=root, index=index, n_pending=len(pending)))
             hooks.begin_root(root)
+            if self.cache is not None:
+                entry = self.cache.lookup(
+                    fingerprint,
+                    config_digest,
+                    self.abs_sup,
+                    root,
+                    need_statistics=True,
+                    need_events=True,
+                    sample_every=self.sample_every,
+                    allow_sweep=False,
+                )
+                if entry is not None:
+                    # Replay: the stored substream is exactly what a
+                    # cold mine of this root would have emitted.
+                    for event in entry.events or ():
+                        self._emit(event)
+                    part = entry.result(self.config.closed_only)
+                    # Budgets are enforced lazily at the next expanded
+                    # prefix; advancing the run-wide counters here makes
+                    # later *mined* roots trip as if this one had been
+                    # mined too.
+                    hooks.total_prefixes += part.statistics.prefixes_visited
+                    hooks.total_patterns += len(part)
+                    self._statistics.roots_from_cache += 1
+                    self._statistics.cache_hits += 1
+                    self._finish_root(root, index, len(pending), part)
+                    continue
+                self._statistics.cache_misses += 1
+            if miner is None:
+                miner = ClanMiner(self.database, self.config).prepare()
+            recorder: Optional[_ListSink] = None
+            if self.cache is not None:
+                recorder = _ListSink()
+                hooks.sinks = self.sinks + (recorder,)
             try:
                 part = miner.mine(self.abs_sup, root_labels=(root,), hooks=hooks)
             except SearchAborted as stop:
                 return stop.reason
+            finally:
+                if recorder is not None:
+                    hooks.sinks = self.sinks
+            if self.cache is not None and recorder is not None:
+                from .cache import CachedRoot
+
+                self.cache.store(
+                    fingerprint,
+                    config_digest,
+                    CachedRoot(
+                        root=root,
+                        abs_sup=self.abs_sup,
+                        patterns=tuple(part),
+                        statistics=part.statistics.snapshot(),
+                        events=tuple(recorder.events),
+                        events_sample_every=self.sample_every,
+                    ),
+                )
             self._finish_root(root, index, len(pending), part)
         return None
 
@@ -796,6 +872,7 @@ class MiningSession:
             self.config,
             processes=processes,
             scheduler=self.scheduler,
+            cache=self.cache,
             **executor_options,
         )
         try:
@@ -830,6 +907,12 @@ class MiningSession:
                     ):
                         return "max_prefixes"
         finally:
+            report = executor.last_report
+            if self.cache is not None and report is not None:
+                hits = report.roots_from_cache
+                self._statistics.roots_from_cache += hits
+                self._statistics.cache_hits += hits
+                self._statistics.cache_misses += len(pending) - hits
             executor.close()
         return None
 

@@ -47,6 +47,15 @@ class MinerStatistics:
     #: the repr: event streams and differential comparisons must stay
     #: deterministic, and timings are not.
     cpu_seconds: float = field(default=0.0, repr=False)
+    #: DFS roots answered from a :class:`~repro.core.cache.MiningCache`
+    #: instead of being mined.  Like ``cpu_seconds``, the cache counters
+    #: depend on what happened to run earlier in the process, not on
+    #: the database — so they are kept out of :meth:`snapshot` and the
+    #: repr, and cached-vs-cold comparisons stay byte-identical.
+    roots_from_cache: int = field(default=0, repr=False)
+    #: Per-call cache hit/miss counters (exact + sweep-derived hits).
+    cache_hits: int = field(default=0, repr=False)
+    cache_misses: int = field(default=0, repr=False)
     #: Frequent cliques per size (the series of Figure 6(b) uses the
     #: closed analogue from the result set).
     frequent_by_size: Dict[int, int] = field(default_factory=dict)
@@ -90,6 +99,9 @@ class MinerStatistics:
         self.database_scans += part.database_scans
         self.max_depth = max(self.max_depth, part.max_depth)
         self.cpu_seconds += part.cpu_seconds
+        self.roots_from_cache += part.roots_from_cache
+        self.cache_hits += part.cache_hits
+        self.cache_misses += part.cache_misses
         for size, count in part.frequent_by_size.items():
             self.frequent_by_size[size] = self.frequent_by_size.get(size, 0) + count
 
@@ -118,6 +130,37 @@ class MinerStatistics:
                 str(size): count for size, count in sorted(self.frequent_by_size.items())
             },
         }
+
+    @classmethod
+    def from_snapshot(cls, payload: Dict[str, object]) -> "MinerStatistics":
+        """Rebuild the deterministic counters from :meth:`snapshot` output.
+
+        The inverse used when a cached root's statistics are replayed
+        (:mod:`repro.core.cache`).  Non-deterministic fields —
+        ``cpu_seconds`` and the cache counters — are not in snapshots
+        and come back as their zero defaults.
+        """
+        stats = cls()
+        for name in (
+            "prefixes_visited",
+            "frequent_cliques",
+            "closed_cliques",
+            "nonclosed_prefix_prunes",
+            "closure_rejections",
+            "infrequent_extensions",
+            "redundancy_skips",
+            "duplicates_collapsed",
+            "embeddings_created",
+            "peak_embeddings",
+            "database_scans",
+            "max_depth",
+        ):
+            setattr(stats, name, int(payload.get(name, 0)))  # type: ignore[call-overload]
+        stats.frequent_by_size = {
+            int(size): int(count)
+            for size, count in dict(payload.get("frequent_by_size", {})).items()  # type: ignore[arg-type]
+        }
+        return stats
 
     def prefixes_per_second(self, elapsed_seconds: float) -> float:
         """Search throughput over a given wall-clock span (0 if unknown)."""

@@ -12,7 +12,10 @@ event streams written by
 :class:`~repro.core.session.JsonlTraceSink`, and
 :func:`save_checkpoint` / :func:`open_checkpoint` round-trip
 :class:`~repro.core.session.MiningCheckpoint` snapshots so an
-interrupted mine can resume in another process.
+interrupted mine can resume in another process, and
+:func:`save_cache` / :func:`open_cache` persist a
+:class:`~repro.core.cache.MiningCache` so sweeps and repeated runs
+warm up from disk (``clan sweep --cache DIR``).
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from .. import __version__
+from ..core.cache import MiningCache
 from ..core.config import MinerConfig
 from ..core.miner import ClanMiner
 from ..core.results import MiningResult
@@ -45,12 +49,17 @@ def database_fingerprint(database: GraphDatabase) -> str:
     in the sense of :meth:`Graph.__eq__` with matching order.
     """
     digest = hashlib.sha256()
+    # One buffered update per graph: the byte stream (and therefore the
+    # hex digest, and every persisted cache keyed on it) is identical
+    # to hashing piece by piece, but ~3x faster on large databases —
+    # this runs on every cached mine (see repro.core.cache).
     for graph in database:
-        digest.update(b"t")
-        for vertex in sorted(graph.vertices()):
-            digest.update(f"v{vertex}={graph.label(vertex)};".encode())
-        for u, v in sorted(graph.edges()):
-            digest.update(f"e{u}-{v};".encode())
+        parts = ["t"]
+        parts.extend(
+            f"v{vertex}={graph.label(vertex)};" for vertex in sorted(graph.vertices())
+        )
+        parts.extend(f"e{u}-{v};" for u, v in sorted(graph.edges()))
+        digest.update("".join(parts).encode())
     return digest.hexdigest()
 
 
@@ -198,3 +207,54 @@ def open_checkpoint(path: PathLike) -> MiningCheckpoint:
         return MiningCheckpoint.from_dict(payload)
     except (KeyError, TypeError) as exc:
         raise FormatError(f"not a mining checkpoint: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Mining caches
+# ----------------------------------------------------------------------
+#: File name used inside a cache *directory* (the CLI passes
+#: ``--cache DIR``; the API accepts a file path or a directory).
+CACHE_FILENAME = "clan-cache.json"
+
+
+def _cache_file(path: PathLike) -> Path:
+    path = Path(path)
+    if path.is_dir():
+        return path / CACHE_FILENAME
+    return path
+
+
+def save_cache(cache: MiningCache, path: PathLike) -> Path:
+    """Write a mining cache as JSON; returns the file written.
+
+    ``path`` may be a file or an existing directory (the file is then
+    ``clan-cache.json`` inside it).  Only the entries are persisted —
+    hit/miss counters are process-local observability, not state.
+    """
+    target = _cache_file(path)
+    with open(target, "w", encoding="utf-8") as stream:
+        json.dump(cache.to_dict(), stream, indent=1)
+    return target
+
+
+def open_cache(path: PathLike) -> MiningCache:
+    """Read a mining cache back (file or directory, as for save)."""
+    target = _cache_file(path)
+    with open(target, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    try:
+        return MiningCache.from_dict(payload)
+    except (MiningError, KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"not a mining cache: {exc}") from exc
+
+
+def load_or_create_cache(path: PathLike) -> MiningCache:
+    """Open the cache at ``path`` if present, else a fresh empty one.
+
+    The convenience the CLI uses for ``--cache DIR``: first run creates
+    the cache, later runs warm from it.
+    """
+    target = _cache_file(path)
+    if target.exists():
+        return open_cache(target)
+    return MiningCache()

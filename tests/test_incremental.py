@@ -82,6 +82,61 @@ class TestReuse:
         assert [p.key() for p in miner.result()] == ["q:2"]
 
 
+class TestRootsReused:
+    """Regression tests for the ``roots_reused`` counter.
+
+    The counter means: frequent roots whose cached subtree survived an
+    append un-remined.  The old implementation double-counted roots
+    that were both frequent before the append and touched by it.
+    """
+
+    def test_disjoint_append_reuses_every_prior_root(self):
+        miner = IncrementalMiner(min_sup=1)
+        miner.add_transaction(paper_graph_g1())  # labels a..e, all stale
+        assert miner.roots_reused == 0
+        zz = Graph.from_edges({0: "x", 1: "y"}, [(0, 1)])
+        miner.add_transaction(zz)
+        # a..e untouched and still frequent: exactly 5 reused.
+        assert miner.roots_reused == 5
+
+    def test_overlapping_append_reuses_only_untouched_roots(self):
+        miner = IncrementalMiner(min_sup=1)
+        miner.add_transaction(paper_graph_g1())  # a..e
+        partial = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        miner.add_transaction(partial)
+        # a and b were remined; c, d, e were reused.
+        assert miner.roots_remined == 5 + 2
+        assert miner.roots_reused == 3
+
+    def test_counter_accumulates_across_appends(self):
+        miner = IncrementalMiner(min_sup=1)
+        miner.add_transaction(paper_graph_g1())  # a..e
+        miner.add_transaction(Graph.from_edges({0: "x"}, []))  # reuse 5
+        miner.add_transaction(Graph.from_edges({0: "y"}, []))  # reuse 6
+        assert miner.roots_reused == 5 + 6
+
+    def test_not_yet_frequent_roots_are_not_reused(self):
+        miner = IncrementalMiner(min_sup=2)
+        miner.add_transaction(paper_graph_g1())
+        miner.add_transaction(Graph.from_edges({0: "x"}, []))
+        # Nothing reaches support 2 except nothing: 'x' is stale (and
+        # infrequent), a..e are untouched but also below threshold.
+        assert miner.roots_reused == 0
+
+    def test_reported_alongside_cache_counters(self):
+        from repro.core import MiningCache
+
+        cache = MiningCache()
+        miner = IncrementalMiner(min_sup=1, cache=cache)
+        miner.add_transaction(paper_graph_g1())
+        miner.add_transaction(Graph.from_edges({0: "x", 1: "y"}, [(0, 1)]))
+        assert miner.roots_reused == 5
+        assert cache.stores >= miner.roots_remined
+        # The reused subtrees really are served from the shared cache.
+        assert len(miner.result()) > 0
+        assert miner.roots_remined == 5 + 2  # result() re-mined nothing
+
+
 class TestAgainstBatch:
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(0, 50_000), min_sup=st.integers(1, 3))

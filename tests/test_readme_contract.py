@@ -142,9 +142,9 @@ class TestReadmeReferences:
             a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
         )
         available = set(sub.choices)
-        for command in ("mine", "topk", "quasi", "lattice", "stats", "validate",
-                        "convert", "diff", "record", "replay", "generate",
-                        "experiments"):
+        for command in ("mine", "sweep", "topk", "quasi", "lattice", "stats",
+                        "validate", "convert", "diff", "record", "replay",
+                        "generate", "experiments"):
             assert f"clan {command}" in README, command
             assert command in available, command
 
