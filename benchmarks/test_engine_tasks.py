@@ -1,0 +1,208 @@
+"""Engine tasks — maximal / top-k through the full kernel+executor stack.
+
+Before the engine refactor, ``maximal`` and ``topk`` were standalone
+serial miners: no bitset kernel choice, no worker pool, no cache.  Now
+they are task strategies over the one enumeration engine, so the whole
+acceleration stack composes.  This benchmark measures that composition
+on a Figure 6(a)-style market workload against the *pre-refactor
+shape* (set kernel, serial — what the standalone miners cost):
+
+* the engine's kernel tier — bitset kernel, serial (real wall-clock),
+* the engine's pool tier — ``processes=4`` makespan *modeled* from
+  measured per-root subtree times, exactly as in
+  ``test_parallel_scaling.py`` (this container exposes a single core,
+  so a real pool cannot demonstrate scaling; a real 4-process run
+  still executes for the byte-identity check),
+* the cache's exact-replay tier — a warmed re-run of the same sweep.
+
+Each task's headline ``speedup`` is the *measured* ratio for the
+engine shape the refactor unlocked for it: ``maximal`` rides the
+bitset kernel (``mine(task="maximal", kernel="bitset", processes=4)``),
+``topk`` rides the cache (``mine(task="topk", cache=...)``).  Results
+must be byte-identical on every path; the timings are written to
+``BENCH_engine.json`` at the repo root as the perf-trajectory record.
+"""
+
+import heapq
+import json
+import time
+from pathlib import Path
+
+from repro.bench import format_table
+from repro.core import MinerConfig, MiningCache, mine
+from repro.core.engine import engine_for_task
+
+from conftest import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THETAS = (0.95, 0.90)
+SUPPORTS = (1.00, 0.95, 0.90, 0.85)
+PROCESSES = 4
+ROUNDS = 2  # best-of, to shed scheduler noise
+
+#: task -> (mine() extras, the engine shape whose measured speedup is
+#: the task's headline number)
+TASKS = (
+    ("maximal", {}, "bitset kernel, serial"),
+    ("topk", {"k": 10}, "bitset kernel + warm exact-replay cache"),
+)
+
+
+def fig6a_task_sweep(market_databases, task, extra, **options):
+    keys = []
+    started = time.perf_counter()
+    for theta in THETAS:
+        database = market_databases[theta]
+        for min_sup in SUPPORTS:
+            result = mine(database, min_sup, task=task, **extra, **options)
+            keys.append(sorted(p.key() for p in result))
+    return time.perf_counter() - started, keys
+
+
+def best_of(measure, *args, **options):
+    best_seconds, keys = measure(*args, **options)
+    for _ in range(ROUNDS - 1):
+        seconds, _ = measure(*args, **options)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, keys
+
+
+def modeled_pool(database, task, k, min_sup, processes):
+    """Greedy list-scheduling makespan from measured per-root times.
+
+    Every root subtree is timed serially (bitset kernel), then packed
+    heaviest-first onto ``processes`` workers — the same model
+    ``test_parallel_scaling.py`` uses, because a single-core container
+    cannot show real pool scaling.
+    """
+    config = MinerConfig(kernel="bitset")
+    engine = engine_for_task(database, config, task, k).prepare()
+    abs_sup = database.absolute_support(min_sup)
+    roots = database.frequent_labels(abs_sup)
+    times = []
+    for root in roots:
+        started = time.perf_counter()
+        engine.mine(min_sup, root_labels=(root,))
+        times.append(time.perf_counter() - started)
+    workers = [0.0] * processes
+    heapq.heapify(workers)
+    for seconds in sorted(times, reverse=True):
+        heapq.heappush(workers, heapq.heappop(workers) + seconds)
+    makespan = max(workers)
+    serial = sum(times)
+    return {
+        "roots": len(roots),
+        "serial_seconds": serial,
+        "makespan_seconds": makespan,
+        "modeled_speedup": serial / makespan if makespan else 1.0,
+    }
+
+
+def test_engine_tasks(benchmark, market_databases, scale):
+    benchmark.pedantic(
+        lambda: fig6a_task_sweep(market_databases, "maximal", {}, kernel="bitset"),
+        rounds=1,
+        iterations=1,
+    )
+
+    record = {
+        "benchmark": "engine tasks (maximal/topk through kernel+executor+cache)",
+        "scale": scale,
+        "rounds": ROUNDS,
+        "workload": (
+            f"market thetas {THETAS} x supports {SUPPORTS}; "
+            f"baseline = set kernel serial (the pre-refactor shape); "
+            f"pool makespan modeled at {PROCESSES} processes "
+            f"(single-core container), real pool run checks identity"
+        ),
+        "tasks": {},
+    }
+    rows = []
+    heavy_theta, heavy_sup = THETAS[0], min(SUPPORTS)
+    for task, extra, shape in TASKS:
+        base_seconds, base_keys = best_of(
+            fig6a_task_sweep, market_databases, task, extra, kernel="set"
+        )
+        kernel_seconds, kernel_keys = best_of(
+            fig6a_task_sweep, market_databases, task, extra, kernel="bitset"
+        )
+        # The stack must be invisible in the output.
+        assert kernel_keys == base_keys, task
+
+        # Real 4-process pool run: identity is checkable on any box
+        # even though wall-clock scaling is not.
+        pool_started = time.perf_counter()
+        _, pool_keys = fig6a_task_sweep(
+            market_databases, task, extra, kernel="bitset", processes=PROCESSES
+        )
+        pool_seconds = time.perf_counter() - pool_started
+        assert pool_keys == base_keys, task
+
+        pool_model = modeled_pool(
+            market_databases[heavy_theta],
+            task,
+            extra.get("k"),
+            heavy_sup,
+            PROCESSES,
+        )
+
+        # The cache's exact-replay tier: a warmed re-run of the same
+        # sweep replays every root.
+        cache = MiningCache()
+        fig6a_task_sweep(market_databases, task, extra, kernel="bitset", cache=cache)
+        warm_seconds, warm_keys = fig6a_task_sweep(
+            market_databases, task, extra, kernel="bitset", cache=cache
+        )
+        assert warm_keys == base_keys, task
+
+        kernel_speedup = base_seconds / kernel_seconds
+        cache_speedup = base_seconds / warm_seconds
+        speedup = kernel_speedup if task == "maximal" else cache_speedup
+        record["tasks"][task] = {
+            "engine_shape": shape,
+            "baseline_set_serial_seconds": base_seconds,
+            "kernel_bitset_serial_seconds": kernel_seconds,
+            "kernel_speedup": kernel_speedup,
+            "pool_real_x4_seconds": pool_seconds,
+            "pool_modeled_x4": pool_model,
+            "cache_warm_seconds": warm_seconds,
+            "cache_speedup": cache_speedup,
+            "speedup": speedup,
+        }
+        rows.append(
+            [
+                task,
+                f"{base_seconds:.3f}",
+                f"{kernel_seconds:.3f}",
+                f"{kernel_speedup:.2f}x",
+                f"{pool_model['modeled_speedup']:.2f}x",
+                f"{warm_seconds:.3f}",
+                f"{cache_speedup:.2f}x",
+            ]
+        )
+
+    table = format_table(
+        [
+            "task",
+            "set serial (s)",
+            "bitset serial (s)",
+            "kernel",
+            f"pool x{PROCESSES} (modeled)",
+            "warm cache (s)",
+            "cache",
+        ],
+        rows,
+        title=f"Engine tasks, best of {ROUNDS} (scale={scale})",
+    )
+    write_report("engine_tasks", table)
+
+    (REPO_ROOT / "BENCH_engine.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # Acceptance bar: each task's engine shape is at least 2x the
+    # pre-refactor serial shape (asserted with slack for CI noise at
+    # the tiny scale; the json carries the true ratios).
+    if scale in ("small", "medium", "paper"):
+        for task, numbers in record["tasks"].items():
+            assert numbers["speedup"] >= 1.5, (task, numbers)

@@ -111,7 +111,7 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         paper_item="(ours) parallel-mining extension",
         description="Wall-clock effect of partitioning DFS roots across processes",
         workload="stock-market-0.90 @85%; 1/2/4 processes",
-        modules=("repro.core.parallel",),
+        modules=("repro.core.executor",),
         benchmark="benchmarks/test_parallel_scaling.py",
     ),
     Experiment(

@@ -155,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--min-sup", default="2")
     topk.add_argument("-k", type=int, default=5)
     topk.add_argument("--min-size", type=int, default=1)
+    topk.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
+                      help="candidate-intersection kernel (as for 'clan mine')")
+    topk.add_argument("--processes", type=int, default=1,
+                      help="worker processes for the root search")
+    topk.add_argument("--scheduler", default="stealing",
+                      choices=("stealing", "static"))
+    topk.add_argument("--stats", action="store_true",
+                      help="print search statistics")
 
     quasi = sub.add_parser("quasi", help="mine closed quasi-cliques (gamma-relaxed)")
     quasi.add_argument("database")
@@ -271,10 +279,11 @@ def _session_mine(args: argparse.Namespace, database, min_sup, cache=None):
             deadline_seconds=args.deadline, max_patterns=args.max_patterns
         )
     resume_from = open_checkpoint(args.resume) if args.resume else None
-    task = "frequent" if args.all_frequent else "closed"
+    task = _mine_task(args)
+    closed = task != "frequent"
     config = MinerConfig(
-        closed_only=not args.all_frequent,
-        nonclosed_prefix_pruning=not args.all_frequent,
+        closed_only=closed,
+        nonclosed_prefix_pruning=closed,
         min_size=args.min_size,
         max_size=args.max_size,
         kernel=args.kernel,
@@ -305,7 +314,13 @@ def _session_mine(args: argparse.Namespace, database, min_sup, cache=None):
             f"completed roots; resume with --resume to finish",
             file=sys.stderr,
         )
-    return result, ("frequent" if args.all_frequent else "closed")
+    return result, task
+
+
+def _mine_task(args: argparse.Namespace) -> str:
+    if args.maximal:
+        return "maximal"
+    return "frequent" if args.all_frequent else "closed"
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
@@ -314,6 +329,12 @@ def cmd_mine(args: argparse.Namespace) -> int:
     require = _split_labels(args.require)
     allow = _split_labels(args.allow)
     forbid = _split_labels(args.forbid)
+    task = _mine_task(args)
+    if args.maximal and args.max_size is not None:
+        raise ReproError(
+            "--maximal cannot be combined with --max-size; a size ceiling "
+            "makes subcliques of capped cliques look maximal"
+        )
     session_wanted = bool(
         args.progress
         or args.deadline is not None
@@ -322,14 +343,14 @@ def cmd_mine(args: argparse.Namespace) -> int:
         or args.checkpoint
         or args.resume
     )
-    if session_wanted and (args.maximal or require or allow or forbid):
+    if session_wanted and (require or allow or forbid):
         raise ReproError(
             "--progress/--deadline/--max-patterns/--trace/--checkpoint/--resume "
-            "apply to closed or all-frequent mining only"
+            "cannot be combined with label constraints"
         )
-    if args.cache and (args.maximal or require or allow or forbid):
+    if args.cache and (require or allow or forbid):
         raise ReproError(
-            "--cache applies to closed or all-frequent mining only"
+            "--cache cannot be combined with label constraints"
         )
     cache = _open_cli_cache(args.cache)
     if require or allow or forbid:
@@ -346,7 +367,14 @@ def cmd_mine(args: argparse.Namespace) -> int:
             min_size=args.min_size,
             max_size=args.max_size,
         )
-        result = mine_with_constraints(database, min_sup, constraints)
+        result = mine_with_constraints(
+            database,
+            min_sup,
+            constraints,
+            kernel=args.kernel,
+            processes=max(args.processes, 1),
+            scheduler=args.scheduler,
+        )
         sys.stdout.write(patterns.dumps_result(result))
         print(
             f"# {len(result)} closed cliques under constraints, "
@@ -358,54 +386,23 @@ def cmd_mine(args: argparse.Namespace) -> int:
         return 0
     if session_wanted:
         result, kind = _session_mine(args, database, min_sup, cache=cache)
-    elif args.maximal:
-        from .core.maximal import mine_maximal_cliques
-
-        result = mine_maximal_cliques(database, min_sup, min_size=args.min_size)
-        kind = "maximal"
-    elif cache is not None:
-        from .core.cache import mine_with_cache
-
-        config = MinerConfig(
-            closed_only=not args.all_frequent,
-            nonclosed_prefix_pruning=not args.all_frequent,
-            min_size=args.min_size,
-            max_size=args.max_size,
-            kernel=args.kernel,
-        )
-        result = mine_with_cache(
-            database,
-            min_sup,
-            cache=cache,
-            config=config,
-            processes=max(args.processes, 1),
-            scheduler=args.scheduler if args.processes > 1 else None,
-        )
-        kind = "frequent" if args.all_frequent else "closed"
-    elif args.processes > 1 and not args.all_frequent:
-        from .core.parallel import mine_closed_cliques_parallel
-
-        config = MinerConfig(
-            min_size=args.min_size, max_size=args.max_size, kernel=args.kernel
-        )
-        result = mine_closed_cliques_parallel(
-            database,
-            min_sup,
-            processes=args.processes,
-            config=config,
-            scheduler=args.scheduler,
-        )
-        kind = "closed"
     else:
-        config = MinerConfig(
-            closed_only=not args.all_frequent,
-            nonclosed_prefix_pruning=not args.all_frequent,
+        # One engine path for closed / frequent / maximal: kernels,
+        # worker pools, and the cache apply to every task.
+        from .core.api import mine as run_mine
+
+        result = run_mine(
+            database,
+            min_sup,
+            task=task,
             min_size=args.min_size,
             max_size=args.max_size,
             kernel=args.kernel,
+            processes=max(args.processes, 1),
+            scheduler=args.scheduler,
+            cache=cache,
         )
-        result = ClanMiner(database, config).mine(min_sup)
-        kind = "frequent" if args.all_frequent else "closed"
+        kind = task
     _save_cli_cache(cache, args.cache)
     if args.output:
         patterns.save_result(result, args.output)
@@ -465,15 +462,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_topk(args: argparse.Namespace) -> int:
-    from .core.topk import mine_top_k_closed_cliques
+    from .core.api import mine as run_mine
 
     database = _load(args.database, args.format)
-    result = mine_top_k_closed_cliques(
-        database, _parse_min_sup(args.min_sup), k=args.k, min_size=args.min_size
+    result = run_mine(
+        database,
+        _parse_min_sup(args.min_sup),
+        task="topk",
+        k=args.k,
+        min_size=args.min_size,
+        kernel=args.kernel,
+        processes=max(args.processes, 1),
+        scheduler=args.scheduler,
     )
     for pattern in result:
         print(pattern.key())
     print(f"# top-{args.k} closed cliques by size", file=sys.stderr)
+    if args.stats:
+        print("# " + result.statistics.summary(), file=sys.stderr)
     return 0
 
 

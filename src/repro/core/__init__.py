@@ -31,6 +31,14 @@ from .constraints import (
     project_database,
 )
 from .embeddings import BITSET, CACHED, RESCAN, SET, EmbeddingStore, warm_kernel_indexes
+from .engine import (
+    ENGINE_TASKS,
+    MiningEngine,
+    TaskStrategy,
+    engine_for_task,
+    finalize_patterns,
+    make_strategy,
+)
 from .executor import (
     STATIC,
     STEALING,
@@ -38,6 +46,8 @@ from .executor import (
     MiningExecutor,
     MiningTask,
     estimate_root_costs,
+    mine_closed_cliques_parallel,
+    partition_roots,
 )
 from .incremental import IncrementalMiner
 from .lattice import CliqueLattice
@@ -52,7 +62,6 @@ from .occurrences import (
     total_occurrences,
     transaction_support,
 )
-from .parallel import mine_closed_cliques_parallel, partition_roots
 from .pattern import CliquePattern, make_pattern
 from .topk import mine_top_k_closed_cliques
 from .quasiclique import (
@@ -116,6 +125,12 @@ __all__ = [
     "CachedRoot",
     "CanonicalForm",
     "ClanMiner",
+    "ENGINE_TASKS",
+    "MiningEngine",
+    "TaskStrategy",
+    "engine_for_task",
+    "finalize_patterns",
+    "make_strategy",
     "CliqueConstraints",
     "CliqueLattice",
     "CliquePattern",

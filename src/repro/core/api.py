@@ -12,14 +12,21 @@ planned, just no new features.
 
 Dispatch table::
 
-    task="closed"    closed cliques        ClanMiner / parallel / session
-    task="frequent"  all frequent cliques  ClanMiner / parallel / session
-    task="maximal"   maximal cliques       mine_maximal_cliques
-    task="topk"      k largest closed      mine_top_k_closed_cliques (k=...)
+    task="closed"    closed cliques        MiningEngine / executor / session
+    task="frequent"  all frequent cliques  MiningEngine / executor / session
+    task="maximal"   maximal cliques       MiningEngine / executor / session
+    task="topk"      k largest closed      MiningEngine / executor / session
+                                           (k=... required)
     task="quasi"     closed quasi-cliques  mine_closed_quasi_cliques
                                            (gamma=..., max_size required)
 
-``stream=True`` (closed/frequent only) returns an unstarted
+The first four are **engine tasks**: one enumeration core
+(:mod:`repro.core.engine`) under task strategies, so kernels, worker
+pools, sessions, and the cache's exact-replay tier apply uniformly.
+``quasi`` runs its own bounded-enumeration algorithm and accepts only
+the task-agnostic knobs.
+
+``stream=True`` (engine tasks) returns an unstarted
 :class:`~repro.core.session.MiningSession` instead of running it, so
 callers can attach a cancellation handler before calling
 :meth:`~repro.core.session.MiningSession.run`.
@@ -27,13 +34,14 @@ callers can attach a cancellation handler before calling
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
 from .cache import MiningCache
 from .canonical import Label
 from .config import MinerConfig
+from .engine import ENGINE_TASKS, engine_for_task
 from .results import MiningResult
 from .session import EventSink, MiningBudget, MiningCheckpoint, MiningSession
 from .support import parse_support
@@ -41,16 +49,6 @@ from .support import parse_support
 __all__ = ["mine", "MINING_TASKS"]
 
 MINING_TASKS = ("closed", "frequent", "maximal", "topk", "quasi")
-
-#: Options only the session engine honours; used for error messages
-#: when they are combined with a task the session cannot run.
-_SESSION_ONLY = (
-    "budget/deadline/max_patterns/max_expanded_prefixes",
-    "sinks",
-    "sample_every",
-    "resume_from",
-    "stream",
-)
 
 
 def mine(
@@ -94,17 +92,18 @@ def mine(
         ``gamma`` tunes the relaxation).
     stream:
         Return an unstarted :class:`MiningSession` instead of a result
-        (closed/frequent only).
+        (engine tasks only).
     min_size / max_size:
-        Size window on reported patterns.
+        Size window on reported patterns.  ``task="maximal"`` rejects
+        ``max_size`` (a capped search misreports maximality).
     config:
-        Full :class:`MinerConfig` control (closed/frequent only).  May
+        Full :class:`MinerConfig` control (engine tasks only).  May
         be combined with ``min_size``/``max_size``; contradictions
         raise :class:`MiningError`.
     kernel / collect_witnesses:
-        Shorthand config overrides (closed/frequent only).
+        Shorthand config overrides (engine tasks only).
     processes:
-        Mine DFS roots in a process pool when > 1 (closed/frequent).
+        Mine DFS roots in a process pool when > 1 (engine tasks).
     scheduler:
         How the pool schedules roots: ``"stealing"`` (default) is the
         adaptive work queue with cost-guided root splitting,
@@ -113,9 +112,9 @@ def mine(
         identical either way; only wall-clock differs.  Ignored when
         ``processes=1``.
     root_labels:
-        Restrict the search to the given DFS roots (closed/frequent,
-        non-session runs) — the partitioning primitive sessions and the
-        pool build on.
+        Restrict the search to the given DFS roots (engine tasks,
+        non-session serial runs) — the partitioning primitive sessions
+        and the pool build on.
     budget / deadline / max_patterns / max_expanded_prefixes:
         Cooperative budgets.  Either pass a ready
         :class:`MiningBudget`, or the individual shorthands (mutually
@@ -128,7 +127,7 @@ def mine(
         A :class:`MiningCheckpoint` to continue from; implies a session.
     cache:
         A :class:`~repro.core.cache.MiningCache` shared across calls
-        (closed/frequent only).  Roots it can answer are replayed
+        (engine tasks).  Roots it can answer are replayed
         instead of mined, and mined roots are stored back — repeated
         mines of the same database, support sweeps, and incremental
         workloads reuse each other's work.  See
@@ -152,7 +151,9 @@ def mine(
     wants_session = bool(
         stream or sinks or sample_every or resume_from or (budget is not None)
     )
-    if task in ("closed", "frequent"):
+    if task in ENGINE_TASKS:
+        if task == "topk" and k is None:
+            raise MiningError("task='topk' requires k=<number of patterns>")
         resolved = _resolve_config(task, config, min_size, max_size, kernel, collect_witnesses)
         if cache is not None and root_labels is not None:
             raise MiningError(
@@ -169,6 +170,7 @@ def mine(
                 database,
                 min_sup,
                 task=task,
+                k=k,
                 config=resolved,
                 budget=budget,
                 sinks=sinks,
@@ -189,46 +191,50 @@ def mine(
                 config=resolved,
                 processes=processes,
                 scheduler=scheduler if processes > 1 else None,
+                task=task,
+                k=k,
             )
         if processes > 1:
-            from .parallel import mine_closed_cliques_parallel
+            from .executor import MiningExecutor
 
             if root_labels is not None:
                 raise MiningError("root_labels and processes>1 cannot be combined")
-            return mine_closed_cliques_parallel(
+            with MiningExecutor(
                 database,
-                min_sup,
+                resolved,
                 processes=processes,
-                config=resolved,
                 scheduler=scheduler,
-            )
-        from .miner import ClanMiner
+                task=task,
+                k=k,
+            ) as executor:
+                return executor.mine(min_sup)
 
-        return ClanMiner(database, resolved).mine(min_sup, root_labels=root_labels)
+        return engine_for_task(database, resolved, task, k).mine(
+            min_sup, root_labels=root_labels
+        )
 
-    # The specialised tasks have their own search shapes: no sessions,
-    # no custom configs, no pools (yet).
-    _reject_engine_options(
-        task,
-        config=config,
-        kernel=kernel,
-        collect_witnesses=collect_witnesses,
-        root_labels=root_labels,
-        processes=processes if processes != 1 else None,
-        scheduler=scheduler if scheduler != STEALING else None,
-        session=wants_session or None,
-        cache=cache,
+    # task == "quasi": its own bounded-enumeration algorithm — the
+    # engine options genuinely do not apply there.
+    offending = sorted(
+        name
+        for name, value in {
+            "config": config,
+            "kernel": kernel,
+            "collect_witnesses": collect_witnesses,
+            "root_labels": root_labels,
+            "processes": processes if processes != 1 else None,
+            "scheduler": scheduler if scheduler != STEALING else None,
+            "session": wants_session or None,
+            "cache": cache,
+        }.items()
+        if value is not None
     )
-    if task == "maximal":
-        from .maximal import mine_maximal_cliques
-
-        return mine_maximal_cliques(database, min_sup, min_size=min_size)
-    if task == "topk":
-        from .topk import mine_top_k_closed_cliques
-
-        if k is None:
-            raise MiningError("task='topk' requires k=<number of patterns>")
-        return mine_top_k_closed_cliques(database, min_sup, k=k, min_size=min_size)
+    if offending:
+        raise MiningError(
+            f"task='quasi' runs its own bounded-enumeration algorithm and "
+            f"does not support the option(s) {offending}; engine options "
+            f"apply to the engine tasks {ENGINE_TASKS}"
+        )
     from .quasiclique import mine_closed_quasi_cliques
 
     if max_size is None:
@@ -280,8 +286,20 @@ def _resolve_config(
     kernel: Optional[str],
     collect_witnesses: Optional[bool],
 ) -> MinerConfig:
-    """Build/merge the MinerConfig for a closed/frequent run."""
-    closed = task == "closed"
+    """Build/merge the MinerConfig for an engine-task run.
+
+    Maximal and top-k mine closed-style (``closed_only=True``, Lemma
+    4.4 subtree pruning on); their emission rules live in the task
+    strategies, not the config.  ``task="maximal"`` rejects a size
+    ceiling: capping the search makes subcliques of capped cliques
+    look maximal.
+    """
+    closed = task != "frequent"
+    if task == "maximal" and max_size is not None:
+        raise MiningError(
+            "task='maximal' cannot be combined with max_size; a size "
+            "ceiling makes subcliques of capped cliques look maximal"
+        )
     if config is None:
         resolved = MinerConfig(
             closed_only=closed,
@@ -294,6 +312,11 @@ def _resolve_config(
             raise MiningError(
                 f"config.closed_only={config.closed_only} contradicts task {task!r}"
             )
+        if task == "maximal" and config.max_size is not None:
+            raise MiningError(
+                "task='maximal' cannot be combined with max_size; a size "
+                "ceiling makes subcliques of capped cliques look maximal"
+            )
         resolved = config.with_window(min_size=min_size, max_size=max_size)
     if kernel is not None:
         resolved = resolved.with_kernel(kernel)
@@ -302,12 +325,3 @@ def _resolve_config(
 
         resolved = replace(resolved, collect_witnesses=collect_witnesses)
     return resolved
-
-
-def _reject_engine_options(task: str, **given: Any) -> None:
-    offending = sorted(name for name, value in given.items() if value is not None)
-    if offending:
-        raise MiningError(
-            f"task={task!r} does not support the option(s) {offending}; "
-            f"they apply to the closed/frequent engine only"
-        )

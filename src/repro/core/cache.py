@@ -17,8 +17,11 @@ each support value, yet almost all of that work is shared:
   overlaps a previous run re-mines only the roots the cache lacks.
 
 :class:`MiningCache` memoizes per-root results across calls, keyed by
-``(database fingerprint, MinerConfig digest, absolute support, root
-label)``, with three reuse tiers:
+``(database fingerprint, engine digest, absolute support, root
+label)`` — the engine digest (:func:`repro.core.engine.engine_digest`)
+is the ``MinerConfig`` digest scoped by task (and by ``k`` for top-k),
+so different tasks sharing one cache never collide — with three reuse
+tiers:
 
 1. **exact hits** — same key: the stored patterns, per-root statistics
    snapshot, and (when recorded) event substream are replayed verbatim,
@@ -27,7 +30,9 @@ label)``, with three reuse tiers:
    exists: its patterns are filtered to ``support ≥ s`` (exact by the
    argument above) and the derived entry is memoized.  Derived entries
    carry no statistics or events — callers that must replay those
-   (sessions, :meth:`MiningExecutor.mine`) use the exact tier only;
+   (sessions, :meth:`MiningExecutor.mine`) use the exact tier only,
+   and maximal / top-k runs never consult this tier at all (their
+   outputs are not support-filterable across thresholds);
 3. **persistence** — :func:`repro.io.runlog.save_cache` /
    :func:`repro.io.runlog.open_cache` round-trip the whole cache as
    JSON, so a CLI sweep or a restarted service warms from disk.
@@ -62,7 +67,7 @@ from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
 from .canonical import CanonicalForm, Label
 from .config import MinerConfig
-from .miner import ClanMiner
+from .engine import engine_digest, engine_for_task, finalize_patterns, make_strategy
 from .pattern import CliquePattern
 from .results import MiningResult
 from .session import MiningEvent, event_from_dict, event_to_dict
@@ -431,17 +436,27 @@ def mine_with_cache(
     processes: int = 1,
     scheduler: Optional[str] = None,
     fingerprint: Optional[str] = None,
+    task: str = "closed",
+    k: Optional[int] = None,
 ) -> MiningResult:
-    """Mine closed/frequent cliques, reusing (and feeding) a cache.
+    """Mine an engine task, reusing (and feeding) a cache.
 
-    The pattern set is byte-identical to an uncached serial
-    :meth:`ClanMiner.mine` — cached roots replay their stored patterns,
-    missing roots are mined fresh (serially, or through a
+    Any engine task (``closed``, ``frequent``, ``maximal``, ``topk``)
+    runs here; entries are keyed by
+    :func:`~repro.core.engine.engine_digest`, so tasks never collide
+    in a shared cache (and closed/frequent keys stay byte-compatible
+    with caches persisted before the engine refactor).  The pattern
+    set is byte-identical to an uncached serial
+    :meth:`MiningEngine.mine` — cached roots replay their stored
+    patterns, missing roots are mined fresh (serially, or through a
     :class:`~repro.core.executor.MiningExecutor` when ``processes >
     1``) and stored.  Statistics are replayed exactly for exact-tier
     hits; sweep-derived roots contribute patterns but no search
     counters, so after a sweep hit the statistics describe only the
-    roots actually mined.  ``statistics.roots_from_cache`` /
+    roots actually mined.  The sweep tier itself only serves closed
+    and frequent runs: maximal and top-k outputs are not
+    support-filterable across thresholds, so those tasks use the
+    exact-replay tier alone.  ``statistics.roots_from_cache`` /
     ``cache_hits`` / ``cache_misses`` report the reuse (kept out of the
     deterministic snapshot, like ``cpu_seconds``).
 
@@ -454,8 +469,17 @@ def mine_with_cache(
     from ..io.runlog import database_fingerprint
 
     started = time.perf_counter()
+    # Raises MiningError for unknown tasks / topk without k, and tells
+    # us whether the sweep tier is sound for this task's output.
+    strategy = make_strategy(task, k)
     if config is None:
-        config = MinerConfig()
+        config = (
+            MinerConfig() if task != "frequent" else MinerConfig.all_frequent()
+        )
+    if config.closed_only != (task != "frequent"):
+        raise MiningError(
+            f"config.closed_only={config.closed_only} contradicts task {task!r}"
+        )
     if not config.structural_redundancy_pruning:
         raise MiningError(
             "cached mining reuses per-root subtrees and requires structural "
@@ -464,7 +488,7 @@ def mine_with_cache(
     abs_sup = database.absolute_support(min_sup)
     if fingerprint is None:
         fingerprint = database_fingerprint(database)
-    digest = config.digest()
+    digest = engine_digest(task, config, k)
     roots = tuple(database.frequent_labels(abs_sup))
 
     stats = MinerStatistics()
@@ -479,6 +503,8 @@ def mine_with_cache(
             processes=processes,
             scheduler=scheduler if scheduler is not None else STEALING,
             cache=cache,
+            task=task,
+            k=k,
         )
         try:
             for _root, part, _events in executor.iter_roots(
@@ -495,7 +521,13 @@ def mine_with_cache(
             raise MiningError("scheduler only applies when processes > 1")
         missing: List[Label] = []
         for root in roots:
-            entry = cache.lookup(fingerprint, digest, abs_sup, root)
+            entry = cache.lookup(
+                fingerprint,
+                digest,
+                abs_sup,
+                root,
+                allow_sweep=strategy.supports_sweep,
+            )
             if entry is None:
                 missing.append(root)
                 continue
@@ -504,7 +536,7 @@ def mine_with_cache(
             if entry.statistics is not None:
                 stats.merge(MinerStatistics.from_snapshot(dict(entry.statistics)))
         if missing:
-            miner = ClanMiner(database, config).prepare()
+            miner = engine_for_task(database, config, task, k).prepare()
             for root in missing:
                 part = miner.mine(abs_sup, root_labels=(root,))
                 cache.store(
@@ -523,7 +555,7 @@ def mine_with_cache(
     result = MiningResult(
         min_sup=abs_sup, closed_only=config.closed_only, statistics=stats
     )
-    for pattern in sorted(collected, key=lambda p: p.form.labels):
+    for pattern in finalize_patterns(task, collected, k):
         result.add(pattern)
     # Parity with the uncached serial miner, whose lazy label-support
     # scan counts one database scan (the executor does the same).
@@ -569,7 +601,10 @@ def sweep(
         raise MiningError("sweep needs at least one support threshold")
     if task not in ("closed", "frequent"):
         raise MiningError(
-            f"sweep supports tasks 'closed' and 'frequent', got {task!r}"
+            f"sweep supports tasks 'closed' and 'frequent', got {task!r}; "
+            f"maximal and top-k outputs are not support-filterable across "
+            f"thresholds (use repro.mine(task=..., cache=...) per threshold "
+            f"for exact-replay reuse)"
         )
     resolved = _resolve_config(task, config, min_size, max_size, kernel, None)
     if cache is None:
@@ -596,6 +631,7 @@ def sweep(
         processes=processes,
         scheduler=scheduler,
         fingerprint=fingerprint,
+        task=task,
     )
     results: Dict[Union[int, float, str], MiningResult] = {}
     for spec, abs_sup in by_abs:
@@ -610,5 +646,6 @@ def sweep(
             processes=processes,
             scheduler=scheduler,
             fingerprint=fingerprint,
+            task=task,
         )
     return results

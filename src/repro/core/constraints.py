@@ -28,13 +28,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, FrozenSet, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import MiningCache
 
 from ..exceptions import MiningError
 from ..graphdb.database import GraphDatabase
 from .canonical import Label
-from .config import MinerConfig
-from .miner import ClanMiner
 from .pattern import CliquePattern
 from .results import MiningResult
 
@@ -132,27 +133,54 @@ def project_database(
 
 
 class ConstrainedMiner:
-    """Closed clique mining under a :class:`CliqueConstraints` bundle."""
+    """Engine-task clique mining under a :class:`CliqueConstraints` bundle.
+
+    The search itself is the one enumeration engine behind
+    :func:`repro.mine`, so every cross-cutting engine option applies to
+    constrained mining too: ``task`` picks the emission semantics
+    evaluated in the (projected) database, ``kernel`` the adjacency
+    kernel, ``processes``/``scheduler`` a worker pool, and ``cache`` a
+    :class:`~repro.core.cache.MiningCache` keyed by the projected
+    database's fingerprint.  Constraints that cannot be pushed into
+    the search (``required_labels``, ``predicate``, the size window)
+    filter *after* the task semantics — for ``task="topk"`` the k
+    largest are selected first and then filtered, so fewer than ``k``
+    patterns may survive.
+    """
 
     def __init__(
         self,
         database: GraphDatabase,
         constraints: CliqueConstraints,
         project: bool = True,
+        task: str = "closed",
+        k: Optional[int] = None,
+        kernel: Optional[str] = None,
+        processes: int = 1,
+        scheduler: str = "stealing",
+        cache: Optional["MiningCache"] = None,
     ) -> None:
         self.database = database
         self.constraints = constraints
         self.project = project
+        self.task = task
+        self.k = k
+        self.kernel = kernel
+        self.processes = processes
+        self.scheduler = scheduler
+        self.cache = cache
 
     def mine(self, min_sup: float) -> MiningResult:
-        """Mine and return the satisfying closed cliques.
+        """Mine and return the satisfying cliques of the chosen task.
 
-        With ``project=True`` (default) closedness is evaluated in the
-        label-projected database; with ``project=False`` the full
-        database's closed set is mined first and then filtered, which
-        can drop patterns whose closed superclique uses inadmissible
-        labels.
+        With ``project=True`` (default) closedness/maximality is
+        evaluated in the label-projected database; with
+        ``project=False`` the full database's pattern set is mined
+        first and then filtered, which can drop patterns whose closed
+        superclique uses inadmissible labels.
         """
+        from .api import mine as _mine
+
         started = time.perf_counter()
         constraints = self.constraints
         if self.project and (
@@ -163,11 +191,22 @@ class ConstrainedMiner:
             database = self.database
         abs_sup = self.database.absolute_support(min_sup)
 
-        config = MinerConfig(min_size=1, max_size=constraints.max_size)
-        mined = ClanMiner(database, config).mine(abs_sup)
+        mined = _mine(
+            database,
+            abs_sup,
+            task=self.task,
+            k=self.k,
+            max_size=constraints.max_size,
+            kernel=self.kernel,
+            processes=self.processes,
+            scheduler=self.scheduler,
+            cache=self.cache,
+        )
 
         result = MiningResult(
-            min_sup=abs_sup, closed_only=True, statistics=mined.statistics
+            min_sup=abs_sup,
+            closed_only=mined.closed_only,
+            statistics=mined.statistics,
         )
         for pattern in mined:
             if constraints.pattern_satisfies(pattern):
@@ -181,6 +220,14 @@ def mine_with_constraints(
     min_sup: float,
     constraints: CliqueConstraints,
     project: bool = True,
+    **engine_options: object,
 ) -> MiningResult:
-    """One-call wrapper over :class:`ConstrainedMiner`."""
-    return ConstrainedMiner(database, constraints, project=project).mine(min_sup)
+    """One-call wrapper over :class:`ConstrainedMiner`.
+
+    ``engine_options`` pass through to the :class:`ConstrainedMiner`
+    constructor: ``task``, ``k``, ``kernel``, ``processes``,
+    ``scheduler``, ``cache``.
+    """
+    return ConstrainedMiner(
+        database, constraints, project=project, **engine_options
+    ).mine(min_sup)

@@ -1,0 +1,832 @@
+"""The task-parameterised enumeration engine (paper Algorithm 1).
+
+:class:`MiningEngine` owns the depth-first canonical-form search that
+used to live inside :class:`repro.core.miner.ClanMiner`, factored so
+the *task* — which prefixes become output patterns, which subtrees can
+be cut — is supplied by a small :class:`TaskStrategy` object instead of
+being hard-wired.  Every mining task then rides the same machinery:
+
+* the :class:`~repro.core.config.MinerConfig` kernels (``set`` or
+  ``bitset``) and embedding strategies,
+* root partitioning and level-2 splitting
+  (:meth:`MiningEngine.root_extension_plan`,
+  ``first_extensions``/``include_root``) for the work-stealing
+  executor,
+* the :class:`~repro.core.session.SearchHooks` instrumentation points
+  for events, budgets, and checkpoints,
+* one :class:`~repro.core.statistics.MinerStatistics` object filled
+  with the same counters regardless of task.
+
+The four built-in strategies map to the paper like so:
+
+========== ==========================================================
+strategy    emission / pruning rule
+========== ==========================================================
+closed      emit iff no extension ties the support (Lemma 4.3);
+            prune subtrees under a fully-connected smaller-label
+            extension (Lemma 4.4)
+frequent    emit every frequent prefix; same Lemma 4.4 prune
+maximal     emit iff *no* extension label is frequent at all — the
+            Lemma 4.3 scan with "ties the support" relaxed to
+            "is frequent"; Lemma 4.4 stays sound because equal
+            support to a frequent prefix implies frequency
+topk        closed emission into a bounded heap, plus a
+            branch-and-bound size cut: subtrees whose multiplicity
+            bound cannot beat the current k-th best size are skipped
+========== ==========================================================
+
+Determinism contract: a strategy may keep *per-root* state only
+(reset in :meth:`TaskStrategy.begin_root`), so mining the same roots
+serially, through the executor, or replayed from the cache composes to
+byte-identical final results.  Global selections (top-k's "k best
+overall") happen in :func:`finalize_patterns`, applied identically at
+every merge site.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import MiningError
+from ..graphdb.core_index import PseudoDatabase
+from ..graphdb.database import GraphDatabase
+from .canonical import CanonicalForm, Label
+from .config import MinerConfig
+from .embeddings import EmbeddingStore, warm_kernel_indexes
+from .pattern import CliquePattern
+from .results import MiningResult
+from .statistics import MinerStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import SearchHooks
+
+#: Tasks the engine can run directly (``quasi`` has its own algorithm).
+ENGINE_TASKS = ("closed", "frequent", "maximal", "topk")
+
+
+# ----------------------------------------------------------------------
+# Task strategies
+# ----------------------------------------------------------------------
+class TaskStrategy:
+    """What to emit and what to cut, per mining task.
+
+    The engine calls the hooks in a fixed order at every prefix (see
+    :meth:`MiningEngine._recurse`); a strategy answers three questions:
+
+    * :meth:`prune_subtree` — may the Lemma 4.4 subtree cut run here?
+    * :meth:`visit` — does this prefix become an output pattern?
+    * :meth:`descend` — is the subtree below still worth exploring?
+
+    ``begin_root``/``end_root`` bracket each DFS root so strategies may
+    keep per-root state; ``finalize`` runs once per ``mine`` call.
+    Class attributes declare how the stack above may treat the task:
+    ``splittable`` gates level-2 root splitting (the executor), and
+    ``supports_sweep`` gates the cache's support-monotone sweep tier
+    (sound only when the output is support-filterable, Lemma 4.3).
+    """
+
+    task: str = "closed"
+    #: May the executor split this task's roots into level-2 subtrees?
+    splittable: bool = True
+    #: May the cache derive this task's results from lower-support runs?
+    supports_sweep: bool = False
+
+    def begin_root(self, label: Label) -> None:
+        """Reset any per-root state before a DFS root is mined."""
+
+    def prune_subtree(self, config: MinerConfig) -> bool:
+        """Whether the Lemma 4.4 non-closed-prefix cut applies."""
+        return config.nonclosed_prefix_pruning
+
+    def visit(
+        self,
+        engine: "MiningEngine",
+        form: CanonicalForm,
+        store: EmbeddingStore,
+        frequent_extensions: Sequence[Tuple[Label, int]],
+        blocked: bool,
+        result: MiningResult,
+        stats: MinerStatistics,
+        hooks: Optional["SearchHooks"],
+    ) -> None:
+        """Decide whether this prefix is an output pattern."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def descend(
+        self,
+        form: CanonicalForm,
+        store: EmbeddingStore,
+        frequent_extensions: Sequence[Tuple[Label, int]],
+        stats: MinerStatistics,
+    ) -> bool:
+        """Whether to explore the subtree below this prefix."""
+        return True
+
+    def end_root(
+        self,
+        engine: "MiningEngine",
+        result: MiningResult,
+        stats: MinerStatistics,
+        hooks: Optional["SearchHooks"],
+    ) -> None:
+        """Flush any per-root state after a DFS root finishes."""
+
+    def finalize(self, result: MiningResult) -> MiningResult:
+        """Post-process one ``mine`` call's result (identity by default)."""
+        return result
+
+
+class ClosedStrategy(TaskStrategy):
+    """Closed cliques: Lemma 4.3 emission, Lemma 4.4 subtree cut."""
+
+    task = "closed"
+    supports_sweep = True
+
+    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+        # Lines 06-07: closure check (Lemma 4.3) and output.
+        if not blocked:
+            engine._emit(form, store, result, stats, hooks)
+        else:
+            stats.closure_rejections += 1
+
+
+class FrequentStrategy(TaskStrategy):
+    """All frequent cliques: every frequent prefix is output."""
+
+    task = "frequent"
+    supports_sweep = True
+
+    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+        engine._emit(form, store, result, stats, hooks)
+
+
+class MaximalStrategy(TaskStrategy):
+    """Maximal frequent cliques.
+
+    C maximal ⇔ no extension label β has sup(C ◇ β) ≥ min_sup, with β
+    ranging over *all* labels, old and new (a prefix-restricted check
+    would wrongly call the running example's ``bcd`` maximal).  The
+    Lemma 4.4 cut stays sound: a fully-connected same-support smaller
+    extension means every clique in the subtree extends frequently.
+    """
+
+    task = "maximal"
+
+    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+        if not frequent_extensions:
+            engine._emit(form, store, result, stats, hooks)
+        else:
+            stats.closure_rejections += 1
+
+
+class TopKStrategy(TaskStrategy):
+    """The k largest closed cliques, with a branch-and-bound size cut.
+
+    Keeps one bounded heap *per DFS root* (reset in ``begin_root``,
+    drained into the result in ``end_root``) so that serial, split,
+    and cache-replayed runs of the same roots produce byte-identical
+    per-root results; :func:`finalize_patterns` then selects the global
+    k best under the total order ``(size, reversed labels)``.  The
+    per-root heap threshold is at most the global one, so the bound cut
+    is sound (merely more conservative than a global heap's).  Roots
+    are never split (``splittable`` is False): the bound's state is
+    root-wide, and a level-2 split would weaken it nondeterministically.
+    """
+
+    task = "topk"
+    splittable = False
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise MiningError(f"top-k mining needs k >= 1, got {k}")
+        self.k = k
+        self._heap = _TopKHeap(k)
+
+    def begin_root(self, label):
+        self._heap = _TopKHeap(self.k)
+
+    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+        config = engine.config
+        if form.size < config.min_size:
+            return
+        if not blocked:
+            pattern = CliquePattern(
+                form=form,
+                support=store.support,
+                transactions=store.transactions(),
+                witnesses=store.witnesses() if config.collect_witnesses else {},
+            )
+            self._heap.offer(pattern)
+            stats.closed_cliques += 1
+            if hooks is not None:
+                hooks.pattern(pattern)
+        else:
+            stats.closure_rejections += 1
+
+    def descend(self, form, store, frequent_extensions, stats):
+        last_label = form.last_label if form.size else None
+        valid = [
+            label
+            for label, _ in frequent_extensions
+            if last_label is None or label >= last_label
+        ]
+        if not valid:
+            return True  # the extension loop handles the small labels
+        # Branch and bound: can this subtree still reach the heap?  The
+        # cut is strict because size ties are broken by label order, so
+        # a subtree that can only *match* the k-th size may still win.
+        bound = form.size + _extension_multiplicity_bound(store, valid)
+        if bound < self._heap.threshold():
+            stats.redundancy_skips += 1  # reuse the counter for bound cuts
+            return False
+        return True
+
+    def end_root(self, engine, result, stats, hooks):
+        for pattern in self._heap.patterns():
+            result.add(pattern)
+
+    def finalize(self, result):
+        final = MiningResult(
+            min_sup=result.min_sup,
+            closed_only=result.closed_only,
+            statistics=result.statistics,
+            elapsed_seconds=result.elapsed_seconds,
+            truncated=result.truncated,
+            completed_roots=result.completed_roots,
+        )
+        for pattern in finalize_patterns("topk", list(result), k=self.k):
+            final.add(pattern)
+        return final
+
+
+class _TopKHeap:
+    """Keeps the k best (size, form) entries; min-heap on size."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._heap: List[Tuple[int, Tuple[Label, ...], CliquePattern]] = []
+
+    def offer(self, pattern: CliquePattern) -> None:
+        # Tie-break on the reversed label tuple so the heap order is
+        # total; the reversed-ness is arbitrary but deterministic.
+        entry = (pattern.size, tuple(reversed(pattern.labels)), pattern)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry[:2] > self._heap[0][:2]:
+            heapq.heapreplace(self._heap, entry)
+
+    def threshold(self) -> int:
+        """Sizes at or below this cannot improve the heap once full."""
+        if len(self._heap) < self.k:
+            return 0
+        return self._heap[0][0]
+
+    def patterns(self) -> List[CliquePattern]:
+        """The kept patterns, largest first (ties by the heap's order)."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda e: (e[0], e[1]), reverse=True)
+        ]
+
+
+def _extension_multiplicity_bound(
+    store: EmbeddingStore, valid_labels: List[Label]
+) -> int:
+    """Upper bound on how many more vertices this subtree can add.
+
+    For each supporting transaction, no extension can use more vertices
+    than that transaction has candidate vertices with valid labels; the
+    subtree-wide bound is the minimum over transactions that must keep
+    supporting the pattern — conservatively, the maximum over
+    transactions (support may drop to min_sup of the current set).
+    """
+    valid = set(valid_labels)
+    best = 0
+    for tid, records in store.by_transaction.items():
+        graph = store.database[tid]
+        per_transaction = 0
+        for record in records:
+            candidates = store._candidates(tid, record)
+            count = sum(1 for v in candidates if graph.label(v) in valid)
+            per_transaction = max(per_transaction, count)
+        best = max(best, per_transaction)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Strategy / digest factories
+# ----------------------------------------------------------------------
+def make_strategy(task: str, k: Optional[int] = None) -> TaskStrategy:
+    """Build the :class:`TaskStrategy` for an engine task."""
+    if task == "closed":
+        return ClosedStrategy()
+    if task == "frequent":
+        return FrequentStrategy()
+    if task == "maximal":
+        return MaximalStrategy()
+    if task == "topk":
+        if k is None:
+            raise MiningError("task='topk' requires k=<number of patterns>")
+        return TopKStrategy(k)
+    raise MiningError(
+        f"unknown engine task {task!r}; the engine runs {ENGINE_TASKS}"
+    )
+
+
+def engine_for_task(
+    database: GraphDatabase,
+    config: Optional[MinerConfig],
+    task: str = "closed",
+    k: Optional[int] = None,
+) -> "MiningEngine":
+    """Build a prepared-on-demand engine for any engine task.
+
+    ``config=None`` resolves to the task's natural default (closed-style
+    search for everything but ``frequent``); a config whose
+    ``closed_only`` contradicts the task is rejected — a frequent
+    strategy under Lemma 4.4 pruning would silently skip subtrees.
+    """
+    strategy = make_strategy(task, k)
+    if config is None:
+        config = MinerConfig() if task != "frequent" else MinerConfig.all_frequent()
+    elif config.closed_only != (task != "frequent"):
+        raise MiningError(
+            f"config.closed_only={config.closed_only} contradicts task {task!r}"
+        )
+    return MiningEngine(database, config, strategy=strategy)
+
+
+def engine_digest(task: str, config: MinerConfig, k: Optional[int] = None) -> str:
+    """The cache digest for a (task, config[, k]) combination.
+
+    Closed/frequent keep the bare :meth:`MinerConfig.digest` (their
+    task is already encoded in ``config.closed_only``, and persisted
+    caches from earlier releases carry those digests); maximal and
+    top-k prefix the task so their per-root entries can never collide
+    with a closed run of the same config.
+    """
+    digest = config.digest()
+    if task in ("closed", "frequent"):
+        return digest
+    if task == "maximal":
+        return f"maximal:{digest}"
+    if task == "topk":
+        if k is None:
+            raise MiningError("task='topk' requires k=<number of patterns>")
+        return f"topk:{k}:{digest}"
+    raise MiningError(
+        f"unknown engine task {task!r}; the engine runs {ENGINE_TASKS}"
+    )
+
+
+def finalize_patterns(
+    task: str,
+    patterns: List[CliquePattern],
+    k: Optional[int] = None,
+) -> List[CliquePattern]:
+    """Order (and for top-k, select) merged per-root patterns.
+
+    Applied identically at every merge site — the serial engine, the
+    session, the executor, and the cache — so all execution paths
+    compose per-root outputs into the same final pattern list.  For
+    top-k this is where the *global* k best are chosen from the
+    per-root candidates, under the same total order the per-root heaps
+    use; for every other task it is the canonical-form sort the merge
+    sites always applied.
+    """
+    if task == "topk":
+        if k is None:
+            raise MiningError("task='topk' requires k=<number of patterns>")
+        ordered = sorted(
+            patterns,
+            key=lambda p: (p.size, tuple(reversed(p.labels))),
+            reverse=True,
+        )
+        return ordered[:k]
+    return sorted(patterns, key=lambda p: p.form.labels)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class MiningEngine:
+    """Task-parameterised frequent clique enumerator.
+
+    One engine = one database snapshot + one config + one strategy.
+    :class:`repro.core.miner.ClanMiner` is the closed/frequent special
+    case and keeps the historical name.
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        config: Optional[MinerConfig] = None,
+        strategy: Optional[TaskStrategy] = None,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else MinerConfig()
+        self.strategy = strategy if strategy is not None else (
+            ClosedStrategy() if self.config.closed_only else FrequentStrategy()
+        )
+        # Database-wide indexes, built once per engine (lazily by mine,
+        # eagerly by prepare).  The engine snapshots the database at
+        # first use — create a new engine after mutating it, as
+        # IncrementalMiner does.
+        self._pseudo: Optional[PseudoDatabase] = None
+        self._label_supports: Optional[Dict[Label, int]] = None
+        #: ``sorted(self._label_supports)``, built alongside it so the
+        #: session/executor root-by-root callers do not re-sort the full
+        #: label space on every single-root ``mine`` call.
+        self._sorted_labels: Optional[Tuple[Label, ...]] = None
+
+    @property
+    def task(self) -> str:
+        """The strategy's task name (``closed``/``frequent``/...)."""
+        return self.strategy.task
+
+    def prepare(self) -> "MiningEngine":
+        """Build the label-support, core-number, and kernel indexes now.
+
+        :meth:`mine` builds them lazily (counting one database scan);
+        root-by-root callers — :class:`repro.core.session.MiningSession`
+        and its pool workers — call this eagerly so repeated ``mine``
+        calls on the same engine pay for the indexes once and per-root
+        statistics do not depend on which root ran first.  The parallel
+        executor calls it in the parent *before* forking, so workers
+        inherit every index copy-on-write instead of rebuilding it
+        (:func:`repro.core.embeddings.warm_kernel_indexes`).
+        """
+        if self._label_supports is None:
+            self._label_supports = self.database.label_supports()
+        if self._sorted_labels is None:
+            self._sorted_labels = tuple(sorted(self._label_supports))
+        if self._pseudo is None and self.config.low_degree_pruning:
+            self._pseudo = PseudoDatabase(self.database)
+        warm_kernel_indexes(self.database, self.config.kernel)
+        return self
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def mine(
+        self,
+        min_sup: float,
+        root_labels: Optional[Tuple[Label, ...]] = None,
+        hooks: Optional["SearchHooks"] = None,
+        first_extensions: Optional[Tuple[Label, ...]] = None,
+        include_root: bool = True,
+    ) -> MiningResult:
+        """Mine with the given support threshold (absolute int or fraction).
+
+        Returns a :class:`MiningResult` of the strategy's patterns,
+        with search statistics and elapsed wall-clock time attached.
+
+        ``root_labels`` restricts the search to the DFS subtrees rooted
+        at those 1-cliques (canonical forms starting with one of them).
+        Every subtree is self-contained — closure checking and pruning
+        only consult the subtree's own embeddings — so partitioning the
+        roots partitions the per-root output exactly; this is what the
+        parallel executor builds on.  Note it requires structural
+        redundancy pruning (otherwise patterns are reachable from any
+        of their labels).
+
+        ``first_extensions`` restricts the search one level further: to
+        the level-2 subtrees rooted at ``root ◇ β`` for the given β
+        labels only (requires exactly one root label).  The same
+        self-containedness argument applies one level down, so the
+        level-2 subtrees of one root partition the root's output —
+        minus the root's own 1-clique pattern and its root-level
+        statistics and events, which belong to exactly one split task:
+        the one mined with ``include_root=True``.  Callers (the
+        work-stealing executor, :mod:`repro.core.executor`) must only
+        split roots that are frequent and not Lemma-4.4 pruned, and
+        must hand each frequent valid extension to exactly one task.
+        Only strategies with ``splittable`` set may be split
+        (:meth:`root_extension_plan` returns ``[]`` otherwise).
+
+        ``hooks`` is the session layer's instrumentation object (see
+        :class:`repro.core.session.SearchHooks`): when given, it is
+        notified at every prefix, emitted pattern, and pruned subtree,
+        and may abort the search by raising
+        :class:`~repro.core.session.SearchAborted` at a prefix boundary.
+        When ``None`` (the default) the search runs exactly as before —
+        the only added cost is one ``is not None`` test per hook site.
+        """
+        started = time.perf_counter()
+        abs_sup = self.database.absolute_support(min_sup)
+        config = self.config
+        strategy = self.strategy
+        if root_labels is not None and not config.structural_redundancy_pruning:
+            raise MiningError(
+                "root_labels partitioning requires structural redundancy pruning"
+            )
+        if first_extensions is not None:
+            if root_labels is None or len(root_labels) != 1:
+                raise MiningError(
+                    "first_extensions requires exactly one root label; it splits "
+                    "a single DFS root into its level-2 subtrees"
+                )
+        elif not include_root:
+            raise MiningError(
+                "include_root=False only makes sense with first_extensions; "
+                "a whole-subtree mine always owns its root"
+            )
+        stats = MinerStatistics()
+        result = MiningResult(min_sup=abs_sup, closed_only=config.closed_only, statistics=stats)
+
+        pseudo = None
+        if config.low_degree_pruning:
+            if self._pseudo is None:
+                self._pseudo = PseudoDatabase(self.database)
+            pseudo = self._pseudo
+        if self._label_supports is None:
+            self._label_supports = self.database.label_supports()
+            stats.database_scans += 1
+        if self._sorted_labels is None:
+            self._sorted_labels = tuple(sorted(self._label_supports))
+        label_supports = self._label_supports
+        seen_forms: Set[Tuple[Label, ...]] = set()
+        wanted = set(root_labels) if root_labels is not None else None
+
+        for label in self._sorted_labels:
+            if wanted is not None and label not in wanted:
+                continue
+            if label_supports[label] < abs_sup:
+                stats.infrequent_extensions += 1
+                continue
+            strategy.begin_root(label)
+            store = EmbeddingStore.for_label(
+                self.database, pseudo, label, config.embedding_strategy, config.kernel
+            )
+            if first_extensions is None:
+                self._recurse(
+                    CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms, hooks
+                )
+            else:
+                self._mine_restricted(
+                    CanonicalForm((label,)),
+                    store,
+                    abs_sup,
+                    result,
+                    stats,
+                    seen_forms,
+                    hooks,
+                    tuple(first_extensions),
+                    include_root,
+                )
+            strategy.end_root(self, result, stats, hooks)
+
+        result.elapsed_seconds = time.perf_counter() - started
+        stats.cpu_seconds = result.elapsed_seconds
+        return strategy.finalize(result)
+
+    # ------------------------------------------------------------------
+    # Root splitting support (the work-stealing executor's primitive)
+    # ------------------------------------------------------------------
+    def root_extension_plan(self, min_sup: float, root: Label) -> list:
+        """The frequent valid level-2 extensions of one DFS root.
+
+        Returns ``[(label, support), ...]`` for every frequent extension
+        label ≥ ``root`` — the labels whose level-2 subtrees together
+        with the root's own pattern make up the root's entire output.
+        Returns ``[]`` when the root cannot (or must not) be split:
+        infrequent root, Lemma 4.4 prunes the whole subtree, the size
+        ceiling forbids 2-cliques, or the strategy is not splittable
+        (top-k carries root-wide branch-and-bound state).  The executor
+        uses a non-empty plan to re-enqueue a heavy root as independent
+        ``first_extensions`` tasks; an empty plan means "mine the root
+        whole".
+
+        Does not touch mining statistics: split planning is scheduler
+        overhead, and per-root statistics must sum to the serial run's.
+        """
+        config = self.config
+        if not config.structural_redundancy_pruning:
+            raise MiningError(
+                "root splitting requires structural redundancy pruning"
+            )
+        if not self.strategy.splittable:
+            return []
+        if config.max_size is not None and config.max_size <= 1:
+            return []
+        self.prepare()
+        abs_sup = self.database.absolute_support(min_sup)
+        if self._label_supports.get(root, 0) < abs_sup:
+            return []
+        pseudo = self._pseudo if config.low_degree_pruning else None
+        store = EmbeddingStore.for_label(
+            self.database, pseudo, root, config.embedding_strategy, config.kernel
+        )
+        if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
+            return []
+        frequent_extensions, _, _ = store.extension_plan(abs_sup)
+        if self.strategy.prune_subtree(config):
+            if store.nonclosed_extension_label(root) is not None:
+                return []
+        return [(label, sup) for label, sup in frequent_extensions if label >= root]
+
+    # ------------------------------------------------------------------
+    # Recursive search (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _recurse(
+        self,
+        form: CanonicalForm,
+        store: EmbeddingStore,
+        abs_sup: int,
+        result: MiningResult,
+        stats: MinerStatistics,
+        seen_forms: Set[Tuple[Label, ...]],
+        hooks: Optional["SearchHooks"] = None,
+    ) -> None:
+        config = self.config
+        strategy = self.strategy
+        stats.record_prefix(form.size)
+        stats.record_embeddings(store.embedding_count)
+        if hooks is not None:
+            hooks.enter_prefix(form, store)
+        if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
+            raise MiningError(
+                f"prefix {form} materialised {store.embedding_count} embeddings, "
+                f"exceeding the max_embeddings bound of {config.max_embeddings}"
+            )
+
+        if not config.structural_redundancy_pruning:
+            # Fallback duplicate detection: the paper's "simple way".
+            if form.labels in seen_forms:
+                stats.duplicates_collapsed += 1
+                return
+            seen_forms.add(form.labels)
+        stats.record_frequent(form.size)
+
+        # Lines 01-03: one scan finds every extension label's support.
+        # The store returns the digest the recursion consumes: frequent
+        # extensions (label, support), the infrequent count, and the
+        # Lemma 4.3 closure verdict (some extension ties the support).
+        frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
+        stats.database_scans += 1
+
+        # Lines 04-05: non-closed prefix pruning (Lemma 4.4), where the
+        # strategy allows the cut.
+        if strategy.prune_subtree(config):
+            blocking = store.nonclosed_extension_label(form.last_label)
+            if blocking is not None:
+                stats.nonclosed_prefix_prunes += 1
+                if hooks is not None:
+                    hooks.pruned(form, "nonclosed_prefix")
+                return
+
+        # Lines 06-07: the strategy's emission rule.
+        strategy.visit(
+            self, form, store, frequent_extensions, blocked, result, stats, hooks
+        )
+
+        # Lines 08-09: recurse into each frequent valid extension.
+        if config.max_size is not None and form.size >= config.max_size:
+            return
+        last_label = form.last_label if form.size else None
+        stats.infrequent_extensions += n_infrequent
+        if not strategy.descend(form, store, frequent_extensions, stats):
+            return
+        for label, ext_support in frequent_extensions:
+            if config.structural_redundancy_pruning:
+                if last_label is not None and label < last_label:
+                    stats.redundancy_skips += 1
+                    continue
+                child_store = store.extend(label, last_label)
+                child_form = form.extend(label)
+            else:
+                child_store = store.extend_unordered(label)
+                child_form = CanonicalForm.from_labels(form.labels + (label,))
+            if child_store.support != ext_support:  # pragma: no cover - invariant
+                raise MiningError(
+                    f"extension scan predicted support {ext_support} for "
+                    f"{child_form} but materialisation found {child_store.support}"
+                )
+            self._recurse(
+                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+            )
+
+    # ------------------------------------------------------------------
+    def _mine_restricted(
+        self,
+        form: CanonicalForm,
+        store: EmbeddingStore,
+        abs_sup: int,
+        result: MiningResult,
+        stats: MinerStatistics,
+        seen_forms: Set[Tuple[Label, ...]],
+        hooks: Optional["SearchHooks"],
+        first_extensions: Tuple[Label, ...],
+        include_root: bool,
+    ) -> None:
+        """One split task: selected level-2 subtrees of one DFS root.
+
+        Mirrors :meth:`_recurse` at the root level, then descends only
+        into ``first_extensions``.  Exactness is the root-partitioning
+        argument one level down: under structural redundancy pruning
+        the subtree rooted at ``root ◇ β`` consults only its own
+        embeddings, so level-2 subtrees are independent.  Root-level
+        work — the prefix/frequent/scan statistics, the root's events,
+        Lemma 4.4, the root's own pattern — happens exactly once across
+        a root's split tasks, in the one with ``include_root=True``;
+        sibling tasks extend straight into their subtrees.  Summing the
+        split tasks' statistics therefore reproduces the serial root's
+        counters exactly.  Only splittable strategies reach this path
+        (the splitter respects :meth:`root_extension_plan`), and every
+        splittable strategy descends unconditionally.
+        """
+        config = self.config
+        strategy = self.strategy
+        last_label = form.last_label
+        if include_root:
+            stats.record_prefix(form.size)
+            stats.record_embeddings(store.embedding_count)
+            if hooks is not None:
+                hooks.enter_prefix(form, store)
+            if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
+                raise MiningError(
+                    f"prefix {form} materialised {store.embedding_count} embeddings, "
+                    f"exceeding the max_embeddings bound of {config.max_embeddings}"
+                )
+            stats.record_frequent(form.size)
+            frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
+            stats.database_scans += 1
+            if strategy.prune_subtree(config):
+                blocking = store.nonclosed_extension_label(last_label)
+                if blocking is not None:  # pragma: no cover - splitter precondition
+                    raise MiningError(
+                        f"split task for root {form} reached a Lemma 4.4 prune; "
+                        f"the splitter must not split pruned roots"
+                    )
+            strategy.visit(
+                self, form, store, frequent_extensions, blocked, result, stats, hooks
+            )
+            if config.max_size is not None and form.size >= config.max_size:
+                return
+            stats.infrequent_extensions += n_infrequent
+            wanted = set(first_extensions)
+            for label, ext_support in frequent_extensions:
+                if label < last_label:
+                    stats.redundancy_skips += 1
+                    continue
+                if label not in wanted:
+                    continue
+                child_store = store.extend(label, last_label)
+                child_form = form.extend(label)
+                if child_store.support != ext_support:  # pragma: no cover - invariant
+                    raise MiningError(
+                        f"extension scan predicted support {ext_support} for "
+                        f"{child_form} but materialisation found {child_store.support}"
+                    )
+                self._recurse(
+                    child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+                )
+            return
+        if config.max_size is not None and form.size >= config.max_size:
+            return
+        for label in first_extensions:
+            if label < last_label:  # pragma: no cover - splitter precondition
+                raise MiningError(
+                    f"split extension {label!r} sorts below root {last_label!r}; "
+                    f"structural redundancy pruning forbids it"
+                )
+            child_store = store.extend(label, last_label)
+            child_form = form.extend(label)
+            if child_store.support < abs_sup:  # pragma: no cover - splitter precondition
+                raise MiningError(
+                    f"split task extension {child_form} is infrequent "
+                    f"({child_store.support} < {abs_sup}); the splitter must "
+                    f"only hand out frequent extensions"
+                )
+            self._recurse(
+                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+            )
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        form: CanonicalForm,
+        store: EmbeddingStore,
+        result: MiningResult,
+        stats: MinerStatistics,
+        hooks: Optional["SearchHooks"] = None,
+    ) -> None:
+        """Report one pattern, honouring the size window."""
+        config = self.config
+        if form.size < config.min_size:
+            return
+        if config.max_size is not None and form.size > config.max_size:
+            return
+        pattern = CliquePattern(
+            form=form,
+            support=store.support,
+            transactions=store.transactions(),
+            witnesses=store.witnesses() if config.collect_witnesses else {},
+        )
+        result.add(pattern)
+        if config.closed_only:
+            stats.closed_cliques += 1
+        if hooks is not None:
+            hooks.pattern(pattern)

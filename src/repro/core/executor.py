@@ -1,8 +1,8 @@
 """Adaptive parallel execution of CLAN's root-partitioned search.
 
 Static round-robin chunking (the original
-:func:`repro.core.parallel.mine_closed_cliques_parallel` scheduler)
-divides DFS roots up front, so one heavy low-alphabet root — the norm
+:func:`mine_closed_cliques_parallel` scheduler, which now lives in
+this module) divides DFS roots up front, so one heavy low-alphabet root — the norm
 in the paper's dense stock-market graphs, where structural redundancy
 pruning concentrates work in the smallest labels — leaves every other
 worker idle.  :class:`MiningExecutor` replaces that with a
@@ -56,7 +56,7 @@ from ..graphdb.database import GraphDatabase
 from .cache import CachedRoot, MiningCache
 from .canonical import Label
 from .config import MinerConfig
-from .miner import ClanMiner
+from .engine import MiningEngine, engine_digest, engine_for_task, finalize_patterns
 from .results import MiningResult
 from .session import MiningEvent, PrefixVisited, SearchHooks, _ListSink
 
@@ -69,6 +69,7 @@ __all__ = [
     "STATIC",
     "STEALING",
     "estimate_root_costs",
+    "mine_closed_cliques_parallel",
     "partition_roots",
 ]
 
@@ -205,10 +206,10 @@ class ExecutorReport:
 # ----------------------------------------------------------------------
 # Worker plumbing
 # ----------------------------------------------------------------------
-#: Parent-side registry of prepared miners, set *before* the pool is
+#: Parent-side registry of prepared engines, set *before* the pool is
 #: created so fork-started workers inherit the entry (and the already
 #: built indexes behind it) copy-on-write.
-_PARENT_MINERS: Dict[int, ClanMiner] = {}
+_PARENT_MINERS: Dict[int, MiningEngine] = {}
 _TOKENS = itertools.count(1)
 
 #: Worker-side state, installed by the pool initializer.
@@ -216,13 +217,17 @@ _WORKER_STATE: Dict[str, Any] = {}
 
 
 def _init_executor_worker(
-    token: int, database: GraphDatabase, config: MinerConfig
+    token: int,
+    database: GraphDatabase,
+    config: MinerConfig,
+    task: str = "closed",
+    k: Optional[int] = None,
 ) -> None:
     miner = _PARENT_MINERS.get(token)
     if miner is None:
         # spawn/forkserver start methods: no inherited parent state, so
-        # rebuild (and warm) the miner from the pickled initargs.
-        miner = ClanMiner(database, config).prepare()
+        # rebuild (and warm) the engine from the pickled initargs.
+        miner = engine_for_task(database, config, task, k).prepare()
     _WORKER_STATE["miner"] = miner
 
 
@@ -239,7 +244,7 @@ def _execute_task(
     pid (straggler accounting).
     """
     generation, abs_sup, roots, first_extensions, include_root, seq, sample_every, capture = payload
-    miner: ClanMiner = _WORKER_STATE["miner"]
+    miner: MiningEngine = _WORKER_STATE["miner"]
     started = time.perf_counter()
     hooks = None
     recorder = None
@@ -302,10 +307,16 @@ class MiningExecutor:
     Parameters
     ----------
     database, config:
-        As for :class:`ClanMiner`; structural redundancy pruning must
-        be on (root partitioning).
+        As for :class:`~repro.core.engine.MiningEngine`; structural
+        redundancy pruning must be on (root partitioning).
     processes:
         Pool size (default: CPU count).
+    task / k:
+        The engine task to run (any of
+        :data:`repro.core.engine.ENGINE_TASKS`; ``k`` for ``"topk"``).
+        Defaults to closed/frequent following ``config.closed_only``.
+        Top-k roots are never split (the branch-and-bound state is
+        root-wide), but distribute across workers like any other.
     scheduler:
         ``"stealing"`` (default): one task per root, pulled heaviest
         first, heavy roots split into level-2 subtrees when they
@@ -341,6 +352,8 @@ class MiningExecutor:
         split_factor: float = DEFAULT_SPLIT_FACTOR,
         chunks_per_process: int = 4,
         cache: Optional[MiningCache] = None,
+        task: Optional[str] = None,
+        k: Optional[int] = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise MiningError(
@@ -366,10 +379,14 @@ class MiningExecutor:
         self.split_factor = split_factor
         self.chunks_per_process = chunks_per_process
         self.cache = cache
+        if task is None:
+            task = "closed" if config.closed_only else "frequent"
+        self.task = task
+        self.k = k
         self.last_report: Optional[ExecutorReport] = None
         # Shared index warm-up: build every index in the parent now, so
         # the forked workers inherit them copy-on-write.
-        self._miner = ClanMiner(database, config).prepare()
+        self._miner = engine_for_task(database, config, task, k).prepare()
         self._token = next(_TOKENS)
         self._pool: Optional[Any] = None
         self._generation = 0
@@ -403,7 +420,7 @@ class MiningExecutor:
             self._pool = context.Pool(
                 processes=self.processes,
                 initializer=_init_executor_worker,
-                initargs=(self._token, self.database, self.config),
+                initargs=(self._token, self.database, self.config, self.task, self.k),
             )
         return self._pool
 
@@ -429,8 +446,10 @@ class MiningExecutor:
         for part in parts:
             merged.statistics.merge(part.statistics)
             collected.extend(part)
-        # Restore the serial miner's deterministic enumeration order.
-        for pattern in sorted(collected, key=lambda p: p.form.labels):
+        # Restore the serial engine's deterministic order (and, for
+        # top-k, pick the global k best from the per-root candidates —
+        # the same selection the serial engine's finalize applies).
+        for pattern in finalize_patterns(self.task, collected, self.k):
             merged.add(pattern)
         # The parent's frequent_labels() root scan stands in for the
         # serial miner's label-support scan, so parallel database_scans
@@ -483,13 +502,17 @@ class MiningExecutor:
             return
         started = time.perf_counter()
 
+        # The sweep tier derives patterns by support-filtering (Lemma
+        # 4.3's monotonicity); only strategies whose output is support-
+        # filterable may use it — maximal/top-k stay exact-replay only.
+        allow_sweep = allow_sweep and self._miner.strategy.supports_sweep
         cached: Dict[Label, CachedRoot] = {}
         fingerprint = config_digest = ""
         if self.cache is not None:
             from ..io.runlog import database_fingerprint
 
             fingerprint = database_fingerprint(self.database)
-            config_digest = self.config.digest()
+            config_digest = engine_digest(self.task, self.config, self.k)
             for root in roots:
                 entry = self.cache.lookup(
                     fingerprint,
@@ -761,3 +784,62 @@ class MiningExecutor:
             report.record(pid, seconds)
             parts.append(part)
         return parts
+
+
+# ----------------------------------------------------------------------
+# One-call convenience wrapper (formerly repro.core.parallel)
+# ----------------------------------------------------------------------
+def mine_closed_cliques_parallel(
+    database: GraphDatabase,
+    min_sup: float,
+    processes: Optional[int] = None,
+    config: Optional[MinerConfig] = None,
+    chunks_per_process: int = 4,
+    scheduler: str = STEALING,
+) -> MiningResult:
+    """Mine closed cliques with a process pool over DFS roots.
+
+    Results are identical to the serial miner (tested); statistics
+    are summed across workers, with ``cpu_seconds`` aggregating the
+    in-worker mining time and ``elapsed_seconds`` reporting this
+    call's wall clock.  With ``processes=1`` the pool is bypassed
+    entirely, which keeps the call cheap to use in code that sometimes
+    runs small inputs.  The candidate-intersection kernel
+    (``config.kernel``, bitset by default) travels with the pickled
+    config, and the parent warms every kernel index before forking so
+    workers inherit them copy-on-write.  ``scheduler`` selects the
+    adaptive work-stealing executor (default) or the legacy static
+    round-robin chunks.
+
+    Soft-legacy: lives here since ``repro.core.parallel`` folded into
+    this module; the old import path keeps working through a
+    deprecation shim.
+    """
+    started = time.perf_counter()
+    if config is None:
+        config = MinerConfig()
+    if not config.structural_redundancy_pruning:
+        raise MiningError(
+            "parallel mining partitions DFS roots and requires structural "
+            "redundancy pruning"
+        )
+    if processes is None:
+        processes = multiprocessing.cpu_count()
+
+    if processes <= 1:
+        from .miner import ClanMiner
+
+        result = ClanMiner(database, config).mine(min_sup)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    with MiningExecutor(
+        database,
+        config,
+        processes=processes,
+        scheduler=scheduler,
+        chunks_per_process=chunks_per_process,
+    ) as executor:
+        result = executor.mine(min_sup)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -20,20 +20,20 @@ and the subtree contains no maximal clique — the Lemma 4.4 analogue
 with "same support" relaxed to "frequent".  We reuse the stricter
 (same-support) test, which is sound here too because equal support to
 a frequent prefix implies frequency.
+
+Since the engine refactor this module is a thin wrapper: the search
+itself is :class:`repro.core.engine.MiningEngine` running
+:class:`repro.core.engine.MaximalStrategy`, so maximal mining inherits
+the bitset kernels, the parallel executor, sessions, and the cache's
+exact-replay tier through :func:`repro.mine`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-from ..graphdb.core_index import PseudoDatabase
 from ..graphdb.database import GraphDatabase
-from .canonical import CanonicalForm
-from .embeddings import EmbeddingStore
-from .pattern import CliquePattern
 from .results import MiningResult
-from .statistics import MinerStatistics
 
 
 def mine_maximal_cliques(
@@ -45,62 +45,13 @@ def mine_maximal_cliques(
 
     Returns a :class:`MiningResult` (``closed_only`` is set — every
     maximal clique is closed, and the flag drives downstream semantics
-    like lattice expansion).
+    like lattice expansion).  Soft-legacy: a thin wrapper over
+    :func:`repro.mine` with ``task="maximal"``, which also exposes
+    kernels, parallelism, sessions, and caching behind one signature.
     """
-    started = time.perf_counter()
-    abs_sup = database.absolute_support(min_sup)
-    stats = MinerStatistics()
-    result = MiningResult(min_sup=abs_sup, closed_only=True, statistics=stats)
-    pseudo = PseudoDatabase(database)
-    label_supports = database.label_supports()
-    stats.database_scans += 1
+    from .api import mine
 
-    def recurse(form: CanonicalForm, store: EmbeddingStore) -> None:
-        stats.record_prefix(form.size)
-        stats.record_embeddings(store.embedding_count)
-        stats.record_frequent(form.size)
-        extension_supports = store.extension_supports()
-        stats.database_scans += 1
-
-        blocking = store.nonclosed_extension_label(form.last_label)
-        if blocking is not None:
-            stats.nonclosed_prefix_prunes += 1
-            return
-
-        frequent_extensions = {
-            label: sup for label, sup in extension_supports.items() if sup >= abs_sup
-        }
-        if not frequent_extensions:
-            if form.size >= min_size:
-                result.add(
-                    CliquePattern(
-                        form=form,
-                        support=store.support,
-                        transactions=store.transactions(),
-                        witnesses=store.witnesses(),
-                    )
-                )
-                stats.closed_cliques += 1
-            return
-        stats.closure_rejections += 1
-
-        for label in sorted(frequent_extensions):
-            if label < form.last_label:
-                stats.redundancy_skips += 1
-                continue
-            recurse(form.extend(label), store.extend(label, form.last_label))
-
-    for label in sorted(label_supports):
-        if label_supports[label] < abs_sup:
-            stats.infrequent_extensions += 1
-            continue
-        recurse(
-            CanonicalForm((label,)),
-            EmbeddingStore.for_label(database, pseudo, label),
-        )
-
-    result.elapsed_seconds = time.perf_counter() - started
-    return result
+    return mine(database, min_sup, task="maximal", min_size=min_size)
 
 
 def maximal_subset(result: MiningResult, abs_sup: Optional[int] = None) -> MiningResult:

@@ -1,8 +1,8 @@
 """The CLAN miner (paper Algorithm 1).
 
-``ClanMiner`` depth-first enumerates frequent cliques in canonical-form
-order, growing each prefix k-clique by one vertex (plus its k edges)
-per step, with
+``ClanMiner`` is the closed/frequent specialisation of the task-
+parameterised :class:`repro.core.engine.MiningEngine`, which owns the
+depth-first canonical-form enumeration:
 
 * structural redundancy pruning — extensions only with labels ≥ the
   prefix's last label (Section 4.2),
@@ -16,29 +16,26 @@ Every technique can be disabled through :class:`MinerConfig` for the
 ablation study; with structural redundancy pruning off, the miner falls
 back to the "maintain the set of already mined cliques" scheme the
 paper describes (duplicates are generated, detected, and thrown away).
+The maximal and top-k tasks run the same engine under their own
+strategies (:mod:`repro.core.engine`).
 """
 
 from __future__ import annotations
 
-import time
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import Optional
 
-from ..exceptions import MiningError
-from ..graphdb.core_index import PseudoDatabase
 from ..graphdb.database import GraphDatabase
-from .canonical import CanonicalForm, Label
 from .config import MinerConfig
-from .embeddings import EmbeddingStore, warm_kernel_indexes
-from .pattern import CliquePattern
+from .engine import ClosedStrategy, FrequentStrategy, MiningEngine
 from .results import MiningResult
-from .statistics import MinerStatistics
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .session import SearchHooks
 
 
-class ClanMiner:
+class ClanMiner(MiningEngine):
     """Frequent closed clique miner over a graph transaction database.
+
+    A :class:`~repro.core.engine.MiningEngine` whose strategy follows
+    ``config.closed_only``: :class:`~repro.core.engine.ClosedStrategy`
+    (the default) or :class:`~repro.core.engine.FrequentStrategy`.
 
     Examples
     --------
@@ -49,397 +46,9 @@ class ClanMiner:
     """
 
     def __init__(self, database: GraphDatabase, config: Optional[MinerConfig] = None) -> None:
-        self.database = database
-        self.config = config if config is not None else MinerConfig()
-        # Database-wide indexes, built once per miner (lazily by mine,
-        # eagerly by prepare).  The miner snapshots the database at
-        # first use — create a new ClanMiner after mutating it, as
-        # IncrementalMiner does.
-        self._pseudo: Optional[PseudoDatabase] = None
-        self._label_supports: Optional[Dict[Label, int]] = None
-        #: ``sorted(self._label_supports)``, built alongside it so the
-        #: session/executor root-by-root callers do not re-sort the full
-        #: label space on every single-root ``mine`` call.
-        self._sorted_labels: Optional[Tuple[Label, ...]] = None
-
-    def prepare(self) -> "ClanMiner":
-        """Build the label-support, core-number, and kernel indexes now.
-
-        :meth:`mine` builds them lazily (counting one database scan);
-        root-by-root callers — :class:`repro.core.session.MiningSession`
-        and its pool workers — call this eagerly so repeated ``mine``
-        calls on the same miner pay for the indexes once and per-root
-        statistics do not depend on which root ran first.  The parallel
-        executor calls it in the parent *before* forking, so workers
-        inherit every index copy-on-write instead of rebuilding it
-        (:func:`repro.core.embeddings.warm_kernel_indexes`).
-        """
-        if self._label_supports is None:
-            self._label_supports = self.database.label_supports()
-        if self._sorted_labels is None:
-            self._sorted_labels = tuple(sorted(self._label_supports))
-        if self._pseudo is None and self.config.low_degree_pruning:
-            self._pseudo = PseudoDatabase(self.database)
-        warm_kernel_indexes(self.database, self.config.kernel)
-        return self
-
-    # ------------------------------------------------------------------
-    # Entry point
-    # ------------------------------------------------------------------
-    def mine(
-        self,
-        min_sup: float,
-        root_labels: Optional[Tuple[Label, ...]] = None,
-        hooks: Optional["SearchHooks"] = None,
-        first_extensions: Optional[Tuple[Label, ...]] = None,
-        include_root: bool = True,
-    ) -> MiningResult:
-        """Mine with the given support threshold (absolute int or fraction).
-
-        Returns a :class:`MiningResult` of closed cliques (or of all
-        frequent cliques when ``config.closed_only`` is False), with
-        search statistics and elapsed wall-clock time attached.
-
-        ``root_labels`` restricts the search to the DFS subtrees rooted
-        at those 1-cliques (canonical forms starting with one of them).
-        Every subtree is self-contained — closure checking and pruning
-        only consult the subtree's own embeddings — so partitioning the
-        roots partitions the result set exactly; this is what
-        :func:`repro.core.parallel.mine_closed_cliques_parallel` builds
-        on.  Note it requires structural redundancy pruning (otherwise
-        patterns are reachable from any of their labels).
-
-        ``first_extensions`` restricts the search one level further: to
-        the level-2 subtrees rooted at ``root ◇ β`` for the given β
-        labels only (requires exactly one root label).  The same
-        self-containedness argument applies one level down, so the
-        level-2 subtrees of one root partition the root's output —
-        minus the root's own 1-clique pattern and its root-level
-        statistics and events, which belong to exactly one split task:
-        the one mined with ``include_root=True``.  Callers (the
-        work-stealing executor, :mod:`repro.core.executor`) must only
-        split roots that are frequent and not Lemma-4.4 pruned, and
-        must hand each frequent valid extension to exactly one task.
-
-        ``hooks`` is the session layer's instrumentation object (see
-        :class:`repro.core.session.SearchHooks`): when given, it is
-        notified at every prefix, emitted pattern, and pruned subtree,
-        and may abort the search by raising
-        :class:`~repro.core.session.SearchAborted` at a prefix boundary.
-        When ``None`` (the default) the search runs exactly as before —
-        the only added cost is one ``is not None`` test per hook site.
-        """
-        started = time.perf_counter()
-        abs_sup = self.database.absolute_support(min_sup)
-        config = self.config
-        if root_labels is not None and not config.structural_redundancy_pruning:
-            raise MiningError(
-                "root_labels partitioning requires structural redundancy pruning"
-            )
-        if first_extensions is not None:
-            if root_labels is None or len(root_labels) != 1:
-                raise MiningError(
-                    "first_extensions requires exactly one root label; it splits "
-                    "a single DFS root into its level-2 subtrees"
-                )
-        elif not include_root:
-            raise MiningError(
-                "include_root=False only makes sense with first_extensions; "
-                "a whole-subtree mine always owns its root"
-            )
-        stats = MinerStatistics()
-        result = MiningResult(min_sup=abs_sup, closed_only=config.closed_only, statistics=stats)
-
-        pseudo = None
-        if config.low_degree_pruning:
-            if self._pseudo is None:
-                self._pseudo = PseudoDatabase(self.database)
-            pseudo = self._pseudo
-        if self._label_supports is None:
-            self._label_supports = self.database.label_supports()
-            stats.database_scans += 1
-        if self._sorted_labels is None:
-            self._sorted_labels = tuple(sorted(self._label_supports))
-        label_supports = self._label_supports
-        seen_forms: Set[Tuple[Label, ...]] = set()
-        wanted = set(root_labels) if root_labels is not None else None
-
-        for label in self._sorted_labels:
-            if wanted is not None and label not in wanted:
-                continue
-            if label_supports[label] < abs_sup:
-                stats.infrequent_extensions += 1
-                continue
-            store = EmbeddingStore.for_label(
-                self.database, pseudo, label, config.embedding_strategy, config.kernel
-            )
-            if first_extensions is None:
-                self._recurse(
-                    CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms, hooks
-                )
-            else:
-                self._mine_restricted(
-                    CanonicalForm((label,)),
-                    store,
-                    abs_sup,
-                    result,
-                    stats,
-                    seen_forms,
-                    hooks,
-                    tuple(first_extensions),
-                    include_root,
-                )
-
-        result.elapsed_seconds = time.perf_counter() - started
-        stats.cpu_seconds = result.elapsed_seconds
-        return result
-
-    # ------------------------------------------------------------------
-    # Root splitting support (the work-stealing executor's primitive)
-    # ------------------------------------------------------------------
-    def root_extension_plan(self, min_sup: float, root: Label) -> list:
-        """The frequent valid level-2 extensions of one DFS root.
-
-        Returns ``[(label, support), ...]`` for every frequent extension
-        label ≥ ``root`` — the labels whose level-2 subtrees together
-        with the root's own pattern make up the root's entire output.
-        Returns ``[]`` when the root cannot (or must not) be split:
-        infrequent root, Lemma 4.4 prunes the whole subtree, or the
-        size ceiling forbids 2-cliques.  The executor uses a non-empty
-        plan to re-enqueue a heavy root as independent
-        ``first_extensions`` tasks; an empty plan means "mine the root
-        whole".
-
-        Does not touch mining statistics: split planning is scheduler
-        overhead, and per-root statistics must sum to the serial run's.
-        """
-        config = self.config
-        if not config.structural_redundancy_pruning:
-            raise MiningError(
-                "root splitting requires structural redundancy pruning"
-            )
-        if config.max_size is not None and config.max_size <= 1:
-            return []
-        self.prepare()
-        abs_sup = self.database.absolute_support(min_sup)
-        if self._label_supports.get(root, 0) < abs_sup:
-            return []
-        pseudo = self._pseudo if config.low_degree_pruning else None
-        store = EmbeddingStore.for_label(
-            self.database, pseudo, root, config.embedding_strategy, config.kernel
-        )
-        if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
-            return []
-        frequent_extensions, _, _ = store.extension_plan(abs_sup)
-        if config.nonclosed_prefix_pruning:
-            if store.nonclosed_extension_label(root) is not None:
-                return []
-        return [(label, sup) for label, sup in frequent_extensions if label >= root]
-
-    # ------------------------------------------------------------------
-    # Recursive search (Algorithm 1)
-    # ------------------------------------------------------------------
-    def _recurse(
-        self,
-        form: CanonicalForm,
-        store: EmbeddingStore,
-        abs_sup: int,
-        result: MiningResult,
-        stats: MinerStatistics,
-        seen_forms: Set[Tuple[Label, ...]],
-        hooks: Optional["SearchHooks"] = None,
-    ) -> None:
-        config = self.config
-        stats.record_prefix(form.size)
-        stats.record_embeddings(store.embedding_count)
-        if hooks is not None:
-            hooks.enter_prefix(form, store)
-        if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
-            raise MiningError(
-                f"prefix {form} materialised {store.embedding_count} embeddings, "
-                f"exceeding the max_embeddings bound of {config.max_embeddings}"
-            )
-
-        if not config.structural_redundancy_pruning:
-            # Fallback duplicate detection: the paper's "simple way".
-            if form.labels in seen_forms:
-                stats.duplicates_collapsed += 1
-                return
-            seen_forms.add(form.labels)
-        stats.record_frequent(form.size)
-
-        # Lines 01-03: one scan finds every extension label's support.
-        # The store returns the digest the recursion consumes: frequent
-        # extensions (label, support), the infrequent count, and the
-        # Lemma 4.3 closure verdict (some extension ties the support).
-        frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
-        stats.database_scans += 1
-
-        # Lines 04-05: non-closed prefix pruning (Lemma 4.4).
-        if config.nonclosed_prefix_pruning:
-            blocking = store.nonclosed_extension_label(form.last_label)
-            if blocking is not None:
-                stats.nonclosed_prefix_prunes += 1
-                if hooks is not None:
-                    hooks.pruned(form, "nonclosed_prefix")
-                return
-
-        # Lines 06-07: closure check (Lemma 4.3) and output.
-        if config.closed_only:
-            if not blocked:
-                self._emit(form, store, result, stats, hooks)
-            else:
-                stats.closure_rejections += 1
-        else:
-            self._emit(form, store, result, stats, hooks)
-
-        # Lines 08-09: recurse into each frequent valid extension.
-        if config.max_size is not None and form.size >= config.max_size:
-            return
-        last_label = form.last_label if form.size else None
-        stats.infrequent_extensions += n_infrequent
-        for label, ext_support in frequent_extensions:
-            if config.structural_redundancy_pruning:
-                if last_label is not None and label < last_label:
-                    stats.redundancy_skips += 1
-                    continue
-                child_store = store.extend(label, last_label)
-                child_form = form.extend(label)
-            else:
-                child_store = store.extend_unordered(label)
-                child_form = CanonicalForm.from_labels(form.labels + (label,))
-            if child_store.support != ext_support:  # pragma: no cover - invariant
-                raise MiningError(
-                    f"extension scan predicted support {ext_support} for "
-                    f"{child_form} but materialisation found {child_store.support}"
-                )
-            self._recurse(
-                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
-            )
-
-    # ------------------------------------------------------------------
-    def _mine_restricted(
-        self,
-        form: CanonicalForm,
-        store: EmbeddingStore,
-        abs_sup: int,
-        result: MiningResult,
-        stats: MinerStatistics,
-        seen_forms: Set[Tuple[Label, ...]],
-        hooks: Optional["SearchHooks"],
-        first_extensions: Tuple[Label, ...],
-        include_root: bool,
-    ) -> None:
-        """One split task: selected level-2 subtrees of one DFS root.
-
-        Mirrors :meth:`_recurse` at the root level, then descends only
-        into ``first_extensions``.  Exactness is the root-partitioning
-        argument one level down: under structural redundancy pruning
-        the subtree rooted at ``root ◇ β`` consults only its own
-        embeddings, so level-2 subtrees are independent.  Root-level
-        work — the prefix/frequent/scan statistics, the root's events,
-        Lemma 4.4, the root's own pattern — happens exactly once across
-        a root's split tasks, in the one with ``include_root=True``;
-        sibling tasks extend straight into their subtrees.  Summing the
-        split tasks' statistics therefore reproduces the serial root's
-        counters exactly.
-        """
-        config = self.config
-        last_label = form.last_label
-        if include_root:
-            stats.record_prefix(form.size)
-            stats.record_embeddings(store.embedding_count)
-            if hooks is not None:
-                hooks.enter_prefix(form, store)
-            if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
-                raise MiningError(
-                    f"prefix {form} materialised {store.embedding_count} embeddings, "
-                    f"exceeding the max_embeddings bound of {config.max_embeddings}"
-                )
-            stats.record_frequent(form.size)
-            frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
-            stats.database_scans += 1
-            if config.nonclosed_prefix_pruning:
-                blocking = store.nonclosed_extension_label(last_label)
-                if blocking is not None:  # pragma: no cover - splitter precondition
-                    raise MiningError(
-                        f"split task for root {form} reached a Lemma 4.4 prune; "
-                        f"the splitter must not split pruned roots"
-                    )
-            if config.closed_only:
-                if not blocked:
-                    self._emit(form, store, result, stats, hooks)
-                else:
-                    stats.closure_rejections += 1
-            else:
-                self._emit(form, store, result, stats, hooks)
-            if config.max_size is not None and form.size >= config.max_size:
-                return
-            stats.infrequent_extensions += n_infrequent
-            wanted = set(first_extensions)
-            for label, ext_support in frequent_extensions:
-                if label < last_label:
-                    stats.redundancy_skips += 1
-                    continue
-                if label not in wanted:
-                    continue
-                child_store = store.extend(label, last_label)
-                child_form = form.extend(label)
-                if child_store.support != ext_support:  # pragma: no cover - invariant
-                    raise MiningError(
-                        f"extension scan predicted support {ext_support} for "
-                        f"{child_form} but materialisation found {child_store.support}"
-                    )
-                self._recurse(
-                    child_form, child_store, abs_sup, result, stats, seen_forms, hooks
-                )
-            return
-        if config.max_size is not None and form.size >= config.max_size:
-            return
-        for label in first_extensions:
-            if label < last_label:  # pragma: no cover - splitter precondition
-                raise MiningError(
-                    f"split extension {label!r} sorts below root {last_label!r}; "
-                    f"structural redundancy pruning forbids it"
-                )
-            child_store = store.extend(label, last_label)
-            child_form = form.extend(label)
-            if child_store.support < abs_sup:  # pragma: no cover - splitter precondition
-                raise MiningError(
-                    f"split task extension {child_form} is infrequent "
-                    f"({child_store.support} < {abs_sup}); the splitter must "
-                    f"only hand out frequent extensions"
-                )
-            self._recurse(
-                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
-            )
-
-    # ------------------------------------------------------------------
-    def _emit(
-        self,
-        form: CanonicalForm,
-        store: EmbeddingStore,
-        result: MiningResult,
-        stats: MinerStatistics,
-        hooks: Optional["SearchHooks"] = None,
-    ) -> None:
-        """Report one pattern, honouring the size window."""
-        config = self.config
-        if form.size < config.min_size:
-            return
-        if config.max_size is not None and form.size > config.max_size:
-            return
-        pattern = CliquePattern(
-            form=form,
-            support=store.support,
-            transactions=store.transactions(),
-            witnesses=store.witnesses() if config.collect_witnesses else {},
-        )
-        result.add(pattern)
-        if config.closed_only:
-            stats.closed_cliques += 1
-        if hooks is not None:
-            hooks.pattern(pattern)
+        resolved = config if config is not None else MinerConfig()
+        strategy = ClosedStrategy() if resolved.closed_only else FrequentStrategy()
+        super().__init__(database, resolved, strategy=strategy)
 
 
 def mine_closed_cliques(

@@ -1,87 +1,35 @@
-"""Parallel closed clique mining.
+"""Deprecated shim: this module folded into :mod:`repro.core.executor`.
 
-CLAN's DFS subtrees are independent: under structural redundancy
-pruning, every pattern belongs to exactly one subtree (the one rooted
-at its smallest label), and all closure/pruning decisions inside a
-subtree consult only that subtree's embeddings.  Partitioning the
-frequent 1-clique roots across worker processes therefore partitions
-both the work and the result set exactly.
+``repro.core.parallel`` used to hold the one-call parallel entry point
+:func:`mine_closed_cliques_parallel`; the scheduling itself always
+lived in :mod:`repro.core.executor`, and the wrapper now does too.
+Importing the names from here keeps working but emits a
+``DeprecationWarning`` on attribute access (PEP 562), so merely
+importing the module stays warning-free for tooling that scans
+packages.
 
-The scheduling itself lives in :mod:`repro.core.executor`:
-``scheduler="stealing"`` (the default) runs the adaptive work queue
-with cost-guided root splitting and shared index warm-up;
-``scheduler="static"`` keeps the original round-robin chunking as the
-comparison baseline.  Either way the merged result is byte-identical
-to the serial miner's, merged statistics sum the per-task counters
-(``statistics.cpu_seconds`` aggregates in-worker mining time), and
-``elapsed_seconds`` is this call's wall-clock time.
+Use instead::
 
-For small databases the serial miner wins — process startup dominates —
-so this is for the long-running workloads; ``processes=1`` bypasses
-the pool entirely.
+    from repro.core.executor import mine_closed_cliques_parallel, partition_roots
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from typing import Optional
-
-from ..exceptions import MiningError
-from ..graphdb.database import GraphDatabase
-from .config import MinerConfig
-from .executor import STEALING, MiningExecutor, partition_roots
-from .miner import ClanMiner
-from .results import MiningResult
+import warnings
 
 __all__ = ["mine_closed_cliques_parallel", "partition_roots"]
 
 
-def mine_closed_cliques_parallel(
-    database: GraphDatabase,
-    min_sup: float,
-    processes: Optional[int] = None,
-    config: Optional[MinerConfig] = None,
-    chunks_per_process: int = 4,
-    scheduler: str = STEALING,
-) -> MiningResult:
-    """Mine closed cliques with a process pool over DFS roots.
-
-    Results are identical to :class:`ClanMiner` (tested); statistics
-    are summed across workers, with ``cpu_seconds`` aggregating the
-    in-worker mining time and ``elapsed_seconds`` reporting this
-    call's wall clock.  With ``processes=1`` the pool is bypassed
-    entirely, which keeps the call cheap to use in code that sometimes
-    runs small inputs.  The candidate-intersection kernel
-    (``config.kernel``, bitset by default) travels with the pickled
-    config, and the parent warms every kernel index before forking so
-    workers inherit them copy-on-write.  ``scheduler`` selects the
-    adaptive work-stealing executor (default) or the legacy static
-    round-robin chunks — see :class:`repro.core.executor.MiningExecutor`.
-    """
-    started = time.perf_counter()
-    if config is None:
-        config = MinerConfig()
-    if not config.structural_redundancy_pruning:
-        raise MiningError(
-            "parallel mining partitions DFS roots and requires structural "
-            "redundancy pruning"
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.core.parallel.{name} moved to repro.core.executor; "
+            f"the repro.core.parallel shim will be removed in a future "
+            f"release",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if processes is None:
-        processes = multiprocessing.cpu_count()
+        from . import executor
 
-    if processes <= 1:
-        result = ClanMiner(database, config).mine(min_sup)
-        result.elapsed_seconds = time.perf_counter() - started
-        return result
-
-    with MiningExecutor(
-        database,
-        config,
-        processes=processes,
-        scheduler=scheduler,
-        chunks_per_process=chunks_per_process,
-    ) as executor:
-        result = executor.mine(min_sup)
-    result.elapsed_seconds = time.perf_counter() - started
-    return result
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,7 +16,7 @@ observability and robustness shape a production service needs:
 * **checkpoint/resume** by completed DFS roots.
 
 The exactness guarantee rides on the property already proven for
-:mod:`repro.core.parallel`: under structural redundancy pruning each
+:mod:`repro.core.executor`: under structural redundancy pruning each
 pattern belongs to exactly one DFS subtree (rooted at its smallest
 label), and every closure/pruning decision inside a subtree consults
 only that subtree's embeddings.  The session therefore mines root by
@@ -65,7 +65,13 @@ from ..graphdb.database import GraphDatabase
 from .canonical import CanonicalForm, Label
 from .config import MinerConfig
 from .embeddings import EmbeddingStore
-from .miner import ClanMiner
+from .engine import (
+    ENGINE_TASKS,
+    MiningEngine,
+    engine_digest,
+    engine_for_task,
+    finalize_patterns,
+)
 from .pattern import CliquePattern
 from .results import MiningResult
 from .statistics import MinerStatistics
@@ -546,6 +552,9 @@ class MiningCheckpoint:
     n_transactions: int
     completed_roots: Tuple[Label, ...]
     result: Dict[str, Any]
+    #: ``task="topk"`` only: the k the run was started with (older
+    #: checkpoints carry no ``k`` key and load as ``None``).
+    k: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -558,6 +567,7 @@ class MiningCheckpoint:
             "n_transactions": self.n_transactions,
             "completed_roots": list(self.completed_roots),
             "result": self.result,
+            "k": self.k,
         }
 
     @classmethod
@@ -566,6 +576,7 @@ class MiningCheckpoint:
             raise MiningError(
                 f"expected kind 'mining-checkpoint', got {payload.get('kind')!r}"
             )
+        k = payload.get("k")
         return cls(
             task=payload["task"],
             min_sup=int(payload["min_sup"]),
@@ -574,6 +585,7 @@ class MiningCheckpoint:
             n_transactions=int(payload["n_transactions"]),
             completed_roots=tuple(payload["completed_roots"]),
             result=dict(payload["result"]),
+            k=int(k) if k is not None else None,
         )
 
     def patterns(self) -> MiningResult:
@@ -587,7 +599,7 @@ class MiningCheckpoint:
 # The session
 # ----------------------------------------------------------------------
 class MiningSession:
-    """A controllable, observable closed/frequent-clique mining run.
+    """A controllable, observable engine-task mining run.
 
     Examples
     --------
@@ -602,9 +614,18 @@ class MiningSession:
         As for :func:`repro.mine`; ``min_sup`` accepts counts,
         fractions, and ``"85%"`` strings.
     task:
-        ``"closed"`` (default) or ``"frequent"``.  The other mining
-        tasks (maximal / top-k / quasi) have their own search shapes
-        and are reachable through :func:`repro.mine`, not sessions.
+        Any engine task: ``"closed"`` (default), ``"frequent"``,
+        ``"maximal"``, or ``"topk"`` (requires ``k``).  All four run
+        the same :class:`~repro.core.engine.MiningEngine` under a task
+        strategy, so budgets, sinks, checkpoints, worker pools, and
+        the cache's exact-replay tier apply uniformly.  ``"quasi"``
+        runs a different bounded-enumeration algorithm and is only
+        reachable through :func:`repro.mine`.
+    k:
+        ``task="topk"`` only: how many of the largest closed cliques
+        to keep.  Per-root candidates accumulate across roots (and
+        across checkpoint/resume); the *global* k best are selected
+        when the result is built.
     config:
         Optional :class:`MinerConfig`; must agree with ``task`` and
         keep structural redundancy pruning on (root partitioning).
@@ -664,17 +685,20 @@ class MiningSession:
         split_factor: Optional[float] = None,
         resume_from: Optional[MiningCheckpoint] = None,
         cache: Optional["MiningCache"] = None,
+        k: Optional[int] = None,
     ) -> None:
-        if task not in ("closed", "frequent"):
+        if task not in ENGINE_TASKS:
             raise MiningError(
-                f"MiningSession supports tasks 'closed' and 'frequent', got {task!r}; "
-                f"use repro.mine(task=...) for maximal/topk/quasi"
+                f"MiningSession supports the engine tasks {ENGINE_TASKS}, got "
+                f"{task!r}; use repro.mine(task='quasi', ...) for quasi-cliques"
             )
+        if task == "topk" and k is None:
+            raise MiningError("task='topk' requires k=<number of patterns>")
         if config is None:
             config = (
-                MinerConfig() if task == "closed" else MinerConfig.all_frequent()
+                MinerConfig() if task != "frequent" else MinerConfig.all_frequent()
             )
-        if config.closed_only != (task == "closed"):
+        if config.closed_only != (task != "frequent"):
             raise MiningError(
                 f"config.closed_only={config.closed_only} contradicts task {task!r}"
             )
@@ -694,6 +718,7 @@ class MiningSession:
             )
         self.database = database
         self.task = task
+        self.k = k
         self.config = config
         self.abs_sup = database.absolute_support(min_sup)
         self.budget = budget
@@ -779,8 +804,8 @@ class MiningSession:
             from ..io.runlog import database_fingerprint
 
             fingerprint = database_fingerprint(self.database)
-            config_digest = self.config.digest()
-        miner: Optional[ClanMiner] = None
+            config_digest = engine_digest(self.task, self.config, self.k)
+        miner: Optional[MiningEngine] = None
         hooks = SearchHooks(
             sinks=self.sinks,
             budget=self.budget,
@@ -820,7 +845,9 @@ class MiningSession:
                     continue
                 self._statistics.cache_misses += 1
             if miner is None:
-                miner = ClanMiner(self.database, self.config).prepare()
+                miner = engine_for_task(
+                    self.database, self.config, self.task, self.k
+                ).prepare()
             recorder: Optional[_ListSink] = None
             if self.cache is not None:
                 recorder = _ListSink()
@@ -873,6 +900,8 @@ class MiningSession:
             processes=processes,
             scheduler=self.scheduler,
             cache=self.cache,
+            task=self.task,
+            k=self.k,
             **executor_options,
         )
         try:
@@ -942,7 +971,7 @@ class MiningSession:
         collected: List[CliquePattern] = []
         for patterns in self._completed.values():
             collected.extend(patterns)
-        for pattern in sorted(collected, key=lambda p: p.form.labels):
+        for pattern in finalize_patterns(self.task, collected, self.k):
             result.add(pattern)
         result.elapsed_seconds = time.perf_counter() - started
         return result
@@ -981,6 +1010,7 @@ class MiningSession:
             n_transactions=len(self.database),
             completed_roots=self.completed_roots,
             result=result_to_dict(interim),
+            k=self.k,
         )
 
     def _load_checkpoint(self, checkpoint: MiningCheckpoint) -> None:
@@ -989,6 +1019,11 @@ class MiningSession:
         if checkpoint.task != self.task:
             raise MiningError(
                 f"checkpoint task {checkpoint.task!r} does not match {self.task!r}"
+            )
+        if checkpoint.k != self.k:
+            raise MiningError(
+                f"checkpoint k={checkpoint.k!r} does not match this "
+                f"session's k={self.k!r}"
             )
         if checkpoint.min_sup != self.abs_sup:
             raise MiningError(

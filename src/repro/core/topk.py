@@ -21,76 +21,22 @@ use the cheaper safe bound of the per-transaction candidate counts.
 
 Results are identical to "mine everything, keep the k largest" (tested
 by the property suite); the bound only prunes work.
+
+Since the engine refactor this module is a thin wrapper: the search
+itself is :class:`repro.core.engine.MiningEngine` running
+:class:`repro.core.engine.TopKStrategy` (which hosts the heap and the
+bound), so top-k mining inherits the bitset kernels, sessions, and the
+cache's exact-replay tier through :func:`repro.mine`.  The bound's
+bookkeeping is kept *per DFS root* and the global k best are selected
+at merge time (:func:`repro.core.engine.finalize_patterns`), which is
+what keeps serial and warm-cache runs byte-identical.
 """
 
 from __future__ import annotations
 
-import heapq
-import time
-from typing import List, Tuple
-
-from ..graphdb.core_index import PseudoDatabase
 from ..graphdb.database import GraphDatabase
-from .canonical import CanonicalForm, Label
-from .closure import is_closed
-from .embeddings import EmbeddingStore
-from .pattern import CliquePattern
+from .engine import _TopKHeap, _extension_multiplicity_bound  # noqa: F401 - soft-legacy re-export
 from .results import MiningResult
-from .statistics import MinerStatistics
-
-
-class _TopKHeap:
-    """Keeps the k best (size, form) entries; min-heap on size."""
-
-    def __init__(self, k: int) -> None:
-        self.k = k
-        self._heap: List[Tuple[int, Tuple[Label, ...], CliquePattern]] = []
-
-    def offer(self, pattern: CliquePattern) -> None:
-        # Tie-break on the reversed label tuple so the heap order is
-        # total; the reversed-ness is arbitrary but deterministic.
-        entry = (pattern.size, tuple(reversed(pattern.labels)), pattern)
-        if len(self._heap) < self.k:
-            heapq.heappush(self._heap, entry)
-        elif entry[:2] > self._heap[0][:2]:
-            heapq.heapreplace(self._heap, entry)
-
-    def threshold(self) -> int:
-        """Sizes at or below this cannot improve the heap once full."""
-        if len(self._heap) < self.k:
-            return 0
-        return self._heap[0][0]
-
-    def patterns(self) -> List[CliquePattern]:
-        """The kept patterns, largest first (ties by the heap's order)."""
-        return [
-            entry[2]
-            for entry in sorted(self._heap, key=lambda e: (e[0], e[1]), reverse=True)
-        ]
-
-
-def _extension_multiplicity_bound(
-    store: EmbeddingStore, valid_labels: List[Label]
-) -> int:
-    """Upper bound on how many more vertices this subtree can add.
-
-    For each supporting transaction, no extension can use more vertices
-    than that transaction has candidate vertices with valid labels; the
-    subtree-wide bound is the minimum over transactions that must keep
-    supporting the pattern — conservatively, the maximum over
-    transactions (support may drop to min_sup of the current set).
-    """
-    valid = set(valid_labels)
-    best = 0
-    for tid, records in store.by_transaction.items():
-        graph = store.database[tid]
-        per_transaction = 0
-        for record in records:
-            candidates = store._candidates(tid, record)
-            count = sum(1 for v in candidates if graph.label(v) in valid)
-            per_transaction = max(per_transaction, count)
-        best = max(best, per_transaction)
-    return best
 
 
 def mine_top_k_closed_cliques(
@@ -103,66 +49,9 @@ def mine_top_k_closed_cliques(
 
     Ties at the k-th size are broken deterministically by canonical
     form; the result is sorted largest first.  ``min_size`` additionally
-    floors the sizes considered.
+    floors the sizes considered.  Soft-legacy: a thin wrapper over
+    :func:`repro.mine` with ``task="topk"``.
     """
-    started = time.perf_counter()
-    abs_sup = database.absolute_support(min_sup)
-    stats = MinerStatistics()
-    heap = _TopKHeap(max(1, k))
-    pseudo = PseudoDatabase(database)
-    label_supports = database.label_supports()
-    stats.database_scans += 1
+    from .api import mine
 
-    def recurse(form: CanonicalForm, store: EmbeddingStore) -> None:
-        stats.record_prefix(form.size)
-        stats.record_embeddings(store.embedding_count)
-        stats.record_frequent(form.size)
-        extension_supports = store.extension_supports()
-        stats.database_scans += 1
-
-        blocking = store.nonclosed_extension_label(form.last_label)
-        if blocking is not None:
-            stats.nonclosed_prefix_prunes += 1
-            return
-
-        if form.size >= min_size and is_closed(store.support, extension_supports):
-            heap.offer(
-                CliquePattern(
-                    form=form,
-                    support=store.support,
-                    transactions=store.transactions(),
-                    witnesses=store.witnesses(),
-                )
-            )
-            stats.closed_cliques += 1
-        elif form.size >= min_size:
-            stats.closure_rejections += 1
-
-        valid = [
-            label
-            for label in sorted(extension_supports)
-            if extension_supports[label] >= abs_sup and label >= form.last_label
-        ]
-        if not valid:
-            return
-        # Branch and bound: can this subtree still reach the heap?  The
-        # cut is strict because size ties are broken by label order, so
-        # a subtree that can only *match* the k-th size may still win.
-        bound = form.size + _extension_multiplicity_bound(store, valid)
-        if bound < heap.threshold():
-            stats.redundancy_skips += 1  # reuse the counter for bound cuts
-            return
-        for label in valid:
-            recurse(form.extend(label), store.extend(label, form.last_label))
-
-    for label in sorted(label_supports):
-        if label_supports[label] < abs_sup:
-            continue
-        store = EmbeddingStore.for_label(database, pseudo, label)
-        recurse(CanonicalForm((label,)), store)
-
-    result = MiningResult(min_sup=abs_sup, closed_only=True, statistics=stats)
-    for pattern in heap.patterns():
-        result.add(pattern)
-    result.elapsed_seconds = time.perf_counter() - started
-    return result
+    return mine(database, min_sup, task="topk", k=k, min_size=min_size)

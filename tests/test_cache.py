@@ -523,10 +523,46 @@ class TestMineFacade:
         session = mine(dense_db, 2, cache=cache, sinks=(ring,))
         assert keys(parallel) == keys(session)
 
-    def test_cache_rejected_for_specialised_tasks(self):
-        for task, extra in (("maximal", {}), ("topk", {"k": 3}), ("quasi", {"max_size": 4})):
-            with pytest.raises(MiningError):
-                mine(dense_db, 2, task=task, cache=MiningCache(), **extra)
+    def test_cache_serves_maximal_and_topk(self):
+        # Exact-replay reuse is task-generic; only quasi stays outside.
+        for task, extra in (("maximal", {}), ("topk", {"k": 3})):
+            cache = MiningCache()
+            cold = mine(dense_db, 2, task=task, cache=cache, **extra)
+            warm = mine(dense_db, 2, task=task, cache=cache, **extra)
+            base = mine(dense_db, 2, task=task, **extra)
+            assert keys(cold) == keys(warm) == keys(base)
+            assert warm.statistics.roots_from_cache > 0
+
+    def test_cache_keys_are_task_scoped(self):
+        # One cache serving several tasks never cross-contaminates.
+        cache = MiningCache()
+        closed = mine(dense_db, 2, cache=cache)
+        maximal = mine(dense_db, 2, task="maximal", cache=cache)
+        topk = mine(dense_db, 2, task="topk", k=3, cache=cache)
+        assert keys(closed) == keys(mine(dense_db, 2))
+        assert keys(maximal) == keys(mine(dense_db, 2, task="maximal"))
+        assert keys(topk) == keys(mine(dense_db, 2, task="topk", k=3))
+        # Different k = different key space.
+        topk1 = mine(dense_db, 2, task="topk", k=1, cache=cache)
+        assert keys(topk1) == keys(mine(dense_db, 2, task="topk", k=1))
+
+    def test_cache_rejected_for_quasi(self):
+        with pytest.raises(MiningError):
+            mine(dense_db, 2, task="quasi", max_size=4, cache=MiningCache())
+
+    def test_sweep_tier_never_serves_maximal_or_topk(self):
+        # Warm the cache at a LOWER threshold; a closed run at the
+        # higher threshold may sweep-derive, maximal/topk must not.
+        cache = MiningCache()
+        mine(dense_db, 2, task="maximal", cache=cache)
+        before = cache.sweep_hits
+        again = mine(dense_db, 3, task="maximal", cache=cache)
+        assert cache.sweep_hits == before  # mined fresh, not filtered
+        assert keys(again) == keys(mine(dense_db, 3, task="maximal"))
+        cache2 = MiningCache()
+        mine(dense_db, 2, task="topk", k=3, cache=cache2)
+        mine(dense_db, 3, task="topk", k=3, cache=cache2)
+        assert cache2.sweep_hits == 0
 
     def test_cache_rejected_with_root_labels(self):
         with pytest.raises(MiningError):
@@ -604,10 +640,14 @@ class TestCli:
         assert cold.out == warm.out
         assert "0 misses" in warm.err
 
-    def test_mine_cache_rejected_with_maximal(self, db_file, tmp_path):
+    def test_mine_cache_with_maximal(self, db_file, tmp_path, capsys):
         from repro.cli import main
 
-        code = main(
-            ["mine", db_file, "--maximal", "--cache", str(tmp_path / "c")]
-        )
-        assert code == 2
+        cache_dir = str(tmp_path / "cache")
+        args = ["mine", db_file, "--maximal", "--cache", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out
+        assert "0 misses" in warm.err

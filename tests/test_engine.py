@@ -1,0 +1,138 @@
+"""Tests for the task-parameterised enumeration engine itself.
+
+Coverage of the strategy registry, task-scoped cache digests, the
+``repro.core.parallel`` deprecation shim, and the precise error texts
+the façade promises — the cross-path output guarantees live in
+``test_task_parity.py``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import ClanMiner, MinerConfig, MiningEngine, mine
+from repro.core.engine import (
+    ENGINE_TASKS,
+    engine_digest,
+    engine_for_task,
+    finalize_patterns,
+    make_strategy,
+)
+from repro.exceptions import MiningError
+from tests.conftest import make_random_database
+
+
+class TestStrategyRegistry:
+    def test_engine_tasks_enumeration(self):
+        assert ENGINE_TASKS == ("closed", "frequent", "maximal", "topk")
+
+    @pytest.mark.parametrize("task", ENGINE_TASKS)
+    def test_make_strategy_round_trips_task_name(self, task):
+        strategy = make_strategy(task, k=3 if task == "topk" else None)
+        assert strategy.task == task
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(MiningError, match="unknown engine task"):
+            make_strategy("quasi")
+
+    def test_topk_requires_positive_k(self):
+        with pytest.raises(MiningError):
+            make_strategy("topk", k=None)
+        with pytest.raises(MiningError):
+            make_strategy("topk", k=0)
+
+    def test_sweep_support_is_task_scoped(self):
+        assert make_strategy("closed").supports_sweep
+        assert make_strategy("frequent").supports_sweep
+        assert not make_strategy("maximal").supports_sweep
+        assert not make_strategy("topk", k=2).supports_sweep
+
+    def test_clan_miner_is_the_closed_engine(self):
+        database = make_random_database(1)
+        miner = ClanMiner(database)
+        assert isinstance(miner, MiningEngine)
+        assert miner.task == "closed"
+        assert ClanMiner(database, MinerConfig.all_frequent()).task == "frequent"
+
+
+class TestEngineDigest:
+    def test_closed_and_frequent_digests_stay_bare(self):
+        # Persisted caches and the incremental miner key on the bare
+        # MinerConfig digest; the engine must not invalidate them.
+        config = MinerConfig()
+        assert engine_digest("closed", config, None) == config.digest()
+        frequent = MinerConfig.all_frequent()
+        assert engine_digest("frequent", frequent, None) == frequent.digest()
+
+    def test_specialised_tasks_get_prefixed_digests(self):
+        config = MinerConfig()
+        digests = {
+            engine_digest("closed", config, None),
+            engine_digest("maximal", config, None),
+            engine_digest("topk", config, 3),
+            engine_digest("topk", config, 5),
+        }
+        assert len(digests) == 4  # no collisions across tasks or k
+
+
+class TestFinalizePatterns:
+    def test_non_topk_is_canonical_order(self):
+        database = make_random_database(2)
+        patterns = list(mine(database, 2))
+        shuffled = list(reversed(patterns))
+        assert finalize_patterns("closed", shuffled, None) == patterns
+
+    def test_topk_selects_global_best(self):
+        database = make_random_database(2)
+        everything = list(mine(database, 2))
+        top = finalize_patterns("topk", everything, 2)
+        assert len(top) == 2
+        assert top == list(mine(database, 2, task="topk", k=2))
+
+
+class TestEngineForTask:
+    @pytest.mark.parametrize("task", ENGINE_TASKS)
+    def test_prepare_and_mine(self, task):
+        database = make_random_database(3)
+        k = 2 if task == "topk" else None
+        engine = engine_for_task(database, None, task, k).prepare()
+        result = engine.mine(2)
+        assert result.closed_only == (task != "frequent")
+
+    def test_topk_engine_is_not_root_splittable(self):
+        # The branch-and-bound threshold is root-wide state; handing a
+        # level-2 subtree to another worker would lose it.
+        database = make_random_database(3)
+        engine = engine_for_task(database, None, "topk", 2).prepare()
+        roots = database.frequent_labels(2)
+        assert engine.root_extension_plan(2, roots[0]) == []
+
+    def test_maximal_engine_exposes_split_plan(self):
+        database = make_random_database(3)
+        engine = engine_for_task(database, None, "maximal", None).prepare()
+        roots = database.frequent_labels(1)
+        assert engine.root_extension_plan(1, roots[0])
+
+
+class TestParallelShim:
+    def test_import_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            import repro.core.parallel  # noqa: F401
+
+    def test_attribute_access_warns_and_delegates(self):
+        import repro.core.parallel as shim
+
+        from repro.core import executor
+
+        for name in ("mine_closed_cliques_parallel", "partition_roots"):
+            with pytest.warns(DeprecationWarning, match="repro.core.executor"):
+                assert getattr(shim, name) is getattr(executor, name)
+
+    def test_unknown_attribute_raises(self):
+        import repro.core.parallel as shim
+
+        with pytest.raises(AttributeError):
+            shim.no_such_name

@@ -119,11 +119,25 @@ class TestFacadeMatchesLegacy:
         with pytest.raises(MiningError, match="max_size"):
             mine(paper_db, 2, task="quasi")
 
-    def test_session_options_rejected_for_specialised_tasks(self, paper_db):
-        with pytest.raises(MiningError, match="closed/frequent"):
-            mine(paper_db, 2, task="maximal", deadline=5.0)
-        with pytest.raises(MiningError, match="closed/frequent"):
-            mine(paper_db, 2, task="topk", k=3, processes=2)
+    def test_session_options_work_for_engine_tasks(self, paper_db, dense_db):
+        # Budgets/pools are engine-wide now: maximal and top-k run
+        # through the same session/executor stack as closed.
+        relaxed = mine(paper_db, 2, task="maximal", deadline=60.0)
+        assert keys(relaxed) == keys(mine_maximal_cliques(paper_db, 2))
+        pooled = mine(dense_db, 3, task="topk", k=4, processes=2)
+        assert keys(pooled) == keys(mine_top_k_closed_cliques(dense_db, 3, k=4))
+
+    def test_engine_options_rejected_for_quasi(self, paper_db):
+        with pytest.raises(MiningError, match="engine tasks"):
+            mine(paper_db, 2, task="quasi", max_size=4, processes=2)
+        with pytest.raises(MiningError, match="engine tasks"):
+            mine(paper_db, 2, task="quasi", max_size=4, kernel="bitset")
+        with pytest.raises(MiningError, match="engine tasks"):
+            mine(paper_db, 2, task="quasi", max_size=4, deadline=5.0)
+
+    def test_maximal_rejects_max_size(self, paper_db):
+        with pytest.raises(MiningError, match="look maximal"):
+            mine(paper_db, 2, task="maximal", max_size=3)
 
     def test_budget_and_shorthand_mutually_exclusive(self, paper_db):
         with pytest.raises(MiningError, match="not both"):
@@ -510,9 +524,15 @@ class TestCheckpointResume:
 # Session construction guards
 # ======================================================================
 class TestSessionGuards:
-    def test_only_closed_and_frequent(self, paper_db):
-        with pytest.raises(MiningError, match="maximal/topk/quasi"):
-            MiningSession(paper_db, 2, task="maximal")
+    def test_engine_tasks_accepted_quasi_rejected(self, paper_db):
+        session = MiningSession(paper_db, 2, task="maximal")
+        assert keys(session.run()) == keys(mine_maximal_cliques(paper_db, 2))
+        with pytest.raises(MiningError, match="engine tasks"):
+            MiningSession(paper_db, 2, task="quasi")
+
+    def test_topk_session_requires_k(self, paper_db):
+        with pytest.raises(MiningError, match="requires k"):
+            MiningSession(paper_db, 2, task="topk")
 
     def test_config_must_match_task(self, paper_db):
         with pytest.raises(MiningError, match="closed_only"):

@@ -1,0 +1,206 @@
+"""Cross-task parity: every engine task, every execution path.
+
+The engine refactor's contract is that ``maximal`` and ``topk`` are
+ordinary engine tasks — the same kernel/executor/session/cache stack
+that serves ``closed`` serves them, and every path composes the same
+per-root subtrees, so the outputs are *byte-identical* across:
+
+* the serial engine (``repro.mine``, ``processes=1``),
+* the work-stealing process pool (``processes>1, scheduler=stealing``),
+* the static pool (``scheduler=static``),
+* a warm :class:`MiningCache` (exact-replay tier),
+* a :class:`MiningSession` (event-streaming control plane),
+
+and equal (order-normalised) to the exhaustive brute-force oracle.
+Extends the differential machinery of ``test_kernel_differential.py``
+from kernels to tasks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bruteforce import bruteforce_closed_cliques
+from repro.core import MiningCache, MiningSession, RingBufferSink, mine
+from repro.core.engine import finalize_patterns
+from repro.core.maximal import maximal_subset
+
+from tests.conftest import make_random_database
+
+#: Seeded databases spanning sparse to dense, few to many labels.
+CASES = [
+    (seed, 3 + seed % 3, 6 + seed % 4, 0.35 + 0.08 * (seed % 6), 3 + seed % 4)
+    for seed in range(8)
+]
+
+TASKS = (("maximal", {}), ("topk", {"k": 4}))
+
+
+def full_signature(result):
+    """Everything observable, *in result order* (order is part of the
+    byte-identity contract)."""
+    return [
+        (
+            pattern.form.labels,
+            pattern.support,
+            tuple(sorted(pattern.transactions)),
+            tuple(sorted(pattern.witnesses.items())),
+        )
+        for pattern in result
+    ]
+
+
+def comparable_snapshot(result):
+    """The snapshot minus launcher-level accounting.
+
+    Two counters are charged by the *launcher*, not the subtrees: the
+    lazy label-support scan (``database_scans``; pre-paid by
+    ``prepare()`` on pooled/session/cached paths) and infrequent ROOT
+    labels (``infrequent_extensions``; root-restricted mines never see
+    them).  Both quirks predate the engine refactor and affect every
+    task equally — everything counted inside the mined subtrees must
+    be byte-equal across paths.
+    """
+    snapshot = dict(result.statistics.snapshot())
+    snapshot.pop("database_scans")
+    snapshot.pop("infrequent_extensions")
+    return snapshot
+
+
+def oracle_signature(result):
+    """Brute-force patterns carry no witnesses — compare the rest,
+    order-normalised."""
+    return sorted(
+        (pattern.form.labels, pattern.support, tuple(sorted(pattern.transactions)))
+        for pattern in result
+    )
+
+
+def database_for(case):
+    seed, n_graphs, n_vertices, p, n_labels = case
+    return make_random_database(
+        seed,
+        n_graphs=n_graphs,
+        n_vertices=n_vertices,
+        edge_probability=p,
+        n_labels=n_labels,
+    )
+
+
+class TestPathParity:
+    """Serial == stealing pool == static pool == warm cache == session."""
+
+    @pytest.mark.parametrize("case", CASES)
+    @pytest.mark.parametrize("task,extra", TASKS, ids=("maximal", "topk"))
+    def test_all_paths_byte_identical(self, case, task, extra):
+        database = database_for(case)
+        min_sup = 2 if case[0] % 2 else 1
+
+        serial = mine(database, min_sup, task=task, **extra)
+        reference = full_signature(serial)
+        ref_snapshot = comparable_snapshot(serial)
+
+        stealing = mine(
+            database, min_sup, task=task, processes=2, scheduler="stealing", **extra
+        )
+        assert full_signature(stealing) == reference
+        assert comparable_snapshot(stealing) == ref_snapshot
+
+        static = mine(
+            database, min_sup, task=task, processes=2, scheduler="static", **extra
+        )
+        assert full_signature(static) == reference
+        assert comparable_snapshot(static) == ref_snapshot
+
+        cache = MiningCache()
+        cold = mine(database, min_sup, task=task, cache=cache, **extra)
+        warm = mine(database, min_sup, task=task, cache=cache, **extra)
+        assert full_signature(cold) == reference
+        assert full_signature(warm) == reference
+        assert comparable_snapshot(warm) == ref_snapshot
+        assert warm.statistics.roots_from_cache > 0
+
+        ring = RingBufferSink(capacity=None)
+        session = MiningSession(
+            database, min_sup, task=task, sinks=(ring,), **extra
+        )
+        via_session = session.run()
+        assert full_signature(via_session) == reference
+        assert comparable_snapshot(via_session) == ref_snapshot
+        kinds = [event.kind for event in ring.events]
+        assert kinds[0] == "search_started" and kinds[-1] == "search_finished"
+
+
+class TestOracle:
+    """Engine outputs equal exhaustive enumeration at small scale."""
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_maximal_equals_bruteforce(self, case):
+        database = database_for(case)
+        min_sup = 2 if case[0] % 2 else 1
+        mined = mine(database, min_sup, task="maximal")
+        oracle = maximal_subset(bruteforce_closed_cliques(database, min_sup))
+        assert oracle_signature(mined) == oracle_signature(oracle), case
+
+    @pytest.mark.parametrize("case", CASES)
+    @pytest.mark.parametrize("k", (1, 4))
+    def test_topk_equals_bruteforce(self, case, k):
+        database = database_for(case)
+        min_sup = 2 if case[0] % 2 else 1
+        mined = mine(database, min_sup, task="topk", k=k)
+        closed = list(bruteforce_closed_cliques(database, min_sup))
+        oracle = finalize_patterns("topk", closed, k)
+        assert [
+            (p.form.labels, p.support) for p in mined
+        ] == [(p.form.labels, p.support) for p in oracle], case
+
+
+class TestSnapshotSchemaTaskIndependent:
+    """Satellite: every task fills the same deterministic snapshot.
+
+    The 13-key schema is frozen — heartbeats, traces, checkpoints, and
+    the cache all serialise it — and maximal/top-k runs must populate
+    the very same fields as closed/frequent (no task-shaped gaps).
+    """
+
+    FROZEN_KEYS = frozenset(
+        {
+            "prefixes_visited",
+            "frequent_cliques",
+            "closed_cliques",
+            "nonclosed_prefix_prunes",
+            "closure_rejections",
+            "infrequent_extensions",
+            "redundancy_skips",
+            "duplicates_collapsed",
+            "embeddings_created",
+            "peak_embeddings",
+            "database_scans",
+            "max_depth",
+            "frequent_by_size",
+        }
+    )
+
+    def test_snapshot_keys_identical_across_tasks(self):
+        database = database_for(CASES[1])
+        snapshots = {
+            "closed": mine(database, 2).statistics.snapshot(),
+            "frequent": mine(database, 2, task="frequent").statistics.snapshot(),
+            "maximal": mine(database, 2, task="maximal").statistics.snapshot(),
+            "topk": mine(database, 2, task="topk", k=3).statistics.snapshot(),
+        }
+        for task, snapshot in snapshots.items():
+            assert set(snapshot) == self.FROZEN_KEYS, task
+
+    def test_all_tasks_fill_search_counters(self):
+        # The old standalone maximal/top-k miners left per-prefix
+        # counters (infrequent extensions, redundancy skips) at zero;
+        # through the shared engine they count the same events the
+        # closed task does.
+        database = database_for(CASES[0])
+        for task, extra in TASKS:
+            snapshot = mine(database, 1, task=task, **extra).statistics.snapshot()
+            assert snapshot["prefixes_visited"] > 0, task
+            assert snapshot["frequent_cliques"] > 0, task
+            assert snapshot["max_depth"] > 0, task
+            assert snapshot["embeddings_created"] > 0, task
