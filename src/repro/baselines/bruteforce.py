@@ -57,6 +57,69 @@ def bruteforce_frequent_cliques(
     return result
 
 
+def bruteforce_quasi_cliques(
+    database: GraphDatabase,
+    min_sup: float,
+    gamma: float,
+    min_size: int = 2,
+    max_size: int = 6,
+    closed_only: bool = True,
+) -> MiningResult:
+    """All frequent γ-quasi-clique patterns by exhaustive enumeration.
+
+    Ground truth for ``task="quasi"``: every transaction's γ-quasi-
+    cliques inside the size window are enumerated explicitly
+    (:func:`repro.core.quasiclique.quasi_cliques_in_graph`), label
+    multisets aggregated into supporting-transaction sets, and the
+    frequent ones reported.  With ``closed_only`` the *relaxed* closure
+    filter applies — a pattern is dropped when a proper superpattern in
+    the same windowed frequent set has equal support.  Unlike exact
+    cliques, quasi support is not anti-monotone under label extension,
+    so closure here is a global post-filter over the window, exactly as
+    the engine strategy applies it.  Witnesses are the
+    lexicographically smallest qualifying vertex set per transaction.
+    """
+    from ..core.quasiclique import quasi_cliques_in_graph
+
+    started = time.perf_counter()
+    abs_sup = database.absolute_support(min_sup)
+    supports: Dict[Tuple[Label, ...], Set[int]] = {}
+    witnesses: Dict[Tuple[Label, ...], Dict[int, Tuple[int, ...]]] = {}
+    for tid, graph in enumerate(database):
+        for members in quasi_cliques_in_graph(graph, gamma, min_size, max_size):
+            labels = graph.label_multiset(members)
+            supports.setdefault(labels, set()).add(tid)
+            witness = tuple(sorted(members))
+            per_tid = witnesses.setdefault(labels, {})
+            if tid not in per_tid or witness < per_tid[tid]:
+                per_tid[tid] = witness
+    frequent = {
+        labels: tids for labels, tids in supports.items() if len(tids) >= abs_sup
+    }
+    result = MiningResult(min_sup=abs_sup, closed_only=closed_only)
+    for labels in sorted(frequent):
+        tids = frequent[labels]
+        if closed_only:
+            form = CanonicalForm(labels)
+            dominated = any(
+                len(other_tids) == len(tids)
+                and form.is_proper_subclique_of(CanonicalForm(other))
+                for other, other_tids in frequent.items()
+            )
+            if dominated:
+                continue
+        result.add(
+            CliquePattern(
+                form=CanonicalForm(labels),
+                support=len(tids),
+                transactions=tuple(sorted(tids)),
+                witnesses=dict(sorted(witnesses[labels].items())),
+            )
+        )
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
 def bruteforce_closed_cliques(
     database: GraphDatabase,
     min_sup: float,

@@ -171,6 +171,17 @@ def build_parser() -> argparse.ArgumentParser:
     quasi.add_argument("--gamma", type=float, default=0.8)
     quasi.add_argument("--min-size", type=int, default=2)
     quasi.add_argument("--max-size", type=int, default=5)
+    quasi.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
+                       help="candidate-intersection kernel (as for 'clan mine')")
+    quasi.add_argument("--processes", type=int, default=1,
+                       help="worker processes for the root search")
+    quasi.add_argument("--scheduler", default="stealing",
+                       choices=("stealing", "static"))
+    quasi.add_argument("--cache", default=None, metavar="DIR",
+                       help="persist the mining cache here: repeated runs "
+                            "replay cached roots instead of re-mining")
+    quasi.add_argument("--stats", action="store_true",
+                       help="print search statistics")
 
     validate = sub.add_parser("validate", help="check database integrity")
     validate.add_argument("database")
@@ -484,15 +495,21 @@ def cmd_topk(args: argparse.Namespace) -> int:
 
 
 def cmd_quasi(args: argparse.Namespace) -> int:
-    from .core.quasiclique import mine_closed_quasi_cliques
+    from .core.api import mine as run_mine
 
     database = _load(args.database, args.format)
-    result = mine_closed_quasi_cliques(
+    cache = _open_cli_cache(args.cache)
+    result = run_mine(
         database,
         _parse_min_sup(args.min_sup),
+        task="quasi",
         gamma=args.gamma,
         min_size=args.min_size,
         max_size=args.max_size,
+        kernel=args.kernel,
+        processes=max(args.processes, 1),
+        scheduler=args.scheduler,
+        cache=cache,
     )
     sys.stdout.write(patterns.dumps_result(result))
     print(
@@ -500,6 +517,9 @@ def cmd_quasi(args: argparse.Namespace) -> int:
         f"(sizes {args.min_size}..{args.max_size})",
         file=sys.stderr,
     )
+    if args.stats:
+        print("# " + result.statistics.summary(), file=sys.stderr)
+    _save_cli_cache(cache, args.cache)
     return 0
 
 

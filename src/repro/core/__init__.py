@@ -65,6 +65,8 @@ from .occurrences import (
 from .pattern import CliquePattern, make_pattern
 from .topk import mine_top_k_closed_cliques
 from .quasiclique import (
+    QuasiEmbeddingStore,
+    QuasiTaskStrategy,
     is_quasi_clique,
     mine_closed_quasi_cliques,
     quasi_cliques_in_graph,
@@ -112,6 +114,8 @@ __all__ = [
     "PatternEmitted",
     "PrefixVisited",
     "ProgressSink",
+    "QuasiEmbeddingStore",
+    "QuasiTaskStrategy",
     "RingBufferSink",
     "RootFinished",
     "RootStarted",

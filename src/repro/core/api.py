@@ -17,14 +17,14 @@ Dispatch table::
     task="maximal"   maximal cliques       MiningEngine / executor / session
     task="topk"      k largest closed      MiningEngine / executor / session
                                            (k=... required)
-    task="quasi"     closed quasi-cliques  mine_closed_quasi_cliques
+    task="quasi"     closed quasi-cliques  MiningEngine / executor / session
                                            (gamma=..., max_size required)
 
-The first four are **engine tasks**: one enumeration core
+All five are **engine tasks**: one enumeration core
 (:mod:`repro.core.engine`) under task strategies, so kernels, worker
-pools, sessions, and the cache's exact-replay tier apply uniformly.
-``quasi`` runs its own bounded-enumeration algorithm and accepts only
-the task-agnostic knobs.
+pools, sessions, and the cache's exact-replay tier apply uniformly —
+including ``quasi``, whose γ-relaxed strategy lives in
+:mod:`repro.core.quasiclique`.
 
 ``stream=True`` (engine tasks) returns an unstarted
 :class:`~repro.core.session.MiningSession` instead of running it, so
@@ -41,7 +41,7 @@ from ..graphdb.database import GraphDatabase
 from .cache import MiningCache
 from .canonical import Label
 from .config import MinerConfig
-from .engine import ENGINE_TASKS, engine_for_task
+from .engine import engine_for_task
 from .results import MiningResult
 from .session import EventSink, MiningBudget, MiningCheckpoint, MiningSession
 from .support import parse_support
@@ -141,7 +141,7 @@ def mine(
     """
     if task not in MINING_TASKS:
         raise MiningError(f"unknown task {task!r}; expected one of {MINING_TASKS}")
-    from .executor import SCHEDULERS, STEALING
+    from .executor import SCHEDULERS
 
     if scheduler not in SCHEDULERS:
         raise MiningError(f"unknown scheduler {scheduler!r}; use one of {SCHEDULERS}")
@@ -151,103 +151,83 @@ def mine(
     wants_session = bool(
         stream or sinks or sample_every or resume_from or (budget is not None)
     )
-    if task in ENGINE_TASKS:
-        if task == "topk" and k is None:
-            raise MiningError("task='topk' requires k=<number of patterns>")
-        resolved = _resolve_config(task, config, min_size, max_size, kernel, collect_witnesses)
-        if cache is not None and root_labels is not None:
+    if task == "topk" and k is None:
+        raise MiningError("task='topk' requires k=<number of patterns>")
+    gamma_arg: Optional[float] = None
+    if task == "quasi":
+        if not 0.5 <= gamma <= 1.0:
+            raise MiningError(f"gamma must be in [0.5, 1.0], got {gamma}")
+        gamma_arg = gamma
+        # The façade's historical default: no singleton quasi patterns
+        # unless the caller spells out a window (directly or via config).
+        if config is None and min_size == 1:
+            min_size = 2
+        if max_size is None and (config is None or config.max_size is None):
             raise MiningError(
-                "root_labels cannot be combined with cache; cached mining "
-                "covers every frequent root"
+                "task='quasi' requires max_size (the γ-quasi-clique "
+                "feasibility and c-closure bounds need a finite size "
+                "ceiling; see repro.core.quasiclique)"
             )
-        if wants_session:
-            if root_labels is not None:
-                raise MiningError(
-                    "root_labels cannot be combined with session options; "
-                    "sessions manage root scheduling themselves"
-                )
-            session = MiningSession(
-                database,
-                min_sup,
-                task=task,
-                k=k,
-                config=resolved,
-                budget=budget,
-                sinks=sinks,
-                sample_every=sample_every,
-                processes=processes,
-                scheduler=scheduler,
-                resume_from=resume_from,
-                cache=cache,
-            )
-            return session if stream else session.run()
-        if cache is not None:
-            from .cache import mine_with_cache
-
-            return mine_with_cache(
-                database,
-                min_sup,
-                cache=cache,
-                config=resolved,
-                processes=processes,
-                scheduler=scheduler if processes > 1 else None,
-                task=task,
-                k=k,
-            )
-        if processes > 1:
-            from .executor import MiningExecutor
-
-            if root_labels is not None:
-                raise MiningError("root_labels and processes>1 cannot be combined")
-            with MiningExecutor(
-                database,
-                resolved,
-                processes=processes,
-                scheduler=scheduler,
-                task=task,
-                k=k,
-            ) as executor:
-                return executor.mine(min_sup)
-
-        return engine_for_task(database, resolved, task, k).mine(
-            min_sup, root_labels=root_labels
-        )
-
-    # task == "quasi": its own bounded-enumeration algorithm — the
-    # engine options genuinely do not apply there.
-    offending = sorted(
-        name
-        for name, value in {
-            "config": config,
-            "kernel": kernel,
-            "collect_witnesses": collect_witnesses,
-            "root_labels": root_labels,
-            "processes": processes if processes != 1 else None,
-            "scheduler": scheduler if scheduler != STEALING else None,
-            "session": wants_session or None,
-            "cache": cache,
-        }.items()
-        if value is not None
-    )
-    if offending:
+    resolved = _resolve_config(task, config, min_size, max_size, kernel, collect_witnesses)
+    if cache is not None and root_labels is not None:
         raise MiningError(
-            f"task='quasi' runs its own bounded-enumeration algorithm and "
-            f"does not support the option(s) {offending}; engine options "
-            f"apply to the engine tasks {ENGINE_TASKS}"
+            "root_labels cannot be combined with cache; cached mining "
+            "covers every frequent root"
         )
-    from .quasiclique import mine_closed_quasi_cliques
+    if wants_session:
+        if root_labels is not None:
+            raise MiningError(
+                "root_labels cannot be combined with session options; "
+                "sessions manage root scheduling themselves"
+            )
+        session = MiningSession(
+            database,
+            min_sup,
+            task=task,
+            k=k,
+            gamma=gamma_arg,
+            config=resolved,
+            budget=budget,
+            sinks=sinks,
+            sample_every=sample_every,
+            processes=processes,
+            scheduler=scheduler,
+            resume_from=resume_from,
+            cache=cache,
+        )
+        return session if stream else session.run()
+    if cache is not None:
+        from .cache import mine_with_cache
 
-    if max_size is None:
-        raise MiningError(
-            "task='quasi' requires max_size (the quasi-clique search is "
-            "enumeration-bounded; see repro.core.quasiclique)"
+        return mine_with_cache(
+            database,
+            min_sup,
+            cache=cache,
+            config=resolved,
+            processes=processes,
+            scheduler=scheduler if processes > 1 else None,
+            task=task,
+            k=k,
+            gamma=gamma_arg,
         )
-    return mine_closed_quasi_cliques(
-        database,
-        min_sup,
-        gamma=gamma,
-        min_size=min_size if min_size != 1 else 2,
-        max_size=max_size,
+    if processes > 1:
+        from .executor import MiningExecutor
+
+        if root_labels is not None:
+            raise MiningError("root_labels and processes>1 cannot be combined")
+        with MiningExecutor(
+            database,
+            resolved,
+            processes=processes,
+            scheduler=scheduler,
+            task=task,
+            k=k,
+            gamma=gamma_arg,
+        ) as executor:
+            return executor.mine(min_sup)
+
+    return engine_for_task(database, resolved, task, k, gamma_arg).mine(
+        min_sup, root_labels=root_labels
     )
 
 
@@ -288,8 +268,8 @@ def _resolve_config(
 ) -> MinerConfig:
     """Build/merge the MinerConfig for an engine-task run.
 
-    Maximal and top-k mine closed-style (``closed_only=True``, Lemma
-    4.4 subtree pruning on); their emission rules live in the task
+    Maximal, top-k, and quasi mine closed-style (``closed_only=True``,
+    subtree pruning on); their emission rules live in the task
     strategies, not the config.  ``task="maximal"`` rejects a size
     ceiling: capping the search makes subcliques of capped cliques
     look maximal.

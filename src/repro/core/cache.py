@@ -438,11 +438,12 @@ def mine_with_cache(
     fingerprint: Optional[str] = None,
     task: str = "closed",
     k: Optional[int] = None,
+    gamma: Optional[float] = None,
 ) -> MiningResult:
     """Mine an engine task, reusing (and feeding) a cache.
 
-    Any engine task (``closed``, ``frequent``, ``maximal``, ``topk``)
-    runs here; entries are keyed by
+    Any engine task (``closed``, ``frequent``, ``maximal``, ``topk``,
+    ``quasi``) runs here; entries are keyed by
     :func:`~repro.core.engine.engine_digest`, so tasks never collide
     in a shared cache (and closed/frequent keys stay byte-compatible
     with caches persisted before the engine refactor).  The pattern
@@ -454,7 +455,7 @@ def mine_with_cache(
     hits; sweep-derived roots contribute patterns but no search
     counters, so after a sweep hit the statistics describe only the
     roots actually mined.  The sweep tier itself only serves closed
-    and frequent runs: maximal and top-k outputs are not
+    and frequent runs: maximal, top-k, and quasi outputs are not
     support-filterable across thresholds, so those tasks use the
     exact-replay tier alone.  ``statistics.roots_from_cache`` /
     ``cache_hits`` / ``cache_misses`` report the reuse (kept out of the
@@ -469,9 +470,10 @@ def mine_with_cache(
     from ..io.runlog import database_fingerprint
 
     started = time.perf_counter()
-    # Raises MiningError for unknown tasks / topk without k, and tells
-    # us whether the sweep tier is sound for this task's output.
-    strategy = make_strategy(task, k)
+    # Raises MiningError for unknown tasks / topk without k / quasi
+    # without gamma, and tells us whether the sweep tier is sound for
+    # this task's output.
+    strategy = make_strategy(task, k, gamma)
     if config is None:
         config = (
             MinerConfig() if task != "frequent" else MinerConfig.all_frequent()
@@ -488,7 +490,7 @@ def mine_with_cache(
     abs_sup = database.absolute_support(min_sup)
     if fingerprint is None:
         fingerprint = database_fingerprint(database)
-    digest = engine_digest(task, config, k)
+    digest = engine_digest(task, config, k, gamma)
     roots = tuple(database.frequent_labels(abs_sup))
 
     stats = MinerStatistics()
@@ -505,6 +507,7 @@ def mine_with_cache(
             cache=cache,
             task=task,
             k=k,
+            gamma=gamma,
         )
         try:
             for _root, part, _events in executor.iter_roots(
@@ -536,7 +539,7 @@ def mine_with_cache(
             if entry.statistics is not None:
                 stats.merge(MinerStatistics.from_snapshot(dict(entry.statistics)))
         if missing:
-            miner = engine_for_task(database, config, task, k).prepare()
+            miner = engine_for_task(database, config, task, k, gamma).prepare()
             for root in missing:
                 part = miner.mine(abs_sup, root_labels=(root,))
                 cache.store(

@@ -155,6 +155,7 @@ class ConstrainedMiner:
         project: bool = True,
         task: str = "closed",
         k: Optional[int] = None,
+        gamma: Optional[float] = None,
         kernel: Optional[str] = None,
         processes: int = 1,
         scheduler: str = "stealing",
@@ -165,6 +166,7 @@ class ConstrainedMiner:
         self.project = project
         self.task = task
         self.k = k
+        self.gamma = gamma
         self.kernel = kernel
         self.processes = processes
         self.scheduler = scheduler
@@ -191,6 +193,7 @@ class ConstrainedMiner:
             database = self.database
         abs_sup = self.database.absolute_support(min_sup)
 
+        gamma_options = {"gamma": self.gamma} if self.gamma is not None else {}
         mined = _mine(
             database,
             abs_sup,
@@ -201,6 +204,7 @@ class ConstrainedMiner:
             processes=self.processes,
             scheduler=self.scheduler,
             cache=self.cache,
+            **gamma_options,
         )
 
         result = MiningResult(
@@ -225,7 +229,7 @@ def mine_with_constraints(
     """One-call wrapper over :class:`ConstrainedMiner`.
 
     ``engine_options`` pass through to the :class:`ConstrainedMiner`
-    constructor: ``task``, ``k``, ``kernel``, ``processes``,
+    constructor: ``task``, ``k``, ``gamma``, ``kernel``, ``processes``,
     ``scheduler``, ``cache``.
     """
     return ConstrainedMiner(

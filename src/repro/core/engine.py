@@ -17,7 +17,7 @@ being hard-wired.  Every mining task then rides the same machinery:
 * one :class:`~repro.core.statistics.MinerStatistics` object filled
   with the same counters regardless of task.
 
-The four built-in strategies map to the paper like so:
+The five built-in strategies map to the paper like so:
 
 ========== ==========================================================
 strategy    emission / pruning rule
@@ -33,6 +33,12 @@ maximal     emit iff *no* extension label is frequent at all — the
 topk        closed emission into a bounded heap, plus a
             branch-and-bound size cut: subtrees whose multiplicity
             bound cannot beat the current k-th best size are skipped
+quasi       γ-quasi-clique relaxation over a feasibility-pruned
+            embedding store (``root_store``); emit iff enough
+            transactions hold a qualifying embedding, closed filter
+            applied *globally* (Lemma 4.3 does not relax), and the
+            Lemma 4.4 cut replaced by a c-closure bound on
+            non-adjacent pairs (see :mod:`repro.core.quasiclique`)
 ========== ==========================================================
 
 Determinism contract: a strategy may keep *per-root* state only
@@ -62,8 +68,8 @@ from .statistics import MinerStatistics
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .session import SearchHooks
 
-#: Tasks the engine can run directly (``quasi`` has its own algorithm).
-ENGINE_TASKS = ("closed", "frequent", "maximal", "topk")
+#: Tasks the engine can run directly.
+ENGINE_TASKS = ("closed", "frequent", "maximal", "topk", "quasi")
 
 
 # ----------------------------------------------------------------------
@@ -75,10 +81,13 @@ class TaskStrategy:
     The engine calls the hooks in a fixed order at every prefix (see
     :meth:`MiningEngine._recurse`); a strategy answers three questions:
 
-    * :meth:`prune_subtree` — may the Lemma 4.4 subtree cut run here?
+    * :meth:`prune_subtree` — can the whole subtree be cut here (the
+      Lemma 4.4 test by default; quasi substitutes a c-closure bound)?
     * :meth:`visit` — does this prefix become an output pattern?
     * :meth:`descend` — is the subtree below still worth exploring?
 
+    :meth:`root_store` lets a strategy substitute the embedding store
+    the DFS grows (quasi swaps in the feasibility-pruned store);
     ``begin_root``/``end_root`` bracket each DFS root so strategies may
     keep per-root state; ``finalize`` runs once per ``mine`` call.
     Class attributes declare how the stack above may treat the task:
@@ -96,9 +105,45 @@ class TaskStrategy:
     def begin_root(self, label: Label) -> None:
         """Reset any per-root state before a DFS root is mined."""
 
-    def prune_subtree(self, config: MinerConfig) -> bool:
-        """Whether the Lemma 4.4 non-closed-prefix cut applies."""
-        return config.nonclosed_prefix_pruning
+    def root_store(
+        self, engine: "MiningEngine", pseudo, label: Label
+    ) -> EmbeddingStore:
+        """Build the embedding store one DFS root grows from.
+
+        The default is the clique store; strategies whose definition
+        relaxes the clique condition (quasi) substitute their own.
+        Called with the engine's :class:`PseudoDatabase` (``None`` when
+        low-degree pruning is off) at both mining and split-planning
+        sites, so every execution path grows the same embeddings.
+        """
+        config = engine.config
+        return EmbeddingStore.for_label(
+            engine.database, pseudo, label, config.embedding_strategy, config.kernel
+        )
+
+    def prune_subtree(
+        self,
+        engine: "MiningEngine",
+        form: CanonicalForm,
+        store: EmbeddingStore,
+        abs_sup: int,
+    ) -> Optional[str]:
+        """Decide whether the whole subtree at ``form`` can be cut.
+
+        Returns a reason string (recorded in statistics and streamed in
+        :class:`~repro.core.session.SubtreePruned` events) or ``None``
+        to keep searching.  The default is the Lemma 4.4 non-closed
+        prefix test, gated on ``config.nonclosed_prefix_pruning``; it
+        runs after :meth:`EmbeddingStore.extension_plan` has seeded the
+        store's tie cache.  A strategy override must only cut subtrees
+        that provably contain no output pattern, and must be a pure
+        function of the store — split tasks and cache replays re-run it.
+        """
+        if not engine.config.nonclosed_prefix_pruning:
+            return None
+        if store.nonclosed_extension_label(form.last_label) is not None:
+            return "nonclosed_prefix"
+        return None
 
     def visit(
         self,
@@ -318,7 +363,9 @@ def _extension_multiplicity_bound(
 # ----------------------------------------------------------------------
 # Strategy / digest factories
 # ----------------------------------------------------------------------
-def make_strategy(task: str, k: Optional[int] = None) -> TaskStrategy:
+def make_strategy(
+    task: str, k: Optional[int] = None, gamma: Optional[float] = None
+) -> TaskStrategy:
     """Build the :class:`TaskStrategy` for an engine task."""
     if task == "closed":
         return ClosedStrategy()
@@ -330,6 +377,15 @@ def make_strategy(task: str, k: Optional[int] = None) -> TaskStrategy:
         if k is None:
             raise MiningError("task='topk' requires k=<number of patterns>")
         return TopKStrategy(k)
+    if task == "quasi":
+        if gamma is None:
+            raise MiningError(
+                "task='quasi' requires gamma=<density in [0.5, 1.0]>"
+            )
+        # Imported here: quasiclique builds on this module's TaskStrategy.
+        from .quasiclique import QuasiTaskStrategy
+
+        return QuasiTaskStrategy(gamma)
     raise MiningError(
         f"unknown engine task {task!r}; the engine runs {ENGINE_TASKS}"
     )
@@ -340,6 +396,7 @@ def engine_for_task(
     config: Optional[MinerConfig],
     task: str = "closed",
     k: Optional[int] = None,
+    gamma: Optional[float] = None,
 ) -> "MiningEngine":
     """Build a prepared-on-demand engine for any engine task.
 
@@ -348,24 +405,34 @@ def engine_for_task(
     ``closed_only`` contradicts the task is rejected — a frequent
     strategy under Lemma 4.4 pruning would silently skip subtrees.
     """
-    strategy = make_strategy(task, k)
+    strategy = make_strategy(task, k, gamma)
     if config is None:
         config = MinerConfig() if task != "frequent" else MinerConfig.all_frequent()
     elif config.closed_only != (task != "frequent"):
         raise MiningError(
             f"config.closed_only={config.closed_only} contradicts task {task!r}"
         )
+    if task == "quasi" and config.max_size is None:
+        raise MiningError(
+            "task='quasi' requires max_size (the γ-quasi-clique feasibility "
+            "and c-closure bounds need a finite size ceiling)"
+        )
     return MiningEngine(database, config, strategy=strategy)
 
 
-def engine_digest(task: str, config: MinerConfig, k: Optional[int] = None) -> str:
-    """The cache digest for a (task, config[, k]) combination.
+def engine_digest(
+    task: str,
+    config: MinerConfig,
+    k: Optional[int] = None,
+    gamma: Optional[float] = None,
+) -> str:
+    """The cache digest for a (task, config[, k/gamma]) combination.
 
     Closed/frequent keep the bare :meth:`MinerConfig.digest` (their
     task is already encoded in ``config.closed_only``, and persisted
-    caches from earlier releases carry those digests); maximal and
-    top-k prefix the task so their per-root entries can never collide
-    with a closed run of the same config.
+    caches from earlier releases carry those digests); maximal, top-k,
+    and quasi prefix the task (and its parameter) so their per-root
+    entries can never collide with a closed run of the same config.
     """
     digest = config.digest()
     if task in ("closed", "frequent"):
@@ -376,6 +443,12 @@ def engine_digest(task: str, config: MinerConfig, k: Optional[int] = None) -> st
         if k is None:
             raise MiningError("task='topk' requires k=<number of patterns>")
         return f"topk:{k}:{digest}"
+    if task == "quasi":
+        if gamma is None:
+            raise MiningError(
+                "task='quasi' requires gamma=<density in [0.5, 1.0]>"
+            )
+        return f"quasi:{gamma!r}:{digest}"
     raise MiningError(
         f"unknown engine task {task!r}; the engine runs {ENGINE_TASKS}"
     )
@@ -393,8 +466,16 @@ def finalize_patterns(
     compose per-root outputs into the same final pattern list.  For
     top-k this is where the *global* k best are chosen from the
     per-root candidates, under the same total order the per-root heaps
-    use; for every other task it is the canonical-form sort the merge
-    sites always applied.
+    use; for quasi it is the *global* closed filter (pattern-level
+    closedness is not per-prefix decidable for quasi-cliques, so
+    emission keeps every frequent pattern and closedness is resolved
+    here).  The quasi filter composes over any partition of the
+    emissions — a killed pattern's ⊂-maximal killer is itself unkilled,
+    so it survives every piecewise application and still kills at the
+    last one — which is what keeps per-root (cache), per-split-task
+    (executor), and whole-run (serial) filtering byte-identical after
+    the final merge.  For every other task it is the canonical-form
+    sort the merge sites always applied.
     """
     if task == "topk":
         if k is None:
@@ -405,6 +486,16 @@ def finalize_patterns(
             reverse=True,
         )
         return ordered[:k]
+    if task == "quasi":
+        kept = [
+            p
+            for p in patterns
+            if not any(
+                q.support == p.support and p.form.is_proper_subclique_of(q.form)
+                for q in patterns
+            )
+        ]
+        return sorted(kept, key=lambda p: p.form.labels)
     return sorted(patterns, key=lambda p: p.form.labels)
 
 
@@ -557,9 +648,7 @@ class MiningEngine:
                 stats.infrequent_extensions += 1
                 continue
             strategy.begin_root(label)
-            store = EmbeddingStore.for_label(
-                self.database, pseudo, label, config.embedding_strategy, config.kernel
-            )
+            store = strategy.root_store(self, pseudo, label)
             if first_extensions is None:
                 self._recurse(
                     CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms, hooks
@@ -616,15 +705,12 @@ class MiningEngine:
         if self._label_supports.get(root, 0) < abs_sup:
             return []
         pseudo = self._pseudo if config.low_degree_pruning else None
-        store = EmbeddingStore.for_label(
-            self.database, pseudo, root, config.embedding_strategy, config.kernel
-        )
+        store = self.strategy.root_store(self, pseudo, root)
         if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
             return []
         frequent_extensions, _, _ = store.extension_plan(abs_sup)
-        if self.strategy.prune_subtree(config):
-            if store.nonclosed_extension_label(root) is not None:
-                return []
+        if self.strategy.prune_subtree(self, CanonicalForm((root,)), store, abs_sup) is not None:
+            return []
         return [(label, sup) for label, sup in frequent_extensions if label >= root]
 
     # ------------------------------------------------------------------
@@ -667,15 +753,14 @@ class MiningEngine:
         frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
         stats.database_scans += 1
 
-        # Lines 04-05: non-closed prefix pruning (Lemma 4.4), where the
-        # strategy allows the cut.
-        if strategy.prune_subtree(config):
-            blocking = store.nonclosed_extension_label(form.last_label)
-            if blocking is not None:
-                stats.nonclosed_prefix_prunes += 1
-                if hooks is not None:
-                    hooks.pruned(form, "nonclosed_prefix")
-                return
+        # Lines 04-05: the strategy's subtree cut (Lemma 4.4 for the
+        # clique tasks, the c-closure bound for quasi).
+        prune_reason = strategy.prune_subtree(self, form, store, abs_sup)
+        if prune_reason is not None:
+            stats.nonclosed_prefix_prunes += 1
+            if hooks is not None:
+                hooks.pruned(form, prune_reason)
+            return
 
         # Lines 06-07: the strategy's emission rule.
         strategy.visit(
@@ -753,13 +838,13 @@ class MiningEngine:
             stats.record_frequent(form.size)
             frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
             stats.database_scans += 1
-            if strategy.prune_subtree(config):
-                blocking = store.nonclosed_extension_label(last_label)
-                if blocking is not None:  # pragma: no cover - splitter precondition
-                    raise MiningError(
-                        f"split task for root {form} reached a Lemma 4.4 prune; "
-                        f"the splitter must not split pruned roots"
-                    )
+            if (
+                strategy.prune_subtree(self, form, store, abs_sup) is not None
+            ):  # pragma: no cover - splitter precondition
+                raise MiningError(
+                    f"split task for root {form} reached a subtree prune; "
+                    f"the splitter must not split pruned roots"
+                )
             strategy.visit(
                 self, form, store, frequent_extensions, blocked, result, stats, hooks
             )

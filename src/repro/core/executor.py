@@ -222,12 +222,13 @@ def _init_executor_worker(
     config: MinerConfig,
     task: str = "closed",
     k: Optional[int] = None,
+    gamma: Optional[float] = None,
 ) -> None:
     miner = _PARENT_MINERS.get(token)
     if miner is None:
         # spawn/forkserver start methods: no inherited parent state, so
         # rebuild (and warm) the engine from the pickled initargs.
-        miner = engine_for_task(database, config, task, k).prepare()
+        miner = engine_for_task(database, config, task, k, gamma).prepare()
     _WORKER_STATE["miner"] = miner
 
 
@@ -354,6 +355,7 @@ class MiningExecutor:
         cache: Optional[MiningCache] = None,
         task: Optional[str] = None,
         k: Optional[int] = None,
+        gamma: Optional[float] = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise MiningError(
@@ -383,10 +385,11 @@ class MiningExecutor:
             task = "closed" if config.closed_only else "frequent"
         self.task = task
         self.k = k
+        self.gamma = gamma
         self.last_report: Optional[ExecutorReport] = None
         # Shared index warm-up: build every index in the parent now, so
         # the forked workers inherit them copy-on-write.
-        self._miner = engine_for_task(database, config, task, k).prepare()
+        self._miner = engine_for_task(database, config, task, k, gamma).prepare()
         self._token = next(_TOKENS)
         self._pool: Optional[Any] = None
         self._generation = 0
@@ -420,7 +423,14 @@ class MiningExecutor:
             self._pool = context.Pool(
                 processes=self.processes,
                 initializer=_init_executor_worker,
-                initargs=(self._token, self.database, self.config, self.task, self.k),
+                initargs=(
+                    self._token,
+                    self.database,
+                    self.config,
+                    self.task,
+                    self.k,
+                    self.gamma,
+                ),
             )
         return self._pool
 
@@ -512,7 +522,7 @@ class MiningExecutor:
             from ..io.runlog import database_fingerprint
 
             fingerprint = database_fingerprint(self.database)
-            config_digest = engine_digest(self.task, self.config, self.k)
+            config_digest = engine_digest(self.task, self.config, self.k, self.gamma)
             for root in roots:
                 entry = self.cache.lookup(
                     fingerprint,

@@ -158,7 +158,12 @@ class PatternEmitted:
 
 @dataclass(frozen=True)
 class SubtreePruned:
-    """A whole subtree was cut (currently: Lemma 4.4 prunes)."""
+    """A whole subtree was cut.
+
+    ``reason`` names the strategy's bound: ``"nonclosed_prefix"``
+    (Lemma 4.4, the clique tasks) or ``"quasi_cc_bound"`` (the
+    c-closure feasibility bound, ``task="quasi"``).
+    """
 
     kind: ClassVar[str] = "subtree_pruned"
     form: Tuple[Label, ...]
@@ -555,6 +560,9 @@ class MiningCheckpoint:
     #: ``task="topk"`` only: the k the run was started with (older
     #: checkpoints carry no ``k`` key and load as ``None``).
     k: Optional[int] = None
+    #: ``task="quasi"`` only: the density the run was started with
+    #: (older checkpoints carry no ``gamma`` key and load as ``None``).
+    gamma: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -568,6 +576,7 @@ class MiningCheckpoint:
             "completed_roots": list(self.completed_roots),
             "result": self.result,
             "k": self.k,
+            "gamma": self.gamma,
         }
 
     @classmethod
@@ -577,6 +586,7 @@ class MiningCheckpoint:
                 f"expected kind 'mining-checkpoint', got {payload.get('kind')!r}"
             )
         k = payload.get("k")
+        gamma = payload.get("gamma")
         return cls(
             task=payload["task"],
             min_sup=int(payload["min_sup"]),
@@ -586,6 +596,7 @@ class MiningCheckpoint:
             completed_roots=tuple(payload["completed_roots"]),
             result=dict(payload["result"]),
             k=int(k) if k is not None else None,
+            gamma=float(gamma) if gamma is not None else None,
         )
 
     def patterns(self) -> MiningResult:
@@ -615,17 +626,21 @@ class MiningSession:
         fractions, and ``"85%"`` strings.
     task:
         Any engine task: ``"closed"`` (default), ``"frequent"``,
-        ``"maximal"``, or ``"topk"`` (requires ``k``).  All four run
-        the same :class:`~repro.core.engine.MiningEngine` under a task
+        ``"maximal"``, ``"topk"`` (requires ``k``), or ``"quasi"``
+        (requires ``gamma`` and a ``config`` with a finite
+        ``max_size``).  All five run the same
+        :class:`~repro.core.engine.MiningEngine` under a task
         strategy, so budgets, sinks, checkpoints, worker pools, and
-        the cache's exact-replay tier apply uniformly.  ``"quasi"``
-        runs a different bounded-enumeration algorithm and is only
-        reachable through :func:`repro.mine`.
+        the cache's exact-replay tier apply uniformly.
     k:
         ``task="topk"`` only: how many of the largest closed cliques
         to keep.  Per-root candidates accumulate across roots (and
         across checkpoint/resume); the *global* k best are selected
         when the result is built.
+    gamma:
+        ``task="quasi"`` only: the γ density threshold in
+        ``[0.5, 1.0]``.  Checkpoints record it, and resuming
+        validates it the same way ``k`` is validated for top-k.
     config:
         Optional :class:`MinerConfig`; must agree with ``task`` and
         keep structural redundancy pruning on (root partitioning).
@@ -686,14 +701,28 @@ class MiningSession:
         resume_from: Optional[MiningCheckpoint] = None,
         cache: Optional["MiningCache"] = None,
         k: Optional[int] = None,
+        gamma: Optional[float] = None,
     ) -> None:
         if task not in ENGINE_TASKS:
             raise MiningError(
                 f"MiningSession supports the engine tasks {ENGINE_TASKS}, got "
-                f"{task!r}; use repro.mine(task='quasi', ...) for quasi-cliques"
+                f"{task!r}"
             )
         if task == "topk" and k is None:
             raise MiningError("task='topk' requires k=<number of patterns>")
+        if task == "quasi":
+            if gamma is None:
+                raise MiningError(
+                    "task='quasi' requires gamma=<density in [0.5, 1.0]>"
+                )
+            if not 0.5 <= gamma <= 1.0:
+                raise MiningError(f"gamma must be in [0.5, 1.0], got {gamma}")
+            if config is None or config.max_size is None:
+                raise MiningError(
+                    "task='quasi' requires a config with max_size (the "
+                    "γ-quasi-clique feasibility and c-closure bounds need "
+                    "a finite size ceiling)"
+                )
         if config is None:
             config = (
                 MinerConfig() if task != "frequent" else MinerConfig.all_frequent()
@@ -719,6 +748,7 @@ class MiningSession:
         self.database = database
         self.task = task
         self.k = k
+        self.gamma = gamma
         self.config = config
         self.abs_sup = database.absolute_support(min_sup)
         self.budget = budget
@@ -804,7 +834,7 @@ class MiningSession:
             from ..io.runlog import database_fingerprint
 
             fingerprint = database_fingerprint(self.database)
-            config_digest = engine_digest(self.task, self.config, self.k)
+            config_digest = engine_digest(self.task, self.config, self.k, self.gamma)
         miner: Optional[MiningEngine] = None
         hooks = SearchHooks(
             sinks=self.sinks,
@@ -846,7 +876,7 @@ class MiningSession:
                 self._statistics.cache_misses += 1
             if miner is None:
                 miner = engine_for_task(
-                    self.database, self.config, self.task, self.k
+                    self.database, self.config, self.task, self.k, self.gamma
                 ).prepare()
             recorder: Optional[_ListSink] = None
             if self.cache is not None:
@@ -902,6 +932,7 @@ class MiningSession:
             cache=self.cache,
             task=self.task,
             k=self.k,
+            gamma=self.gamma,
             **executor_options,
         )
         try:
@@ -1011,6 +1042,7 @@ class MiningSession:
             completed_roots=self.completed_roots,
             result=result_to_dict(interim),
             k=self.k,
+            gamma=self.gamma,
         )
 
     def _load_checkpoint(self, checkpoint: MiningCheckpoint) -> None:
@@ -1024,6 +1056,11 @@ class MiningSession:
             raise MiningError(
                 f"checkpoint k={checkpoint.k!r} does not match this "
                 f"session's k={self.k!r}"
+            )
+        if checkpoint.gamma != self.gamma:
+            raise MiningError(
+                f"checkpoint gamma={checkpoint.gamma!r} does not match this "
+                f"session's gamma={self.gamma!r}"
             )
         if checkpoint.min_sup != self.abs_sup:
             raise MiningError(

@@ -523,9 +523,13 @@ class TestMineFacade:
         session = mine(dense_db, 2, cache=cache, sinks=(ring,))
         assert keys(parallel) == keys(session)
 
-    def test_cache_serves_maximal_and_topk(self):
-        # Exact-replay reuse is task-generic; only quasi stays outside.
-        for task, extra in (("maximal", {}), ("topk", {"k": 3})):
+    def test_cache_serves_maximal_topk_and_quasi(self):
+        # Exact-replay reuse is task-generic across every engine task.
+        for task, extra in (
+            ("maximal", {}),
+            ("topk", {"k": 3}),
+            ("quasi", {"gamma": 0.8, "max_size": 4}),
+        ):
             cache = MiningCache()
             cold = mine(dense_db, 2, task=task, cache=cache, **extra)
             warm = mine(dense_db, 2, task=task, cache=cache, **extra)
@@ -546,9 +550,18 @@ class TestMineFacade:
         topk1 = mine(dense_db, 2, task="topk", k=1, cache=cache)
         assert keys(topk1) == keys(mine(dense_db, 2, task="topk", k=1))
 
-    def test_cache_rejected_for_quasi(self):
-        with pytest.raises(MiningError):
-            mine(dense_db, 2, task="quasi", max_size=4, cache=MiningCache())
+    def test_cache_keys_are_gamma_scoped(self):
+        # Two densities share a cache without cross-contaminating: the
+        # engine digest folds gamma in, like k for top-k.
+        cache = MiningCache()
+        loose = mine(dense_db, 2, task="quasi", gamma=0.6, max_size=4, cache=cache)
+        tight = mine(dense_db, 2, task="quasi", gamma=1.0, max_size=4, cache=cache)
+        assert keys(loose) == keys(
+            mine(dense_db, 2, task="quasi", gamma=0.6, max_size=4)
+        )
+        assert keys(tight) == keys(
+            mine(dense_db, 2, task="quasi", gamma=1.0, max_size=4)
+        )
 
     def test_sweep_tier_never_serves_maximal_or_topk(self):
         # Warm the cache at a LOWER threshold; a closed run at the
@@ -563,6 +576,10 @@ class TestMineFacade:
         mine(dense_db, 2, task="topk", k=3, cache=cache2)
         mine(dense_db, 3, task="topk", k=3, cache=cache2)
         assert cache2.sweep_hits == 0
+        cache3 = MiningCache()
+        mine(dense_db, 2, task="quasi", gamma=0.8, max_size=4, cache=cache3)
+        mine(dense_db, 3, task="quasi", gamma=0.8, max_size=4, cache=cache3)
+        assert cache3.sweep_hits == 0
 
     def test_cache_rejected_with_root_labels(self):
         with pytest.raises(MiningError):

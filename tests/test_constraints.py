@@ -92,6 +92,42 @@ class TestConstrainedMining:
         plain = mine_closed_cliques(paper_db, 2)
         assert sorted(p.key() for p in result) == sorted(p.key() for p in plain)
 
+    def test_quasi_task_with_gamma(self, paper_db):
+        # Constraints compose with the quasi engine task: gamma passes
+        # through, and the constraint bundle's max_size doubles as the
+        # quasi search's mandatory size ceiling.
+        from repro.core import mine
+
+        constrained = mine_with_constraints(
+            paper_db,
+            2,
+            CliqueConstraints.of(forbidden="a", min_size=2, max_size=4),
+            task="quasi",
+            gamma=0.75,
+        )
+        keys = {p.key() for p in constrained}
+        assert all("a" not in key.split(":")[0] for key in keys)
+        # The relaxed-closure filter re-runs in the projected world;
+        # the paper example's b-d-e triangle survives it.
+        assert "bde:2" in keys
+        # At γ=1.0 constrained quasi collapses to constrained closed-
+        # clique mining over the same size window.
+        exact_quasi = mine_with_constraints(
+            paper_db,
+            2,
+            CliqueConstraints.of(forbidden="a", min_size=2, max_size=4),
+            task="quasi",
+            gamma=1.0,
+        )
+        exact = mine_with_constraints(
+            paper_db,
+            2,
+            CliqueConstraints.of(forbidden="a", min_size=2, max_size=4),
+        )
+        assert sorted(p.key() for p in exact_quasi) == sorted(
+            p.key() for p in exact
+        )
+
     def test_projected_vs_postfilter_semantics(self, paper_db):
         """project=True re-evaluates closedness in the projected world:
         bd:2 is closed among {b, d} labels even though bde:2 absorbs it

@@ -26,16 +26,20 @@ from tests.conftest import make_random_database
 
 class TestStrategyRegistry:
     def test_engine_tasks_enumeration(self):
-        assert ENGINE_TASKS == ("closed", "frequent", "maximal", "topk")
+        assert ENGINE_TASKS == ("closed", "frequent", "maximal", "topk", "quasi")
 
     @pytest.mark.parametrize("task", ENGINE_TASKS)
     def test_make_strategy_round_trips_task_name(self, task):
-        strategy = make_strategy(task, k=3 if task == "topk" else None)
+        strategy = make_strategy(
+            task,
+            k=3 if task == "topk" else None,
+            gamma=0.8 if task == "quasi" else None,
+        )
         assert strategy.task == task
 
     def test_unknown_task_rejected(self):
         with pytest.raises(MiningError, match="unknown engine task"):
-            make_strategy("quasi")
+            make_strategy("pseudo")
 
     def test_topk_requires_positive_k(self):
         with pytest.raises(MiningError):
@@ -43,11 +47,18 @@ class TestStrategyRegistry:
         with pytest.raises(MiningError):
             make_strategy("topk", k=0)
 
+    def test_quasi_requires_gamma_in_range(self):
+        with pytest.raises(MiningError, match="requires gamma"):
+            make_strategy("quasi")
+        with pytest.raises(MiningError, match="gamma must be"):
+            make_strategy("quasi", gamma=0.3)
+
     def test_sweep_support_is_task_scoped(self):
         assert make_strategy("closed").supports_sweep
         assert make_strategy("frequent").supports_sweep
         assert not make_strategy("maximal").supports_sweep
         assert not make_strategy("topk", k=2).supports_sweep
+        assert not make_strategy("quasi", gamma=0.8).supports_sweep
 
     def test_clan_miner_is_the_closed_engine(self):
         database = make_random_database(1)
@@ -73,8 +84,10 @@ class TestEngineDigest:
             engine_digest("maximal", config, None),
             engine_digest("topk", config, 3),
             engine_digest("topk", config, 5),
+            engine_digest("quasi", config, None, 0.6),
+            engine_digest("quasi", config, None, 0.8),
         }
-        assert len(digests) == 4  # no collisions across tasks or k
+        assert len(digests) == 6  # no collisions across tasks, k, or gamma
 
 
 class TestFinalizePatterns:
@@ -97,7 +110,9 @@ class TestEngineForTask:
     def test_prepare_and_mine(self, task):
         database = make_random_database(3)
         k = 2 if task == "topk" else None
-        engine = engine_for_task(database, None, task, k).prepare()
+        gamma = 0.8 if task == "quasi" else None
+        config = MinerConfig(min_size=2, max_size=4) if task == "quasi" else None
+        engine = engine_for_task(database, config, task, k, gamma).prepare()
         result = engine.mine(2)
         assert result.closed_only == (task != "frequent")
 

@@ -4,16 +4,33 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines.bruteforce import bruteforce_quasi_cliques
 from repro.core import (
+    MinerConfig,
+    QuasiTaskStrategy,
     is_quasi_clique,
+    mine,
     mine_closed_cliques,
     mine_closed_quasi_cliques,
     quasi_cliques_in_graph,
     required_degree,
 )
+from repro.core.engine import MiningEngine
 from repro.exceptions import MiningError
 from repro.graphdb import Graph, GraphDatabase
 from tests.conftest import make_random_database
+
+
+def signature(result):
+    return sorted(
+        (
+            pattern.form.labels,
+            pattern.support,
+            tuple(sorted(pattern.transactions)),
+            tuple(sorted(pattern.witnesses.items())),
+        )
+        for pattern in result
+    )
 
 
 def k5_minus_edge() -> Graph:
@@ -123,28 +140,127 @@ class TestEnumeration:
 
 class TestMining:
     def test_gamma_one_matches_clan(self, paper_db):
-        quasi = mine_closed_quasi_cliques(paper_db, 2, gamma=1.0, min_size=1, max_size=4)
-        exact = mine_closed_cliques(paper_db, 2)
+        quasi = mine(
+            paper_db,
+            2,
+            task="quasi",
+            gamma=1.0,
+            config=MinerConfig(min_size=1, max_size=4),
+        )
+        exact = mine_closed_cliques(paper_db, 2, config=MinerConfig(max_size=4))
         assert sorted(p.key() for p in quasi) == sorted(p.key() for p in exact)
 
     def test_near_clique_pattern_mined(self):
         db = GraphDatabase([k5_minus_edge(), k5_minus_edge()])
-        result = mine_closed_quasi_cliques(db, 2, gamma=0.75, min_size=5, max_size=5)
+        result = mine(db, 2, task="quasi", gamma=0.75, min_size=5, max_size=5)
         assert [p.key() for p in result] == ["pqrst:2"]
 
     def test_closed_only_flag(self):
         db = GraphDatabase([k5_minus_edge(), k5_minus_edge()])
-        every = mine_closed_quasi_cliques(
-            db, 2, gamma=0.75, min_size=2, max_size=5, closed_only=False
-        )
-        closed = mine_closed_quasi_cliques(
-            db, 2, gamma=0.75, min_size=2, max_size=5, closed_only=True
-        )
+        config = MinerConfig.all_frequent(min_size=2, max_size=5)
+        every = MiningEngine(
+            db, config, strategy=QuasiTaskStrategy(0.75, closed=False)
+        ).mine(2)
+        closed = mine(db, 2, task="quasi", gamma=0.75, min_size=2, max_size=5)
         assert len(closed) < len(every)
         assert {p.key() for p in closed} <= {p.key() for p in every}
 
     def test_witnesses_are_quasi_cliques(self, paper_db):
-        result = mine_closed_quasi_cliques(paper_db, 2, gamma=0.75, min_size=3, max_size=4)
+        result = mine(paper_db, 2, task="quasi", gamma=0.75, min_size=3, max_size=4)
         for pattern in result:
             for tid, witness in pattern.witnesses.items():
                 assert is_quasi_clique(paper_db[tid], frozenset(witness), 0.75)
+
+    def test_deprecated_shim_warns_and_matches_engine(self, paper_db):
+        with pytest.warns(DeprecationWarning, match="mine_closed_quasi_cliques"):
+            legacy = mine_closed_quasi_cliques(
+                paper_db, 2, gamma=0.75, min_size=2, max_size=4
+            )
+        current = mine(paper_db, 2, task="quasi", gamma=0.75, max_size=4)
+        assert signature(legacy) == signature(current)
+
+
+class TestEngineStrategyProperties:
+    """Hypothesis properties of the QuasiTaskStrategy bounds.
+
+    The engine port replaces per-prefix closure reasoning with two
+    quasi-specific cuts — the feasibility recursion and the c-closure
+    subtree bound — so their soundness is exactly what the strategy's
+    correctness rests on.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        gamma=st.sampled_from([0.5, 0.6, 0.75, 0.8, 0.9, 1.0]),
+        min_sup=st.integers(1, 2),
+    )
+    def test_cc_prune_bound_never_cuts_a_result_subtree(
+        self, seed, gamma, min_sup
+    ):
+        """Pruning is invisible in the output: a run with the c-closure
+        cut enabled equals a run with all subtree pruning disabled, and
+        both equal the exhaustive oracle — so no cut subtree contained
+        an oracle-confirmed pattern."""
+        db = make_random_database(seed, n_graphs=3, n_vertices=7)
+        pruned = mine(db, min_sup, task="quasi", gamma=gamma, max_size=4)
+        unpruned = mine(
+            db,
+            min_sup,
+            task="quasi",
+            gamma=gamma,
+            config=MinerConfig(
+                min_size=2, max_size=4, nonclosed_prefix_pruning=False
+            ),
+        )
+        assert signature(pruned) == signature(unpruned)
+        oracle = bruteforce_quasi_cliques(
+            db, min_sup, gamma=gamma, min_size=2, max_size=4
+        )
+        assert signature(pruned) == signature(oracle)
+
+    def test_cc_prune_bound_fires(self):
+        """The soundness property is not vacuous: on a seed where the
+        bound provably cuts subtrees, the output still matches the
+        unpruned run (regression pin for the probe that found it)."""
+        db = make_random_database(0, n_graphs=3, n_vertices=7)
+        pruned = mine(db, 2, task="quasi", gamma=0.6, max_size=4)
+        assert pruned.statistics.snapshot()["nonclosed_prefix_prunes"] > 0
+        unpruned = mine(
+            db,
+            2,
+            task="quasi",
+            gamma=0.6,
+            config=MinerConfig(
+                min_size=2, max_size=4, nonclosed_prefix_pruning=False
+            ),
+        )
+        assert signature(pruned) == signature(unpruned)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        gammas=st.tuples(
+            st.sampled_from([0.5, 0.6, 0.75, 0.8, 0.9, 1.0]),
+            st.sampled_from([0.5, 0.6, 0.75, 0.8, 0.9, 1.0]),
+        ),
+    )
+    def test_visit_check_is_density_monotone(self, seed, gammas):
+        """Loosening γ only adds: every pattern the strategy's visit
+        check emits at the tighter density is emitted at the looser one
+        too, with support at least as large.  (Tested on the frequent
+        variant — the closed filter deliberately drops dominated
+        patterns, which would mask the monotonicity.)"""
+        lo, hi = min(gammas), max(gammas)
+        db = make_random_database(seed, n_graphs=3, n_vertices=7)
+        config = MinerConfig.all_frequent(min_size=2, max_size=4)
+        at_hi = MiningEngine(
+            db, config, strategy=QuasiTaskStrategy(hi, closed=False)
+        ).mine(1)
+        at_lo = MiningEngine(
+            db, config, strategy=QuasiTaskStrategy(lo, closed=False)
+        ).mine(1)
+        support_at_lo = {p.form.labels: p.support for p in at_lo}
+        for pattern in at_hi:
+            assert pattern.form.labels in support_at_lo, pattern
+            assert support_at_lo[pattern.form.labels] >= pattern.support, pattern

@@ -29,9 +29,9 @@ from repro.core import (
     event_to_dict,
     iter_session_events,
     mine_closed_cliques,
-    mine_closed_quasi_cliques,
     mine_frequent_cliques,
 )
+from repro.baselines.bruteforce import bruteforce_quasi_cliques
 from repro.core.maximal import mine_maximal_cliques
 from repro.core.session import (
     PatternEmitted,
@@ -93,7 +93,7 @@ class TestFacadeMatchesLegacy:
 
     def test_quasi(self, paper_db):
         assert keys(mine(paper_db, 2, task="quasi", gamma=0.8, max_size=5)) == keys(
-            mine_closed_quasi_cliques(paper_db, 2, gamma=0.8, max_size=5)
+            bruteforce_quasi_cliques(paper_db, 2, gamma=0.8, min_size=2, max_size=5)
         )
 
     def test_parallel_pool(self, dense_db):
@@ -127,13 +127,23 @@ class TestFacadeMatchesLegacy:
         pooled = mine(dense_db, 3, task="topk", k=4, processes=2)
         assert keys(pooled) == keys(mine_top_k_closed_cliques(dense_db, 3, k=4))
 
-    def test_engine_options_rejected_for_quasi(self, paper_db):
-        with pytest.raises(MiningError, match="engine tasks"):
-            mine(paper_db, 2, task="quasi", max_size=4, processes=2)
-        with pytest.raises(MiningError, match="engine tasks"):
-            mine(paper_db, 2, task="quasi", max_size=4, kernel="bitset")
-        with pytest.raises(MiningError, match="engine tasks"):
-            mine(paper_db, 2, task="quasi", max_size=4, deadline=5.0)
+    def test_engine_options_work_for_quasi(self, paper_db):
+        # Quasi is a full engine task now: kernels, worker pools, and
+        # budgets all apply, and every path agrees with plain serial.
+        plain = mine(paper_db, 2, task="quasi", gamma=0.8, max_size=4)
+        pooled = mine(paper_db, 2, task="quasi", gamma=0.8, max_size=4, processes=2)
+        setk = mine(paper_db, 2, task="quasi", gamma=0.8, max_size=4, kernel="set")
+        budgeted = mine(
+            paper_db, 2, task="quasi", gamma=0.8, max_size=4, deadline=60.0
+        )
+        assert keys(pooled) == keys(plain)
+        assert keys(setk) == keys(plain)
+        assert keys(budgeted) == keys(plain)
+        assert not budgeted.truncated
+
+    def test_quasi_rejects_out_of_range_gamma(self, paper_db):
+        with pytest.raises(MiningError, match="gamma"):
+            mine(paper_db, 2, task="quasi", gamma=0.2, max_size=4)
 
     def test_maximal_rejects_max_size(self, paper_db):
         with pytest.raises(MiningError, match="look maximal"):
@@ -524,11 +534,27 @@ class TestCheckpointResume:
 # Session construction guards
 # ======================================================================
 class TestSessionGuards:
-    def test_engine_tasks_accepted_quasi_rejected(self, paper_db):
+    def test_all_engine_tasks_accepted(self, paper_db):
         session = MiningSession(paper_db, 2, task="maximal")
         assert keys(session.run()) == keys(mine_maximal_cliques(paper_db, 2))
-        with pytest.raises(MiningError, match="engine tasks"):
-            MiningSession(paper_db, 2, task="quasi")
+        quasi = MiningSession(
+            paper_db,
+            2,
+            task="quasi",
+            gamma=0.8,
+            config=MinerConfig(min_size=2, max_size=5),
+        )
+        assert keys(quasi.run()) == keys(
+            mine(paper_db, 2, task="quasi", gamma=0.8, max_size=5)
+        )
+
+    def test_quasi_session_requires_gamma_and_max_size(self, paper_db):
+        with pytest.raises(MiningError, match="requires gamma"):
+            MiningSession(
+                paper_db, 2, task="quasi", config=MinerConfig(max_size=5)
+            )
+        with pytest.raises(MiningError, match="max_size"):
+            MiningSession(paper_db, 2, task="quasi", gamma=0.8)
 
     def test_topk_session_requires_k(self, paper_db):
         with pytest.raises(MiningError, match="requires k"):

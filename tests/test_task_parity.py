@@ -1,9 +1,10 @@
 """Cross-task parity: every engine task, every execution path.
 
-The engine refactor's contract is that ``maximal`` and ``topk`` are
-ordinary engine tasks — the same kernel/executor/session/cache stack
-that serves ``closed`` serves them, and every path composes the same
-per-root subtrees, so the outputs are *byte-identical* across:
+The engine refactor's contract is that ``maximal``, ``topk``, and
+``quasi`` are ordinary engine tasks — the same
+kernel/executor/session/cache stack that serves ``closed`` serves
+them, and every path composes the same per-root subtrees, so the
+outputs are *byte-identical* across:
 
 * the serial engine (``repro.mine``, ``processes=1``),
 * the work-stealing process pool (``processes>1, scheduler=stealing``),
@@ -20,10 +21,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.bruteforce import bruteforce_closed_cliques
-from repro.core import MiningCache, MiningSession, RingBufferSink, mine
+from repro.baselines.bruteforce import (
+    bruteforce_closed_cliques,
+    bruteforce_quasi_cliques,
+)
+from repro.core import (
+    MinerConfig,
+    MiningBudget,
+    MiningCache,
+    MiningSession,
+    RingBufferSink,
+    mine,
+)
 from repro.core.engine import finalize_patterns
 from repro.core.maximal import maximal_subset
+from repro.exceptions import MiningError
 
 from tests.conftest import make_random_database
 
@@ -33,7 +45,26 @@ CASES = [
     for seed in range(8)
 ]
 
-TASKS = (("maximal", {}), ("topk", {"k": 4}))
+TASKS = (
+    ("maximal", {}),
+    ("topk", {"k": 4}),
+    ("quasi", {"gamma": 0.8, "max_size": 4}),
+)
+
+
+def session_options(task, extra):
+    """Translate ``repro.mine`` extras into MiningSession keywords.
+
+    The façade folds ``max_size`` into the config itself (and maps the
+    default ``min_size=1`` to 2 for quasi); sessions take the config
+    directly.
+    """
+    if task != "quasi":
+        return dict(extra)
+    return {
+        "gamma": extra["gamma"],
+        "config": MinerConfig(min_size=2, max_size=extra["max_size"]),
+    }
 
 
 def full_signature(result):
@@ -91,7 +122,7 @@ class TestPathParity:
     """Serial == stealing pool == static pool == warm cache == session."""
 
     @pytest.mark.parametrize("case", CASES)
-    @pytest.mark.parametrize("task,extra", TASKS, ids=("maximal", "topk"))
+    @pytest.mark.parametrize("task,extra", TASKS, ids=("maximal", "topk", "quasi"))
     def test_all_paths_byte_identical(self, case, task, extra):
         database = database_for(case)
         min_sup = 2 if case[0] % 2 else 1
@@ -122,7 +153,7 @@ class TestPathParity:
 
         ring = RingBufferSink(capacity=None)
         session = MiningSession(
-            database, min_sup, task=task, sinks=(ring,), **extra
+            database, min_sup, task=task, sinks=(ring,), **session_options(task, extra)
         )
         via_session = session.run()
         assert full_signature(via_session) == reference
@@ -153,6 +184,19 @@ class TestOracle:
         assert [
             (p.form.labels, p.support) for p in mined
         ] == [(p.form.labels, p.support) for p in oracle], case
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_quasi_equals_bruteforce(self, case):
+        # Witnesses included: both sides define the witness as the
+        # lexicographically smallest qualifying vertex set per
+        # transaction, so the oracle pins them exactly.
+        database = database_for(case)
+        min_sup = 2 if case[0] % 2 else 1
+        mined = mine(database, min_sup, task="quasi", gamma=0.8, max_size=4)
+        oracle = bruteforce_quasi_cliques(
+            database, min_sup, gamma=0.8, min_size=2, max_size=4
+        )
+        assert sorted(full_signature(mined)) == sorted(full_signature(oracle)), case
 
 
 class TestSnapshotSchemaTaskIndependent:
@@ -188,6 +232,9 @@ class TestSnapshotSchemaTaskIndependent:
             "frequent": mine(database, 2, task="frequent").statistics.snapshot(),
             "maximal": mine(database, 2, task="maximal").statistics.snapshot(),
             "topk": mine(database, 2, task="topk", k=3).statistics.snapshot(),
+            "quasi": mine(
+                database, 2, task="quasi", gamma=0.8, max_size=4
+            ).statistics.snapshot(),
         }
         for task, snapshot in snapshots.items():
             assert set(snapshot) == self.FROZEN_KEYS, task
@@ -204,3 +251,60 @@ class TestSnapshotSchemaTaskIndependent:
             assert snapshot["frequent_cliques"] > 0, task
             assert snapshot["max_depth"] > 0, task
             assert snapshot["embeddings_created"] > 0, task
+
+
+class TestQuasiCheckpointResume:
+    """Mid-run checkpoints work for quasi like any engine task.
+
+    The session truncates on a prefix budget, checkpoints (recording
+    ``gamma`` the way top-k records ``k``), and a fresh session resumes
+    the incomplete roots to the byte-identical full result.
+    """
+
+    GAMMA = 0.8
+    CONFIG = MinerConfig(min_size=2, max_size=4)
+
+    def truncated_session(self, database, min_sup):
+        session = MiningSession(
+            database,
+            min_sup,
+            task="quasi",
+            gamma=self.GAMMA,
+            config=self.CONFIG,
+            budget=MiningBudget(max_expanded_prefixes=20),
+        )
+        partial = session.run()
+        assert partial.truncated, "budget did not bite mid-run"
+        return session
+
+    def test_mid_run_resume_completes_to_identical_result(self):
+        database = database_for(CASES[2])
+        full = mine(database, 1, task="quasi", gamma=self.GAMMA, max_size=4)
+        session = self.truncated_session(database, 1)
+        checkpoint = session.checkpoint()
+        assert checkpoint.task == "quasi"
+        assert checkpoint.gamma == self.GAMMA
+        assert checkpoint.completed_roots  # genuinely mid-run, not empty
+        final = MiningSession(
+            database,
+            1,
+            task="quasi",
+            gamma=self.GAMMA,
+            config=self.CONFIG,
+            resume_from=checkpoint,
+        ).run()
+        assert not final.truncated
+        assert full_signature(final) == full_signature(full)
+
+    def test_resume_rejects_mismatched_gamma(self):
+        database = database_for(CASES[2])
+        checkpoint = self.truncated_session(database, 1).checkpoint()
+        with pytest.raises(MiningError, match="gamma"):
+            MiningSession(
+                database,
+                1,
+                task="quasi",
+                gamma=0.6,
+                config=self.CONFIG,
+                resume_from=checkpoint,
+            )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.core import mine, mine_closed_cliques
 from repro.exceptions import DataGenerationError
 from repro.telecom import (
     CallGraphConfig,
@@ -75,8 +75,8 @@ class TestMiningStory:
 
     def test_quasi_mining_recovers_partial_communities(self):
         db = call_graph_database()
-        result = mine_closed_quasi_cliques(
-            db, 0.7, gamma=0.6, min_size=4, max_size=6
+        result = mine(
+            db, 0.7, task="quasi", gamma=0.6, min_size=4, max_size=6
         )
         found = {p.labels for p in result}
         labels, spec = expected_communities()[0]  # 6-member, density 0.85
@@ -86,7 +86,7 @@ class TestMiningStory:
         db = call_graph_database()
         labels, spec = expected_communities()[3]  # active 60% of days
         assert spec.activity < 1.0
-        high = mine_closed_quasi_cliques(db, 0.8, gamma=0.6, min_size=5, max_size=5)
-        low = mine_closed_quasi_cliques(db, 0.4, gamma=0.6, min_size=5, max_size=5)
+        high = mine(db, 0.8, task="quasi", gamma=0.6, min_size=5, max_size=5)
+        low = mine(db, 0.4, task="quasi", gamma=0.6, min_size=5, max_size=5)
         assert labels not in {p.labels for p in high}
         assert labels in {p.labels for p in low}
