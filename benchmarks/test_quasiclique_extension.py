@@ -12,7 +12,14 @@ import random
 import time
 
 from repro.bench import format_table
-from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.core import (
+    MinerConfig,
+    QuasiTaskStrategy,
+    mine,
+    mine_closed_cliques,
+)
+from repro.core.api import MiningRequest
+from repro.core.engine import MiningEngine
 from repro.graphdb import Graph, GraphDatabase
 from repro.graphdb.generators import default_label_alphabet, random_transaction
 
@@ -58,10 +65,28 @@ def test_quasiclique_gamma_sweep(benchmark):
     database = build_workload()
     min_sup = 1.0
 
+    def closed_quasi(gamma, min_size):
+        # Direct construction, not from_options: the legacy builder
+        # bumps quasi min_size 1 -> 2, and this sweep wants singletons.
+        return mine(
+            database,
+            MiningRequest(
+                min_sup=min_sup, task="quasi", gamma=gamma,
+                min_size=min_size, max_size=MAX_SIZE,
+            ),
+        )
+
+    def all_quasi(gamma, min_size):
+        # closed_only=False has no request spelling: drive the engine
+        # with the quasi strategy's closure filter switched off.
+        config = MinerConfig.all_frequent(min_size=min_size, max_size=MAX_SIZE)
+        engine = MiningEngine(
+            database, config, strategy=QuasiTaskStrategy(gamma, closed=False)
+        )
+        return engine.mine(min_sup)
+
     benchmark.pedantic(
-        lambda: mine_closed_quasi_cliques(
-            database, min_sup, gamma=0.75, min_size=2, max_size=MAX_SIZE
-        ),
+        lambda: closed_quasi(0.75, 2),
         rounds=1, iterations=1,
     )
 
@@ -72,14 +97,9 @@ def test_quasiclique_gamma_sweep(benchmark):
     found_at = {}
     for gamma in GAMMAS:
         started = time.perf_counter()
-        result = mine_closed_quasi_cliques(
-            database, min_sup, gamma=gamma, min_size=1, max_size=MAX_SIZE
-        )
+        result = closed_quasi(gamma, 1)
         seconds = time.perf_counter() - started
-        unfiltered = mine_closed_quasi_cliques(
-            database, min_sup, gamma=gamma, min_size=1, max_size=MAX_SIZE,
-            closed_only=False,
-        )
+        unfiltered = all_quasi(gamma, 1)
         all_counts.append(len(unfiltered))
         max_sizes.append(result.max_size())
         found_at[gamma] = {p.key() for p in result}

@@ -9,7 +9,7 @@ structures (cliques with a few missing edges) join the result set.
 Run:  python examples/quasicliques.py
 """
 
-from repro import mine_closed_cliques, mine_closed_quasi_cliques
+from repro import MiningRequest, mine, mine_closed_cliques
 from repro.graphdb import GraphDatabase, Graph
 
 
@@ -47,8 +47,11 @@ def main() -> None:
         print(f"  {pattern.key()}")
 
     for gamma in (1.0, 0.9, 0.75, 0.6):
-        result = mine_closed_quasi_cliques(
-            database, min_sup=2, gamma=gamma, min_size=3, max_size=6
+        result = mine(
+            database,
+            MiningRequest.from_options(
+                2, task="quasi", gamma=gamma, min_size=3, max_size=6
+            ),
         )
         keys = ", ".join(p.key() for p in result.sorted_by_form())
         print(f"\ngamma={gamma}: {len(result)} closed quasi-cliques: {keys}")

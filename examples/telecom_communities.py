@@ -12,7 +12,8 @@ runs the comparison the paper's §6 future work anticipates:
 Run:  python examples/telecom_communities.py
 """
 
-from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+from repro.core import mine, mine_closed_cliques
+from repro.core.api import MiningRequest
 from repro.telecom import call_graph_database, expected_communities
 
 
@@ -35,8 +36,11 @@ def main() -> None:
         print(f"  {pattern.key()}")
     print("  -> only the density-100% community forms an exact clique\n")
 
-    quasi = mine_closed_quasi_cliques(
-        database, 0.7, gamma=0.6, min_size=4, max_size=6
+    quasi = mine(
+        database,
+        MiningRequest.from_options(
+            0.7, task="quasi", gamma=0.6, min_size=4, max_size=6
+        ),
     )
     print(
         f"closed 0.6-quasi-cliques (>=4 members, 70% of days): {len(quasi)}"

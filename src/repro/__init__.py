@@ -34,7 +34,9 @@ from .core import (
     MiningBudget,
     MiningCache,
     MiningExecutor,
+    MiningRequest,
     MiningResult,
+    MiningResultEnvelope,
     MiningSession,
     mine,
     mine_closed_cliques,
@@ -46,7 +48,7 @@ from .core import (
 from .exceptions import ReproError
 from .graphdb import Graph, GraphDatabase, paper_example_database
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CanonicalForm",
@@ -59,7 +61,9 @@ __all__ = [
     "MiningBudget",
     "MiningCache",
     "MiningExecutor",
+    "MiningRequest",
     "MiningResult",
+    "MiningResultEnvelope",
     "MiningSession",
     "ReproError",
     "__version__",

@@ -12,11 +12,18 @@
     clan convert INPUT OUTPUT --from tve --to json
     clan diff RESULT_A RESULT_B
     clan generate {stock,chem,example} OUTPUT [options]
+    clan serve DATABASE --state DIR [--port 8765] [--max-concurrency 2]
+    clan submit URL [--request FILE | --task ... --min-sup ...] [--wait]
+    clan watch-job URL JOB_ID
     clan experiments
 
 ``DATABASE`` is a file in ``t/v/e`` format (``--format matrix`` or
 ``--format json`` select the others).  ``clan`` is also reachable as
 ``python -m repro``.
+
+Exit codes: 0 success; 1 comparison mismatch (diff/replay/validate);
+2 usage or input error; 3 mining configuration error; 4 result
+truncated by a budget (see :data:`EXIT_TRUNCATED`).
 """
 
 from __future__ import annotations
@@ -30,11 +37,27 @@ from .bench.experiments import registry_report
 from .core.config import MinerConfig
 from .core.lattice import CliqueLattice
 from .core.miner import ClanMiner
-from .exceptions import ReproError
+from .exceptions import MiningError, ReproError
 from .graphdb.database import GraphDatabase
 from .graphdb.examples import paper_example_database
 from .graphdb.stats import characteristics_table, database_characteristics
 from .io import gspan_format, json_format, matrix_format, patterns
+
+# ----------------------------------------------------------------------
+# Exit codes (documented in docs/API.md).  Scripts can rely on these:
+#
+# 0  success
+# 1  comparison mismatch (`clan diff`, `clan replay`, `clan validate`)
+# 2  usage / input error (bad flags, unreadable or malformed files)
+# 3  mining configuration error (MiningError: bad task/gamma/k/support...)
+# 4  truncated result (a --deadline/--max-patterns budget stopped the
+#    search; the partial patterns were still printed)
+# ----------------------------------------------------------------------
+EXIT_OK = 0
+EXIT_MISMATCH = 1
+EXIT_USAGE = 2
+EXIT_MINING = 3
+EXIT_TRUNCATED = 4
 
 
 def _load(path: str, fmt: str) -> GraphDatabase:
@@ -231,6 +254,59 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--compounds", type=int, default=422, help="chem: compound count")
     generate.add_argument("--seed", type=int, default=7)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the mining service: a multi-tenant HTTP control plane "
+             "over one database",
+    )
+    serve.add_argument("database", help="the database every job mines")
+    serve.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    serve.add_argument("--state", required=True, metavar="DIR",
+                       help="durable state: job records, result envelopes, "
+                            "per-job checkpoints, and the shared mining cache; "
+                            "restarting on the same DIR resumes unfinished jobs")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-concurrency", type=int, default=2,
+                       help="jobs mining at once; the rest queue fairly "
+                            "round-robin across tenants")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job SLO: a deadline budget applied to "
+                            "requests that carry no budget of their own")
+
+    submit = sub.add_parser(
+        "submit", help="submit a mining job to a running 'clan serve'"
+    )
+    submit.add_argument("url", help="service address, e.g. http://127.0.0.1:8765")
+    submit.add_argument("--request", default=None, metavar="FILE",
+                        help="a mining-request JSON file (the exact wire "
+                             "format); when given, the task flags are ignored")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant name (the X-Clan-Tenant header)")
+    submit.add_argument("--task", default="closed",
+                        choices=("closed", "frequent", "maximal", "topk", "quasi"))
+    submit.add_argument("--min-sup", default="2")
+    submit.add_argument("--min-size", type=int, default=1)
+    submit.add_argument("--max-size", type=int, default=None)
+    submit.add_argument("-k", type=int, default=None, help="topk: patterns to keep")
+    submit.add_argument("--gamma", type=float, default=None,
+                        help="quasi: density threshold in [0.5, 1.0]")
+    submit.add_argument("--kernel", default=None, choices=("bitset", "set"))
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its "
+                             "result envelope JSON to stdout")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait: seconds to wait before giving up")
+
+    watch = sub.add_parser(
+        "watch-job",
+        help="stream a job's live session events (JSONL; ends when the job does)",
+    )
+    watch.add_argument("url", help="service address, e.g. http://127.0.0.1:8765")
+    watch.add_argument("job_id")
+
     sub.add_parser("experiments", help="list the paper's tables/figures and their benchmarks")
     return parser
 
@@ -271,6 +347,7 @@ def _save_cli_cache(cache, path: Optional[str]) -> None:
 
 def _session_mine(args: argparse.Namespace, database, min_sup, cache=None):
     """The ``clan mine`` control-plane path (--progress/--deadline/...)."""
+    from .core.api import MiningRequest
     from .core.session import (
         JsonlTraceSink,
         MiningBudget,
@@ -291,23 +368,20 @@ def _session_mine(args: argparse.Namespace, database, min_sup, cache=None):
         )
     resume_from = open_checkpoint(args.resume) if args.resume else None
     task = _mine_task(args)
-    closed = task != "frequent"
-    config = MinerConfig(
-        closed_only=closed,
-        nonclosed_prefix_pruning=closed,
+    request = MiningRequest.from_options(
+        min_sup,
+        task=task,
         min_size=args.min_size,
         max_size=args.max_size,
         kernel=args.kernel,
-    )
-    session = MiningSession(
-        database,
-        min_sup,
-        task=task,
-        config=config,
-        budget=budget,
-        sinks=sinks,
         processes=max(args.processes, 1),
         scheduler=args.scheduler,
+        budget=budget,
+    )
+    session = MiningSession.from_request(
+        database,
+        request,
+        sinks=sinks,
         resume_from=resume_from,
         cache=cache,
     )
@@ -400,10 +474,9 @@ def cmd_mine(args: argparse.Namespace) -> int:
     else:
         # One engine path for closed / frequent / maximal: kernels,
         # worker pools, and the cache apply to every task.
-        from .core.api import mine as run_mine
+        from .core.api import MiningRequest, execute_request
 
-        result = run_mine(
-            database,
+        request = MiningRequest.from_options(
             min_sup,
             task=task,
             min_size=args.min_size,
@@ -411,8 +484,8 @@ def cmd_mine(args: argparse.Namespace) -> int:
             kernel=args.kernel,
             processes=max(args.processes, 1),
             scheduler=args.scheduler,
-            cache=cache,
         )
+        result = execute_request(database, request, cache=cache)
         kind = task
     _save_cli_cache(cache, args.cache)
     if args.output:
@@ -427,7 +500,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
     )
     if args.stats:
         print("# " + result.statistics.summary(), file=sys.stderr)
-    return 0
+    return EXIT_TRUNCATED if result.truncated else EXIT_OK
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -473,11 +546,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_topk(args: argparse.Namespace) -> int:
-    from .core.api import mine as run_mine
+    from .core.api import MiningRequest, execute_request
 
     database = _load(args.database, args.format)
-    result = run_mine(
-        database,
+    request = MiningRequest.from_options(
         _parse_min_sup(args.min_sup),
         task="topk",
         k=args.k,
@@ -486,21 +558,21 @@ def cmd_topk(args: argparse.Namespace) -> int:
         processes=max(args.processes, 1),
         scheduler=args.scheduler,
     )
+    result = execute_request(database, request)
     for pattern in result:
         print(pattern.key())
     print(f"# top-{args.k} closed cliques by size", file=sys.stderr)
     if args.stats:
         print("# " + result.statistics.summary(), file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def cmd_quasi(args: argparse.Namespace) -> int:
-    from .core.api import mine as run_mine
+    from .core.api import MiningRequest, execute_request
 
     database = _load(args.database, args.format)
     cache = _open_cli_cache(args.cache)
-    result = run_mine(
-        database,
+    request = MiningRequest.from_options(
         _parse_min_sup(args.min_sup),
         task="quasi",
         gamma=args.gamma,
@@ -509,8 +581,8 @@ def cmd_quasi(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         processes=max(args.processes, 1),
         scheduler=args.scheduler,
-        cache=cache,
     )
+    result = execute_request(database, request, cache=cache)
     sys.stdout.write(patterns.dumps_result(result))
     print(
         f"# {len(result)} closed {args.gamma}-quasi-cliques "
@@ -520,7 +592,154 @@ def cmd_quasi(args: argparse.Namespace) -> int:
     if args.stats:
         print("# " + result.statistics.summary(), file=sys.stderr)
     _save_cli_cache(cache, args.cache)
-    return 0
+    return EXIT_OK
+
+
+def _service_endpoint(url: str):
+    """Parse 'http://host:port' (or bare 'host:port') into (host, port)."""
+    from urllib.parse import urlsplit
+
+    split = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+    if not split.hostname or not split.port:
+        raise ReproError(
+            f"service url must include host and port, got {url!r} "
+            "(e.g. http://127.0.0.1:8765)"
+        )
+    return split.hostname, split.port
+
+
+def _http_json(host, port, method, path, body=None, headers=None, timeout=310.0):
+    """One JSON request/response against the service."""
+    import http.client
+    import json as json_
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        payload = json_.loads(response.read().decode("utf-8") or "{}")
+        return response.status, payload
+    finally:
+        conn.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core.session import MiningBudget
+    from .service import MiningService
+
+    database = _load(args.database, args.format)
+    budget = (
+        MiningBudget(deadline_seconds=args.default_deadline)
+        if args.default_deadline is not None
+        else None
+    )
+    service = MiningService(
+        database,
+        args.state,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        default_budget=budget,
+    )
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"# clan service on http://{host}:{port} "
+            f"({len(database)} graphs, state: {args.state})",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(service.run_forever(announce))
+    except KeyboardInterrupt:
+        print("# interrupted; shutting down", file=sys.stderr)
+    return EXIT_OK
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as json_
+
+    from .core.api import MiningRequest
+
+    host, port = _service_endpoint(args.url)
+    if args.request:
+        from .io.runlog import open_request
+
+        request = open_request(args.request)
+    else:
+        request = MiningRequest.from_options(
+            args.min_sup,
+            task=args.task,
+            min_size=args.min_size,
+            max_size=args.max_size,
+            k=args.k,
+            gamma=args.gamma,
+            kernel=args.kernel,
+        )
+    status, payload = _http_json(
+        host,
+        port,
+        "POST",
+        "/v1/jobs",
+        body=request.to_json(),
+        headers={"X-Clan-Tenant": args.tenant},
+    )
+    if status != 202:
+        raise ReproError(f"submit failed ({status}): {payload.get('error', payload)}")
+    job_id = payload["id"]
+    if not args.wait:
+        print(job_id)
+        return EXIT_OK
+    print(f"# submitted {job_id}; waiting", file=sys.stderr)
+    status, payload = _http_json(
+        host,
+        port,
+        "GET",
+        f"/v1/jobs/{job_id}/result?wait=1&timeout={args.timeout}",
+        timeout=args.timeout + 10.0,
+    )
+    if status != 200:
+        raise MiningError(
+            f"job {job_id} did not finish: {payload.get('error', payload)}"
+        )
+    print(json_.dumps(payload, indent=1, sort_keys=True))
+    truncated = payload.get("result", {}).get("truncated")
+    return EXIT_TRUNCATED if truncated else EXIT_OK
+
+
+def cmd_watch_job(args: argparse.Namespace) -> int:
+    import http.client
+    import json as json_
+
+    host, port = _service_endpoint(args.url)
+    conn = http.client.HTTPConnection(host, port, timeout=3600.0)
+    try:
+        conn.request("GET", f"/v1/jobs/{args.job_id}/trace")
+        response = conn.getresponse()
+        if response.status != 200:
+            payload = json_.loads(response.read().decode("utf-8") or "{}")
+            raise ReproError(
+                f"watch failed ({response.status}): "
+                f"{payload.get('error', payload)}"
+            )
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            sys.stdout.write(line.decode("utf-8"))
+            sys.stdout.flush()
+    finally:
+        conn.close()
+    status, payload = _http_json(host, port, "GET", f"/v1/jobs/{args.job_id}")
+    state = payload.get("state") if status == 200 else "unknown"
+    print(f"# job {args.job_id}: {state}", file=sys.stderr)
+    if state == "done":
+        return EXIT_OK
+    if state == "failed":
+        return EXIT_MINING
+    return EXIT_TRUNCATED
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -630,16 +849,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "record": cmd_record,
         "replay": cmd_replay,
         "generate": cmd_generate,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "watch-job": cmd_watch_job,
         "experiments": lambda _: (print(registry_report()), 0)[1],
     }
     try:
         return handlers[args.command](args)
+    except MiningError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_MINING
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

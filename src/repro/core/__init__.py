@@ -8,7 +8,13 @@ The public surface of the paper's contribution.  Typical use::
         print(pattern.key())
 """
 
-from .api import MINING_TASKS, mine
+from .api import (
+    MINING_TASKS,
+    MiningRequest,
+    MiningResultEnvelope,
+    execute_request,
+    mine,
+)
 from .cache import CachedRoot, MiningCache, mine_with_cache, sweep
 from .canonical import (
     CanonicalForm,
@@ -148,8 +154,11 @@ __all__ = [
     "MinerStatistics",
     "MiningCache",
     "MiningExecutor",
+    "MiningRequest",
     "MiningResult",
+    "MiningResultEnvelope",
     "MiningTask",
+    "execute_request",
     "RESCAN",
     "blocking_extension_labels",
     "canonical_label_sequence",

@@ -598,8 +598,6 @@ def sweep(
     ``min_size``/``max_size``, ``kernel``, and ``config`` follow
     :func:`repro.mine`.
     """
-    from .api import _resolve_config
-
     if not supports:
         raise MiningError("sweep needs at least one support threshold")
     if task not in ("closed", "frequent"):
@@ -609,7 +607,7 @@ def sweep(
             f"thresholds (use repro.mine(task=..., cache=...) per threshold "
             f"for exact-replay reuse)"
         )
-    resolved = _resolve_config(task, config, min_size, max_size, kernel, None)
+    resolved = MinerConfig.for_task(task, config, min_size, max_size, kernel, None)
     if cache is None:
         cache = MiningCache()
     by_abs = [(spec, database.absolute_support(spec)) for spec in supports]

@@ -122,6 +122,61 @@ class MinerConfig:
         """Mine all frequent cliques (Figure 4's full lattice contents)."""
         return cls(closed_only=False, nonclosed_prefix_pruning=False, **overrides)  # type: ignore[arg-type]
 
+    @classmethod
+    def for_task(
+        cls,
+        task: str,
+        config: Optional["MinerConfig"] = None,
+        min_size: int = 1,
+        max_size: Optional[int] = None,
+        kernel: Optional[str] = None,
+        collect_witnesses: Optional[bool] = None,
+    ) -> "MinerConfig":
+        """Build/merge the config for an engine-task run.
+
+        The one resolution rule shared by :func:`repro.mine`, the CLI,
+        :class:`~repro.core.api.MiningRequest`, and
+        :func:`repro.core.cache.sweep`.  Maximal, top-k, and quasi mine
+        closed-style (``closed_only=True``, subtree pruning on); their
+        emission rules live in the task strategies, not the config.
+        ``task="maximal"`` rejects a size ceiling: capping the search
+        makes subcliques of capped cliques look maximal.
+        """
+        closed = task != "frequent"
+        if task == "maximal" and max_size is not None:
+            raise MiningError(
+                "task='maximal' cannot be combined with max_size; a size "
+                "ceiling makes subcliques of capped cliques look maximal"
+            )
+        if config is None:
+            resolved = cls(
+                closed_only=closed,
+                nonclosed_prefix_pruning=closed,
+                min_size=min_size,
+                max_size=max_size,
+            )
+        else:
+            if config.closed_only != closed:
+                raise MiningError(
+                    f"config.closed_only={config.closed_only} contradicts task {task!r}"
+                )
+            if task == "maximal" and config.max_size is not None:
+                raise MiningError(
+                    "task='maximal' cannot be combined with max_size; a size "
+                    "ceiling makes subcliques of capped cliques look maximal"
+                )
+            resolved = config.with_window(min_size=min_size, max_size=max_size)
+        if kernel is not None:
+            resolved = resolved.with_kernel(kernel)
+        if (
+            collect_witnesses is not None
+            and collect_witnesses != resolved.collect_witnesses
+        ):
+            from dataclasses import replace
+
+            resolved = replace(resolved, collect_witnesses=collect_witnesses)
+        return resolved
+
     def with_kernel(self, kernel: str) -> "MinerConfig":
         """Return a copy running on the named kernel (for ablations)."""
         from dataclasses import replace

@@ -181,7 +181,7 @@ class ConstrainedMiner:
         first and then filtered, which can drop patterns whose closed
         superclique uses inadmissible labels.
         """
-        from .api import mine as _mine
+        from .api import MiningRequest, mine as _mine
 
         started = time.perf_counter()
         constraints = self.constraints
@@ -193,19 +193,17 @@ class ConstrainedMiner:
             database = self.database
         abs_sup = self.database.absolute_support(min_sup)
 
-        gamma_options = {"gamma": self.gamma} if self.gamma is not None else {}
-        mined = _mine(
-            database,
+        request = MiningRequest.from_options(
             abs_sup,
             task=self.task,
             k=self.k,
+            gamma=self.gamma,
             max_size=constraints.max_size,
             kernel=self.kernel,
             processes=self.processes,
             scheduler=self.scheduler,
-            cache=self.cache,
-            **gamma_options,
         )
+        mined = _mine(database, request, cache=self.cache)
 
         result = MiningResult(
             min_sup=abs_sup,

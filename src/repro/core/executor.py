@@ -466,6 +466,12 @@ class MiningExecutor:
         # equals serial (workers inherit prepared indexes and never
         # rescan for label supports).
         merged.statistics.database_scans += 1
+        # The serial root loop also counts each infrequent root label it
+        # skips; those labels never become tasks here, so account for
+        # them once to keep statistics parity with the serial engine.
+        merged.statistics.infrequent_extensions += (
+            len(self.database.label_supports()) - len(roots)
+        )
         if self.cache is not None and self.last_report is not None:
             hits = self.last_report.roots_from_cache
             merged.statistics.roots_from_cache += hits

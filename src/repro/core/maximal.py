@@ -49,9 +49,12 @@ def mine_maximal_cliques(
     :func:`repro.mine` with ``task="maximal"``, which also exposes
     kernels, parallelism, sessions, and caching behind one signature.
     """
-    from .api import mine
+    from .api import MiningRequest, mine
 
-    return mine(database, min_sup, task="maximal", min_size=min_size)
+    return mine(
+        database,
+        MiningRequest.from_options(min_sup, task="maximal", min_size=min_size),
+    )
 
 
 def maximal_subset(result: MiningResult, abs_sup: Optional[int] = None) -> MiningResult:

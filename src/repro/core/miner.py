@@ -69,15 +69,17 @@ def mine_closed_cliques(
     raise :class:`MiningError` (historically the window was silently
     ignored).
     """
-    from .api import mine
+    from .api import MiningRequest, mine
 
     return mine(
         database,
-        min_sup,
-        task="closed",
-        min_size=min_size,
-        max_size=max_size,
-        config=config,
+        MiningRequest.from_options(
+            min_sup,
+            task="closed",
+            min_size=min_size,
+            max_size=max_size,
+            config=config,
+        ),
     )
 
 
@@ -94,13 +96,15 @@ def mine_frequent_cliques(
     ``task="frequent"``; kept indefinitely for existing callers.
     ``config``/window merging follows :func:`mine_closed_cliques`.
     """
-    from .api import mine
+    from .api import MiningRequest, mine
 
     return mine(
         database,
-        min_sup,
-        task="frequent",
-        min_size=min_size,
-        max_size=max_size,
-        config=config,
+        MiningRequest.from_options(
+            min_sup,
+            task="frequent",
+            min_size=min_size,
+            max_size=max_size,
+            config=config,
+        ),
     )

@@ -1,12 +1,14 @@
-"""Deprecated shim: this module folded into :mod:`repro.core.executor`.
+"""Removed shim: this module folded into :mod:`repro.core.executor`.
 
 ``repro.core.parallel`` used to hold the one-call parallel entry point
 :func:`mine_closed_cliques_parallel`; the scheduling itself always
 lived in :mod:`repro.core.executor`, and the wrapper now does too.
-Importing the names from here keeps working but emits a
-``DeprecationWarning`` on attribute access (PEP 562), so merely
-importing the module stays warning-free for tooling that scans
-packages.
+
+Per the deprecation policy (CONTRIBUTING.md), this shim has graduated
+from emitting a ``DeprecationWarning`` to raising a
+:class:`~repro.exceptions.MiningError` with a migration hint: merely
+importing the module stays silent for tooling that scans packages
+(PEP 562), but touching the moved names now fails loudly.
 
 Use instead::
 
@@ -15,21 +17,16 @@ Use instead::
 
 from __future__ import annotations
 
-import warnings
+from ..exceptions import MiningError
 
 __all__ = ["mine_closed_cliques_parallel", "partition_roots"]
 
 
 def __getattr__(name: str):
     if name in __all__:
-        warnings.warn(
-            f"repro.core.parallel.{name} moved to repro.core.executor; "
-            f"the repro.core.parallel shim will be removed in a future "
-            f"release",
-            DeprecationWarning,
-            stacklevel=2,
+        raise MiningError(
+            f"repro.core.parallel.{name} has been removed; import it "
+            f"from repro.core.executor instead: "
+            f"'from repro.core.executor import {name}'"
         )
-        from . import executor
-
-        return getattr(executor, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

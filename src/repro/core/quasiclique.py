@@ -47,7 +47,6 @@ anchored to a finite size ceiling.
 
 from __future__ import annotations
 
-import warnings
 from math import ceil
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
@@ -719,28 +718,29 @@ def mine_closed_quasi_cliques(
     max_size: int = 6,
     closed_only: bool = True,
 ) -> MiningResult:
-    """Mine frequent (closed) γ-quasi-clique patterns.
+    """Removed entry point for γ-quasi-clique mining.
 
-    .. deprecated::
-        Use ``repro.mine(database, min_sup, task="quasi", gamma=...,
-        max_size=...)`` — quasi-clique mining now runs on the shared
-        :class:`~repro.core.engine.MiningEngine`, which adds kernels,
-        parallel execution, sessions, and caching.  This shim drives
-        the engine directly and preserves the historical defaults
-        (including ``min_size=1`` singleton patterns and the
-        ``closed_only=False`` variant).
+    Per the deprecation policy (CONTRIBUTING.md) this wrapper, having
+    warned for a release, now raises a :class:`MiningError` with the
+    migration recipe instead of mining.  It stays importable so old
+    ``from repro import mine_closed_quasi_cliques`` lines fail at the
+    call, with a useful message, rather than at import time.
+
+    Use instead::
+
+        from repro import MiningRequest, mine
+        mine(db, MiningRequest.from_options(
+            min_sup, task="quasi", gamma=gamma, max_size=max_size))
+
+    and for the historical ``closed_only=False`` variant, drive the
+    engine directly with
+    ``MiningEngine(db, MinerConfig.all_frequent(min_size=..., max_size=...),
+    strategy=QuasiTaskStrategy(gamma, closed=False))``.
     """
-    warnings.warn(
-        "mine_closed_quasi_cliques() is deprecated; use "
-        "repro.mine(database, min_sup, task='quasi', gamma=..., max_size=...)",
-        DeprecationWarning,
-        stacklevel=2,
+    raise MiningError(
+        "mine_closed_quasi_cliques() has been removed; use "
+        "repro.mine(database, MiningRequest.from_options(min_sup, "
+        "task='quasi', gamma=..., max_size=...)) — or, for "
+        "closed_only=False, run MiningEngine with "
+        "QuasiTaskStrategy(gamma, closed=False) directly"
     )
-    if closed_only:
-        config = MinerConfig(min_size=min_size, max_size=max_size)
-        return engine_for_task(database, config, "quasi", gamma=gamma).mine(min_sup)
-    config = MinerConfig.all_frequent(min_size=min_size, max_size=max_size)
-    engine = MiningEngine(
-        database, config, strategy=QuasiTaskStrategy(gamma, closed=False)
-    )
-    return engine.mine(min_sup)

@@ -77,6 +77,7 @@ from .results import MiningResult
 from .statistics import MinerStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .api import MiningRequest
     from .cache import MiningCache
 
 __all__ = [
@@ -766,6 +767,47 @@ class MiningSession:
         self._ran = False
         if resume_from is not None:
             self._load_checkpoint(resume_from)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_request(
+        cls,
+        database: GraphDatabase,
+        request: "MiningRequest",
+        *,
+        sinks: Sequence[EventSink] = (),
+        resume_from: Optional[MiningCheckpoint] = None,
+        cache: Optional["MiningCache"] = None,
+        budget: Optional[MiningBudget] = None,
+        split_factor: Optional[float] = None,
+    ) -> "MiningSession":
+        """Build a session from a :class:`~repro.core.api.MiningRequest`.
+
+        The request describes the run (task, support, config, budget,
+        execution options); ``sinks``/``resume_from``/``cache`` are the
+        runtime attachments that cannot ride on the wire.  ``budget``
+        overrides the request's own budget when given — the service
+        uses this to impose a default per-job SLO on requests that did
+        not set one.  Checkpoints taken mid-run (e.g. from a
+        ``RootFinished`` sink) are consistent: the completed-roots map
+        is updated before the heartbeat event is emitted.
+        """
+        return cls(
+            database,
+            request.min_sup,
+            task=request.task,
+            config=request.resolved_config(),
+            budget=budget if budget is not None else request.budget,
+            sinks=sinks,
+            sample_every=request.sample_every,
+            processes=request.processes,
+            scheduler=request.scheduler,
+            split_factor=split_factor,
+            resume_from=resume_from,
+            cache=cache if request.use_cache else None,
+            k=request.k,
+            gamma=request.gamma,
+        )
 
     # ------------------------------------------------------------------
     def cancel(self) -> None:

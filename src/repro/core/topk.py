@@ -52,6 +52,9 @@ def mine_top_k_closed_cliques(
     floors the sizes considered.  Soft-legacy: a thin wrapper over
     :func:`repro.mine` with ``task="topk"``.
     """
-    from .api import mine
+    from .api import MiningRequest, mine
 
-    return mine(database, min_sup, task="topk", k=k, min_size=min_size)
+    return mine(
+        database,
+        MiningRequest.from_options(min_sup, task="topk", k=k, min_size=min_size),
+    )

@@ -72,6 +72,30 @@ def open_database(path: PathLike) -> GraphDatabase:
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
+def pattern_to_dict(pattern: CliquePattern) -> Dict[str, Any]:
+    """Convert one pattern to the JSON shape shared by results,
+    checkpoints, and :class:`~repro.core.api.MiningResultEnvelope`."""
+    return {
+        "labels": list(pattern.labels),
+        "support": pattern.support,
+        "transactions": list(pattern.transactions),
+        "witnesses": {str(t): list(w) for t, w in pattern.witnesses.items()},
+    }
+
+
+def pattern_from_dict(entry: Dict[str, Any]) -> CliquePattern:
+    """Rebuild one pattern from :func:`pattern_to_dict` output."""
+    return CliquePattern(
+        form=CanonicalForm.from_labels(entry["labels"]),
+        support=int(entry["support"]),
+        transactions=tuple(int(t) for t in entry.get("transactions", ())),
+        witnesses={
+            int(t): tuple(int(v) for v in w)
+            for t, w in entry.get("witnesses", {}).items()
+        },
+    )
+
+
 def result_to_dict(result: MiningResult) -> Dict[str, Any]:
     """Convert a mining result to a JSON-ready dict."""
     return {
@@ -80,15 +104,7 @@ def result_to_dict(result: MiningResult) -> Dict[str, Any]:
         "min_sup": result.min_sup,
         "closed_only": result.closed_only,
         "elapsed_seconds": result.elapsed_seconds,
-        "patterns": [
-            {
-                "labels": list(p.labels),
-                "support": p.support,
-                "transactions": list(p.transactions),
-                "witnesses": {str(t): list(w) for t, w in p.witnesses.items()},
-            }
-            for p in result
-        ],
+        "patterns": [pattern_to_dict(p) for p in result],
     }
 
 
@@ -102,17 +118,7 @@ def result_from_dict(payload: Dict[str, Any]) -> MiningResult:
         elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
     )
     for entry in payload.get("patterns", []):
-        result.add(
-            CliquePattern(
-                form=CanonicalForm.from_labels(entry["labels"]),
-                support=int(entry["support"]),
-                transactions=tuple(int(t) for t in entry.get("transactions", ())),
-                witnesses={
-                    int(t): tuple(int(v) for v in w)
-                    for t, w in entry.get("witnesses", {}).items()
-                },
-            )
-        )
+        result.add(pattern_from_dict(entry))
     return result
 
 

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from .. import __version__
+from ..core.api import MiningRequest, MiningResultEnvelope
 from ..core.cache import MiningCache
 from ..core.config import MinerConfig
 from ..core.miner import ClanMiner
@@ -207,6 +208,47 @@ def open_checkpoint(path: PathLike) -> MiningCheckpoint:
         return MiningCheckpoint.from_dict(payload)
     except (KeyError, TypeError) as exc:
         raise FormatError(f"not a mining checkpoint: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Mining requests and result envelopes (the service wire format)
+# ----------------------------------------------------------------------
+def save_request(request: MiningRequest, path: PathLike) -> None:
+    """Write a :class:`~repro.core.api.MiningRequest` as JSON.
+
+    The file holds exactly the wire payload ``clan submit --request
+    FILE`` posts and the service persists per job.
+    """
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(json.dumps(request.to_dict(), sort_keys=True, indent=1))
+        stream.write("\n")
+
+
+def open_request(path: PathLike) -> MiningRequest:
+    """Read a mining request back."""
+    with open(path, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    try:
+        return MiningRequest.from_dict(payload)
+    except (MiningError, KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"not a mining request: {exc}") from exc
+
+
+def save_envelope(envelope: MiningResultEnvelope, path: PathLike) -> None:
+    """Write a :class:`~repro.core.api.MiningResultEnvelope` as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(json.dumps(envelope.to_dict(), sort_keys=True, indent=1))
+        stream.write("\n")
+
+
+def open_envelope(path: PathLike) -> MiningResultEnvelope:
+    """Read a result envelope back."""
+    with open(path, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    try:
+        return MiningResultEnvelope.from_dict(payload)
+    except (MiningError, KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"not a mining result envelope: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

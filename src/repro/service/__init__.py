@@ -1,0 +1,30 @@
+"""Mining-as-a-service: the HTTP control plane over :func:`repro.mine`.
+
+The library side of ``clan serve``.  A :class:`MiningService` owns one
+graph database and mines it for many tenants: jobs are typed
+:class:`~repro.core.api.MiningRequest` payloads submitted over HTTP,
+scheduled fairly across tenants (:class:`FairJobQueue`), executed as
+:class:`~repro.core.session.MiningSession` runs with per-job budget
+SLOs, observable live as JSONL or SSE event streams, checkpointed root
+by root for crash recovery, and answered from one shared persistent
+:class:`~repro.core.cache.MiningCache` (:class:`SharedCache`).
+
+See :mod:`repro.service.server` for the endpoint table and
+``docs/API.md`` for the wire schema.
+"""
+
+from .jobs import JOB_STATES, MiningJob, SharedCache
+from .queue import FairJobQueue
+from .server import MiningService
+from .tenants import DEFAULT_TENANT, Tenant, TenantBook
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "FairJobQueue",
+    "JOB_STATES",
+    "MiningJob",
+    "MiningService",
+    "SharedCache",
+    "Tenant",
+    "TenantBook",
+]

@@ -1,0 +1,130 @@
+"""Job records and the cross-tenant shared cache.
+
+A job is one :class:`~repro.core.api.MiningRequest` owned by one
+tenant, moving through ``queued → running → done`` (or ``failed`` /
+``cancelled``).  The record is persisted to ``jobs/<id>.json`` in the
+service's state directory on every transition, which is what makes the
+control plane crash-tolerant: a restarted server re-reads the records,
+re-enqueues anything unfinished, and resumes from the job's last
+:class:`~repro.core.session.MiningCheckpoint` when one was written.
+
+All jobs of all tenants share one :class:`SharedCache` — a
+:class:`~repro.core.cache.MiningCache` whose mutating entry points are
+serialized behind a lock, because jobs mine concurrently in worker
+threads.  Tenant B's repeat of tenant A's request replays A's per-root
+entries instead of searching (``statistics.roots_from_cache``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from ..core.api import MiningRequest
+from ..core.cache import CachedRoot, MiningCache
+from ..exceptions import MiningError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.session import MiningSession
+
+JOB_VERSION = 1
+
+#: The job lifecycle.  ``queued`` and ``running`` are the unfinished
+#: states a restarted server re-enqueues.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+UNFINISHED_STATES = ("queued", "running")
+
+
+@dataclass
+class MiningJob:
+    """One tenant's mining request moving through the service."""
+
+    job_id: str
+    tenant: str
+    request: MiningRequest
+    state: str = "queued"
+    error: Optional[str] = None
+    #: Set while the job mines; the cancel endpoint pokes it.
+    session: Optional["MiningSession"] = None
+    #: Event-loop-side live state (not persisted): the event payloads
+    #: streamed so far and the finished flag watchers poll.
+    events: list = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.state not in UNFINISHED_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "mining-job",
+            "version": JOB_VERSION,
+            "id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "error": self.error,
+            "request": self.request.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MiningJob":
+        if payload.get("kind") != "mining-job":
+            raise MiningError(
+                f"expected kind 'mining-job', got {payload.get('kind')!r}"
+            )
+        version = payload.get("version")
+        if not isinstance(version, int) or not 1 <= version <= JOB_VERSION:
+            raise MiningError(f"unsupported mining-job version {version!r}")
+        state = payload.get("state")
+        if state not in JOB_STATES:
+            raise MiningError(f"unknown job state {state!r}")
+        return cls(
+            job_id=str(payload["id"]),
+            tenant=str(payload["tenant"]),
+            request=MiningRequest.from_dict(payload["request"]),
+            state=state,
+            error=payload.get("error"),
+        )
+
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/<id>`` payload."""
+        payload = self.to_dict()
+        payload["events"] = len(self.events)
+        return payload
+
+
+class SharedCache(MiningCache):
+    """A :class:`MiningCache` shared by concurrently-mining jobs.
+
+    Sessions only touch ``lookup`` and ``store``; persistence uses
+    ``to_dict``.  Guarding those three behind one re-entrant lock makes
+    the cache safe for the service's worker threads without changing
+    any semantics — single-threaded callers pay one uncontended lock.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+
+    @classmethod
+    def wrap(cls, cache: MiningCache) -> "SharedCache":
+        """Adopt an existing cache's entries (e.g. one read from disk)."""
+        if isinstance(cache, cls):
+            return cache
+        shared = cls()
+        shared._entries = cache._entries
+        shared._supports = cache._supports
+        return shared
+
+    def lookup(self, *args: Any, **kwargs: Any) -> Optional[CachedRoot]:
+        with self._lock:
+            return super().lookup(*args, **kwargs)
+
+    def store(self, fingerprint: str, config_digest: str, entry: CachedRoot) -> None:
+        with self._lock:
+            super().store(fingerprint, config_digest, entry)
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return super().to_dict()

@@ -1,0 +1,78 @@
+"""Round-robin fair job queue.
+
+One shared FIFO would let a tenant that submits 100 jobs starve a
+tenant that submits 1.  The service instead keeps a FIFO *per tenant*
+and a round-robin ring over the tenants that currently have queued
+work: each scheduling step serves the next tenant in the ring one job,
+then rotates.  Within a tenant, submission order is preserved; across
+tenants, queue depth is irrelevant to latency — a tenant's first job
+waits behind at most one job per other active tenant.
+
+The queue is plain single-threaded state: the service only touches it
+from the asyncio event-loop thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class FairJobQueue:
+    """Per-tenant FIFOs drained round-robin across tenants."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[str]] = {}
+        self._ring: Deque[str] = deque()
+
+    def push(self, tenant: str, job_id: str) -> None:
+        """Enqueue a job for a tenant (FIFO within the tenant)."""
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[tenant] = queue
+        if not queue:
+            self._ring.append(tenant)
+        queue.append(job_id)
+
+    def pop_next(self) -> Optional[Tuple[str, str]]:
+        """Dequeue the next (tenant, job_id) in round-robin order."""
+        if not self._ring:
+            return None
+        tenant = self._ring.popleft()
+        queue = self._queues[tenant]
+        job_id = queue.popleft()
+        if queue:
+            self._ring.append(tenant)
+        else:
+            del self._queues[tenant]
+        return tenant, job_id
+
+    def remove(self, tenant: str, job_id: str) -> bool:
+        """Drop one queued job (cancellation); False when not queued."""
+        queue = self._queues.get(tenant)
+        if queue is None or job_id not in queue:
+            return False
+        queue.remove(job_id)
+        if not queue:
+            del self._queues[tenant]
+            self._ring.remove(tenant)
+        return True
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def depth_by_tenant(self) -> Dict[str, int]:
+        return {tenant: len(queue) for tenant, queue in self._queues.items()}
+
+    def queued_ids(self) -> List[str]:
+        """All queued job ids, in the order they would be served."""
+        queues = {tenant: deque(queue) for tenant, queue in self._queues.items()}
+        ring = deque(self._ring)
+        order: List[str] = []
+        while ring:
+            tenant = ring.popleft()
+            order.append(queues[tenant].popleft())
+            if queues[tenant]:
+                ring.append(tenant)
+        return order

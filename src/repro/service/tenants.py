@@ -1,0 +1,61 @@
+"""Tenant accounting for the mining service.
+
+The control plane is multi-tenant: every job is submitted under a
+tenant name (the ``X-Clan-Tenant`` header; ``"default"`` when absent)
+and the scheduler round-robins *between* tenants so one chatty client
+cannot starve another (see :class:`repro.service.queue.FairJobQueue`).
+This module is the bookkeeping side: per-tenant submission and
+completion counters, surfaced by ``GET /v1/stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+DEFAULT_TENANT = "default"
+
+
+@dataclass
+class Tenant:
+    """Lifetime counters for one tenant."""
+
+    name: str
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+
+    @property
+    def active(self) -> int:
+        """Jobs submitted but not yet finished in any way."""
+        return self.submitted - self.completed - self.failed - self.cancelled
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "active": self.active,
+        }
+
+
+@dataclass
+class TenantBook:
+    """All tenants the service has seen, keyed by name."""
+
+    tenants: Dict[str, Tenant] = field(default_factory=dict)
+
+    def get(self, name: str) -> Tenant:
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            tenant = Tenant(name=name)
+            self.tenants[name] = tenant
+        return tenant
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {
+            name: tenant.snapshot()
+            for name, tenant in sorted(self.tenants.items())
+        }

@@ -25,6 +25,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import bruteforce_closed_cliques, bruteforce_frequent_cliques
+from repro.core.api import MiningRequest
 from repro.core import (
     CachedRoot,
     ClanMiner,
@@ -49,6 +50,11 @@ from repro.io.runlog import (
     save_cache,
 )
 from tests.conftest import make_random_database
+
+
+def rq(min_sup, **options):
+    """The request the legacy kwargs path would have built."""
+    return MiningRequest.from_options(min_sup, **options)
 
 SEEDS = st.integers(0, 100_000)
 
@@ -518,7 +524,7 @@ class TestMineFacade:
 
     def test_cache_with_parallel_and_session_paths(self):
         cache = MiningCache()
-        parallel = mine(dense_db, 2, cache=cache, processes=2)
+        parallel = mine(dense_db, rq(2, processes=2), cache=cache)
         ring = RingBufferSink(capacity=None)
         session = mine(dense_db, 2, cache=cache, sinks=(ring,))
         assert keys(parallel) == keys(session)
@@ -531,9 +537,9 @@ class TestMineFacade:
             ("quasi", {"gamma": 0.8, "max_size": 4}),
         ):
             cache = MiningCache()
-            cold = mine(dense_db, 2, task=task, cache=cache, **extra)
-            warm = mine(dense_db, 2, task=task, cache=cache, **extra)
-            base = mine(dense_db, 2, task=task, **extra)
+            cold = mine(dense_db, rq(2, task=task, **extra), cache=cache)
+            warm = mine(dense_db, rq(2, task=task, **extra), cache=cache)
+            base = mine(dense_db, rq(2, task=task, **extra))
             assert keys(cold) == keys(warm) == keys(base)
             assert warm.statistics.roots_from_cache > 0
 
@@ -541,44 +547,44 @@ class TestMineFacade:
         # One cache serving several tasks never cross-contaminates.
         cache = MiningCache()
         closed = mine(dense_db, 2, cache=cache)
-        maximal = mine(dense_db, 2, task="maximal", cache=cache)
-        topk = mine(dense_db, 2, task="topk", k=3, cache=cache)
+        maximal = mine(dense_db, rq(2, task="maximal"), cache=cache)
+        topk = mine(dense_db, rq(2, task="topk", k=3), cache=cache)
         assert keys(closed) == keys(mine(dense_db, 2))
-        assert keys(maximal) == keys(mine(dense_db, 2, task="maximal"))
-        assert keys(topk) == keys(mine(dense_db, 2, task="topk", k=3))
+        assert keys(maximal) == keys(mine(dense_db, rq(2, task="maximal")))
+        assert keys(topk) == keys(mine(dense_db, rq(2, task="topk", k=3)))
         # Different k = different key space.
-        topk1 = mine(dense_db, 2, task="topk", k=1, cache=cache)
-        assert keys(topk1) == keys(mine(dense_db, 2, task="topk", k=1))
+        topk1 = mine(dense_db, rq(2, task="topk", k=1), cache=cache)
+        assert keys(topk1) == keys(mine(dense_db, rq(2, task="topk", k=1)))
 
     def test_cache_keys_are_gamma_scoped(self):
         # Two densities share a cache without cross-contaminating: the
         # engine digest folds gamma in, like k for top-k.
         cache = MiningCache()
-        loose = mine(dense_db, 2, task="quasi", gamma=0.6, max_size=4, cache=cache)
-        tight = mine(dense_db, 2, task="quasi", gamma=1.0, max_size=4, cache=cache)
+        loose = mine(dense_db, rq(2, task="quasi", gamma=0.6, max_size=4), cache=cache)
+        tight = mine(dense_db, rq(2, task="quasi", gamma=1.0, max_size=4), cache=cache)
         assert keys(loose) == keys(
-            mine(dense_db, 2, task="quasi", gamma=0.6, max_size=4)
+            mine(dense_db, rq(2, task="quasi", gamma=0.6, max_size=4))
         )
         assert keys(tight) == keys(
-            mine(dense_db, 2, task="quasi", gamma=1.0, max_size=4)
+            mine(dense_db, rq(2, task="quasi", gamma=1.0, max_size=4))
         )
 
     def test_sweep_tier_never_serves_maximal_or_topk(self):
         # Warm the cache at a LOWER threshold; a closed run at the
         # higher threshold may sweep-derive, maximal/topk must not.
         cache = MiningCache()
-        mine(dense_db, 2, task="maximal", cache=cache)
+        mine(dense_db, rq(2, task="maximal"), cache=cache)
         before = cache.sweep_hits
-        again = mine(dense_db, 3, task="maximal", cache=cache)
+        again = mine(dense_db, rq(3, task="maximal"), cache=cache)
         assert cache.sweep_hits == before  # mined fresh, not filtered
-        assert keys(again) == keys(mine(dense_db, 3, task="maximal"))
+        assert keys(again) == keys(mine(dense_db, rq(3, task="maximal")))
         cache2 = MiningCache()
-        mine(dense_db, 2, task="topk", k=3, cache=cache2)
-        mine(dense_db, 3, task="topk", k=3, cache=cache2)
+        mine(dense_db, rq(2, task="topk", k=3), cache=cache2)
+        mine(dense_db, rq(3, task="topk", k=3), cache=cache2)
         assert cache2.sweep_hits == 0
         cache3 = MiningCache()
-        mine(dense_db, 2, task="quasi", gamma=0.8, max_size=4, cache=cache3)
-        mine(dense_db, 3, task="quasi", gamma=0.8, max_size=4, cache=cache3)
+        mine(dense_db, rq(2, task="quasi", gamma=0.8, max_size=4), cache=cache3)
+        mine(dense_db, rq(3, task="quasi", gamma=0.8, max_size=4), cache=cache3)
         assert cache3.sweep_hits == 0
 
     def test_cache_rejected_with_root_labels(self):

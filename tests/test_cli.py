@@ -62,7 +62,9 @@ class TestMine:
         assert "prefixes=" in err
 
     def test_invalid_support_is_reported(self, example_file, capsys):
-        assert main(["mine", example_file, "--min-sup", "99"]) == 2
+        # Mining-configuration errors (MiningError) exit 3; plain usage
+        # errors exit 2 (see the exit-code table in repro.cli).
+        assert main(["mine", example_file, "--min-sup", "99"]) == 3
         assert "error:" in capsys.readouterr().err
 
 

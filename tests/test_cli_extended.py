@@ -83,9 +83,10 @@ class TestQuasi:
         assert "bde:2" in out
 
     def test_invalid_gamma_reports_error(self, example_file, capsys):
+        # gamma out of range is a mining-configuration error: exit 3.
         assert main([
             "quasi", example_file, "--min-sup", "2", "--gamma", "0.2",
-        ]) == 2
+        ]) == 3
         assert "error:" in capsys.readouterr().err
 
 

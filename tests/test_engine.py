@@ -13,6 +13,7 @@ import warnings
 import pytest
 
 from repro.core import ClanMiner, MinerConfig, MiningEngine, mine
+from repro.core.api import MiningRequest
 from repro.core.engine import (
     ENGINE_TASKS,
     engine_digest,
@@ -102,7 +103,9 @@ class TestFinalizePatterns:
         everything = list(mine(database, 2))
         top = finalize_patterns("topk", everything, 2)
         assert len(top) == 2
-        assert top == list(mine(database, 2, task="topk", k=2))
+        assert top == list(
+            mine(database, MiningRequest(min_sup=2, task="topk", k=2))
+        )
 
 
 class TestEngineForTask:
@@ -137,14 +140,14 @@ class TestParallelShim:
             warnings.simplefilter("error")
             import repro.core.parallel  # noqa: F401
 
-    def test_attribute_access_warns_and_delegates(self):
+    def test_attribute_access_raises_with_migration_hint(self):
+        # The shim graduated from DeprecationWarning to MiningError per
+        # the deprecation policy in CONTRIBUTING.md.
         import repro.core.parallel as shim
 
-        from repro.core import executor
-
         for name in ("mine_closed_cliques_parallel", "partition_roots"):
-            with pytest.warns(DeprecationWarning, match="repro.core.executor"):
-                assert getattr(shim, name) is getattr(executor, name)
+            with pytest.raises(MiningError, match="repro.core.executor"):
+                getattr(shim, name)
 
     def test_unknown_attribute_raises(self):
         import repro.core.parallel as shim

@@ -82,7 +82,8 @@ class TestGenerateTransformMineRecordReplay:
     def test_protein_quasi_extension(self):
         """Quasi-clique mining finds near-motifs the exact miner misses."""
         from repro.bio import FamilyConfig, MotifSpec, protein_family
-        from repro.core import mine_closed_cliques, mine_closed_quasi_cliques
+        from repro.core import mine, mine_closed_cliques
+        from repro.core.api import MiningRequest
 
         config = FamilyConfig(
             n_proteins=8,
@@ -108,8 +109,11 @@ class TestGenerateTransformMineRecordReplay:
                 break
         exact = mine_closed_cliques(family, 1.0, min_size=4)
         assert all(p.labels != ("C", "C", "H", "H") for p in exact)
-        quasi = mine_closed_quasi_cliques(
-            family, 1.0, gamma=0.6, min_size=4, max_size=4
+        quasi = mine(
+            family,
+            MiningRequest.from_options(
+                1.0, task="quasi", gamma=0.6, min_size=4, max_size=4
+            ),
         )
         assert any(p.labels == ("C", "C", "H", "H") for p in quasi)
 

@@ -26,6 +26,7 @@ import pytest
 
 from repro.baselines.bruteforce import bruteforce_quasi_cliques
 from repro.core import BITSET, SET, mine
+from repro.core.api import MiningRequest
 from repro.graphdb import permute_vertex_ids
 
 from tests.conftest import make_random_database
@@ -91,11 +92,10 @@ def mine_both_kernels(database, min_sup, gamma):
     outcomes = {
         kernel: mine(
             database,
-            min_sup,
-            task="quasi",
-            gamma=gamma,
-            max_size=MAX_SIZE,
-            kernel=kernel,
+            MiningRequest.from_options(
+                min_sup, task="quasi", gamma=gamma, max_size=MAX_SIZE,
+                kernel=kernel,
+            ),
         )
         for kernel in KERNELS
     }
@@ -135,12 +135,18 @@ class TestVertexPermutationInvariance:
         database = database_for(case)
         permuted = permute_vertex_ids(database, seed=seed + 17)
         base = mine(
-            database, min_sup, task="quasi", gamma=gamma, max_size=MAX_SIZE,
-            kernel=kernel,
+            database,
+            MiningRequest.from_options(
+                min_sup, task="quasi", gamma=gamma, max_size=MAX_SIZE,
+                kernel=kernel,
+            ),
         )
         moved = mine(
-            permuted, min_sup, task="quasi", gamma=gamma, max_size=MAX_SIZE,
-            kernel=kernel,
+            permuted,
+            MiningRequest.from_options(
+                min_sup, task="quasi", gamma=gamma, max_size=MAX_SIZE,
+                kernel=kernel,
+            ),
         )
         assert structural_signature(base) == structural_signature(moved)
         assert str(base.statistics) == str(moved.statistics)

@@ -15,6 +15,7 @@ from repro.core import (
     quasi_cliques_in_graph,
     required_degree,
 )
+from repro.core.api import MiningRequest
 from repro.core.engine import MiningEngine
 from repro.exceptions import MiningError
 from repro.graphdb import Graph, GraphDatabase
@@ -31,6 +32,11 @@ def signature(result):
         )
         for pattern in result
     )
+
+
+def rq(min_sup, **options):
+    """A MiningRequest built exactly the way the legacy kwargs path would."""
+    return MiningRequest.from_options(min_sup, **options)
 
 
 def k5_minus_edge() -> Graph:
@@ -142,17 +148,14 @@ class TestMining:
     def test_gamma_one_matches_clan(self, paper_db):
         quasi = mine(
             paper_db,
-            2,
-            task="quasi",
-            gamma=1.0,
-            config=MinerConfig(min_size=1, max_size=4),
+            rq(2, task="quasi", gamma=1.0, config=MinerConfig(min_size=1, max_size=4)),
         )
         exact = mine_closed_cliques(paper_db, 2, config=MinerConfig(max_size=4))
         assert sorted(p.key() for p in quasi) == sorted(p.key() for p in exact)
 
     def test_near_clique_pattern_mined(self):
         db = GraphDatabase([k5_minus_edge(), k5_minus_edge()])
-        result = mine(db, 2, task="quasi", gamma=0.75, min_size=5, max_size=5)
+        result = mine(db, rq(2, task="quasi", gamma=0.75, min_size=5, max_size=5))
         assert [p.key() for p in result] == ["pqrst:2"]
 
     def test_closed_only_flag(self):
@@ -161,23 +164,25 @@ class TestMining:
         every = MiningEngine(
             db, config, strategy=QuasiTaskStrategy(0.75, closed=False)
         ).mine(2)
-        closed = mine(db, 2, task="quasi", gamma=0.75, min_size=2, max_size=5)
+        closed = mine(db, rq(2, task="quasi", gamma=0.75, min_size=2, max_size=5))
         assert len(closed) < len(every)
         assert {p.key() for p in closed} <= {p.key() for p in every}
 
     def test_witnesses_are_quasi_cliques(self, paper_db):
-        result = mine(paper_db, 2, task="quasi", gamma=0.75, min_size=3, max_size=4)
+        result = mine(
+            paper_db, rq(2, task="quasi", gamma=0.75, min_size=3, max_size=4)
+        )
         for pattern in result:
             for tid, witness in pattern.witnesses.items():
                 assert is_quasi_clique(paper_db[tid], frozenset(witness), 0.75)
 
-    def test_deprecated_shim_warns_and_matches_engine(self, paper_db):
-        with pytest.warns(DeprecationWarning, match="mine_closed_quasi_cliques"):
-            legacy = mine_closed_quasi_cliques(
+    def test_removed_shim_raises_with_migration_hint(self, paper_db):
+        # Graduated per the deprecation policy in CONTRIBUTING.md: the
+        # function stays importable but now fails loudly with the recipe.
+        with pytest.raises(MiningError, match="task='quasi'"):
+            mine_closed_quasi_cliques(
                 paper_db, 2, gamma=0.75, min_size=2, max_size=4
             )
-        current = mine(paper_db, 2, task="quasi", gamma=0.75, max_size=4)
-        assert signature(legacy) == signature(current)
 
 
 class TestEngineStrategyProperties:
@@ -203,14 +208,16 @@ class TestEngineStrategyProperties:
         both equal the exhaustive oracle — so no cut subtree contained
         an oracle-confirmed pattern."""
         db = make_random_database(seed, n_graphs=3, n_vertices=7)
-        pruned = mine(db, min_sup, task="quasi", gamma=gamma, max_size=4)
+        pruned = mine(db, rq(min_sup, task="quasi", gamma=gamma, max_size=4))
         unpruned = mine(
             db,
-            min_sup,
-            task="quasi",
-            gamma=gamma,
-            config=MinerConfig(
-                min_size=2, max_size=4, nonclosed_prefix_pruning=False
+            rq(
+                min_sup,
+                task="quasi",
+                gamma=gamma,
+                config=MinerConfig(
+                    min_size=2, max_size=4, nonclosed_prefix_pruning=False
+                ),
             ),
         )
         assert signature(pruned) == signature(unpruned)
@@ -224,15 +231,17 @@ class TestEngineStrategyProperties:
         bound provably cuts subtrees, the output still matches the
         unpruned run (regression pin for the probe that found it)."""
         db = make_random_database(0, n_graphs=3, n_vertices=7)
-        pruned = mine(db, 2, task="quasi", gamma=0.6, max_size=4)
+        pruned = mine(db, rq(2, task="quasi", gamma=0.6, max_size=4))
         assert pruned.statistics.snapshot()["nonclosed_prefix_prunes"] > 0
         unpruned = mine(
             db,
-            2,
-            task="quasi",
-            gamma=0.6,
-            config=MinerConfig(
-                min_size=2, max_size=4, nonclosed_prefix_pruning=False
+            rq(
+                2,
+                task="quasi",
+                gamma=0.6,
+                config=MinerConfig(
+                    min_size=2, max_size=4, nonclosed_prefix_pruning=False
+                ),
             ),
         )
         assert signature(pruned) == signature(unpruned)

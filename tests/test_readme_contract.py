@@ -21,14 +21,15 @@ class TestQuickstartSnippets:
     def test_facade_matches_legacy_wrappers(self):
         """The README's claim: the per-task functions remain supported
         and agree with the façade, byte for byte."""
-        from repro import mine, mine_closed_cliques, mine_frequent_cliques
+        from repro import MiningRequest, mine
+        from repro import mine_closed_cliques, mine_frequent_cliques
         from repro import paper_example_database
 
         database = paper_example_database()
         assert [p.key() for p in mine(database, 2)] == [
             p.key() for p in mine_closed_cliques(database, 2)
         ]
-        assert [p.key() for p in mine(database, 2, task="frequent")] == [
+        assert [p.key() for p in mine(database, MiningRequest(min_sup=2, task="frequent"))] == [
             p.key() for p in mine_frequent_cliques(database, 2)
         ]
         assert [p.key() for p in mine(database, "100%")] == [
@@ -50,10 +51,13 @@ class TestQuickstartSnippets:
         assert [p.key() for p in result] == ["abc:2"]
 
     def test_long_running_mines_snippet(self):
-        from repro import mine, paper_example_database
+        from repro import MiningBudget, MiningRequest, mine, paper_example_database
 
         database = paper_example_database()
-        partial = mine(database, min_sup=2, max_expanded_prefixes=3)
+        request = MiningRequest(
+            min_sup=2, budget=MiningBudget(max_expanded_prefixes=3)
+        )
+        partial = mine(database, request)
         if partial.truncated:
             finished = mine(
                 database, min_sup=2, root_labels=partial.completed_roots
@@ -84,11 +88,13 @@ class TestQuickstartSnippets:
             assert flag in README, flag
 
     def test_scaling_out_snippet(self):
-        from repro import MiningExecutor, mine, paper_example_database
+        from repro import MiningExecutor, MiningRequest, mine, paper_example_database
 
         database = paper_example_database()
-        stealing = mine(database, min_sup=2, processes=2)
-        static = mine(database, min_sup=2, processes=2, scheduler="static")
+        stealing = mine(database, MiningRequest(min_sup=2, processes=2))
+        static = mine(
+            database, MiningRequest(min_sup=2, processes=2, scheduler="static")
+        )
         assert [p.key() for p in stealing] == [p.key() for p in static]
         with MiningExecutor(database, processes=2) as executor:
             sizes = {min_sup: len(executor.mine(min_sup)) for min_sup in (2, 1)}
@@ -112,6 +118,17 @@ class TestQuickstartSnippets:
         for flag in ("--processes", "--scheduler"):
             assert flag in mine_options, flag
             assert flag in README, flag
+
+    def test_serve_snippet_wire_format_is_valid(self):
+        """The curl body in 'Mining as a service' is a valid request."""
+        import re
+
+        from repro import MiningRequest
+
+        match = re.search(r"-d '(\{.*?\})'", README, re.S)
+        assert match, "README curl example with a request body not found"
+        request = MiningRequest.from_json(match.group(1))
+        assert request == MiningRequest(min_sup=2)
 
     def test_stock_market_snippet(self):
         from repro import mine_closed_cliques
@@ -142,7 +159,8 @@ class TestReadmeReferences:
             a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
         )
         available = set(sub.choices)
-        for command in ("mine", "sweep", "topk", "quasi", "lattice", "stats",
+        for command in ("mine", "sweep", "topk", "quasi", "serve", "submit",
+                        "watch-job", "lattice", "stats",
                         "validate", "convert", "diff", "record", "replay",
                         "generate", "experiments"):
             assert f"clan {command}" in README, command

@@ -16,7 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import mine
+from repro import MiningRequest, mine
 from repro.core import (
     CallbackSink,
     ClanMiner,
@@ -61,6 +61,11 @@ def keys(result):
     return [p.key() for p in result]
 
 
+def rq(min_sup=2, **options):
+    """A MiningRequest built exactly the way the legacy kwargs path would."""
+    return MiningRequest.from_options(min_sup, **options)
+
+
 # ======================================================================
 # The façade vs the legacy entry points
 # ======================================================================
@@ -72,32 +77,32 @@ class TestFacadeMatchesLegacy:
         assert keys(mine(dense_db, 3)) == keys(mine_closed_cliques(dense_db, 3))
 
     def test_frequent(self, dense_db):
-        assert keys(mine(dense_db, 3, task="frequent")) == keys(
+        assert keys(mine(dense_db, rq(3, task="frequent"))) == keys(
             mine_frequent_cliques(dense_db, 3)
         )
 
     def test_size_window(self, dense_db):
-        assert keys(mine(dense_db, 3, min_size=2, max_size=3)) == keys(
+        assert keys(mine(dense_db, rq(3, min_size=2, max_size=3))) == keys(
             mine_closed_cliques(dense_db, 3, min_size=2, max_size=3)
         )
 
     def test_maximal(self, dense_db):
-        assert keys(mine(dense_db, 3, task="maximal")) == keys(
+        assert keys(mine(dense_db, rq(3, task="maximal"))) == keys(
             mine_maximal_cliques(dense_db, 3)
         )
 
     def test_topk(self, dense_db):
-        assert keys(mine(dense_db, 3, task="topk", k=4)) == keys(
+        assert keys(mine(dense_db, rq(3, task="topk", k=4))) == keys(
             mine_top_k_closed_cliques(dense_db, 3, k=4)
         )
 
     def test_quasi(self, paper_db):
-        assert keys(mine(paper_db, 2, task="quasi", gamma=0.8, max_size=5)) == keys(
+        assert keys(mine(paper_db, rq(2, task="quasi", gamma=0.8, max_size=5))) == keys(
             bruteforce_quasi_cliques(paper_db, 2, gamma=0.8, min_size=2, max_size=5)
         )
 
     def test_parallel_pool(self, dense_db):
-        assert keys(mine(dense_db, 3, processes=2)) == keys(
+        assert keys(mine(dense_db, rq(3, processes=2))) == keys(
             mine_closed_cliques(dense_db, 3)
         )
 
@@ -109,32 +114,36 @@ class TestFacadeMatchesLegacy:
 
     def test_unknown_task_rejected(self, paper_db):
         with pytest.raises(MiningError, match="unknown task"):
-            mine(paper_db, 2, task="closedish")
+            mine(paper_db, rq(2, task="closedish"))
 
     def test_topk_requires_k(self, paper_db):
         with pytest.raises(MiningError, match="requires k"):
-            mine(paper_db, 2, task="topk")
+            mine(paper_db, rq(2, task="topk"))
 
     def test_quasi_requires_max_size(self, paper_db):
         with pytest.raises(MiningError, match="max_size"):
-            mine(paper_db, 2, task="quasi")
+            mine(paper_db, rq(2, task="quasi"))
 
     def test_session_options_work_for_engine_tasks(self, paper_db, dense_db):
         # Budgets/pools are engine-wide now: maximal and top-k run
         # through the same session/executor stack as closed.
-        relaxed = mine(paper_db, 2, task="maximal", deadline=60.0)
+        relaxed = mine(paper_db, rq(2, task="maximal", deadline=60.0))
         assert keys(relaxed) == keys(mine_maximal_cliques(paper_db, 2))
-        pooled = mine(dense_db, 3, task="topk", k=4, processes=2)
+        pooled = mine(dense_db, rq(3, task="topk", k=4, processes=2))
         assert keys(pooled) == keys(mine_top_k_closed_cliques(dense_db, 3, k=4))
 
     def test_engine_options_work_for_quasi(self, paper_db):
         # Quasi is a full engine task now: kernels, worker pools, and
         # budgets all apply, and every path agrees with plain serial.
-        plain = mine(paper_db, 2, task="quasi", gamma=0.8, max_size=4)
-        pooled = mine(paper_db, 2, task="quasi", gamma=0.8, max_size=4, processes=2)
-        setk = mine(paper_db, 2, task="quasi", gamma=0.8, max_size=4, kernel="set")
+        plain = mine(paper_db, rq(2, task="quasi", gamma=0.8, max_size=4))
+        pooled = mine(
+            paper_db, rq(2, task="quasi", gamma=0.8, max_size=4, processes=2)
+        )
+        setk = mine(
+            paper_db, rq(2, task="quasi", gamma=0.8, max_size=4, kernel="set")
+        )
         budgeted = mine(
-            paper_db, 2, task="quasi", gamma=0.8, max_size=4, deadline=60.0
+            paper_db, rq(2, task="quasi", gamma=0.8, max_size=4, deadline=60.0)
         )
         assert keys(pooled) == keys(plain)
         assert keys(setk) == keys(plain)
@@ -143,15 +152,15 @@ class TestFacadeMatchesLegacy:
 
     def test_quasi_rejects_out_of_range_gamma(self, paper_db):
         with pytest.raises(MiningError, match="gamma"):
-            mine(paper_db, 2, task="quasi", gamma=0.2, max_size=4)
+            mine(paper_db, rq(2, task="quasi", gamma=0.2, max_size=4))
 
     def test_maximal_rejects_max_size(self, paper_db):
         with pytest.raises(MiningError, match="look maximal"):
-            mine(paper_db, 2, task="maximal", max_size=3)
+            mine(paper_db, rq(2, task="maximal", max_size=3))
 
     def test_budget_and_shorthand_mutually_exclusive(self, paper_db):
         with pytest.raises(MiningError, match="not both"):
-            mine(paper_db, 2, budget=MiningBudget(max_patterns=5), deadline=1.0)
+            mine(paper_db, rq(2, budget=MiningBudget(max_patterns=5), deadline=1.0))
 
     def test_stream_returns_unstarted_session(self, paper_db):
         session = mine(paper_db, 2, stream=True)
@@ -399,7 +408,7 @@ class TestBudgets:
         assert MiningBudget().unbounded
 
     def test_facade_budget_shorthand(self, dense_db):
-        partial = mine(dense_db, 3, max_expanded_prefixes=5)
+        partial = mine(dense_db, rq(3, max_expanded_prefixes=5))
         assert partial.truncated
         reference = mine(dense_db, 3, root_labels=partial.completed_roots)
         assert keys(partial) == keys(reference)
@@ -545,7 +554,7 @@ class TestSessionGuards:
             config=MinerConfig(min_size=2, max_size=5),
         )
         assert keys(quasi.run()) == keys(
-            mine(paper_db, 2, task="quasi", gamma=0.8, max_size=5)
+            mine(paper_db, rq(2, task="quasi", gamma=0.8, max_size=5))
         )
 
     def test_quasi_session_requires_gamma_and_max_size(self, paper_db):
@@ -579,11 +588,11 @@ class TestSessionGuards:
         with pytest.raises(MiningError, match="scheduler"):
             MiningSession(paper_db, 2, scheduler="fifo")
         with pytest.raises(MiningError, match="scheduler"):
-            mine(paper_db, 2, scheduler="fifo")
+            mine(paper_db, rq(2, scheduler="fifo"))
 
     def test_root_labels_incompatible_with_session_options(self, paper_db):
         with pytest.raises(MiningError, match="root_labels"):
-            mine(paper_db, 2, root_labels=("a",), deadline=5.0)
+            mine(paper_db, rq(2, deadline=5.0), root_labels=("a",))
 
     def test_truncated_repr_and_fields(self, dense_db):
         partial = MiningSession(

@@ -33,11 +33,17 @@ from repro.core import (
     RingBufferSink,
     mine,
 )
+from repro.core.api import MiningRequest
 from repro.core.engine import finalize_patterns
 from repro.core.maximal import maximal_subset
 from repro.exceptions import MiningError
 
 from tests.conftest import make_random_database
+
+
+def rq(min_sup, **options):
+    """The request the legacy kwargs path would have built."""
+    return MiningRequest.from_options(min_sup, **options)
 
 #: Seeded databases spanning sparse to dense, few to many labels.
 CASES = [
@@ -127,25 +133,27 @@ class TestPathParity:
         database = database_for(case)
         min_sup = 2 if case[0] % 2 else 1
 
-        serial = mine(database, min_sup, task=task, **extra)
+        serial = mine(database, rq(min_sup, task=task, **extra))
         reference = full_signature(serial)
         ref_snapshot = comparable_snapshot(serial)
 
         stealing = mine(
-            database, min_sup, task=task, processes=2, scheduler="stealing", **extra
+            database,
+            rq(min_sup, task=task, processes=2, scheduler="stealing", **extra),
         )
         assert full_signature(stealing) == reference
         assert comparable_snapshot(stealing) == ref_snapshot
 
         static = mine(
-            database, min_sup, task=task, processes=2, scheduler="static", **extra
+            database,
+            rq(min_sup, task=task, processes=2, scheduler="static", **extra),
         )
         assert full_signature(static) == reference
         assert comparable_snapshot(static) == ref_snapshot
 
         cache = MiningCache()
-        cold = mine(database, min_sup, task=task, cache=cache, **extra)
-        warm = mine(database, min_sup, task=task, cache=cache, **extra)
+        cold = mine(database, rq(min_sup, task=task, **extra), cache=cache)
+        warm = mine(database, rq(min_sup, task=task, **extra), cache=cache)
         assert full_signature(cold) == reference
         assert full_signature(warm) == reference
         assert comparable_snapshot(warm) == ref_snapshot
@@ -169,7 +177,7 @@ class TestOracle:
     def test_maximal_equals_bruteforce(self, case):
         database = database_for(case)
         min_sup = 2 if case[0] % 2 else 1
-        mined = mine(database, min_sup, task="maximal")
+        mined = mine(database, rq(min_sup, task="maximal"))
         oracle = maximal_subset(bruteforce_closed_cliques(database, min_sup))
         assert oracle_signature(mined) == oracle_signature(oracle), case
 
@@ -178,7 +186,7 @@ class TestOracle:
     def test_topk_equals_bruteforce(self, case, k):
         database = database_for(case)
         min_sup = 2 if case[0] % 2 else 1
-        mined = mine(database, min_sup, task="topk", k=k)
+        mined = mine(database, rq(min_sup, task="topk", k=k))
         closed = list(bruteforce_closed_cliques(database, min_sup))
         oracle = finalize_patterns("topk", closed, k)
         assert [
@@ -192,7 +200,7 @@ class TestOracle:
         # transaction, so the oracle pins them exactly.
         database = database_for(case)
         min_sup = 2 if case[0] % 2 else 1
-        mined = mine(database, min_sup, task="quasi", gamma=0.8, max_size=4)
+        mined = mine(database, rq(min_sup, task="quasi", gamma=0.8, max_size=4))
         oracle = bruteforce_quasi_cliques(
             database, min_sup, gamma=0.8, min_size=2, max_size=4
         )
@@ -229,11 +237,11 @@ class TestSnapshotSchemaTaskIndependent:
         database = database_for(CASES[1])
         snapshots = {
             "closed": mine(database, 2).statistics.snapshot(),
-            "frequent": mine(database, 2, task="frequent").statistics.snapshot(),
-            "maximal": mine(database, 2, task="maximal").statistics.snapshot(),
-            "topk": mine(database, 2, task="topk", k=3).statistics.snapshot(),
+            "frequent": mine(database, rq(2, task="frequent")).statistics.snapshot(),
+            "maximal": mine(database, rq(2, task="maximal")).statistics.snapshot(),
+            "topk": mine(database, rq(2, task="topk", k=3)).statistics.snapshot(),
             "quasi": mine(
-                database, 2, task="quasi", gamma=0.8, max_size=4
+                database, rq(2, task="quasi", gamma=0.8, max_size=4)
             ).statistics.snapshot(),
         }
         for task, snapshot in snapshots.items():
@@ -246,7 +254,7 @@ class TestSnapshotSchemaTaskIndependent:
         # closed task does.
         database = database_for(CASES[0])
         for task, extra in TASKS:
-            snapshot = mine(database, 1, task=task, **extra).statistics.snapshot()
+            snapshot = mine(database, rq(1, task=task, **extra)).statistics.snapshot()
             assert snapshot["prefixes_visited"] > 0, task
             assert snapshot["frequent_cliques"] > 0, task
             assert snapshot["max_depth"] > 0, task
@@ -279,7 +287,7 @@ class TestQuasiCheckpointResume:
 
     def test_mid_run_resume_completes_to_identical_result(self):
         database = database_for(CASES[2])
-        full = mine(database, 1, task="quasi", gamma=self.GAMMA, max_size=4)
+        full = mine(database, rq(1, task="quasi", gamma=self.GAMMA, max_size=4))
         session = self.truncated_session(database, 1)
         checkpoint = session.checkpoint()
         assert checkpoint.task == "quasi"

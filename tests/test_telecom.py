@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import mine, mine_closed_cliques
+from repro.core.api import MiningRequest
 from repro.exceptions import DataGenerationError
 from repro.telecom import (
     CallGraphConfig,
@@ -11,6 +12,12 @@ from repro.telecom import (
     expected_communities,
     subscriber_label,
 )
+
+
+def rq(min_sup, **options):
+    """The request the legacy kwargs path would have built."""
+    return MiningRequest.from_options(min_sup, **options)
+
 
 
 class TestSpecs:
@@ -76,7 +83,7 @@ class TestMiningStory:
     def test_quasi_mining_recovers_partial_communities(self):
         db = call_graph_database()
         result = mine(
-            db, 0.7, task="quasi", gamma=0.6, min_size=4, max_size=6
+            db, rq(0.7, task="quasi", gamma=0.6, min_size=4, max_size=6)
         )
         found = {p.labels for p in result}
         labels, spec = expected_communities()[0]  # 6-member, density 0.85
@@ -86,7 +93,7 @@ class TestMiningStory:
         db = call_graph_database()
         labels, spec = expected_communities()[3]  # active 60% of days
         assert spec.activity < 1.0
-        high = mine(db, 0.8, task="quasi", gamma=0.6, min_size=5, max_size=5)
-        low = mine(db, 0.4, task="quasi", gamma=0.6, min_size=5, max_size=5)
+        high = mine(db, rq(0.8, task="quasi", gamma=0.6, min_size=5, max_size=5))
+        low = mine(db, rq(0.4, task="quasi", gamma=0.6, min_size=5, max_size=5))
         assert labels not in {p.labels for p in high}
         assert labels in {p.labels for p in low}
