@@ -1,21 +1,35 @@
-"""Ablation — set kernel vs bitset kernel on the paper workloads.
+"""Ablation — set vs bitset vs slab kernels on the paper workloads.
 
-Both kernels run the identical CLAN algorithm (the differential suite
-enforces byte-identical results and statistics); the only difference
-is the candidate-set representation, so the runtime gap is a pure
-measure of the bitset engineering.  Measured on the Figure 6(a) sweep
-(six market databases × four thresholds) and a Figure 7(b) style
-replicated workload; the Figure 6(a) numbers are also written to
-``BENCH_kernels.json`` at the repo root as the perf-trajectory
-baseline for future PRs.
+All three kernels run the identical CLAN algorithm (the differential
+suite enforces byte-identical results and statistics); the only
+difference is the candidate-set representation, so the runtime gaps
+are a pure measure of the kernel engineering:
+
+* ``set``    — frozensets of transaction ids (the readable oracle);
+* ``bitset`` — one Python int bitmask per candidate set;
+* ``slab``   — numpy uint64 word slabs, batched level-by-level across
+  the whole DFS forest (vectorised AND + popcount over every sibling
+  at once).
+
+Measured on the Figure 6(a) sweep (six market databases × four
+thresholds) and a Figure 7(b) style replicated workload; the numbers
+are written to ``BENCH_kernels.json`` at the repo root as the
+perf-trajectory baseline for future PRs.
+
+Interpreting the two workloads: fig6a@small has only 11 transactions
+per database, so per-node mask arithmetic is already cheap and the
+run is dominated by the shared engine/emission floor — slab's win
+there is modest.  fig7b_x4 multiplies the transaction axis 4x, which
+is exactly the axis slab vectorises over, and the gap widens.  Slab's
+advantage scales with transaction count, not alphabet size.
 """
 
 import json
 import time
 from pathlib import Path
 
-from repro.bench import format_table
-from repro.core import BITSET, SET, ClanMiner, MinerConfig
+from repro.bench import format_table, hardware_context
+from repro.core import BITSET, SET, SLAB, ClanMiner, MinerConfig
 from repro.stockmarket import PAPER_THETAS
 
 from conftest import write_report
@@ -23,6 +37,7 @@ from conftest import write_report
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SUPPORTS = (1.00, 0.95, 0.90, 0.85)
 ROUNDS = 3  # best-of, to shed scheduler noise
+KERNELS = (SET, BITSET, SLAB)
 
 
 def fig6a_sweep(market_databases, kernel):
@@ -36,8 +51,10 @@ def fig6a_sweep(market_databases, kernel):
     return time.perf_counter() - started, keys
 
 
-def fig7b_cell(market_databases, kernel):
-    replica = market_databases[0.95].replicate(4)
+def fig7b_cell(replica, kernel):
+    # The replica is built once by the caller so best-of rounds measure
+    # steady-state mining, not one-time index construction (the fig6a
+    # databases come from a session fixture and amortise the same way).
     config = MinerConfig(kernel=kernel)
     started = time.perf_counter()
     result = ClanMiner(replica, config).mine(0.85)
@@ -59,9 +76,10 @@ def test_ablation_kernels(benchmark, market_databases, scale):
 
     timings = {}
     reference_keys = {}
-    for kernel in (SET, BITSET):
+    replica = market_databases[0.95].replicate(4)
+    for kernel in KERNELS:
         sweep_seconds, sweep_keys = best_of(fig6a_sweep, market_databases, kernel)
-        cell_seconds, cell_keys = best_of(fig7b_cell, market_databases, kernel)
+        cell_seconds, cell_keys = best_of(fig7b_cell, replica, kernel)
         timings[kernel] = {"fig6a_sweep": sweep_seconds, "fig7b_x4": cell_seconds}
         keys = {"fig6a": sweep_keys, "fig7b": cell_keys}
         if not reference_keys:
@@ -74,28 +92,46 @@ def test_ablation_kernels(benchmark, market_databases, scale):
     for workload in ("fig6a_sweep", "fig7b_x4"):
         set_s = timings[SET][workload]
         bit_s = timings[BITSET][workload]
+        slab_s = timings[SLAB][workload]
         rows.append(
-            [workload, f"{set_s:.3f}", f"{bit_s:.3f}", f"{set_s / bit_s:.2f}x"]
+            [
+                workload,
+                f"{set_s:.3f}",
+                f"{bit_s:.3f}",
+                f"{slab_s:.3f}",
+                f"{set_s / bit_s:.2f}x",
+                f"{bit_s / slab_s:.2f}x",
+            ]
         )
     table = format_table(
-        ["workload", "set (s)", "bitset (s)", "speedup"],
+        ["workload", "set (s)", "bitset (s)", "slab (s)", "bitset/set", "slab/bitset"],
         rows,
         title=f"Kernel ablation, best of {ROUNDS} (scale={scale})",
     )
     write_report("kernels", table)
 
     record = {
-        "benchmark": "kernel ablation (set vs bitset)",
+        "benchmark": "kernel ablation (set vs bitset vs slab)",
         "scale": scale,
         "rounds": ROUNDS,
+        "hardware": hardware_context(),
         "workloads": {
             "fig6a_sweep": "6 market databases x supports 100/95/90/85%",
             "fig7b_x4": "SM-0.95 replicated x4 @ 85%",
         },
         "set_seconds": timings[SET],
         "bitset_seconds": timings[BITSET],
+        "slab_seconds": timings[SLAB],
         "speedup": {
             workload: timings[SET][workload] / timings[BITSET][workload]
+            for workload in timings[SET]
+        },
+        "slab_speedup_vs_bitset": {
+            workload: timings[BITSET][workload] / timings[SLAB][workload]
+            for workload in timings[BITSET]
+        },
+        "slab_speedup_vs_set": {
+            workload: timings[SET][workload] / timings[SLAB][workload]
             for workload in timings[SET]
         },
     }
@@ -103,8 +139,13 @@ def test_ablation_kernels(benchmark, market_databases, scale):
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
     )
 
-    # Acceptance bar: the default (bitset) kernel is at least 2x the
-    # set kernel on the fig6a workload (generous slack for CI noise —
-    # the recorded json carries the true ratio).
+    # Acceptance bars (generous slack for CI noise — the recorded json
+    # carries the true ratios): bitset is at least 1.5x the set kernel
+    # on fig6a, and slab beats bitset on both workloads.  fig6a@small
+    # is floor-bound (see module docstring) so the slab bar there is
+    # 1.3x; the transaction-heavy fig7b cell is where slab's batching
+    # pays (measured ~3.4x) and gets a 1.5x bar.
     if scale in ("small", "medium", "paper"):
         assert record["speedup"]["fig6a_sweep"] >= 1.5
+        assert record["slab_speedup_vs_bitset"]["fig6a_sweep"] >= 1.3
+        assert record["slab_speedup_vs_bitset"]["fig7b_x4"] >= 1.5

@@ -36,7 +36,7 @@ import time
 from pathlib import Path
 
 from repro.baselines.bruteforce import bruteforce_quasi_cliques
-from repro.bench import format_table
+from repro.bench import format_table, hardware_context
 from repro.core import MinerConfig, MiningCache, mine
 from repro.core.engine import engine_for_task
 
@@ -148,6 +148,15 @@ def test_engine_tasks(benchmark, market_databases, scale):
         "benchmark": "engine tasks (maximal/topk/quasi through kernel+executor+cache)",
         "scale": scale,
         "rounds": ROUNDS,
+        "hardware": hardware_context(),
+        # Per-task "modeled_speedup" fields are list-scheduling
+        # simulations over serially measured root times (what a machine
+        # with that many free cores could reach); every *_seconds field
+        # is real wall clock on the recorded hardware.
+        "speedup_semantics": {
+            "modeled_speedup": "greedy list-scheduling simulation over measured root times",
+            "kernel_speedup / cache_speedup": "real wall clock on the recorded hardware",
+        },
         "workload": (
             f"market thetas {THETAS} x supports {SUPPORTS}; "
             f"baseline = set kernel serial (the pre-refactor shape); "

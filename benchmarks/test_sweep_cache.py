@@ -32,7 +32,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.bench import format_table
+from repro.bench import format_table, hardware_context
 from repro.core import MiningCache, mine_closed_cliques, sweep
 from repro.io.runlog import open_cache, save_cache
 from repro.stockmarket import PAPER_THETAS
@@ -143,6 +143,7 @@ def test_sweep_cache_speedup(benchmark, scale, market_databases, tmp_path):
     record = {
         "benchmark": "sweep cache (support-monotone reuse + memoization)",
         "scale": scale,
+        "hardware": hardware_context(),
         "supports": [f"{int(s * 100)}%" for s in SUPPORTS],
         "speedup_bar": SPEEDUP_BAR,
         "per_database": per_database,

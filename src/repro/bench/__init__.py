@@ -2,7 +2,16 @@
 
 from .ascii import horizontal_bars, multi_series_chart, series_chart
 from .experiments import EXPERIMENTS, EXPERIMENTS_BY_KEY, Experiment, registry_report
-from .harness import Series, TimedRun, bench_scale, runtime_sweep, sweep, timed, timed_or_budget
+from .harness import (
+    Series,
+    TimedRun,
+    bench_scale,
+    hardware_context,
+    runtime_sweep,
+    sweep,
+    timed,
+    timed_or_budget,
+)
 from .tables import format_series_table, format_table
 
 __all__ = [
@@ -17,6 +26,7 @@ __all__ = [
     "bench_scale",
     "format_series_table",
     "format_table",
+    "hardware_context",
     "registry_report",
     "runtime_sweep",
     "sweep",

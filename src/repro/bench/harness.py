@@ -9,9 +9,11 @@ plots are drawn from).
 from __future__ import annotations
 
 import os
+import platform
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -114,6 +116,38 @@ def runtime_sweep(
         return time.perf_counter() - started
 
     return sweep(name, x_label, "runtime (s)", xs, run)
+
+
+def hardware_context() -> Dict[str, Any]:
+    """The machine/runtime facts every ``BENCH_*.json`` should carry.
+
+    Absolute seconds are meaningless without them: a "speedup" from a
+    2-core CI runner and one from a 32-core workstation are different
+    experiments.  Recorded per artefact so perf-trajectory comparisons
+    across PRs can tell a code change from a machine change.
+    """
+    try:
+        usable_cpus: Any = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux / restricted
+        usable_cpus = None
+    try:
+        import numpy
+
+        numpy_version: Any = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        # CPUs this process may actually run on (cgroup/affinity aware);
+        # the honest denominator for parallel-scaling efficiency.
+        "usable_cpus": usable_cpus,
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "sys_platform": sys.platform,
+    }
 
 
 # ----------------------------------------------------------------------

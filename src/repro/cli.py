@@ -119,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="parallel root scheduler: adaptive work-stealing "
                            "with cost-guided splitting (default) or static "
                            "round-robin chunks; results are identical")
-    mine.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
+    mine.add_argument("--kernel", default="bitset", choices=("bitset", "slab", "set"),
                       help="candidate-intersection kernel: integer bitmasks "
                            "(default) or the hashed-set reference")
     mine.add_argument("--require", default=None, metavar="L1,L2",
@@ -161,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep the all-frequent task instead of closed")
     sweep.add_argument("--min-size", type=int, default=1)
     sweep.add_argument("--max-size", type=int, default=None)
-    sweep.add_argument("--kernel", default="bitset", choices=("bitset", "set"))
+    sweep.add_argument("--kernel", default="bitset", choices=("bitset", "slab", "set"))
     sweep.add_argument("--processes", type=int, default=1,
                        help="worker processes for the mining calls")
     sweep.add_argument("--scheduler", default="stealing",
@@ -178,7 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--min-sup", default="2")
     topk.add_argument("-k", type=int, default=5)
     topk.add_argument("--min-size", type=int, default=1)
-    topk.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
+    topk.add_argument("--kernel", default="bitset", choices=("bitset", "slab", "set"),
                       help="candidate-intersection kernel (as for 'clan mine')")
     topk.add_argument("--processes", type=int, default=1,
                       help="worker processes for the root search")
@@ -194,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     quasi.add_argument("--gamma", type=float, default=0.8)
     quasi.add_argument("--min-size", type=int, default=2)
     quasi.add_argument("--max-size", type=int, default=5)
-    quasi.add_argument("--kernel", default="bitset", choices=("bitset", "set"),
+    quasi.add_argument("--kernel", default="bitset", choices=("bitset", "slab", "set"),
                        help="candidate-intersection kernel (as for 'clan mine')")
     quasi.add_argument("--processes", type=int, default=1,
                        help="worker processes for the root search")
@@ -293,7 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("-k", type=int, default=None, help="topk: patterns to keep")
     submit.add_argument("--gamma", type=float, default=None,
                         help="quasi: density threshold in [0.5, 1.0]")
-    submit.add_argument("--kernel", default=None, choices=("bitset", "set"))
+    submit.add_argument("--kernel", default=None, choices=("bitset", "slab", "set"))
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes and print its "
                              "result envelope JSON to stdout")

@@ -36,7 +36,15 @@ from .constraints import (
     mine_with_constraints,
     project_database,
 )
-from .embeddings import BITSET, CACHED, RESCAN, SET, EmbeddingStore, warm_kernel_indexes
+from .embeddings import (
+    BITSET,
+    CACHED,
+    RESCAN,
+    SET,
+    SLAB,
+    EmbeddingStore,
+    warm_kernel_indexes,
+)
 from .engine import (
     ENGINE_TASKS,
     MiningEngine,
@@ -126,6 +134,7 @@ __all__ = [
     "RootFinished",
     "RootStarted",
     "SET",
+    "SLAB",
     "STATIC",
     "STEALING",
     "SearchFinished",

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..exceptions import MiningError
-from .embeddings import BITSET, CACHED, RESCAN, SET
+from .embeddings import BITSET, CACHED, RESCAN, SET, SLAB
 
 
 @dataclass(frozen=True)
@@ -46,9 +46,12 @@ class MinerConfig:
     kernel:
         ``"bitset"`` (default) intersects candidate-extension sets as
         arbitrary-precision integer bitmasks — one ``&`` per
-        intersection; ``"set"`` is the original hashed-``set``
+        intersection; ``"slab"`` lifts the masks into numpy ``uint64``
+        slab arrays with vectorized popcount (transposed over
+        transactions on aligned databases, falling back to int masks
+        otherwise); ``"set"`` is the original hashed-``set``
         implementation, kept for ablation and differential testing.
-        Both kernels produce identical results under every strategy
+        All kernels produce identical results under every strategy
         and pruning combination.
     collect_witnesses:
         Record one witness embedding per supporting transaction in each
@@ -94,9 +97,10 @@ class MinerConfig:
                 f"embedding_strategy must be {CACHED!r} or {RESCAN!r}, "
                 f"got {self.embedding_strategy!r}"
             )
-        if self.kernel not in (SET, BITSET):
+        if self.kernel not in (SET, BITSET, SLAB):
             raise MiningError(
-                f"kernel must be {SET!r} or {BITSET!r}, got {self.kernel!r}"
+                f"kernel must be {SET!r}, {BITSET!r}, or {SLAB!r}, "
+                f"got {self.kernel!r}"
             )
         if self.nonclosed_prefix_pruning and not self.closed_only:
             raise MiningError(

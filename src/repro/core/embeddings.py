@@ -39,9 +39,17 @@ Orthogonally to the strategy, two *kernels* implement the set algebra:
 
 ``set``
     The original hashed ``set`` implementation, kept for ablation and
-    as the differential-testing reference.  Both kernels enumerate
-    embeddings in identical order (ascending vertex id within each
-    label group) and produce identical results.
+    as the differential-testing reference.
+
+``slab``
+    Numpy ``uint64`` slab arrays with vectorized ``&``/``|``/popcount,
+    transposed so one array row holds a label's supporting-transaction
+    mask (:mod:`repro.core.slab_store`).  Engaged when the database has
+    an aligned label space and the strategy is ``cached``; otherwise it
+    transparently falls back to the int-mask representation.
+
+All kernels enumerate embeddings in identical order (ascending vertex
+id within each label group) and produce identical results.
 
 Embeddings with equal labels are generated with vertex ids ascending
 inside each label group, so every vertex *set* is enumerated exactly
@@ -70,7 +78,8 @@ _STRATEGIES = (CACHED, RESCAN)
 
 SET = "set"
 BITSET = "bitset"
-_KERNELS = (SET, BITSET)
+SLAB = "slab"
+_KERNELS = (SET, BITSET, SLAB)
 
 # Sentinel: "look the aligned space up from the database" (``None`` is
 # a valid explicit value, meaning "no aligned space").
@@ -112,6 +121,12 @@ class EmbeddingStore:
             raise MiningError(f"unknown embedding strategy {strategy!r}; use one of {_STRATEGIES}")
         if kernel not in _KERNELS:
             raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
+        if kernel == SLAB:
+            # This class is the slab kernel's int-mask *fallback* (and
+            # the target its record-level delegations materialise to);
+            # the slab fast path lives in
+            # :class:`repro.core.slab_store.SlabEmbeddingStore`.
+            kernel = BITSET
         self.database = database
         self.pseudo = pseudo
         self.strategy = strategy
@@ -141,12 +156,33 @@ class EmbeddingStore:
         label: Label,
         strategy: str = CACHED,
         kernel: str = BITSET,
+        context: Optional[dict] = None,
     ) -> "EmbeddingStore":
-        """Embeddings of the 1-clique with the given label."""
+        """Embeddings of the 1-clique with the given label.
+
+        ``kernel="slab"`` dispatches to the transposed
+        :class:`~repro.core.slab_store.SlabEmbeddingStore` when the
+        database has a slab space and the strategy is ``cached``;
+        otherwise it falls back to the int-mask bitset representation
+        (byte-identical results either way).  ``context`` is the
+        engine's per-mine-call scratch dict — the slab kernel shares
+        its level-batched forest through it; the int-mask kernels
+        ignore it.
+        """
         if strategy not in _STRATEGIES:
             raise MiningError(f"unknown embedding strategy {strategy!r}; use one of {_STRATEGIES}")
         if kernel not in _KERNELS:
             raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
+        if kernel == SLAB:
+            if strategy == CACHED:
+                slab = database.slab_space()
+                if slab is not None:
+                    from .slab_store import SlabEmbeddingStore
+
+                    return SlabEmbeddingStore.for_root(
+                        database, pseudo, label, slab, context
+                    )
+            kernel = BITSET
         bitset = kernel == BITSET
         space = database.aligned_space() if bitset else None
         by_transaction: Dict[int, List[EmbeddingRecord]] = {}
@@ -790,6 +826,28 @@ class EmbeddingStore:
             self.space,
         )
 
+    def multiplicity_bound(self, valid_labels: Iterable[Label]) -> int:
+        """Upper bound on how many more vertices this subtree can add.
+
+        For each supporting transaction, no extension can use more
+        vertices than some embedding there has candidate vertices with
+        valid labels; conservatively the maximum over transactions
+        (support may drop to min_sup of the current set).  Top-k's
+        branch-and-bound cut consumes this; the slab kernel overrides
+        it with a vectorized column sum.
+        """
+        valid = set(valid_labels)
+        best = 0
+        for tid, records in self.by_transaction.items():
+            graph = self.database[tid]
+            per_transaction = 0
+            for record in records:
+                candidates = self._candidates(tid, record)
+                count = sum(1 for v in candidates if graph.label(v) in valid)
+                per_transaction = max(per_transaction, count)
+            best = max(best, per_transaction)
+        return best
+
     def restrict_to(self, transaction_ids: Iterable[int]) -> "EmbeddingStore":
         """Embeddings restricted to a subset of transactions (tests)."""
         keep = set(transaction_ids)
@@ -825,6 +883,10 @@ def warm_kernel_indexes(database: GraphDatabase, kernel: str = BITSET) -> None:
     """
     if kernel not in _KERNELS:
         raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
+    if kernel == SLAB:
+        if database.slab_space() is not None:
+            return
+        kernel = BITSET  # ineligible databases run the int-mask fallback
     if kernel == BITSET:
         space = database.aligned_space()
         if space is None:

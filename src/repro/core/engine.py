@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import MiningError
@@ -106,7 +107,7 @@ class TaskStrategy:
         """Reset any per-root state before a DFS root is mined."""
 
     def root_store(
-        self, engine: "MiningEngine", pseudo, label: Label
+        self, engine: "MiningEngine", pseudo, label: Label, context: Optional[dict] = None
     ) -> EmbeddingStore:
         """Build the embedding store one DFS root grows from.
 
@@ -115,10 +116,18 @@ class TaskStrategy:
         Called with the engine's :class:`PseudoDatabase` (``None`` when
         low-degree pruning is off) at both mining and split-planning
         sites, so every execution path grows the same embeddings.
+        ``context`` is the per-mine-call scratch dict (kernels use it
+        to share batched state across the call's roots); ``None`` at
+        standalone sites like split planning.
         """
         config = engine.config
         return EmbeddingStore.for_label(
-            engine.database, pseudo, label, config.embedding_strategy, config.kernel
+            engine.database,
+            pseudo,
+            label,
+            config.embedding_strategy,
+            config.kernel,
+            context,
         )
 
     def prune_subtree(
@@ -282,7 +291,7 @@ class TopKStrategy(TaskStrategy):
         # Branch and bound: can this subtree still reach the heap?  The
         # cut is strict because size ties are broken by label order, so
         # a subtree that can only *match* the k-th size may still win.
-        bound = form.size + _extension_multiplicity_bound(store, valid)
+        bound = form.size + store.multiplicity_bound(valid)
         if bound < self._heap.threshold():
             stats.redundancy_skips += 1  # reuse the counter for bound cuts
             return False
@@ -339,25 +348,13 @@ class _TopKHeap:
 def _extension_multiplicity_bound(
     store: EmbeddingStore, valid_labels: List[Label]
 ) -> int:
-    """Upper bound on how many more vertices this subtree can add.
+    """Soft-legacy alias of :meth:`EmbeddingStore.multiplicity_bound`.
 
-    For each supporting transaction, no extension can use more vertices
-    than that transaction has candidate vertices with valid labels; the
-    subtree-wide bound is the minimum over transactions that must keep
-    supporting the pattern — conservatively, the maximum over
-    transactions (support may drop to min_sup of the current set).
+    The bound became a store method so each kernel can implement it in
+    its own representation (the slab kernel's is a vectorized column
+    sum); kept as a wrapper for existing importers.
     """
-    valid = set(valid_labels)
-    best = 0
-    for tid, records in store.by_transaction.items():
-        graph = store.database[tid]
-        per_transaction = 0
-        for record in records:
-            candidates = store._candidates(tid, record)
-            count = sum(1 for v in candidates if graph.label(v) in valid)
-            per_transaction = max(per_transaction, count)
-        best = max(best, per_transaction)
-    return best
+    return store.multiplicity_bound(valid_labels)
 
 
 # ----------------------------------------------------------------------
@@ -639,16 +636,28 @@ class MiningEngine:
             self._sorted_labels = tuple(sorted(self._label_supports))
         label_supports = self._label_supports
         seen_forms: Set[Tuple[Label, ...]] = set()
-        wanted = set(root_labels) if root_labels is not None else None
 
-        for label in self._sorted_labels:
-            if wanted is not None and label not in wanted:
-                continue
+        if root_labels is None:
+            roots = self._sorted_labels
+        else:
+            # Root-restricted calls (the session's and executor's
+            # per-root mines) visit only the requested roots instead of
+            # filtering the whole alphabet each call; unknown labels
+            # are dropped exactly as the full scan would skip them.
+            roots = sorted(label for label in set(root_labels) if label in label_supports)
+
+        # Per-mine-call scratch shared across this call's roots; the
+        # slab kernel hosts its level-batched forest here.  Created
+        # fresh per call so no work leaks between (or is reused by)
+        # separate mine calls.
+        context: dict = {"roots": roots}
+
+        for label in roots:
             if label_supports[label] < abs_sup:
                 stats.infrequent_extensions += 1
                 continue
             strategy.begin_root(label)
-            store = strategy.root_store(self, pseudo, label)
+            store = strategy.root_store(self, pseudo, label, context)
             if first_extensions is None:
                 self._recurse(
                     CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms, hooks
@@ -728,13 +737,13 @@ class MiningEngine:
     ) -> None:
         config = self.config
         strategy = self.strategy
-        stats.record_prefix(form.size)
-        stats.record_embeddings(store.embedding_count)
+        embedding_count = store.embedding_count
+        stats.record_node(form.size, embedding_count)
         if hooks is not None:
             hooks.enter_prefix(form, store)
-        if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
+        if config.max_embeddings is not None and embedding_count > config.max_embeddings:
             raise MiningError(
-                f"prefix {form} materialised {store.embedding_count} embeddings, "
+                f"prefix {form} materialised {embedding_count} embeddings, "
                 f"exceeding the max_embeddings bound of {config.max_embeddings}"
             )
 
@@ -774,11 +783,17 @@ class MiningEngine:
         stats.infrequent_extensions += n_infrequent
         if not strategy.descend(form, store, frequent_extensions, stats):
             return
-        for label, ext_support in frequent_extensions:
+        extensions = frequent_extensions
+        if config.structural_redundancy_pruning and last_label is not None:
+            # The frequent list is label-ascending, so the canonical
+            # skips (label < last_label) form a prefix — count them in
+            # one bisect instead of touching each item.
+            skipped = bisect_left(extensions, (last_label,))
+            if skipped:
+                stats.redundancy_skips += skipped
+                extensions = extensions[skipped:]
+        for label, ext_support in extensions:
             if config.structural_redundancy_pruning:
-                if last_label is not None and label < last_label:
-                    stats.redundancy_skips += 1
-                    continue
                 child_store = store.extend(label, last_label)
                 child_form = form.extend(label)
             else:

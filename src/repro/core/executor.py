@@ -262,6 +262,7 @@ def _execute_task(
     )
     events: Tuple[MiningEvent, ...] = ()
     if recorder is not None:
+        hooks.flush()
         events = tuple(recorder.events)
     elapsed = time.perf_counter() - started
     return generation, roots, seq, result, events, elapsed, os.getpid()

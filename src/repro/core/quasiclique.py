@@ -56,7 +56,7 @@ from ..graphdb.database import GraphDatabase
 from ..graphdb.graph import Graph
 from .canonical import CanonicalForm, Label
 from .config import MinerConfig
-from .embeddings import BITSET, SET
+from .embeddings import BITSET, SET, SLAB
 from .engine import MiningEngine, TaskStrategy, engine_for_task, finalize_patterns
 from .pattern import CliquePattern
 from .results import MiningResult
@@ -307,6 +307,11 @@ class QuasiEmbeddingStore:
         max_size: int,
     ) -> "QuasiEmbeddingStore":
         """Singleton embeddings of one root label (always feasible)."""
+        if kernel == SLAB:
+            # Quasi-clique degree bookkeeping is per-embedding, not
+            # per-label, so the transposed slab layout does not apply;
+            # the slab kernel runs quasi on int masks (same results).
+            kernel = BITSET
         if kernel not in (SET, BITSET):
             raise MiningError(f"unknown kernel {kernel!r}")
         needs = _degree_needs(gamma, max_size)
@@ -646,7 +651,7 @@ class QuasiTaskStrategy(TaskStrategy):
         self.gamma = gamma
         self.closed = closed
 
-    def root_store(self, engine: "MiningEngine", pseudo, label: Label):
+    def root_store(self, engine: "MiningEngine", pseudo, label: Label, context=None):
         config = engine.config
         if config.max_size is None:
             raise MiningError(

@@ -66,6 +66,19 @@ class MinerStatistics:
         if size > self.max_depth:
             self.max_depth = size
 
+    def record_node(self, size: int, embeddings: int) -> None:
+        """Record one DFS node: a visited prefix and its embeddings.
+
+        Fuses :meth:`record_prefix` + :meth:`record_embeddings` — the
+        pair every node pays on the hot path — into one call.
+        """
+        self.prefixes_visited += 1
+        if size > self.max_depth:
+            self.max_depth = size
+        self.embeddings_created += embeddings
+        if embeddings > self.peak_embeddings:
+            self.peak_embeddings = embeddings
+
     def record_frequent(self, size: int) -> None:
         """Record one frequent clique of the given size."""
         self.frequent_cliques += 1

@@ -25,17 +25,9 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 Label = str
 
-if hasattr(int, "bit_count"):  # Python >= 3.10
-
-    def popcount(mask: int) -> int:
-        """Number of set bits in ``mask``."""
-        return mask.bit_count()
-
-else:  # pragma: no cover - exercised only on Python 3.9
-
-    def popcount(mask: int) -> int:
-        """Number of set bits in ``mask``."""
-        return bin(mask).count("1")
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (``int.bit_count``, Python >= 3.10)."""
+    return mask.bit_count()
 
 
 def iter_bits(mask: int) -> Iterator[int]:

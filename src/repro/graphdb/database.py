@@ -35,12 +35,13 @@ class GraphDatabase:
     1
     """
 
-    __slots__ = ("_graphs", "name", "_aligned_space")
+    __slots__ = ("_graphs", "name", "_aligned_space", "_slab_cache")
 
     def __init__(self, graphs: Optional[Iterable[Graph]] = None, name: str = "") -> None:
         self._graphs: List[Graph] = []
         self.name = name
         self._aligned_space: object = _SPACE_UNSET
+        self._slab_cache: Optional[tuple] = None
         for graph in graphs or ():
             self.add(graph)
 
@@ -70,6 +71,28 @@ class GraphDatabase:
             space = build_label_space(self._graphs)
             self._aligned_space = space
         return space  # type: ignore[return-value]
+
+    def slab_space(self):
+        """The transposed uint64 slab index, or ``None``.
+
+        Derived from :meth:`aligned_space` (and therefore ``None``
+        whenever alignment is impossible) by
+        :func:`repro.graphdb.slab.build_slab_space`, which also gates
+        on its build-memory ceiling.  Cached against the aligned
+        space's identity, so mutation invalidates it for free: a
+        mutated database yields a new aligned space object.
+        """
+        space = self.aligned_space()
+        if space is None:
+            return None
+        cached = self._slab_cache
+        if cached is not None and cached[0] is space:
+            return cached[1]
+        from .slab import build_slab_space
+
+        slab = build_slab_space(space)
+        self._slab_cache = (space, slab)
+        return slab
 
     def replicate(self, factor: int, name: str = "") -> "GraphDatabase":
         """Return a database with every transaction repeated ``factor`` times.

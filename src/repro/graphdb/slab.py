@@ -1,0 +1,275 @@
+"""Native-width slab primitives for the mining hot path.
+
+The bitset kernel (:mod:`repro.graphdb.bitset`) keeps every mask a
+Python arbitrary-precision ``int``: each ``&``/popcount is fast C code,
+but every *operation* still pays interpreter dispatch and a fresh
+bigint allocation.  The slab kernel trades those per-operation costs
+for numpy's per-*array* cost by batching masks into ``uint64`` slab
+arrays and running ``&``/``|``/popcount vectorized across whole rows.
+
+The payoff comes from the **transposed** layout this module builds for
+aligned (unique-label) databases.  There, a prefix clique has exactly
+one embedding per supporting transaction — a label names at most one
+vertex — so the full kernel state of a prefix is *per extension label,
+the set of transactions where it extends the prefix*:
+
+``cand[α]``
+    ``uint64[tx_words]`` — bit ``t`` set iff label ``α`` is a candidate
+    extension of the prefix's embedding in transaction ``t``.
+
+Stacked over the whole alphabet this is one ``[n_labels, tx_words]``
+slab, and Algorithm 1's scans become single vectorized expressions:
+
+* extension supports (lines 01–03): ``popcount(cand).sum(axis=-1)``,
+* growing by β (line 09): ``cand & nbr[β] & cand[β]``,
+* Lemma 4.4's full-connectivity test: ``cand & ~nbr[β]`` is zero.
+
+``nbr`` is the transposed adjacency this module precomputes once per
+database: ``nbr[b, a]`` holds, over transactions, where the vertices
+labeled ``b`` and ``a`` are adjacent.  Word layout everywhere:
+little-endian ``uint64`` words, bit ``t`` of word ``w`` standing for
+transaction ``64*w + t`` — the numpy mirror of the int-mask convention,
+so conversions are plain byte reinterpretation.
+
+Popcount uses :func:`numpy.bitwise_count` (numpy >= 2.0) and falls
+back to an 8-bit lookup table over the byte view on older numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .bitset import DatabaseLabelSpace
+
+#: Little-endian uint64: byte views line up with ``int.to_bytes(...,
+#: "little")`` regardless of host endianness.
+WORD_DTYPE = np.dtype("<u8")
+
+#: Bits per slab word.
+WORD_BITS = 64
+
+#: Ceiling on the transposed-build working set (the unpacked
+#: ``[n_tx, n_labels, n_labels]`` bit tensor and its transpose), in
+#: bytes.  Databases above it simply keep the int-mask kernel.
+DEFAULT_BUILD_BYTES = 256 * 1024 * 1024
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Byte-popcount lookup table for the pre-2.0 numpy fallback.
+_POPCOUNT_LUT = np.array([i.bit_count() for i in range(256)], dtype=np.uint8)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-word popcounts of a ``uint64`` array (same shape, small ints).
+
+    Uses :func:`numpy.bitwise_count` when available; otherwise an 8-bit
+    lookup over the byte view (both return identical values).
+    """
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    flat = np.ascontiguousarray(words)
+    as_bytes = flat.view(np.uint8).reshape(flat.shape + (8,))
+    return _POPCOUNT_LUT[as_bytes].sum(axis=-1, dtype=np.uint8)
+
+
+def popcount_rows(rows: np.ndarray) -> np.ndarray:
+    """Set-bit totals along the last (word) axis, as ``int64``.
+
+    ``[..., n_words] uint64 -> [...] int64`` — the vectorized analogue
+    of mapping :func:`repro.graphdb.bitset.popcount` over int masks.
+    """
+    return popcount_words(rows).sum(axis=-1, dtype=np.int64)
+
+
+def words_from_int(mask: int, n_words: int) -> np.ndarray:
+    """An int bitmask as a little-endian ``uint64`` word array."""
+    return np.frombuffer(mask.to_bytes(n_words * 8, "little"), dtype=WORD_DTYPE).copy()
+
+
+def int_from_words(words: np.ndarray) -> int:
+    """The int bitmask a word array encodes (inverse of words_from_int)."""
+    return int.from_bytes(np.ascontiguousarray(words, dtype=WORD_DTYPE).tobytes(), "little")
+
+
+def iter_word_bits(words: np.ndarray) -> Iterator[int]:
+    """Yield global set-bit positions of a word array, ascending.
+
+    Matches :func:`repro.graphdb.bitset.iter_bits` on the equivalent
+    int mask: position ``64*w + t`` for bit ``t`` of word ``w``.
+    """
+    for w, word in enumerate(words.tolist()):
+        base = w * WORD_BITS
+        while word:
+            low = word & -word
+            yield base + low.bit_length() - 1
+            word ^= low
+
+
+def _pack_tx_words(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a trailing transaction-bit axis into ``n_words`` uint64 words."""
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = n_words * 8 - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(packed.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    return np.ascontiguousarray(packed).view(WORD_DTYPE)
+
+
+class TransposedSlabSpace:
+    """The transposed slab index of one aligned database snapshot.
+
+    Holds, with label bit order taken from the aligned
+    :class:`~repro.graphdb.bitset.DatabaseLabelSpace` and bit ``t`` of
+    the word axis standing for transaction ``t``:
+
+    * ``nbr`` — ``uint64[n_labels, n_labels, tx_words]``; bit ``t`` of
+      ``nbr[b, a]`` set iff both labels are present in transaction
+      ``t`` and their vertices are adjacent there (symmetric, zero
+      diagonal: a vertex is not its own neighbour),
+    * ``presence`` — ``uint64[n_labels, tx_words]``; bit ``t`` of
+      ``presence[b]`` set iff label ``b`` occurs in transaction ``t``,
+    * ``label_tx_counts`` — ``int64[n_labels]`` row popcounts of
+      ``presence`` (the per-label supports, precomputed so root stores
+      are O(1)).
+
+    ``space`` is the label space the slabs were derived from; holders
+    compare it by identity to detect database mutation (a mutated
+    database yields a *new* aligned space).
+    """
+
+    __slots__ = (
+        "space",
+        "n_labels",
+        "n_transactions",
+        "tx_words",
+        "nbr",
+        "presence",
+        "label_tx_counts",
+        "_nbr_neg",
+        "_root_counts",
+        "_presence_nonzero",
+    )
+
+    def __init__(self, space: DatabaseLabelSpace) -> None:
+        views = space.views
+        n_labels = len(space.labels)
+        n_tx = len(views)
+        label_words = (n_labels + WORD_BITS - 1) // WORD_BITS
+        tx_words = max(1, (n_tx + WORD_BITS - 1) // WORD_BITS)
+        row_bytes = label_words * 8
+
+        # Per-transaction adjacency and presence in label bit order,
+        # assembled from the aligned int masks via their little-endian
+        # bytes — no per-bit python loops.
+        adj = np.zeros((n_tx, n_labels, label_words), dtype=WORD_DTYPE)
+        present = np.zeros((n_tx, max(1, label_words)), dtype=WORD_DTYPE)
+        for tid, view in enumerate(views):
+            buffer = bytearray(n_labels * row_bytes)
+            neighbor_masks = view.neighbor_masks
+            for bit, vertex in view.vertex_by_bit.items():
+                mask = neighbor_masks[vertex]
+                if mask:
+                    start = bit * row_bytes
+                    buffer[start : start + row_bytes] = mask.to_bytes(row_bytes, "little")
+            adj[tid] = np.frombuffer(bytes(buffer), dtype=WORD_DTYPE).reshape(
+                n_labels, label_words
+            )
+            present[tid, :label_words] = np.frombuffer(
+                view.present_mask.to_bytes(row_bytes, "little"), dtype=WORD_DTYPE
+            )
+
+        # [n_tx, n_labels(member), n_labels(other)] adjacency bits, then
+        # transpose the transaction axis innermost and repack over it.
+        bits = np.unpackbits(
+            adj.view(np.uint8).reshape(n_tx, n_labels, row_bytes),
+            axis=-1,
+            bitorder="little",
+        )[:, :, :n_labels]
+        self.nbr = _pack_tx_words(
+            np.ascontiguousarray(bits.transpose(1, 2, 0)), tx_words
+        )
+        present_bits = np.unpackbits(
+            present.view(np.uint8), axis=-1, bitorder="little"
+        )[:, :n_labels]
+        self.presence = _pack_tx_words(
+            np.ascontiguousarray(present_bits.transpose(1, 0)), tx_words
+        )
+        self.label_tx_counts = popcount_rows(self.presence)
+
+        self.space = space
+        self.n_labels = n_labels
+        self.n_transactions = n_tx
+        self.tx_words = tx_words
+
+        # Lazy derived slabs (support-independent, shared by every
+        # mine call on this snapshot).
+        self._nbr_neg: Optional[np.ndarray] = None
+        self._root_counts: Optional[np.ndarray] = None
+        self._presence_nonzero: Optional[np.ndarray] = None
+
+    def nbr_neg(self) -> np.ndarray:
+        """``~nbr``, cached — the Lemma 4.4 non-adjacency slabs.
+
+        Padding bits beyond the last transaction come back set; callers
+        only ever AND these rows against candidate slabs, whose padding
+        bits are zero, so the junk never reaches a popcount.
+        """
+        neg = self._nbr_neg
+        if neg is None:
+            neg = self._nbr_neg = ~self.nbr
+        return neg
+
+    def root_counts(self) -> np.ndarray:
+        """``int64[n_labels, n_labels]`` root extension supports, cached.
+
+        Row ``b`` holds the popcounts of ``nbr[b]`` — the support of
+        every label as an extension of the 1-clique ``(b,)`` — so a
+        root store's extension scan is a row view, not a popcount.
+        """
+        counts = self._root_counts
+        if counts is None:
+            counts = self._root_counts = popcount_rows(self.nbr)
+        return counts
+
+    def presence_nonzero(self) -> np.ndarray:
+        """Per-label count of nonzero ``presence`` words, cached."""
+        nonzero = self._presence_nonzero
+        if nonzero is None:
+            nonzero = self._presence_nonzero = np.count_nonzero(self.presence, axis=1)
+        return nonzero
+
+    def transactions_of(self, row: np.ndarray) -> List[int]:
+        """Transaction ids of a word-mask row, ascending."""
+        return list(iter_word_bits(row))
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransposedSlabSpace |L|={self.n_labels} |D|={self.n_transactions} "
+            f"tx_words={self.tx_words}>"
+        )
+
+
+def build_slab_space(
+    space: Optional[DatabaseLabelSpace],
+    max_build_bytes: int = DEFAULT_BUILD_BYTES,
+) -> Optional[TransposedSlabSpace]:
+    """Build the transposed slab index, or ``None`` when ineligible.
+
+    Requires an aligned label space (unique per-vertex labels), at
+    least one label and transaction, and a build working set — two
+    transient ``[n_tx, n_labels, n_labels]`` byte tensors — under
+    ``max_build_bytes``.  Ineligible databases keep the int-mask
+    kernel; results are byte-identical either way.
+    """
+    if space is None:
+        return None
+    n_labels = len(space.labels)
+    n_tx = len(space.views)
+    if not n_labels or not n_tx:
+        return None
+    if 2 * n_tx * n_labels * n_labels > max_build_bytes:
+        return None
+    return TransposedSlabSpace(space)

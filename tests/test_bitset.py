@@ -224,3 +224,52 @@ class TestClosureVariantsAgree:
                 result = fully_connected_old_labels_aligned(mask, view, space, probe)
                 decoded = {space.labels[i] for i in iter_bits(result)}
                 assert decoded == expected
+
+
+class TestSlabPrimitives:
+    """The uint64 slab primitives must agree with the int-mask ones.
+
+    The slab kernel is a re-encoding of the bitset kernel's masks into
+    little-endian uint64 word arrays; these properties pin the encoding
+    (round-trips), the counts (vectorised popcount vs ``int.bit_count``
+    on both the ``numpy.bitwise_count`` and byte-LUT paths), and the
+    bit iteration order.
+    """
+
+    @given(mask=bitsets, extra_words=st.integers(0, 2))
+    def test_words_round_trip(self, mask, extra_words):
+        from repro.graphdb import slab
+
+        n_words = max(1, -(-mask.bit_length() // 64)) + extra_words
+        words = slab.words_from_int(mask, n_words)
+        assert words.shape == (n_words,)
+        assert slab.int_from_words(words) == mask
+
+    @given(masks=st.lists(bitsets, min_size=1, max_size=8))
+    def test_popcount_rows_matches_bit_count(self, masks):
+        import numpy as np
+
+        from repro.graphdb import slab
+
+        n_words = max(1, max(-(-m.bit_length() // 64) for m in masks))
+        rows = np.stack([slab.words_from_int(m, n_words) for m in masks])
+        expected = [m.bit_count() for m in masks]
+        assert slab.popcount_rows(rows).tolist() == expected
+        # Both popcount implementations must agree: the numpy >= 2.0
+        # bitwise_count fast path and the byte-LUT fallback.
+        per_word_fast = slab.popcount_words(rows)
+        saved = slab._HAS_BITWISE_COUNT
+        try:
+            slab._HAS_BITWISE_COUNT = False
+            per_word_lut = slab.popcount_words(rows)
+        finally:
+            slab._HAS_BITWISE_COUNT = saved
+        assert per_word_fast.tolist() == per_word_lut.tolist()
+
+    @given(mask=bitsets)
+    def test_iter_word_bits_matches_iter_bits(self, mask):
+        from repro.graphdb import slab
+
+        n_words = max(1, -(-mask.bit_length() // 64))
+        words = slab.words_from_int(mask, n_words)
+        assert list(slab.iter_word_bits(words)) == list(iter_bits(mask))

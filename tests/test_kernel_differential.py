@@ -1,12 +1,13 @@
-"""Differential testing of the set and bitset mining kernels.
+"""Differential testing of the set, bitset, and slab mining kernels.
 
 The bitset kernel (including its aligned database-global label space,
-engaged automatically on unique-label databases) must be *byte
-identical* to the reference set kernel: same closed-clique sets, same
-supports and supporting transactions, same witnesses, and the same
-search statistics — the kernels are different representations of one
-algorithm, not different algorithms.  Both must also agree with the
-exhaustive brute-force oracle at small scale.
+engaged automatically on unique-label databases) and the numpy slab
+kernel (word-sliced uint64 masks, forest-batched extension planning)
+must be *byte identical* to the reference set kernel: same
+closed-clique sets, same supports and supporting transactions, same
+witnesses, and the same search statistics — the kernels are different
+representations of one algorithm, not different algorithms.  All must
+also agree with the exhaustive brute-force oracle at small scale.
 """
 
 from __future__ import annotations
@@ -17,13 +18,13 @@ import pytest
 from hypothesis import given, settings
 
 from repro.baselines.bruteforce import bruteforce_closed_cliques
-from repro.core import BITSET, SET, ClanMiner, MinerConfig
+from repro.core import BITSET, SET, SLAB, ClanMiner, MinerConfig
 from repro.graphdb import Graph, GraphDatabase
 
 from tests.conftest import make_random_database
 from tests.strategies import graph_databases
 
-KERNELS = (SET, BITSET)
+KERNELS = (SET, BITSET, SLAB)
 STRATEGIES = ("cached", "rescan")
 
 #: 50 seeded random databases spanning sparse to near-complete graphs,
@@ -136,6 +137,22 @@ class TestAlignedPath:
         assert database.aligned_space() is None
 
 
+class TestMultiWordSlab:
+    """Databases with more than 64 transactions span several uint64
+    words per slab row — the word-axis reductions (popcount sums,
+    blocking-tie scans) must agree with the single-word fast path."""
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_wide_databases_identical_and_match_oracle(self, seed):
+        database = unique_label_database(seed, n_graphs=70)
+        assert database.aligned_space() is not None
+        space = database.slab_space()
+        assert space is not None and space.tx_words > 1
+        reference = assert_all_identical(database, 8)
+        oracle = bruteforce_closed_cliques(database, 8)
+        assert oracle_signature(reference) == oracle_signature(oracle), seed
+
+
 class TestNonDefaultConfigs:
     """Kernel identity must also hold under ablation configurations."""
 
@@ -156,8 +173,11 @@ class TestNonDefaultConfigs:
             for kernel in KERNELS:
                 config = MinerConfig(kernel=kernel, **overrides)
                 results[kernel] = ClanMiner(database, config).mine(2)
-            assert signature(results[SET]) == signature(results[BITSET])
-            assert str(results[SET].statistics) == str(results[BITSET].statistics)
+            for kernel in KERNELS[1:]:
+                assert signature(results[SET]) == signature(results[kernel]), kernel
+                assert str(results[SET].statistics) == str(
+                    results[kernel].statistics
+                ), kernel
 
 
 class TestHypothesisDifferential:
