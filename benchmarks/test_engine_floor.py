@@ -1,0 +1,162 @@
+"""The shared engine's per-node floor on the Figure 6(a) workload.
+
+The iterative search loop (:meth:`repro.core.engine.MiningEngine._search`)
+is the cost every task pays per DFS node before any task-specific work:
+frame management, the extension scan, pruning, statistics, and — only
+at emission — pattern/witness materialisation.  This benchmark breaks
+that floor down by toggling each layer off:
+
+* ``default``       — the full closed mine: enumeration + pattern and
+  witness materialisation + statistics;
+* ``no witnesses``  — ``collect_witnesses=False``: emission still
+  builds forms/transactions but skips the per-transaction witness maps;
+* ``no emission``   — ``min_size`` above every clique: the pure
+  enumeration floor, nothing materialised (lazy prefixes never become
+  patterns);
+* ``hooks passive`` — a dormant :class:`SearchHooks` attached (the
+  budget-less session path: counters settled at subtree boundaries);
+* ``hooks armed``   — a live ring sink, every pattern/prune delivered.
+
+Differences between adjacent rungs give the per-node overhead of each
+layer.  The headline number is enumerated nodes per second; the record
+lands in ``BENCH_floor.json`` at the repo root, and the CI smoke job
+gates on the nodes/sec bar at small scale.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench import format_table, hardware_context
+from repro.core import ClanMiner, MinerConfig, RingBufferSink, SLAB
+from repro.core.session import SearchHooks
+from repro.stockmarket import PAPER_THETAS
+
+from conftest import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SUPPORTS = (1.00, 0.95, 0.90, 0.85)
+ROUNDS = 5  # best-of, to shed scheduler noise
+
+#: Conservative CI bar (nodes/second, default mode, small scale) —
+#: roughly a third of what a developer laptop sustains, so it only
+#: trips on genuine per-node regressions, not on slow runners.
+MIN_NODES_PER_SECOND = 8_000
+
+
+def sweep(market_databases, config, hooks_factory=None):
+    """One fig6a sweep; returns (seconds, total DFS nodes, result keys)."""
+    keys = []
+    nodes = 0
+    started = time.perf_counter()
+    for theta in PAPER_THETAS:
+        miner = ClanMiner(market_databases[theta], config)
+        for min_sup in SUPPORTS:
+            hooks = hooks_factory() if hooks_factory is not None else None
+            result = miner.mine(min_sup, hooks=hooks)
+            nodes += result.statistics.prefixes_visited
+            keys.append(sorted(p.key() for p in result))
+    return time.perf_counter() - started, nodes, keys
+
+
+def best_of(market_databases, config, hooks_factory=None):
+    best_seconds, nodes, keys = sweep(market_databases, config, hooks_factory)
+    for _ in range(ROUNDS - 1):
+        seconds, _, _ = sweep(market_databases, config, hooks_factory)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, nodes, keys
+
+
+def per_node_us(seconds, nodes):
+    return seconds / nodes * 1e6 if nodes else 0.0
+
+
+def test_engine_floor(benchmark, market_databases, scale):
+    benchmark.pedantic(
+        lambda: sweep(market_databases, MinerConfig()), rounds=1, iterations=1
+    )
+
+    default_s, nodes, default_keys = best_of(market_databases, MinerConfig())
+    no_wit_s, _, no_wit_keys = best_of(
+        market_databases, MinerConfig(collect_witnesses=False)
+    )
+    # min_size above any clique: nothing is ever emitted, so the run is
+    # the bare enumeration floor (node counts are unchanged — emission
+    # is downstream of counting).
+    no_emit_s, no_emit_nodes, no_emit_keys = best_of(
+        market_databases, MinerConfig(min_size=99)
+    )
+    passive_s, _, passive_keys = best_of(
+        market_databases, MinerConfig(), SearchHooks
+    )
+    armed_s, _, armed_keys = best_of(
+        market_databases,
+        MinerConfig(),
+        lambda: SearchHooks(sinks=(RingBufferSink(capacity=None),)),
+    )
+    slab_s, _, slab_keys = best_of(market_databases, MinerConfig(kernel=SLAB))
+
+    # The toggles must not change what is enumerated or found.
+    assert no_emit_nodes == nodes
+    assert all(not keys for keys in no_emit_keys)
+    assert no_wit_keys == default_keys
+    assert passive_keys == default_keys
+    assert armed_keys == default_keys
+    assert slab_keys == default_keys
+
+    nodes_per_second = nodes / default_s
+    enumeration_us = per_node_us(no_emit_s, nodes)
+    emission_us = per_node_us(no_wit_s - no_emit_s, nodes)
+    witnesses_us = per_node_us(default_s - no_wit_s, nodes)
+    statistics_hooks_us = per_node_us(passive_s - default_s, nodes)
+    armed_us = per_node_us(armed_s - default_s, nodes)
+
+    table = format_table(
+        ["layer", "seconds", "per node"],
+        [
+            ["enumeration floor", f"{no_emit_s:.3f}", f"{enumeration_us:.2f} µs"],
+            ["+ pattern emission", f"{no_wit_s:.3f}", f"{emission_us:+.2f} µs"],
+            ["+ witness maps", f"{default_s:.3f}", f"{witnesses_us:+.2f} µs"],
+            ["+ passive hooks", f"{passive_s:.3f}", f"{statistics_hooks_us:+.2f} µs"],
+            ["+ armed ring sink", f"{armed_s:.3f}", f"{armed_us:+.2f} µs"],
+            ["default, slab kernel", f"{slab_s:.3f}", "-"],
+        ],
+        title=(
+            f"Engine floor: {nodes} nodes, {nodes_per_second:,.0f} nodes/s "
+            f"default, best of {ROUNDS} (scale={scale})"
+        ),
+    )
+    write_report("engine_floor", table)
+
+    record = {
+        "benchmark": "engine enumeration floor",
+        "scale": scale,
+        "rounds": ROUNDS,
+        "hardware": hardware_context(),
+        "workload": "fig6a sweep: 6 market databases x supports 100/95/90/85%",
+        "nodes": nodes,
+        "nodes_per_second": nodes_per_second,
+        "default_seconds": default_s,
+        "no_witnesses_seconds": no_wit_s,
+        "no_emission_seconds": no_emit_s,
+        "hooks_passive_seconds": passive_s,
+        "hooks_armed_seconds": armed_s,
+        "slab_default_seconds": slab_s,
+        "per_node_us": {
+            "enumeration": enumeration_us,
+            "emission": emission_us,
+            "witnesses": witnesses_us,
+            "statistics_hooks": statistics_hooks_us,
+            "armed_sink": armed_us,
+        },
+    }
+    (REPO_ROOT / "BENCH_floor.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+
+    # CI floor-regression bar (tiny runs are too short to time):
+    if scale in ("small", "medium", "paper"):
+        assert nodes_per_second > MIN_NODES_PER_SECOND, (
+            f"{nodes_per_second:,.0f} nodes/s under the "
+            f"{MIN_NODES_PER_SECOND:,} floor bar"
+        )

@@ -1,10 +1,11 @@
 """Session-instrumentation overhead on the Figure 6(a) workload.
 
 The MiningSession control plane threads a ``hooks`` object through
-``ClanMiner._recurse``; every call site is guarded with
-``if hooks is not None`` so a plain mine pays nothing, and a session
-with *no sinks attached* pays only a couple of integer increments per
-prefix.  This benchmark quantifies the whole ladder:
+the engine's iterative search loop (``MiningEngine._search``); hooks
+that can neither abort nor sample skip the per-node callback entirely
+(the loop settles their counters at subtree boundaries), so a dormant
+session pays almost nothing per prefix.  This benchmark quantifies the
+whole ladder:
 
 * ``plain``      — ``ClanMiner.mine`` exactly as before the control
   plane existed (``hooks=None`` fast path);

@@ -102,6 +102,20 @@ class CanonicalForm:
         """The canonical form of the empty prefix clique (DFS root)."""
         return cls(())
 
+    @classmethod
+    def wrap(cls, labels: Tuple[Label, ...]) -> "CanonicalForm":
+        """Wrap an *already canonical* label tuple without re-validation.
+
+        The engine's iterative search carries bare label tuples (grown
+        one ``label >= last`` append at a time, so canonical by
+        induction) and materialises forms only at emission time; this
+        is that materialisation point.  The tuple is adopted as-is —
+        callers must guarantee sortedness, as :meth:`extend` does.
+        """
+        form = cls.__new__(cls)
+        form.labels = labels
+        return form
+
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------

@@ -175,7 +175,16 @@ class EmbeddingStore:
             raise MiningError(f"unknown kernel {kernel!r}; use one of {_KERNELS}")
         if kernel == SLAB:
             if strategy == CACHED:
-                slab = database.slab_space()
+                # One staleness-checked space resolution per mine call:
+                # the engine's context dict caches it across the call's
+                # roots (fresh per call, so mutations between calls are
+                # still observed).
+                if context is not None and "slab_space" in context:
+                    slab = context["slab_space"]
+                else:
+                    slab = database.slab_space()
+                    if context is not None:
+                        context["slab_space"] = slab
                 if slab is not None:
                     from .slab_store import SlabEmbeddingStore
 
@@ -184,7 +193,14 @@ class EmbeddingStore:
                     )
             kernel = BITSET
         bitset = kernel == BITSET
-        space = database.aligned_space() if bitset else None
+        if not bitset:
+            space = None
+        elif context is not None and "aligned_space" in context:
+            space = context["aligned_space"]
+        else:
+            space = database.aligned_space()
+            if context is not None:
+                context["aligned_space"] = space
         by_transaction: Dict[int, List[EmbeddingRecord]] = {}
         for tid, graph in enumerate(database):
             records: List[EmbeddingRecord] = []
@@ -631,18 +647,58 @@ class EmbeddingStore:
             return space.labels[lowest_bit(common)]  # type: ignore[union-attr]
         return None
 
-    def extend(self, label: Label, last_label: Optional[Label]) -> "EmbeddingStore":
+    def _child(
+        self,
+        by_transaction: Dict[int, List[EmbeddingRecord]],
+        reuse: Optional["EmbeddingStore"],
+    ) -> "EmbeddingStore":
+        """Wrap a child's records, recycling ``reuse`` when possible.
+
+        The engine's free list hands back stores whose subtree has
+        finished; refilling one in place skips the allocation and the
+        constructor's validation (sound: within one mine call the
+        database, strategy, kernel, and aligned space never change).
+        A ``reuse`` of a different concrete type is ignored.
+        """
+        if reuse is not None and type(reuse) is EmbeddingStore:
+            reuse.database = self.database
+            reuse.pseudo = self.pseudo
+            reuse.strategy = self.strategy
+            reuse.kernel = self.kernel
+            reuse.space = self.space
+            reuse.size = self.size + 1
+            reuse.by_transaction = by_transaction
+            reuse._ties = None
+            return reuse
+        return EmbeddingStore(
+            self.database,
+            self.pseudo,
+            self.strategy,
+            self.size + 1,
+            by_transaction,
+            self.kernel,
+            self.space,
+        )
+
+    def extend(
+        self,
+        label: Label,
+        last_label: Optional[Label],
+        reuse: Optional["EmbeddingStore"] = None,
+    ) -> "EmbeddingStore":
         """Embeddings of ``C ◇ label``.
 
         ``last_label`` is the last label of the current prefix (``None``
         for the empty prefix).  When the extension repeats the last
         label, only vertices with ids above the previous same-label
         vertex are taken, so each vertex set appears exactly once.
+        ``reuse`` optionally recycles a retired store object in place
+        of a fresh allocation (see :meth:`_child`).
         """
         if self.kernel == BITSET:
             if self.space is not None:
-                return self._extend_aligned(label)
-            return self._extend_mask(label, last_label)
+                return self._extend_aligned(label, reuse)
+            return self._extend_mask(label, last_label, reuse)
         same_label_tail = last_label is not None and label == last_label
         by_transaction: Dict[int, List[EmbeddingRecord]] = {}
         for tid, records in self.by_transaction.items():
@@ -665,17 +721,11 @@ class EmbeddingStore:
                     extended.append((vertices + (vertex,), new_cached))
             if extended:
                 by_transaction[tid] = extended
-        return EmbeddingStore(
-            self.database,
-            self.pseudo,
-            self.strategy,
-            self.size + 1,
-            by_transaction,
-            self.kernel,
-            self.space,
-        )
+        return self._child(by_transaction, reuse)
 
-    def _extend_aligned(self, label: Label) -> "EmbeddingStore":
+    def _extend_aligned(
+        self, label: Label, reuse: Optional["EmbeddingStore"] = None
+    ) -> "EmbeddingStore":
         """Aligned-space ``extend``: the label filter is a 1-bit AND.
 
         With unique per-vertex labels a label names at most one vertex
@@ -710,17 +760,14 @@ class EmbeddingStore:
                             extended.append((record[0] + (vertex,), None))
                 if extended:
                     by_transaction[tid] = extended
-        return EmbeddingStore(
-            self.database,
-            self.pseudo,
-            self.strategy,
-            self.size + 1,
-            by_transaction,
-            self.kernel,
-            self.space,
-        )
+        return self._child(by_transaction, reuse)
 
-    def _extend_mask(self, label: Label, last_label: Optional[Label]) -> "EmbeddingStore":
+    def _extend_mask(
+        self,
+        label: Label,
+        last_label: Optional[Label],
+        reuse: Optional["EmbeddingStore"] = None,
+    ) -> "EmbeddingStore":
         """Bitset kernel ``extend``: one AND per label filter and per growth.
 
         Restricting candidates to the extension label is ``mask &
@@ -757,15 +804,7 @@ class EmbeddingStore:
                     extended.append((vertices + (vertex,), new_cached))
             if extended:
                 by_transaction[tid] = extended
-        return EmbeddingStore(
-            self.database,
-            self.pseudo,
-            self.strategy,
-            self.size + 1,
-            by_transaction,
-            self.kernel,
-            self.space,
-        )
+        return self._child(by_transaction, reuse)
 
     def extend_unordered(self, label: Label) -> "EmbeddingStore":
         """Extension without the canonical ordering discipline.

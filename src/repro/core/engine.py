@@ -80,12 +80,24 @@ class TaskStrategy:
     """What to emit and what to cut, per mining task.
 
     The engine calls the hooks in a fixed order at every prefix (see
-    :meth:`MiningEngine._recurse`); a strategy answers three questions:
+    :meth:`MiningEngine._search`); a strategy answers three questions:
 
     * :meth:`prune_subtree` — can the whole subtree be cut here (the
       Lemma 4.4 test by default; quasi substitutes a c-closure bound)?
     * :meth:`visit` — does this prefix become an output pattern?
     * :meth:`descend` — is the subtree below still worth exploring?
+
+    The search loop is allocation-free and *lazy*: prefixes travel as
+    bare canonical label tuples (``labels``), and no
+    :class:`CanonicalForm`, :class:`CliquePattern`, witness map, or
+    transaction tuple exists until a strategy decides to emit.  A
+    ``visit`` override therefore receives ``labels`` (canonical by
+    construction — wrap with :meth:`CanonicalForm.wrap` at emission
+    time) and must treat ``store`` as borrowed for the duration of the
+    call: the engine recycles child stores through a free list once
+    their subtree finishes, so a strategy may *read* the store (and
+    copy out ``transactions()``/``witnesses()``, which return fresh
+    objects) but must never retain a reference to it past the call.
 
     :meth:`root_store` lets a strategy substitute the embedding store
     the DFS grows (quasi swaps in the feasibility-pruned store);
@@ -133,11 +145,11 @@ class TaskStrategy:
     def prune_subtree(
         self,
         engine: "MiningEngine",
-        form: CanonicalForm,
+        labels: Tuple[Label, ...],
         store: EmbeddingStore,
         abs_sup: int,
     ) -> Optional[str]:
-        """Decide whether the whole subtree at ``form`` can be cut.
+        """Decide whether the whole subtree at ``labels`` can be cut.
 
         Returns a reason string (recorded in statistics and streamed in
         :class:`~repro.core.session.SubtreePruned` events) or ``None``
@@ -150,14 +162,14 @@ class TaskStrategy:
         """
         if not engine.config.nonclosed_prefix_pruning:
             return None
-        if store.nonclosed_extension_label(form.last_label) is not None:
+        if store.nonclosed_extension_label(labels[-1]) is not None:
             return "nonclosed_prefix"
         return None
 
     def visit(
         self,
         engine: "MiningEngine",
-        form: CanonicalForm,
+        labels: Tuple[Label, ...],
         store: EmbeddingStore,
         frequent_extensions: Sequence[Tuple[Label, int]],
         blocked: bool,
@@ -170,7 +182,7 @@ class TaskStrategy:
 
     def descend(
         self,
-        form: CanonicalForm,
+        labels: Tuple[Label, ...],
         store: EmbeddingStore,
         frequent_extensions: Sequence[Tuple[Label, int]],
         stats: MinerStatistics,
@@ -198,10 +210,10 @@ class ClosedStrategy(TaskStrategy):
     task = "closed"
     supports_sweep = True
 
-    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+    def visit(self, engine, labels, store, frequent_extensions, blocked, result, stats, hooks):
         # Lines 06-07: closure check (Lemma 4.3) and output.
         if not blocked:
-            engine._emit(form, store, result, stats, hooks)
+            engine._emit(labels, store, result, stats, hooks)
         else:
             stats.closure_rejections += 1
 
@@ -212,8 +224,8 @@ class FrequentStrategy(TaskStrategy):
     task = "frequent"
     supports_sweep = True
 
-    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
-        engine._emit(form, store, result, stats, hooks)
+    def visit(self, engine, labels, store, frequent_extensions, blocked, result, stats, hooks):
+        engine._emit(labels, store, result, stats, hooks)
 
 
 class MaximalStrategy(TaskStrategy):
@@ -228,9 +240,9 @@ class MaximalStrategy(TaskStrategy):
 
     task = "maximal"
 
-    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+    def visit(self, engine, labels, store, frequent_extensions, blocked, result, stats, hooks):
         if not frequent_extensions:
-            engine._emit(form, store, result, stats, hooks)
+            engine._emit(labels, store, result, stats, hooks)
         else:
             stats.closure_rejections += 1
 
@@ -261,13 +273,13 @@ class TopKStrategy(TaskStrategy):
     def begin_root(self, label):
         self._heap = _TopKHeap(self.k)
 
-    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+    def visit(self, engine, labels, store, frequent_extensions, blocked, result, stats, hooks):
         config = engine.config
-        if form.size < config.min_size:
+        if len(labels) < config.min_size:
             return
         if not blocked:
             pattern = CliquePattern(
-                form=form,
+                form=CanonicalForm.wrap(labels),
                 support=store.support,
                 transactions=store.transactions(),
                 witnesses=store.witnesses() if config.collect_witnesses else {},
@@ -279,8 +291,8 @@ class TopKStrategy(TaskStrategy):
         else:
             stats.closure_rejections += 1
 
-    def descend(self, form, store, frequent_extensions, stats):
-        last_label = form.last_label if form.size else None
+    def descend(self, labels, store, frequent_extensions, stats):
+        last_label = labels[-1] if labels else None
         valid = [
             label
             for label, _ in frequent_extensions
@@ -291,7 +303,7 @@ class TopKStrategy(TaskStrategy):
         # Branch and bound: can this subtree still reach the heap?  The
         # cut is strict because size ties are broken by label order, so
         # a subtree that can only *match* the k-th size may still win.
-        bound = form.size + store.multiplicity_bound(valid)
+        bound = len(labels) + store.multiplicity_bound(valid)
         if bound < self._heap.threshold():
             stats.redundancy_skips += 1  # reuse the counter for bound cuts
             return False
@@ -343,6 +355,20 @@ class _TopKHeap:
             entry[2]
             for entry in sorted(self._heap, key=lambda e: (e[0], e[1]), reverse=True)
         ]
+
+
+#: Strategy ``visit`` functions the search loop knows how to inline.
+#: The hot loop resolves ``type(strategy).visit`` against this table
+#: once per root: the three stateless emission rules (closed, frequent,
+#: maximal) become straight-line code with no method dispatch, while
+#: stateful strategies (top-k, quasi, user subclasses) keep the full
+#: ``visit`` call.  Keyed by the *function* object, so a subclass that
+#: overrides ``visit`` automatically falls back to the dispatching path.
+_INLINE_VISITS = {
+    ClosedStrategy.visit: 1,
+    FrequentStrategy.visit: 2,
+    MaximalStrategy.visit: 3,
+}
 
 
 def _extension_multiplicity_bound(
@@ -651,20 +677,30 @@ class MiningEngine:
         # fresh per call so no work leaks between (or is reused by)
         # separate mine calls.
         context: dict = {"roots": roots}
+        # Child-store free list, shared across this call's roots: stores
+        # whose subtree finished are recycled through ``extend(...,
+        # reuse=...)`` instead of re-allocated per extension.  Exposed
+        # in the context so kernels can also refill root stores from it.
+        pool: list = []
+        context["store_pool"] = pool
 
-        for label in roots:
-            if label_supports[label] < abs_sup:
-                stats.infrequent_extensions += 1
-                continue
-            strategy.begin_root(label)
-            store = strategy.root_store(self, pseudo, label, context)
-            if first_extensions is None:
-                self._recurse(
-                    CanonicalForm((label,)), store, abs_sup, result, stats, seen_forms, hooks
-                )
-            else:
+        if first_extensions is None:
+            # The whole root sweep runs inside one _search call: the
+            # hoisted dispatch/config preamble is paid per mine call,
+            # not per root (market sweeps have thousands of tiny roots).
+            self._search(
+                abs_sup, result, stats, seen_forms, hooks, pool,
+                roots=roots, pseudo=pseudo, context=context,
+            )
+        else:
+            for label in roots:
+                if label_supports[label] < abs_sup:
+                    stats.infrequent_extensions += 1
+                    continue
+                strategy.begin_root(label)
+                store = strategy.root_store(self, pseudo, label, context)
                 self._mine_restricted(
-                    CanonicalForm((label,)),
+                    (label,),
                     store,
                     abs_sup,
                     result,
@@ -673,8 +709,9 @@ class MiningEngine:
                     hooks,
                     tuple(first_extensions),
                     include_root,
+                    pool,
                 )
-            strategy.end_root(self, result, stats, hooks)
+                strategy.end_root(self, result, stats, hooks)
 
         result.elapsed_seconds = time.perf_counter() - started
         stats.cpu_seconds = result.elapsed_seconds
@@ -718,100 +755,355 @@ class MiningEngine:
         if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
             return []
         frequent_extensions, _, _ = store.extension_plan(abs_sup)
-        if self.strategy.prune_subtree(self, CanonicalForm((root,)), store, abs_sup) is not None:
+        if self.strategy.prune_subtree(self, (root,), store, abs_sup) is not None:
             return []
         return [(label, sup) for label, sup in frequent_extensions if label >= root]
 
     # ------------------------------------------------------------------
-    # Recursive search (Algorithm 1)
+    # Iterative search (Algorithm 1, explicit stack)
     # ------------------------------------------------------------------
-    def _recurse(
+    def _search(
         self,
-        form: CanonicalForm,
-        store: EmbeddingStore,
         abs_sup: int,
         result: MiningResult,
         stats: MinerStatistics,
         seen_forms: Set[Tuple[Label, ...]],
         hooks: Optional["SearchHooks"] = None,
+        pool: Optional[list] = None,
+        roots: Optional[Sequence[Label]] = None,
+        pseudo=None,
+        context: Optional[dict] = None,
+        start: Optional[Tuple[Tuple[Label, ...], EmbeddingStore]] = None,
     ) -> None:
+        """Depth-first enumeration, explicit-stack form.
+
+        Drives either a whole root sweep (``roots`` — each frequent
+        root gets ``begin_root``/``root_store``/``end_root`` around its
+        subtree) or one prebuilt subtree (``start=(labels, store)``,
+        the split-task path).  This is the engine's hot loop;
+        everything per-node is kept allocation-free:
+
+        * prefixes travel as bare label tuples — ``CanonicalForm`` /
+          ``CliquePattern`` / witnesses materialise only at emission;
+        * search frames are 4-slot lists recycled by stack depth, and
+          finished child stores return to ``pool`` for
+          ``extend(..., reuse=...)`` to refill in place;
+        * strategy dispatch is resolved once per call — the built-in
+          emission rules run inline, overridden hooks via pre-bound
+          methods;
+        * statistics accumulate in plain locals, folded into ``stats``
+          exactly once (in the ``finally``, so budget aborts and
+          invariant errors keep exact counters; ``end_root`` therefore
+          must not read ``stats`` mid-sweep, and no built-in strategy
+          does);
+        * hooks with nothing to check per node (no budget, token,
+          deadline, or sampling) skip ``enter_prefix`` entirely and get
+          their prefix counters settled from the local node count.
+        """
         config = self.config
         strategy = self.strategy
-        embedding_count = store.embedding_count
-        stats.record_node(form.size, embedding_count)
+        cls = type(strategy)
+
+        redundancy = config.structural_redundancy_pruning
+        nonclosed_pruning = config.nonclosed_prefix_pruning
+        min_size = config.min_size
+        max_size = config.max_size
+        max_embeddings = config.max_embeddings
+        closed_only = config.closed_only
+        collect_witnesses = config.collect_witnesses
+
+        # Dispatch hoisting: default hooks are inlined, overrides are
+        # pre-bound so the loop never walks the MRO.
+        inline_prune = cls.prune_subtree is TaskStrategy.prune_subtree
+        inline_descend = cls.descend is TaskStrategy.descend
+        visit_kind = _INLINE_VISITS.get(cls.visit, 0)
+        visit = strategy.visit
+        prune = strategy.prune_subtree
+        descend = strategy.descend
+        result_add = result.add
+        wrap_form = CanonicalForm.wrap
+        make_pattern = CliquePattern
+
+        # Hook dispatch: hooks that can neither abort nor sample have
+        # no per-node work — skip ``enter_prefix`` and settle their
+        # prefix counters once, from the local node count.
+        enter = None
+        sinks_armed = False
         if hooks is not None:
-            hooks.enter_prefix(form, store)
-        if config.max_embeddings is not None and embedding_count > config.max_embeddings:
-            raise MiningError(
-                f"prefix {form} materialised {embedding_count} embeddings, "
-                f"exceeding the max_embeddings bound of {config.max_embeddings}"
-            )
+            sinks_armed = bool(hooks.sinks)
+            if (
+                hooks.budget is not None
+                or hooks.token is not None
+                or hooks.deadline_at is not None
+                or hooks.sample_every
+            ):
+                enter = hooks.enter_prefix
 
-        if not config.structural_redundancy_pruning:
-            # Fallback duplicate detection: the paper's "simple way".
-            if form.labels in seen_forms:
-                stats.duplicates_collapsed += 1
-                return
-            seen_forms.add(form.labels)
-        stats.record_frequent(form.size)
+        # Statistics as plain locals (see the flush in the finally).
+        n_nodes = 0
+        n_frequent = 0
+        n_closed = 0
+        n_rejected = 0
+        n_prunes = 0
+        n_infrequent = 0
+        n_skips = 0
+        n_dups = 0
+        n_scans = 0
+        emb_created = 0
+        emb_peak = 0
+        depth = 0
+        by_size: Dict[int, int] = {}
 
-        # Lines 01-03: one scan finds every extension label's support.
-        # The store returns the digest the recursion consumes: frequent
-        # extensions (label, support), the infrequent count, and the
-        # Lemma 4.3 closure verdict (some extension ties the support).
-        frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
-        stats.database_scans += 1
-
-        # Lines 04-05: the strategy's subtree cut (Lemma 4.4 for the
-        # clique tasks, the c-closure bound for quasi).
-        prune_reason = strategy.prune_subtree(self, form, store, abs_sup)
-        if prune_reason is not None:
-            stats.nonclosed_prefix_prunes += 1
-            if hooks is not None:
-                hooks.pruned(form, prune_reason)
-            return
-
-        # Lines 06-07: the strategy's emission rule.
-        strategy.visit(
-            self, form, store, frequent_extensions, blocked, result, stats, hooks
+        if pool is None:
+            pool = []
+        # Root sweeping: the per-root ceremony stays out of the node
+        # loop, entered only when the stack drains.
+        root_iter = iter(roots) if roots is not None else None
+        label_supports = self._label_supports
+        begin_root = (
+            None if cls.begin_root is TaskStrategy.begin_root else strategy.begin_root
         )
+        end_root = (
+            None if cls.end_root is TaskStrategy.end_root else strategy.end_root
+        )
+        make_root_store = strategy.root_store
+        in_root = False
 
-        # Lines 08-09: recurse into each frequent valid extension.
-        if config.max_size is not None and form.size >= config.max_size:
-            return
-        last_label = form.last_label if form.size else None
-        stats.infrequent_extensions += n_infrequent
-        if not strategy.descend(form, store, frequent_extensions, stats):
-            return
-        extensions = frequent_extensions
-        if config.structural_redundancy_pruning and last_label is not None:
-            # The frequent list is label-ascending, so the canonical
-            # skips (label < last_label) form a prefix — count them in
-            # one bisect instead of touching each item.
-            skipped = bisect_left(extensions, (last_label,))
-            if skipped:
-                stats.redundancy_skips += skipped
-                extensions = extensions[skipped:]
-        for label, ext_support in extensions:
-            if config.structural_redundancy_pruning:
-                child_store = store.extend(label, last_label)
-                child_form = form.extend(label)
-            else:
-                child_store = store.extend_unordered(label)
-                child_form = CanonicalForm.from_labels(form.labels + (label,))
-            if child_store.support != ext_support:  # pragma: no cover - invariant
-                raise MiningError(
-                    f"extension scan predicted support {ext_support} for "
-                    f"{child_form} but materialisation found {child_store.support}"
-                )
-            self._recurse(
-                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+        # The explicit stack: reusable frames [labels, store,
+        # extensions, next_index], recycled by depth so steady-state
+        # descent allocates nothing.
+        frames: List[list] = []
+        top = -1
+        if start is not None:
+            labels, store = start
+            pending = True  # ``labels``/``store`` hold an unprocessed node
+        else:
+            labels = store = None  # type: ignore[assignment]
+            pending = False
+
+        try:
+            while True:
+                if pending:
+                    pending = False
+                    # ---- one DFS node (Algorithm 1 lines 01-07) ----
+                    if not redundancy:
+                        # Fallback duplicate detection: the paper's
+                        # "simple way".  Checked before the node is
+                        # counted so duplicates only show up in their
+                        # own counter, not the per-size histogram.
+                        if labels in seen_forms:
+                            n_dups += 1
+                            labels = store = None  # type: ignore[assignment]
+                            continue
+                        seen_forms.add(labels)
+                    emb = store.embedding_count
+                    n_nodes += 1
+                    size = len(labels)
+                    if size > depth:
+                        depth = size
+                    emb_created += emb
+                    if emb > emb_peak:
+                        emb_peak = emb
+                    if enter is not None:
+                        enter(labels, store)
+                    if max_embeddings is not None and emb > max_embeddings:
+                        raise MiningError(
+                            f"prefix {wrap_form(labels)} materialised {emb} "
+                            f"embeddings, exceeding the max_embeddings bound "
+                            f"of {max_embeddings}"
+                        )
+                    n_frequent += 1
+                    by_size[size] = by_size.get(size, 0) + 1
+
+                    # Lines 01-03: one scan finds every extension
+                    # label's support — frequent extensions (label,
+                    # support), the infrequent count, and the Lemma 4.3
+                    # closure verdict (some extension ties the support).
+                    frequent_extensions, n_inf, blocked = store.extension_plan(abs_sup)
+                    n_scans += 1
+
+                    # Lines 04-05: the subtree cut (Lemma 4.4 inline
+                    # for the default, the strategy's own otherwise).
+                    if inline_prune:
+                        if (
+                            nonclosed_pruning
+                            and store.nonclosed_extension_label(labels[-1]) is not None
+                        ):
+                            n_prunes += 1
+                            if sinks_armed:
+                                hooks.pruned(labels, "nonclosed_prefix")
+                            if redundancy and len(pool) < 64:
+                                pool.append(store)
+                            labels = store = None  # type: ignore[assignment]
+                            continue
+                    else:
+                        reason = prune(self, labels, store, abs_sup)
+                        if reason is not None:
+                            n_prunes += 1
+                            if hooks is not None:
+                                hooks.pruned(labels, reason)
+                            if redundancy and len(pool) < 64:
+                                pool.append(store)
+                            labels = store = None  # type: ignore[assignment]
+                            continue
+
+                    # Lines 06-07: the emission rule.  The three
+                    # built-ins run inline; the pattern, its form, and
+                    # its witness map materialise only here.
+                    if visit_kind:
+                        if (
+                            (visit_kind == 2)
+                            or (visit_kind == 1 and not blocked)
+                            or (visit_kind == 3 and not frequent_extensions)
+                        ):
+                            if size >= min_size and (
+                                max_size is None or size <= max_size
+                            ):
+                                pattern = make_pattern(
+                                    form=wrap_form(labels),
+                                    support=store.support,
+                                    transactions=store.transactions(),
+                                    witnesses=store.witnesses()
+                                    if collect_witnesses
+                                    else {},
+                                )
+                                result_add(pattern)
+                                if closed_only:
+                                    n_closed += 1
+                                if hooks is not None:
+                                    hooks.pattern(pattern)
+                        elif visit_kind != 2:
+                            n_rejected += 1
+                    else:
+                        visit(
+                            self,
+                            labels,
+                            store,
+                            frequent_extensions,
+                            blocked,
+                            result,
+                            stats,
+                            hooks,
+                        )
+
+                    # Lines 08-09: queue the frequent valid extensions.
+                    if max_size is not None and size >= max_size:
+                        if redundancy and len(pool) < 64:
+                            pool.append(store)
+                        labels = store = None  # type: ignore[assignment]
+                        continue
+                    n_infrequent += n_inf
+                    if not inline_descend and not descend(
+                        labels, store, frequent_extensions, stats
+                    ):
+                        if redundancy and len(pool) < 64:
+                            pool.append(store)
+                        labels = store = None  # type: ignore[assignment]
+                        continue
+                    extensions = frequent_extensions
+                    if redundancy:
+                        # The frequent list is label-ascending, so the
+                        # canonical skips (label < last) form a prefix —
+                        # count them in one bisect.
+                        skipped = bisect_left(extensions, (labels[-1],))
+                        if skipped:
+                            n_skips += skipped
+                            extensions = extensions[skipped:]
+                    if not extensions:
+                        if redundancy and len(pool) < 64:
+                            pool.append(store)
+                        labels = store = None  # type: ignore[assignment]
+                        continue
+                    top += 1
+                    if top == len(frames):
+                        frames.append([labels, store, extensions, 0])
+                    else:
+                        frame = frames[top]
+                        frame[0] = labels
+                        frame[1] = store
+                        frame[2] = extensions
+                        frame[3] = 0
+                    labels = store = None  # type: ignore[assignment]
+                    continue
+
+                # ---- advance the deepest frame ---------------------
+                if top < 0:
+                    # Stack drained: close the active root, open the
+                    # next frequent one (infrequent roots only count).
+                    if in_root:
+                        in_root = False
+                        if end_root is not None:
+                            end_root(self, result, stats, hooks)
+                    if root_iter is None:
+                        break
+                    root = next(root_iter, None)
+                    while root is not None and label_supports[root] < abs_sup:
+                        n_infrequent += 1
+                        root = next(root_iter, None)
+                    if root is None:
+                        break
+                    if begin_root is not None:
+                        begin_root(root)
+                    store = make_root_store(self, pseudo, root, context)
+                    labels = (root,)
+                    in_root = True
+                    pending = True
+                    continue
+                frame = frames[top]
+                extensions = frame[2]
+                i = frame[3]
+                if i == len(extensions):
+                    done = frame[1]
+                    frame[0] = frame[1] = frame[2] = None
+                    top -= 1
+                    if redundancy and len(pool) < 64:
+                        pool.append(done)
+                    continue
+                frame[3] = i + 1
+                label, ext_support = extensions[i]
+                parent_labels = frame[0]
+                if redundancy:
+                    store = frame[1].extend(
+                        label, parent_labels[-1], pool.pop() if pool else None
+                    )
+                    labels = parent_labels + (label,)
+                else:
+                    store = frame[1].extend_unordered(label)
+                    labels = tuple(sorted(parent_labels + (label,)))
+                if store.support != ext_support:  # pragma: no cover - invariant
+                    raise MiningError(
+                        f"extension scan predicted support {ext_support} for "
+                        f"{wrap_form(labels)} but materialisation found "
+                        f"{store.support}"
+                    )
+                pending = True
+        finally:
+            # One additive flush per call: exact under aborts, and
+            # composable with the counters strategies touched directly
+            # through ``stats`` mid-search.
+            stats.absorb_search(
+                prefixes=n_nodes,
+                max_depth=depth,
+                embeddings=emb_created,
+                peak_embeddings=emb_peak,
+                frequent=n_frequent,
+                frequent_by_size=by_size,
+                closed=n_closed,
+                rejections=n_rejected,
+                prunes=n_prunes,
+                infrequent=n_infrequent,
+                redundancy_skips=n_skips,
+                duplicates=n_dups,
+                scans=n_scans,
             )
+            if hooks is not None and enter is None:
+                hooks.total_prefixes += n_nodes
+                hooks.root_prefixes += n_nodes
 
     # ------------------------------------------------------------------
     def _mine_restricted(
         self,
-        form: CanonicalForm,
+        labels: Tuple[Label, ...],
         store: EmbeddingStore,
         abs_sup: int,
         result: MiningResult,
@@ -820,50 +1112,53 @@ class MiningEngine:
         hooks: Optional["SearchHooks"],
         first_extensions: Tuple[Label, ...],
         include_root: bool,
+        pool: Optional[list] = None,
     ) -> None:
         """One split task: selected level-2 subtrees of one DFS root.
 
-        Mirrors :meth:`_recurse` at the root level, then descends only
-        into ``first_extensions``.  Exactness is the root-partitioning
-        argument one level down: under structural redundancy pruning
-        the subtree rooted at ``root ◇ β`` consults only its own
-        embeddings, so level-2 subtrees are independent.  Root-level
-        work — the prefix/frequent/scan statistics, the root's events,
-        Lemma 4.4, the root's own pattern — happens exactly once across
-        a root's split tasks, in the one with ``include_root=True``;
-        sibling tasks extend straight into their subtrees.  Summing the
-        split tasks' statistics therefore reproduces the serial root's
-        counters exactly.  Only splittable strategies reach this path
-        (the splitter respects :meth:`root_extension_plan`), and every
-        splittable strategy descends unconditionally.
+        Mirrors :meth:`_search`'s node step at the root level, then
+        descends only into ``first_extensions``.  Exactness is the
+        root-partitioning argument one level down: under structural
+        redundancy pruning the subtree rooted at ``root ◇ β`` consults
+        only its own embeddings, so level-2 subtrees are independent.
+        Root-level work — the prefix/frequent/scan statistics, the
+        root's events, Lemma 4.4, the root's own pattern — happens
+        exactly once across a root's split tasks, in the one with
+        ``include_root=True``; sibling tasks extend straight into their
+        subtrees.  Summing the split tasks' statistics therefore
+        reproduces the serial root's counters exactly.  Only splittable
+        strategies reach this path (the splitter respects
+        :meth:`root_extension_plan`), and every splittable strategy
+        descends unconditionally.
         """
         config = self.config
         strategy = self.strategy
-        last_label = form.last_label
+        last_label = labels[-1]
         if include_root:
-            stats.record_prefix(form.size)
+            stats.record_prefix(len(labels))
             stats.record_embeddings(store.embedding_count)
             if hooks is not None:
-                hooks.enter_prefix(form, store)
+                hooks.enter_prefix(labels, store)
             if config.max_embeddings is not None and store.embedding_count > config.max_embeddings:
                 raise MiningError(
-                    f"prefix {form} materialised {store.embedding_count} embeddings, "
-                    f"exceeding the max_embeddings bound of {config.max_embeddings}"
+                    f"prefix {CanonicalForm.wrap(labels)} materialised "
+                    f"{store.embedding_count} embeddings, exceeding the "
+                    f"max_embeddings bound of {config.max_embeddings}"
                 )
-            stats.record_frequent(form.size)
+            stats.record_frequent(len(labels))
             frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
             stats.database_scans += 1
             if (
-                strategy.prune_subtree(self, form, store, abs_sup) is not None
+                strategy.prune_subtree(self, labels, store, abs_sup) is not None
             ):  # pragma: no cover - splitter precondition
                 raise MiningError(
-                    f"split task for root {form} reached a subtree prune; "
-                    f"the splitter must not split pruned roots"
+                    f"split task for root {CanonicalForm.wrap(labels)} reached a "
+                    f"subtree prune; the splitter must not split pruned roots"
                 )
             strategy.visit(
-                self, form, store, frequent_extensions, blocked, result, stats, hooks
+                self, labels, store, frequent_extensions, blocked, result, stats, hooks
             )
-            if config.max_size is not None and form.size >= config.max_size:
+            if config.max_size is not None and len(labels) >= config.max_size:
                 return
             stats.infrequent_extensions += n_infrequent
             wanted = set(first_extensions)
@@ -874,17 +1169,19 @@ class MiningEngine:
                 if label not in wanted:
                     continue
                 child_store = store.extend(label, last_label)
-                child_form = form.extend(label)
+                child_labels = labels + (label,)
                 if child_store.support != ext_support:  # pragma: no cover - invariant
                     raise MiningError(
                         f"extension scan predicted support {ext_support} for "
-                        f"{child_form} but materialisation found {child_store.support}"
+                        f"{CanonicalForm.wrap(child_labels)} but materialisation "
+                        f"found {child_store.support}"
                     )
-                self._recurse(
-                    child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+                self._search(
+                    abs_sup, result, stats, seen_forms, hooks, pool,
+                    start=(child_labels, child_store),
                 )
             return
-        if config.max_size is not None and form.size >= config.max_size:
+        if config.max_size is not None and len(labels) >= config.max_size:
             return
         for label in first_extensions:
             if label < last_label:  # pragma: no cover - splitter precondition
@@ -893,34 +1190,42 @@ class MiningEngine:
                     f"structural redundancy pruning forbids it"
                 )
             child_store = store.extend(label, last_label)
-            child_form = form.extend(label)
+            child_labels = labels + (label,)
             if child_store.support < abs_sup:  # pragma: no cover - splitter precondition
                 raise MiningError(
-                    f"split task extension {child_form} is infrequent "
-                    f"({child_store.support} < {abs_sup}); the splitter must "
-                    f"only hand out frequent extensions"
+                    f"split task extension {CanonicalForm.wrap(child_labels)} is "
+                    f"infrequent ({child_store.support} < {abs_sup}); the splitter "
+                    f"must only hand out frequent extensions"
                 )
-            self._recurse(
-                child_form, child_store, abs_sup, result, stats, seen_forms, hooks
+            self._search(
+                abs_sup, result, stats, seen_forms, hooks, pool,
+                start=(child_labels, child_store),
             )
 
     # ------------------------------------------------------------------
     def _emit(
         self,
-        form: CanonicalForm,
+        labels: Tuple[Label, ...],
         store: EmbeddingStore,
         result: MiningResult,
         stats: MinerStatistics,
         hooks: Optional["SearchHooks"] = None,
     ) -> None:
-        """Report one pattern, honouring the size window."""
+        """Report one pattern, honouring the size window.
+
+        ``labels`` is the bare canonical label tuple the search loop
+        carries; the :class:`CanonicalForm`, transaction tuple, and
+        witness map materialise here, at emission time, and nowhere
+        earlier.
+        """
         config = self.config
-        if form.size < config.min_size:
+        size = len(labels)
+        if size < config.min_size:
             return
-        if config.max_size is not None and form.size > config.max_size:
+        if config.max_size is not None and size > config.max_size:
             return
         pattern = CliquePattern(
-            form=form,
+            form=CanonicalForm.wrap(labels),
             support=store.support,
             transactions=store.transactions(),
             witnesses=store.witnesses() if config.collect_witnesses else {},

@@ -828,9 +828,9 @@ def mine_closed_cliques_parallel(
     adaptive work-stealing executor (default) or the legacy static
     round-robin chunks.
 
-    Soft-legacy: lives here since ``repro.core.parallel`` folded into
-    this module; the old import path keeps working through a
-    deprecation shim.
+    Lives here since ``repro.core.parallel`` folded into this module;
+    the old import path has completed the deprecation cycle and no
+    longer exists.
     """
     started = time.perf_counter()
     if config is None:

@@ -17,7 +17,7 @@ from ..graphdb.database import GraphDatabase
 from .canonical import CanonicalForm, Label
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CliquePattern:
     """A frequent (possibly closed) clique pattern.
 

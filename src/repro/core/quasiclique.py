@@ -404,12 +404,20 @@ class QuasiEmbeddingStore:
             "bound instead"
         )
 
-    def extend(self, label: Label, last_label: Optional[Label]) -> "QuasiEmbeddingStore":
+    def extend(
+        self,
+        label: Label,
+        last_label: Optional[Label],
+        reuse: Optional["QuasiEmbeddingStore"] = None,
+    ) -> "QuasiEmbeddingStore":
         """Feasible embeddings of ``C ◇ label``.
 
         Mirrors the clique store's canonical discipline: repeating the
         last label only accepts vertices above the previous same-label
         vertex, so each feasible vertex set appears exactly once.
+        ``reuse`` (the engine's store free list) is accepted for
+        interface parity but ignored — quasi stores carry per-embedding
+        record lists that are cheap relative to feasibility checking.
         """
         same_label_tail = last_label is not None and label == last_label
         bitset = self.kernel == BITSET
@@ -667,23 +675,23 @@ class QuasiTaskStrategy(TaskStrategy):
             max_size=config.max_size,
         )
 
-    def prune_subtree(self, engine, form, store, abs_sup):
+    def prune_subtree(self, engine, labels, store, abs_sup):
         if not engine.config.nonclosed_prefix_pruning:
             return None
         if store.cc_viable_support() < abs_sup:
             return "quasi_cc_bound"
         return None
 
-    def visit(self, engine, form, store, frequent_extensions, blocked, result, stats, hooks):
+    def visit(self, engine, labels, store, frequent_extensions, blocked, result, stats, hooks):
         config = engine.config
-        if form.size < config.min_size:
+        if len(labels) < config.min_size:
             return
         tids = store.quasi_transactions()
         if len(tids) < result.min_sup:
             stats.closure_rejections += 1
             return
         pattern = CliquePattern(
-            form=form,
+            form=CanonicalForm.wrap(labels),
             support=len(tids),
             transactions=tids,
             witnesses=store.quasi_witnesses() if config.collect_witnesses else {},

@@ -451,8 +451,9 @@ class CancellationToken:
 class SearchAborted(Exception):
     """Internal control flow: a budget/cancellation tripped mid-root.
 
-    Raised by :class:`SearchHooks` inside :meth:`ClanMiner._recurse`,
-    caught by :class:`MiningSession` — it never escapes to callers.
+    Raised by :class:`SearchHooks` inside the engine's search loop
+    (:meth:`MiningEngine._search`), caught by :class:`MiningSession` —
+    it never escapes to callers.
     """
 
     def __init__(self, reason: str) -> None:
@@ -464,7 +465,7 @@ class SearchAborted(Exception):
 # The instrumentation object threaded through the DFS
 # ----------------------------------------------------------------------
 class SearchHooks:
-    """Per-prefix instrumentation for :meth:`ClanMiner._recurse`.
+    """Per-prefix instrumentation for :meth:`MiningEngine._search`.
 
     Designed to be near-zero-cost: the miner guards every call site
     with ``if hooks is not None``, and with no sinks, budget, or token
@@ -522,8 +523,18 @@ class SearchHooks:
         self.root_prefixes = 0
         self.root_patterns = 0
 
-    # -- called from ClanMiner._recurse --------------------------------
-    def enter_prefix(self, form: CanonicalForm, store: EmbeddingStore) -> None:
+    # -- called from MiningEngine._search ------------------------------
+    def enter_prefix(self, labels: Tuple[Label, ...], store: EmbeddingStore) -> None:
+        """One DFS node: budget/cancellation checks plus sampling.
+
+        ``labels`` is the bare canonical label tuple the engine's
+        iterative loop carries (no :class:`CanonicalForm` exists on the
+        hot path).  Hooks with no budget, token, deadline, or sampling
+        are never called here at all — the engine settles
+        ``total_prefixes``/``root_prefixes`` from its local node count
+        at subtree boundaries instead, so dormant instrumentation pays
+        nothing per node.
+        """
         self.total_prefixes += 1
         self.root_prefixes += 1
         budget = self.budget
@@ -545,9 +556,9 @@ class SearchHooks:
         if self.sample_every and self.root_prefixes % self.sample_every == 0:
             self._dispatch(
                 PrefixVisited(
-                    form=form.labels,
+                    form=labels,
                     support=store.support,
-                    depth=form.size,
+                    depth=len(labels),
                     ordinal=self.root_prefixes,
                 )
             )
@@ -564,9 +575,9 @@ class SearchHooks:
                 )
             )
 
-    def pruned(self, form: CanonicalForm, reason: str) -> None:
+    def pruned(self, labels: Tuple[Label, ...], reason: str) -> None:
         if self.sinks:
-            self._dispatch(SubtreePruned(form=form.labels, reason=reason))
+            self._dispatch(SubtreePruned(form=labels, reason=reason))
 
     def _dispatch(self, event: MiningEvent) -> None:
         if not self.sinks:

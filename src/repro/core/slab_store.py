@@ -494,17 +494,46 @@ class SlabEmbeddingStore:
             return cls(
                 database, pseudo, slab, 1, (), empty, empty[0], 0
             )
-        store = cls(
-            database,
-            pseudo,
-            slab,
-            1,
-            (bit,),
-            slab.nbr[bit],
-            slab.presence[bit],
-            int(slab.label_tx_counts[bit]),
-            slab.root_counts()[bit],
-        )
+        store = None
+        if context is not None:
+            pool = context.get("store_pool")
+            if pool and type(pool[-1]) is cls and pool[-1].slab is slab:
+                # Refill a retired store from the engine's free list —
+                # the root-level mirror of :meth:`_child`.
+                store = pool.pop()
+                store.database = database
+                store.pseudo = pseudo
+                store.size = 1
+                store._member_bits = (bit,)
+                store._cand = slab.nbr[bit]
+                store._tx = slab.presence[bit]
+                store._support = int(slab.label_tx_counts[bit])
+                store._counts = slab.root_counts()[bit]
+                store._tie_bits = None
+                store._plan_digest = None
+                store._plan_abs_sup = None
+                store._forest = None
+                store._level = 0
+                store._row = 0
+                store._block_parent = None
+                store._block_rank = None
+                store._batch = None
+                store._child_blocks = None
+                store._children = None
+                store._tids = None
+                store._by_transaction = None
+        if store is None:
+            store = cls(
+                database,
+                pseudo,
+                slab,
+                1,
+                (bit,),
+                slab.nbr[bit],
+                slab.presence[bit],
+                int(slab.label_tx_counts[bit]),
+                slab.root_counts()[bit],
+            )
         store._context = context
         return store
 
@@ -529,11 +558,22 @@ class SlabEmbeddingStore:
         return tids
 
     def witnesses(self) -> Dict[int, Tuple[int, ...]]:
-        """The (single) embedding of each transaction, vertex-sorted."""
-        views = self.space.views
+        """The (single) embedding of each transaction, vertex-sorted.
+
+        Below ~32 supporting transactions per-bit dict lookups win; at
+        and above, one fancy index on the slab's cached (transaction,
+        bit) → vertex matrix gathers every witness at once (numpy's
+        per-call dispatch amortises over the transaction axis).
+        """
+        tids = self.transactions()
         member_bits = self._member_bits
+        if len(tids) >= 32:
+            rows = self.slab.vertex_matrix()[list(tids)][:, list(member_bits)]
+            rows.sort(axis=1)
+            return {tid: tuple(row) for tid, row in zip(tids, rows.tolist())}
+        views = self.space.views
         out: Dict[int, Tuple[int, ...]] = {}
-        for tid in self.transactions():
+        for tid in tids:
             vertex_by_bit = views[tid].vertex_by_bit
             vertices = [vertex_by_bit[bit] for bit in member_bits]
             vertices.sort()
@@ -688,8 +728,70 @@ class SlabEmbeddingStore:
                 return space.labels[int(bit)]
         return None
 
+    def _child(
+        self,
+        member_bits: Tuple[int, ...],
+        cand: np.ndarray,
+        tx: np.ndarray,
+        support: int,
+        reuse: Optional["SlabEmbeddingStore"],
+        counts: Optional[np.ndarray] = None,
+    ) -> "SlabEmbeddingStore":
+        """Wrap a child's slab rows, recycling ``reuse`` when possible.
+
+        The engine's free list hands back stores whose subtree has
+        finished; refilling one in place re-assigns the per-prefix
+        fields and clears every lazy cache, skipping the allocation
+        and the ~25-field constructor.  Sound within one mine call:
+        the database, slab, and aligned space never change (guarded by
+        the ``reuse.slab is self.slab`` check, which also rejects
+        foreign store types).
+        """
+        if (
+            reuse is not None
+            and type(reuse) is SlabEmbeddingStore
+            and reuse.slab is self.slab
+        ):
+            reuse.database = self.database
+            reuse.pseudo = self.pseudo
+            reuse.size = self.size + 1
+            reuse._member_bits = member_bits
+            reuse._cand = cand
+            reuse._tx = tx
+            reuse._support = support
+            reuse._counts = counts
+            reuse._tie_bits = None
+            reuse._plan_digest = None
+            reuse._plan_abs_sup = None
+            reuse._context = None
+            reuse._forest = None
+            reuse._level = 0
+            reuse._row = 0
+            reuse._block_parent = None
+            reuse._block_rank = None
+            reuse._batch = None
+            reuse._child_blocks = None
+            reuse._children = None
+            reuse._tids = None
+            reuse._by_transaction = None
+            return reuse
+        return SlabEmbeddingStore(
+            self.database,
+            self.pseudo,
+            self.slab,
+            self.size + 1,
+            member_bits,
+            cand,
+            tx,
+            support,
+            counts,
+        )
+
     def extend(
-        self, label: Label, last_label: Optional[Label] = None
+        self,
+        label: Label,
+        last_label: Optional[Label] = None,
+        reuse: Optional["SlabEmbeddingStore"] = None,
     ) -> "SlabEmbeddingStore":
         """Embeddings of ``C ◇ label`` — two ANDs on the slab.
 
@@ -699,16 +801,16 @@ class SlabEmbeddingStore:
         as views into the next forest level (built for the whole
         frontier on first demand); saturated forests and off-engine
         stores batch the frequent children per parent instead; other
-        labels take the single path.
+        labels take the single path.  ``reuse`` optionally recycles a
+        retired store object (see :meth:`_child`).
         """
         forest = self._forest
         member_bits = self._member_bits
         if forest is not None and member_bits:
             bit = self.space.bit_of.get(label)
-            if (
-                bit is not None
-                and bit >= member_bits[-1]
-                and forest.ensure_children(self._level)
+            if bit is not None and bit >= member_bits[-1] and (
+                forest.levels[self._level].child_offsets is not None
+                or forest.ensure_children(self._level)
             ):
                 level = forest.levels[self._level]
                 lo = level.child_offsets[self._row]
@@ -716,15 +818,12 @@ class SlabEmbeddingStore:
                 i = bisect_left(level.child_bits, bit, lo, hi)
                 if i < hi and level.child_bits[i] == bit:
                     next_level = forest.levels[self._level + 1]
-                    child = SlabEmbeddingStore(
-                        self.database,
-                        self.pseudo,
-                        self.slab,
-                        self.size + 1,
+                    child = self._child(
                         member_bits + (bit,),
                         next_level.cand[i],
                         next_level.tx[i],
                         next_level.supports[i],
+                        reuse,
                     )
                     child._plan_digest = next_level.digests[i]
                     child._plan_abs_sup = forest.abs_sup
@@ -732,24 +831,21 @@ class SlabEmbeddingStore:
                     child._level = self._level + 1
                     child._row = i
                     return child
-                return self._extend_single(label)
+                return self._extend_single(label, reuse)
         children = self._children
         if children is None:
             children = self._children = self._materialize_children(last_label)
         hit = children.get(label)
         if hit is None:
-            return self._extend_single(label)
+            return self._extend_single(label, reuse)
         row, bit, digest, support = hit
         batch = self._batch
-        child = SlabEmbeddingStore(
-            self.database,
-            self.pseudo,
-            self.slab,
-            self.size + 1,
+        child = self._child(
             self._member_bits + (bit,),
             batch[1][row],
             batch[3][row],
             support,
+            reuse,
         )
         child._plan_digest = digest
         child._plan_abs_sup = self._plan_abs_sup
@@ -873,20 +969,19 @@ class SlabEmbeddingStore:
             }
         return blocks
 
-    def _extend_single(self, label: Label) -> "SlabEmbeddingStore":
+    def _extend_single(
+        self, label: Label, reuse: Optional["SlabEmbeddingStore"] = None
+    ) -> "SlabEmbeddingStore":
         bit = self.space.bit_of.get(label)
         cand = self._cand
         if bit is None:
             empty = np.zeros_like(cand)
-            return SlabEmbeddingStore(
-                self.database,
-                self.pseudo,
-                self.slab,
-                self.size + 1,
+            return self._child(
                 self._member_bits,
                 empty,
                 empty[0] if len(empty) else self._tx[:0],
                 0,
+                reuse,
             )
         row = cand[bit]
         grown = (cand & self.slab.nbr[bit]) & row
@@ -896,15 +991,12 @@ class SlabEmbeddingStore:
             if counts is not None
             else int(popcount_rows(row[None, :])[0])
         )
-        return SlabEmbeddingStore(
-            self.database,
-            self.pseudo,
-            self.slab,
-            self.size + 1,
+        return self._child(
             self._member_bits + (bit,),
             grown,
             row,
             support,
+            reuse,
         )
 
     def _ensure_counts(self) -> np.ndarray:

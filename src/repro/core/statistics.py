@@ -90,6 +90,49 @@ class MinerStatistics:
         if count > self.peak_embeddings:
             self.peak_embeddings = count
 
+    def absorb_search(
+        self,
+        prefixes: int,
+        max_depth: int,
+        embeddings: int,
+        peak_embeddings: int,
+        frequent: int,
+        frequent_by_size: Dict[int, int],
+        closed: int,
+        rejections: int,
+        prunes: int,
+        infrequent: int,
+        redundancy_skips: int,
+        duplicates: int,
+        scans: int,
+    ) -> None:
+        """Fold one search run's locally-accumulated counters in.
+
+        The engine's iterative hot loop (:meth:`repro.core.engine.
+        MiningEngine._search`) counts in plain local variables and
+        flushes them here exactly once per subtree — additive sums and
+        high-water maxima, so the flush composes with counters that
+        strategies incremented directly on this object mid-search.
+        """
+        self.prefixes_visited += prefixes
+        if max_depth > self.max_depth:
+            self.max_depth = max_depth
+        self.embeddings_created += embeddings
+        if peak_embeddings > self.peak_embeddings:
+            self.peak_embeddings = peak_embeddings
+        self.frequent_cliques += frequent
+        if frequent_by_size:
+            mine = self.frequent_by_size
+            for size, count in frequent_by_size.items():
+                mine[size] = mine.get(size, 0) + count
+        self.closed_cliques += closed
+        self.closure_rejections += rejections
+        self.nonclosed_prefix_prunes += prunes
+        self.infrequent_extensions += infrequent
+        self.redundancy_skips += redundancy_skips
+        self.duplicates_collapsed += duplicates
+        self.database_scans += scans
+
     def merge(self, part: "MinerStatistics") -> None:
         """Fold another run's counters into this one.
 

@@ -151,6 +151,7 @@ class TransposedSlabSpace:
         "_nbr_neg",
         "_root_counts",
         "_presence_nonzero",
+        "_vertex_matrix",
     )
 
     def __init__(self, space: DatabaseLabelSpace) -> None:
@@ -209,6 +210,7 @@ class TransposedSlabSpace:
         self._nbr_neg: Optional[np.ndarray] = None
         self._root_counts: Optional[np.ndarray] = None
         self._presence_nonzero: Optional[np.ndarray] = None
+        self._vertex_matrix: Optional[np.ndarray] = None
 
     def nbr_neg(self) -> np.ndarray:
         """``~nbr``, cached — the Lemma 4.4 non-adjacency slabs.
@@ -233,6 +235,26 @@ class TransposedSlabSpace:
         if counts is None:
             counts = self._root_counts = popcount_rows(self.nbr)
         return counts
+
+    def vertex_matrix(self) -> np.ndarray:
+        """``int64[n_transactions, n_labels]`` vertex per (tx, bit), cached.
+
+        Cell ``(t, b)`` is the vertex carrying label bit ``b`` in
+        transaction ``t`` (labels are unique per vertex wherever a slab
+        space exists), ``-1`` where the label is absent.  Lets witness
+        materialisation gather whole embeddings with one fancy index
+        instead of per-bit dict lookups.
+        """
+        matrix = self._vertex_matrix
+        if matrix is None:
+            matrix = np.full(
+                (self.n_transactions, self.n_labels), -1, dtype=np.int64
+            )
+            for tid, view in enumerate(self.space.views):
+                for bit, vertex in view.vertex_by_bit.items():
+                    matrix[tid, bit] = vertex
+            self._vertex_matrix = matrix
+        return matrix
 
     def presence_nonzero(self) -> np.ndarray:
         """Per-label count of nonzero ``presence`` words, cached."""

@@ -1,14 +1,12 @@
 """Tests for the task-parameterised enumeration engine itself.
 
 Coverage of the strategy registry, task-scoped cache digests, the
-``repro.core.parallel`` deprecation shim, and the precise error texts
-the façade promises — the cross-path output guarantees live in
+removed ``repro.core.parallel`` import path, and the precise error
+texts the façade promises — the cross-path output guarantees live in
 ``test_task_parity.py``.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
@@ -134,23 +132,16 @@ class TestEngineForTask:
         assert engine.root_extension_plan(1, roots[0])
 
 
-class TestParallelShim:
-    def test_import_is_warning_free(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
+class TestParallelShimRemoved:
+    def test_module_is_gone(self):
+        # Stage three of the deprecation policy (CONTRIBUTING.md): the
+        # ``repro.core.parallel`` shim warned, then raised with a
+        # migration hint, and is now deleted outright.
+        with pytest.raises(ModuleNotFoundError):
             import repro.core.parallel  # noqa: F401
 
-    def test_attribute_access_raises_with_migration_hint(self):
-        # The shim graduated from DeprecationWarning to MiningError per
-        # the deprecation policy in CONTRIBUTING.md.
-        import repro.core.parallel as shim
-
-        for name in ("mine_closed_cliques_parallel", "partition_roots"):
-            with pytest.raises(MiningError, match="repro.core.executor"):
-                getattr(shim, name)
-
-    def test_unknown_attribute_raises(self):
-        import repro.core.parallel as shim
-
-        with pytest.raises(AttributeError):
-            shim.no_such_name
+    def test_entry_points_live_in_executor(self):
+        from repro.core.executor import (  # noqa: F401
+            mine_closed_cliques_parallel,
+            partition_roots,
+        )

@@ -1,0 +1,322 @@
+"""Differential tests for the iterative, lazily-materialising core.
+
+The engine's hot loop (:meth:`repro.core.engine.MiningEngine._search`)
+is an explicit-stack DFS that carries prefixes as bare label tuples and
+only materialises :class:`CanonicalForm` / :class:`CliquePattern` /
+witness maps at emission time, with statistics accumulated in plain
+locals and hook dispatch hoisted out of the loop.  None of that may be
+observable: this file keeps a straightforward *recursive, eagerly
+materialising* reference miner in the test and checks the engine
+against it — patterns, witnesses, transactions, and the full frozen
+statistics snapshot — across all three kernels, plus the legs the
+reference cannot express (hook dispatch modes, checkpoint/resume
+mid-root).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BITSET,
+    SET,
+    SLAB,
+    ClanMiner,
+    MinerConfig,
+    MiningBudget,
+    MiningSession,
+    mine,
+)
+from repro.core.canonical import CanonicalForm
+from repro.core.embeddings import EmbeddingStore
+from repro.core.engine import engine_for_task
+from repro.core.pattern import CliquePattern
+from repro.core.results import MiningResult
+from repro.core.session import SearchHooks
+from repro.core.statistics import MinerStatistics
+from repro.graphdb.core_index import PseudoDatabase
+
+from tests.conftest import make_random_database
+from tests.strategies import graph_databases
+
+KERNELS = (SET, BITSET, SLAB)
+
+#: Seeded databases spanning sparse to dense, few to many labels.
+CASES = [
+    (seed, 3 + seed % 3, 6 + seed % 4, 0.35 + 0.08 * (seed % 6), 3 + seed % 4)
+    for seed in range(6)
+]
+
+
+def database_for(case):
+    seed, n_graphs, n_vertices, p, n_labels = case
+    return make_random_database(
+        seed,
+        n_graphs=n_graphs,
+        n_vertices=n_vertices,
+        edge_probability=p,
+        n_labels=n_labels,
+    )
+
+
+def signature(result):
+    """Everything observable about a result, order-normalised."""
+    return sorted(
+        (
+            pattern.form.labels,
+            pattern.support,
+            tuple(sorted(pattern.transactions)),
+            tuple(sorted(pattern.witnesses.items())),
+        )
+        for pattern in result
+    )
+
+
+# ----------------------------------------------------------------------
+# The reference: recursive DFS, everything materialised eagerly.
+# ----------------------------------------------------------------------
+def reference_mine(database, min_sup, config, task="closed"):
+    """Recursive Algorithm 1 with eager materialisation.
+
+    The pre-iterative engine in miniature: a
+    :class:`CanonicalForm` exists at every node, patterns are built
+    through the same emission rules the strategies encode, and the
+    statistics object is updated through its per-event recorders at
+    each step instead of a boundary flush.  Supports the three
+    stateless tasks (closed / frequent / maximal); byte-equality
+    against the engine pins the iterative loop's laziness as pure
+    mechanism.
+    """
+    abs_sup = database.absolute_support(min_sup)
+    stats = MinerStatistics()
+    result = MiningResult(
+        min_sup=abs_sup, closed_only=config.closed_only, statistics=stats
+    )
+    pseudo = PseudoDatabase(database) if config.low_degree_pruning else None
+    label_supports = database.label_supports()
+    stats.database_scans += 1
+    seen = set()
+    redundancy = config.structural_redundancy_pruning
+
+    def emit(form, store):
+        size = len(form.labels)
+        if size < config.min_size:
+            return
+        if config.max_size is not None and size > config.max_size:
+            return
+        pattern = CliquePattern(
+            form=form,
+            support=store.support,
+            transactions=store.transactions(),
+            witnesses=store.witnesses() if config.collect_witnesses else {},
+        )
+        result.add(pattern)
+        if config.closed_only:
+            stats.closed_cliques += 1
+
+    def recurse(form, store):
+        labels = form.labels
+        if not redundancy:
+            if labels in seen:
+                stats.duplicates_collapsed += 1
+                return
+            seen.add(labels)
+        stats.record_node(len(labels), store.embedding_count)
+        stats.record_frequent(len(labels))
+        frequent_extensions, n_infrequent, blocked = store.extension_plan(abs_sup)
+        stats.database_scans += 1
+        if (
+            config.nonclosed_prefix_pruning
+            and store.nonclosed_extension_label(labels[-1]) is not None
+        ):
+            stats.nonclosed_prefix_prunes += 1
+            return
+        if task == "closed":
+            if not blocked:
+                emit(form, store)
+            else:
+                stats.closure_rejections += 1
+        elif task == "frequent":
+            emit(form, store)
+        elif task == "maximal":
+            if not frequent_extensions:
+                emit(form, store)
+            else:
+                stats.closure_rejections += 1
+        if config.max_size is not None and len(labels) >= config.max_size:
+            return
+        stats.infrequent_extensions += n_infrequent
+        for label, ext_support in frequent_extensions:
+            if redundancy:
+                if label < labels[-1]:
+                    stats.redundancy_skips += 1
+                    continue
+                child_store = store.extend(label, labels[-1])
+                child_form = CanonicalForm(labels + (label,))
+            else:
+                child_store = store.extend_unordered(label)
+                child_form = CanonicalForm(tuple(sorted(labels + (label,))))
+            assert child_store.support == ext_support
+            recurse(child_form, child_store)
+
+    for label in sorted(label_supports):
+        if label_supports[label] < abs_sup:
+            stats.infrequent_extensions += 1
+            continue
+        store = EmbeddingStore.for_label(
+            database,
+            pseudo,
+            label,
+            config.embedding_strategy,
+            config.kernel,
+        )
+        recurse(CanonicalForm((label,)), store)
+    return result
+
+
+def config_for(task, kernel, **overrides):
+    if task == "frequent":
+        return MinerConfig.all_frequent(kernel=kernel, **overrides)
+    return MinerConfig(kernel=kernel, **overrides)
+
+
+class TestRecursiveReference:
+    """Iterative engine == recursive eager reference, bit for bit."""
+
+    @pytest.mark.parametrize("case", CASES)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("task", ("closed", "frequent", "maximal"))
+    def test_patterns_and_snapshot_match(self, case, kernel, task):
+        database = database_for(case)
+        min_sup = 2 if case[0] % 2 else 1
+        config = config_for(task, kernel)
+        # No prepare(): the lazy label-support scan must be charged on
+        # both sides (the reference counts its own scan up front).
+        mined = engine_for_task(database, config, task).mine(min_sup)
+        reference = reference_mine(database, min_sup, config, task)
+        assert signature(mined) == signature(reference), (case, kernel, task)
+        assert (
+            mined.statistics.snapshot() == reference.statistics.snapshot()
+        ), (case, kernel, task)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize(
+        "overrides",
+        (
+            {"nonclosed_prefix_pruning": False},
+            {"structural_redundancy_pruning": False, "nonclosed_prefix_pruning": False},
+            {"collect_witnesses": False},
+            {"min_size": 2, "max_size": 3},
+            {"low_degree_pruning": False},
+        ),
+        ids=("no-lemma44", "no-redundancy", "no-witnesses", "size-window", "no-lowdeg"),
+    )
+    def test_ablation_configs_match(self, kernel, overrides):
+        # The lazy loop has branch-heavy ablation paths (the seen-forms
+        # dedup, the size window, witness skipping); each must shadow
+        # the reference exactly.
+        database = database_for(CASES[2])
+        config = config_for("closed", kernel, **overrides)
+        mined = ClanMiner(database, config).mine(1)
+        reference = reference_mine(database, 1, config, "closed")
+        assert signature(mined) == signature(reference), (kernel, overrides)
+        assert mined.statistics.snapshot() == reference.statistics.snapshot()
+
+
+class TestHypothesisReference:
+    """Property: the parity holds on arbitrary shrinkable databases."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(database=graph_databases(), min_sup=st.integers(1, 3))
+    def test_closed_parity_on_arbitrary_databases(self, database, min_sup):
+        min_sup = min(min_sup, len(database))
+        for kernel in KERNELS:
+            config = config_for("closed", kernel)
+            mined = ClanMiner(database, config).mine(min_sup)
+            reference = reference_mine(database, min_sup, config, "closed")
+            assert signature(mined) == signature(reference), kernel
+            assert mined.statistics.snapshot() == reference.statistics.snapshot()
+
+
+class TestHookDispatchParity:
+    """Passive, armed, and absent hooks see one identical search.
+
+    The loop skips ``enter_prefix`` entirely when hooks cannot abort or
+    sample, settling the prefix counters from its local node count; an
+    armed hook walks the per-node path.  Both modes must agree with
+    each other, with the no-hooks run, and with the statistics object.
+    """
+
+    TASKS = (
+        ("closed", {}),
+        ("frequent", {}),
+        ("maximal", {}),
+        ("topk", {"k": 3}),
+        ("quasi", {"gamma": 0.8}),
+    )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("task,extra", TASKS, ids=[t for t, _ in TASKS])
+    def test_hook_modes_identical(self, kernel, task, extra):
+        database = database_for(CASES[1])
+        if task == "quasi":
+            config = MinerConfig(kernel=kernel, min_size=2, max_size=4)
+        else:
+            config = config_for(task, kernel)
+
+        def run(hooks):
+            engine = engine_for_task(
+                database, config, task, extra.get("k"), extra.get("gamma")
+            ).prepare()
+            return engine.mine(2, hooks=hooks), hooks
+
+        bare, _ = run(None)
+        passive_result, passive = run(SearchHooks())
+        # A huge sampling interval arms the per-node path without ever
+        # actually emitting a sample event.
+        armed_result, armed = run(SearchHooks(sample_every=10**9))
+
+        reference = signature(bare)
+        snapshot = bare.statistics.snapshot()
+        for label, result in (("passive", passive_result), ("armed", armed_result)):
+            assert signature(result) == reference, (kernel, task, label)
+            assert result.statistics.snapshot() == snapshot, (kernel, task, label)
+        visited = snapshot["prefixes_visited"]
+        assert passive.total_prefixes == visited
+        assert armed.total_prefixes == visited
+        assert passive.total_patterns == armed.total_patterns
+
+
+class TestCheckpointResumeMidRoot:
+    """A budget abort mid-root resumes to the byte-identical result.
+
+    The abort unwinds the iterative loop through its ``finally`` flush,
+    so the checkpoint's statistics stay exact, and the resumed session
+    re-mines the interrupted root through the same lazy loop.
+    """
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_closed_resume_completes_identically(self, kernel):
+        database = database_for(CASES[3])
+        config = MinerConfig(kernel=kernel)
+        full = ClanMiner(database, config).mine(1)
+
+        session = MiningSession(
+            database,
+            1,
+            config=config,
+            budget=MiningBudget(max_expanded_prefixes=10),
+        )
+        partial = session.run()
+        assert partial.truncated, "budget did not bite mid-run"
+        checkpoint = session.checkpoint()
+        assert checkpoint.completed_roots  # genuinely mid-run
+
+        final = MiningSession(
+            database, 1, config=config, resume_from=checkpoint
+        ).run()
+        assert not final.truncated
+        assert signature(final) == signature(full), kernel
+        assert [p.form.labels for p in final] == [p.form.labels for p in full]

@@ -125,6 +125,33 @@ class TestSection42Enumeration:
         )
         assert result.statistics.duplicates_collapsed > 0
 
+    def test_duplicates_do_not_inflate_node_counts(self, paper_db):
+        """A collapsed duplicate is rejected before it is counted.
+
+        The duplicate-form check runs ahead of the per-node bookkeeping,
+        so with redundancy pruning off every *counted* prefix is a
+        distinct frequent clique: the visited-node total, the frequent
+        total, and the per-size histogram must all agree, and
+        ``duplicates_collapsed`` carries the rework separately.
+        """
+        config = MinerConfig(
+            closed_only=False,
+            structural_redundancy_pruning=False,
+            nonclosed_prefix_pruning=False,
+        )
+        stats = ClanMiner(paper_db, config).mine(2).statistics
+        assert stats.duplicates_collapsed > 0
+        assert stats.prefixes_visited == stats.frequent_cliques
+        assert sum(stats.frequent_by_size.values()) == stats.frequent_cliques
+        # The deduplicated tree is exactly the tree redundancy pruning
+        # would have enumerated directly.
+        pruned = ClanMiner(
+            paper_db,
+            MinerConfig(closed_only=False, nonclosed_prefix_pruning=False),
+        ).mine(2).statistics
+        assert stats.prefixes_visited == pruned.prefixes_visited
+        assert stats.frequent_by_size == pruned.frequent_by_size
+
 
 class TestSection43Pruning:
     def test_prefix_c_pruned_by_label_a(self, paper_db):
