@@ -1,0 +1,132 @@
+"""Out-of-core scale benchmark — SQLite store + sharded mining vs eager.
+
+Not a paper figure: CLAN's experiments fit in 2006-era RAM.  This
+benchmark is the acceptance gate for the GraphSource seam — it
+replicates the paper's Figure 6a database far past its original size,
+imports it into a SQLite transaction store, and mines it twice:
+
+* **eager** — decode every transaction into an in-memory
+  :class:`GraphDatabase` up front (what every pre-seam caller did),
+  then run the serial engine;
+* **out-of-core** — mine straight off the store with
+  :func:`repro.core.sharding.mine_sharded`, a small decode cache, and
+  shard-sized candidate passes.
+
+Both runs must produce byte-identical canonical envelopes, and the
+out-of-core tracemalloc peak must sit at least ``MEMORY_BAR``× below
+the eager peak.  Results land in ``BENCH_scale.json`` at the repo root
+(peaks, ratio, wall-clock, replication factor) as the perf-trajectory
+record.
+"""
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.core.api import MiningRequest, MiningResultEnvelope, execute_request
+from repro.core.sharding import mine_sharded
+from repro.bench import format_table, hardware_context
+from repro.graphdb import GraphDatabase, import_graphs, paper_example_database
+from repro.graphdb.storage import SqliteGraphSource
+
+from conftest import write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required headroom: out-of-core peak must be at least this many times
+#: below the eager full-materialisation peak.
+MEMORY_BAR = 3.0
+
+#: Replication factor for fig6a (the ISSUE floor is 10x), shard size,
+#: and decode-cache geometry (batch_size, max_batches) per scale.
+SCALE_PARAMS = {
+    "tiny": (512, 128, 16, 2),
+    "small": (1024, 128, 16, 2),
+    "medium": (2048, 256, 32, 2),
+    "paper": (4096, 256, 32, 2),
+}
+
+
+def test_outofcore_scale(scale, tmp_path):
+    factor, shard_size, batch_size, max_batches = SCALE_PARAMS[scale]
+    base = paper_example_database()
+    replicated = base.replicate(factor)
+    store_path = tmp_path / "fig6a_replicated.sqlite"
+    import_graphs(store_path, iter(replicated), name=f"fig6a-x{factor}").close()
+    store_bytes = store_path.stat().st_size
+
+    # Witnesses off: the memory under test is the transaction store,
+    # not the per-pattern witness lists both runs would share.
+    request = MiningRequest.from_options(
+        2 * factor, task="closed", kernel="bitset", collect_witnesses=False
+    )
+
+    eager_source = SqliteGraphSource(store_path)
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    eager_db = GraphDatabase(list(eager_source), name="eager")
+    eager_result = execute_request(eager_db, request)
+    eager_seconds = time.perf_counter() - t0
+    eager_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    eager_source.close()
+    eager_envelope = MiningResultEnvelope.from_result(
+        request, eager_result
+    ).canonical_json()
+    del eager_db, eager_result
+
+    ooc_source = SqliteGraphSource(
+        store_path, batch_size=batch_size, max_batches=max_batches
+    )
+    ooc_db = GraphDatabase(source=ooc_source)
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    ooc_result = mine_sharded(ooc_db, request, shard_size=shard_size)
+    ooc_seconds = time.perf_counter() - t0
+    ooc_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    ooc_envelope = MiningResultEnvelope.from_result(request, ooc_result).canonical_json()
+    ooc_source.close()
+
+    assert factor >= 10
+    assert ooc_envelope == eager_envelope
+    ratio = eager_peak / ooc_peak
+    assert ratio >= MEMORY_BAR, (
+        f"out-of-core peak {ooc_peak} is only {ratio:.2f}x below eager "
+        f"peak {eager_peak}; the bar is {MEMORY_BAR}x"
+    )
+
+    record = {
+        "benchmark": "out-of-core scale (SQLite store + sharded mining vs eager)",
+        "scale": scale,
+        "hardware": hardware_context(),
+        "replication_factor": factor,
+        "transactions": len(replicated),
+        "store_bytes": store_bytes,
+        "shard_size": shard_size,
+        "decode_cache": {"batch_size": batch_size, "max_batches": max_batches},
+        "memory_bar": MEMORY_BAR,
+        "eager_peak_bytes": eager_peak,
+        "outofcore_peak_bytes": ooc_peak,
+        "memory_ratio": ratio,
+        "eager_seconds": eager_seconds,
+        "outofcore_seconds": ooc_seconds,
+        "identical_envelopes": True,
+        "patterns": len(ooc_result),
+    }
+    (REPO_ROOT / "BENCH_scale.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    table = format_table(
+        ("run", "peak MiB", "seconds"),
+        [
+            ("eager", f"{eager_peak / 2**20:.2f}", f"{eager_seconds:.2f}"),
+            ("out-of-core", f"{ooc_peak / 2**20:.2f}", f"{ooc_seconds:.2f}"),
+        ],
+        title=(
+            f"fig6a x{factor} ({len(replicated)} transactions, "
+            f"{store_bytes / 2**20:.2f} MiB store): memory ratio {ratio:.2f}x"
+        ),
+    )
+    write_report("scale_outofcore", table)

@@ -42,6 +42,7 @@ from .core import (
     mine_closed_cliques,
     mine_closed_quasi_cliques,
     mine_frequent_cliques,
+    mine_sharded,
     parse_support,
     sweep,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "mine_closed_cliques",
     "mine_closed_quasi_cliques",
     "mine_frequent_cliques",
+    "mine_sharded",
     "paper_example_database",
     "parse_support",
     "sweep",

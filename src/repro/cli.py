@@ -67,6 +67,12 @@ def _load(path: str, fmt: str) -> GraphDatabase:
         return matrix_format.open_database(path)
     if fmt == "json":
         return json_format.open_database(path)
+    if fmt == "sqlite":
+        # A view over the on-disk store: transactions stream in
+        # shard-sized batches instead of materialising up front.
+        from .graphdb import open_source
+
+        return GraphDatabase(source=open_source(path))
     raise ReproError(f"unknown database format {fmt!r}")
 
 
@@ -77,6 +83,10 @@ def _save(database: GraphDatabase, path: str, fmt: str) -> None:
         matrix_format.save_database(database, path)
     elif fmt == "json":
         json_format.save_database(database, path)
+    elif fmt == "sqlite":
+        from .graphdb import import_graphs
+
+        import_graphs(path, iter(database), name=database.name)
     else:
         raise ReproError(f"unknown database format {fmt!r}")
 
@@ -103,7 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     mine = sub.add_parser("mine", help="mine frequent closed cliques")
     mine.add_argument("database", help="input database file")
-    mine.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    mine.add_argument("--format", default="tve",
+                      choices=("tve", "matrix", "json", "sqlite"))
+    mine.add_argument("--db", dest="sqlite_db", action="store_true",
+                      help="shorthand for --format sqlite: DATABASE is a "
+                           "store written by 'clan import'")
+    mine.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="mine via N transaction-range shards and an exact "
+                           "merge (out-of-core; results identical)")
+    mine.add_argument("--shard-size", type=int, default=None, metavar="T",
+                      help="like --shards, but sized in transactions per shard")
     mine.add_argument("--min-sup", default="2", help="absolute count, fraction, or percentage")
     mine.add_argument("--min-size", type=int, default=1)
     mine.add_argument("--max-size", type=int, default=None)
@@ -208,15 +227,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help="check database integrity")
     validate.add_argument("database")
-    validate.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    validate.add_argument("--format", default="tve",
+                          choices=("tve", "matrix", "json", "sqlite"))
 
     convert = sub.add_parser("convert", help="convert between database formats")
     convert.add_argument("input")
     convert.add_argument("output")
     convert.add_argument("--from", dest="from_format", default="tve",
-                         choices=("tve", "matrix", "json"))
+                         choices=("tve", "matrix", "json", "sqlite"))
     convert.add_argument("--to", dest="to_format", default="json",
-                         choices=("tve", "matrix", "json"))
+                         choices=("tve", "matrix", "json", "sqlite"))
+
+    imp = sub.add_parser(
+        "import",
+        help="stream a database file into an out-of-core SQLite store",
+    )
+    imp.add_argument("database", help="input database file")
+    imp.add_argument("store", help="SQLite store to create (e.g. db.sqlite)")
+    imp.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    imp.add_argument("--name", default="",
+                     help="database name recorded in the store "
+                          "(defaults to the input file name)")
 
     diff = sub.add_parser("diff", help="compare two pattern result files")
     diff.add_argument("left")
@@ -236,7 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print database characteristics (Table 1 style)")
     stats.add_argument("database")
-    stats.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    stats.add_argument("--format", default="tve",
+                       choices=("tve", "matrix", "json", "sqlite"))
     stats.add_argument("--extended", action="store_true")
 
     lattice = sub.add_parser("lattice", help="print the frequent-clique lattice (Figure 4)")
@@ -259,8 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the mining service: a multi-tenant HTTP control plane "
              "over one database",
     )
-    serve.add_argument("database", help="the database every job mines")
-    serve.add_argument("--format", default="tve", choices=("tve", "matrix", "json"))
+    serve.add_argument("database", help="the database jobs mine by default")
+    serve.add_argument("--format", default="tve",
+                       choices=("tve", "matrix", "json", "sqlite"))
+    serve.add_argument("--storage-root", default=None, metavar="DIR",
+                       help="allow jobs to name an alternative SQLite store "
+                            "(X-Clan-Database header / --database-uri) "
+                            "resolved inside this directory")
     serve.add_argument("--state", required=True, metavar="DIR",
                        help="durable state: job records, result envelopes, "
                             "per-job checkpoints, and the shared mining cache; "
@@ -294,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--gamma", type=float, default=None,
                         help="quasi: density threshold in [0.5, 1.0]")
     submit.add_argument("--kernel", default=None, choices=("bitset", "slab", "set"))
+    submit.add_argument("--database-uri", default=None, metavar="NAME",
+                        help="mine this SQLite store (relative to the "
+                             "service's --storage-root) instead of the "
+                             "service's default database")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes and print its "
                              "result envelope JSON to stdout")
@@ -409,7 +450,8 @@ def _mine_task(args: argparse.Namespace) -> str:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    database = _load(args.database, args.format)
+    fmt = "sqlite" if getattr(args, "sqlite_db", False) else args.format
+    database = _load(args.database, fmt)
     min_sup = _parse_min_sup(args.min_sup)
     require = _split_labels(args.require)
     allow = _split_labels(args.allow)
@@ -436,6 +478,12 @@ def cmd_mine(args: argparse.Namespace) -> int:
     if args.cache and (require or allow or forbid):
         raise ReproError(
             "--cache cannot be combined with label constraints"
+        )
+    sharded = bool(args.shards or args.shard_size)
+    if sharded and (session_wanted or require or allow or forbid or args.cache):
+        raise ReproError(
+            "--shards/--shard-size cannot be combined with session options, "
+            "label constraints, or --cache"
         )
     cache = _open_cli_cache(args.cache)
     if require or allow or forbid:
@@ -485,7 +533,14 @@ def cmd_mine(args: argparse.Namespace) -> int:
             processes=max(args.processes, 1),
             scheduler=args.scheduler,
         )
-        result = execute_request(database, request, cache=cache)
+        if sharded:
+            from .core.sharding import mine_sharded
+
+            result = mine_sharded(
+                database, request, shards=args.shards, shard_size=args.shard_size
+            )
+        else:
+            result = execute_request(database, request, cache=cache)
         kind = task
     _save_cli_cache(cache, args.cache)
     if args.output:
@@ -642,6 +697,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_concurrency=args.max_concurrency,
         default_budget=budget,
+        storage_root=args.storage_root,
     )
 
     def announce(host: str, port: int) -> None:
@@ -678,13 +734,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
             gamma=args.gamma,
             kernel=args.kernel,
         )
+    headers = {"X-Clan-Tenant": args.tenant}
+    if args.database_uri:
+        headers["X-Clan-Database"] = args.database_uri
     status, payload = _http_json(
         host,
         port,
         "POST",
         "/v1/jobs",
         body=request.to_json(),
-        headers={"X-Clan-Tenant": args.tenant},
+        headers=headers,
     )
     if status != 202:
         raise ReproError(f"submit failed ({status}): {payload.get('error', payload)}")
@@ -756,6 +815,24 @@ def cmd_convert(args: argparse.Namespace) -> int:
     _save(database, args.output, args.to_format)
     print(f"converted {len(database)} graphs: {args.input} ({args.from_format}) "
           f"-> {args.output} ({args.to_format})")
+    return 0
+
+
+def cmd_import(args: argparse.Namespace) -> int:
+    from .graphdb import import_graphs
+
+    name = args.name or args.database
+    if args.format == "tve":
+        graphs = gspan_format.iter_database_file(args.database)
+    elif args.format == "json":
+        graphs = json_format.iter_database_file(args.database)
+    else:
+        # The matrix format has no streaming reader; the eager parse is
+        # the bound, the store write still batches.
+        graphs = iter(_load(args.database, args.format))
+    source = import_graphs(args.store, graphs, name=name)
+    print(f"imported {len(source)} graphs into {args.store}")
+    source.close()
     return 0
 
 
@@ -845,6 +922,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": cmd_validate,
         "lattice": cmd_lattice,
         "convert": cmd_convert,
+        "import": cmd_import,
         "diff": cmd_diff,
         "record": cmd_record,
         "replay": cmd_replay,

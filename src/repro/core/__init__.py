@@ -87,6 +87,13 @@ from .quasiclique import (
     required_degree,
 )
 from .results import MiningResult
+from .sharding import (
+    DEFAULT_SHARD_SIZE,
+    local_threshold,
+    mine_sharded,
+    shard_bounds,
+    shard_database,
+)
 from .session import (
     CallbackSink,
     CancellationToken,
@@ -195,6 +202,11 @@ __all__ = [
     "mine_top_k_closed_cliques",
     "mine_with_cache",
     "mine_with_constraints",
+    "DEFAULT_SHARD_SIZE",
+    "local_threshold",
+    "mine_sharded",
+    "shard_bounds",
+    "shard_database",
     "sweep",
     "occurrence_counts",
     "occurrence_report",

@@ -17,6 +17,15 @@ from .cliques import (
 from .core_index import CoreIndex, PseudoDatabase, core_numbers
 from .database import GraphDatabase
 from .dot import clique_embedding_dot, graph_to_dot
+from .schema import fingerprint_digests, transaction_digest
+from .storage import (
+    GraphSource,
+    InMemoryGraphSource,
+    SqliteGraphSource,
+    create_store,
+    import_graphs,
+    open_source,
+)
 from .isomorphism import (
     are_isomorphic,
     find_subgraph_isomorphism,
@@ -65,6 +74,14 @@ __all__ = [
     "Finding",
     "Graph",
     "GraphBitIndex",
+    "GraphSource",
+    "InMemoryGraphSource",
+    "SqliteGraphSource",
+    "create_store",
+    "fingerprint_digests",
+    "import_graphs",
+    "open_source",
+    "transaction_digest",
     "ValidationReport",
     "validate_database",
     "GraphDatabase",

@@ -5,6 +5,14 @@ collection of labeled undirected graph transactions.  It owns the
 support-threshold arithmetic (relative percentages → absolute counts)
 and the replication operation used by the scalability study of
 Figure 7(b).
+
+Storage is pluggable: the database is a *view* over a
+:class:`~repro.graphdb.storage.GraphSource` — the in-memory list by
+default, or an out-of-core backend like
+:class:`~repro.graphdb.storage.SqliteGraphSource` that streams
+transactions instead of holding them resident.  Everything above this
+class (kernels, engine, executor, sessions, service) is
+storage-agnostic.
 """
 
 from __future__ import annotations
@@ -12,12 +20,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from ..exceptions import DatabaseError, InvalidSupportError
-from .bitset import DatabaseLabelSpace, build_label_space
+from .bitset import DatabaseLabelSpace
 from .graph import Graph, Label
-
-# Sentinel: the aligned label space has not been computed yet (``None``
-# is a valid cached answer, meaning "alignment impossible").
-_SPACE_UNSET = object()
+from .storage import GraphSource, InMemoryGraphSource
 
 
 class GraphDatabase:
@@ -35,86 +40,94 @@ class GraphDatabase:
     1
     """
 
-    __slots__ = ("_graphs", "name", "_aligned_space", "_slab_cache")
+    __slots__ = ("_source", "_resident", "name")
 
-    def __init__(self, graphs: Optional[Iterable[Graph]] = None, name: str = "") -> None:
-        self._graphs: List[Graph] = []
-        self.name = name
-        self._aligned_space: object = _SPACE_UNSET
-        self._slab_cache: Optional[tuple] = None
+    def __init__(
+        self,
+        graphs: Optional[Iterable[Graph]] = None,
+        name: str = "",
+        source: Optional[GraphSource] = None,
+    ) -> None:
+        if source is None:
+            source = InMemoryGraphSource()
+        self._source = source
+        #: Direct reference to the resident list for in-memory sources —
+        #: keeps ``db[tid]`` in the kernels' extension loops a plain
+        #: list index instead of a delegating method call.
+        self._resident: Optional[List[Graph]] = (
+            source.graphs if isinstance(source, InMemoryGraphSource) else None
+        )
+        self.name = name or source.name
         for graph in graphs or ():
             self.add(graph)
+
+    @property
+    def source(self) -> GraphSource:
+        """The storage backend this database is a view over."""
+        return self._source
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add(self, graph: Graph) -> int:
         """Append a transaction and return its transaction id."""
-        tid = len(self._graphs)
+        tid = self._source.append(graph)
         if graph.graph_id is None:
             graph.graph_id = tid
-        self._graphs.append(graph)
-        self._aligned_space = _SPACE_UNSET
         return tid
 
     def aligned_space(self) -> Optional[DatabaseLabelSpace]:
         """The database-global label bit space, or ``None``.
 
         Available exactly when every transaction's labels are unique
-        per vertex (see :class:`~repro.graphdb.bitset.DatabaseLabelSpace`);
-        the bitset kernel then counts extension supports bit-sliced
-        across transactions.  Cached, and rebuilt lazily when a
-        transaction was added or an existing graph mutated.
+        per vertex (see :class:`~repro.graphdb.bitset.DatabaseLabelSpace`)
+        *and* the storage backend keeps transactions resident (aligning
+        an out-of-core store would materialise it); the bitset kernel
+        then counts extension supports bit-sliced across transactions,
+        and falls back to per-graph masks otherwise.
         """
-        space = self._aligned_space
-        if space is _SPACE_UNSET or (space is not None and space.stale()):  # type: ignore[union-attr]
-            space = build_label_space(self._graphs)
-            self._aligned_space = space
-        return space  # type: ignore[return-value]
+        return self._source.aligned_space()
 
     def slab_space(self):
         """The transposed uint64 slab index, or ``None``.
 
         Derived from :meth:`aligned_space` (and therefore ``None``
-        whenever alignment is impossible) by
-        :func:`repro.graphdb.slab.build_slab_space`, which also gates
-        on its build-memory ceiling.  Cached against the aligned
-        space's identity, so mutation invalidates it for free: a
-        mutated database yields a new aligned space object.
+        whenever alignment is impossible or the backend is
+        out-of-core) by :func:`repro.graphdb.slab.build_slab_space`,
+        which also gates on its build-memory ceiling.
         """
-        space = self.aligned_space()
-        if space is None:
-            return None
-        cached = self._slab_cache
-        if cached is not None and cached[0] is space:
-            return cached[1]
-        from .slab import build_slab_space
-
-        slab = build_slab_space(space)
-        self._slab_cache = (space, slab)
-        return slab
+        return self._source.slab_space()
 
     def replicate(self, factor: int, name: str = "") -> "GraphDatabase":
         """Return a database with every transaction repeated ``factor`` times.
 
         This is the base-size scaling of the paper's Figure 7(b): the
         graphs are replicated from 2 to 16 times and runtime is expected
-        to grow linearly.  Each copy is an independent transaction (ids
-        are reassigned), so relative supports are preserved.
+        to grow linearly.  Each occurrence is an independent transaction
+        (a fresh tid), but the :class:`Graph` objects are *shared*, not
+        copied — transactions are immutable once added, so replication
+        is O(factor × |D|) references, and the graphs' lazily-built
+        kernel indexes are shared too.
         """
         if factor < 1:
             raise DatabaseError(f"replication factor must be >= 1, got {factor}")
         replica = GraphDatabase(name=name or f"{self.name}x{factor}")
         for _ in range(factor):
-            for graph in self._graphs:
-                replica.add(graph.copy(graph_id=len(replica)))
+            for graph in self:
+                replica._source.append(graph)
         return replica
 
     def subset(self, transaction_ids: Iterable[int], name: str = "") -> "GraphDatabase":
-        """Return a database holding copies of the selected transactions."""
+        """Return a database holding the selected transactions.
+
+        The selected :class:`Graph` objects are shared with this
+        database (never copied): transactions are immutable once
+        added, so a subset is O(k) references — see the 10k-transaction
+        no-copy regression in ``tests/test_storage.py``.
+        """
         picked = GraphDatabase(name=name or f"{self.name}-subset")
         for tid in transaction_ids:
-            picked.add(self[tid].copy(graph_id=len(picked)))
+            picked._source.append(self[tid])
         return picked
 
     # ------------------------------------------------------------------
@@ -133,27 +146,29 @@ class GraphDatabase:
         """
         from ..core.support import parse_support
 
-        if not self._graphs:
+        size = len(self)
+        if not size:
             raise DatabaseError("cannot derive a support threshold for an empty database")
         min_sup = parse_support(min_sup)
         if isinstance(min_sup, int):
-            if min_sup > len(self._graphs):
+            if min_sup > size:
                 raise InvalidSupportError(
                     min_sup,
-                    f"absolute support exceeds the database's {len(self._graphs)} "
+                    f"absolute support exceeds the database's {size} "
                     f"transactions",
                 )
             return min_sup
-        absolute = -int(-min_sup * len(self._graphs) // 1)  # ceil without math import
+        absolute = -int(-min_sup * size // 1)  # ceil without math import
         return max(1, absolute)
 
     def label_supports(self) -> Dict[Label, int]:
-        """Return, for each label, the number of transactions containing it."""
-        supports: Dict[Label, int] = {}
-        for graph in self._graphs:
-            for label in graph.distinct_labels():
-                supports[label] = supports.get(label, 0) + 1
-        return supports
+        """Return, for each label, the number of transactions containing it.
+
+        Delegated to the storage backend: the SQLite store answers from
+        its ``label_supports`` table without decoding a single graph,
+        which is what keeps the engine's root scan out-of-core.
+        """
+        return self._source.label_supports()
 
     def frequent_labels(self, min_sup_abs: int) -> List[Label]:
         """Return labels supported by at least ``min_sup_abs`` transactions, sorted."""
@@ -163,66 +178,86 @@ class GraphDatabase:
 
     def distinct_labels(self) -> Set[Label]:
         """Return the union of all transaction label sets."""
-        labels: Set[Label] = set()
-        for graph in self._graphs:
-            labels |= graph.distinct_labels()
-        return labels
+        return set(self.label_supports())
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    def transaction_digests(self) -> Iterator[str]:
+        """Per-transaction structural digests, in transaction order.
+
+        The stream :func:`repro.io.runlog.database_fingerprint` folds;
+        the SQLite backend serves it from its stored ``digest`` column.
+        """
+        return self._source.transaction_digests()
 
     # ------------------------------------------------------------------
     # Aggregate statistics (feeds Table 1)
     # ------------------------------------------------------------------
     def total_vertices(self) -> int:
         """Total vertex count across all transactions."""
-        return sum(g.vertex_count for g in self._graphs)
+        return sum(g.vertex_count for g in self)
 
     def total_edges(self) -> int:
         """Total edge count across all transactions."""
-        return sum(g.edge_count for g in self._graphs)
+        return sum(g.edge_count for g in self)
 
     def average_vertices(self) -> float:
         """Average ``|V|`` per transaction (0.0 for an empty database)."""
-        if not self._graphs:
+        size = len(self)
+        if not size:
             return 0.0
-        return self.total_vertices() / len(self._graphs)
+        return self.total_vertices() / size
 
     def average_edges(self) -> float:
         """Average ``|E|`` per transaction (0.0 for an empty database)."""
-        if not self._graphs:
+        size = len(self)
+        if not size:
             return 0.0
-        return self.total_edges() / len(self._graphs)
+        return self.total_edges() / size
 
     def max_vertices(self) -> int:
         """Largest ``|V|`` over all transactions (0 if empty)."""
-        return max((g.vertex_count for g in self._graphs), default=0)
+        return max((g.vertex_count for g in self), default=0)
 
     def max_edges(self) -> int:
         """Largest ``|E|`` over all transactions (0 if empty)."""
-        return max((g.edge_count for g in self._graphs), default=0)
+        return max((g.edge_count for g in self), default=0)
 
     def max_degree(self) -> int:
         """Largest vertex degree over all transactions (0 if empty)."""
-        return max((g.max_degree() for g in self._graphs), default=0)
+        return max((g.max_degree() for g in self), default=0)
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._graphs)
+        resident = self._resident
+        if resident is not None:
+            return len(resident)
+        return len(self._source)
 
     def __iter__(self) -> Iterator[Graph]:
-        return iter(self._graphs)
+        resident = self._resident
+        if resident is not None:
+            return iter(resident)
+        return iter(self._source)
 
     def __getitem__(self, tid: int) -> Graph:
-        try:
-            return self._graphs[tid]
-        except IndexError:
-            raise DatabaseError(
-                f"transaction id {tid} out of range for database of size {len(self._graphs)}"
-            ) from None
+        resident = self._resident
+        if resident is not None:
+            try:
+                return resident[tid]
+            except IndexError:
+                raise DatabaseError(
+                    f"transaction id {tid} out of range for database of size "
+                    f"{len(resident)}"
+                ) from None
+        return self._source.get(tid)
 
     def __repr__(self) -> str:
         name = f" {self.name!r}" if self.name else ""
         return (
-            f"<GraphDatabase{name} |D|={len(self._graphs)} "
+            f"<GraphDatabase{name} |D|={len(self)} "
             f"avg|V|={self.average_vertices():.1f} avg|E|={self.average_edges():.1f}>"
         )

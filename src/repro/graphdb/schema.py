@@ -1,0 +1,129 @@
+"""On-disk schema and canonical encodings for graph transactions.
+
+This module is the contract between :class:`~repro.graphdb.storage.
+SqliteGraphSource` and every reader of a ``.sqlite`` graph store:
+
+* the SQL DDL (one row per transaction, mirroring the
+  cliques/contents-as-tables shape of the graphstreams exemplar, with
+  the graph body in a single ``encoding`` column);
+* a lossless JSON transaction encoding (:func:`encode_graph` /
+  :func:`decode_graph`) — labels are arbitrary strings, so the
+  positional text format the fingerprint hashes cannot be parsed back;
+* the per-transaction digest (:func:`transaction_digest`) that the
+  store persists alongside each row.  The digest preimage is the exact
+  byte string the pre-sharding ``database_fingerprint`` hashed per
+  graph, so a digest is a pure structural property of the transaction:
+  an in-memory graph and its SQLite row always agree, which is what
+  makes fingerprints (and therefore cache keys) portable across
+  storage backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable
+
+from .graph import Graph
+
+#: Version stamped into the ``meta`` table; bump on any DDL or
+#: encoding change.
+SCHEMA_VERSION = 1
+
+#: The store layout.  ``tid`` is the authoritative transaction id
+#: (densely 0..n-1, assigned at append time); ``digest`` caches
+#: :func:`transaction_digest` so fingerprinting a store never decodes
+#: a graph; ``n_vertices``/``n_edges`` serve the Table-1 statistics
+#: without decoding either.
+DDL = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS graphs (
+        tid        INTEGER PRIMARY KEY,
+        encoding   TEXT NOT NULL,
+        digest     TEXT NOT NULL,
+        n_vertices INTEGER NOT NULL,
+        n_edges    INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS label_supports (
+        label   TEXT PRIMARY KEY,
+        support INTEGER NOT NULL
+    )
+    """,
+)
+
+
+def encode_graph(graph: Graph) -> str:
+    """Encode one transaction as compact, canonical JSON.
+
+    Vertices and edges are sorted, so structurally equal graphs encode
+    to identical bytes; the encoding is lossless for arbitrary string
+    labels (unlike the digest preimage, which is a hash input only).
+    """
+    return json.dumps(
+        {
+            "v": [[v, graph.label(v)] for v in sorted(graph.vertices())],
+            "e": sorted(graph.edges()),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_graph(text: str, graph_id: int) -> Graph:
+    """Rebuild a transaction from :func:`encode_graph` output."""
+    payload = json.loads(text)
+    graph = Graph(graph_id)
+    for vertex, label in payload["v"]:
+        graph.add_vertex(int(vertex), str(label))
+    for u, v in payload["e"]:
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def digest_preimage(graph: Graph) -> bytes:
+    """The canonical byte string a transaction hashes to its digest.
+
+    Exactly the per-graph slice of the historical whole-database
+    fingerprint stream: ``t`` then ``v<id>=<label>;`` per sorted
+    vertex then ``e<u>-<v>;`` per sorted edge.
+    """
+    parts = ["t"]
+    parts.extend(
+        f"v{vertex}={graph.label(vertex)};" for vertex in sorted(graph.vertices())
+    )
+    parts.extend(f"e{u}-{v};" for u, v in sorted(graph.edges()))
+    return "".join(parts).encode()
+
+
+def transaction_digest(graph: Graph) -> str:
+    """SHA-256 hex digest of one transaction's structure.
+
+    A pure function of (vertex ids, labels, edges) — independent of
+    construction order, the transaction's position, and the storage
+    backend holding it.
+    """
+    return hashlib.sha256(digest_preimage(graph)).hexdigest()
+
+
+def fingerprint_digests(digests: Iterable[str]) -> str:
+    """Fold an ordered stream of per-transaction digests into one.
+
+    This is the whole-database fingerprint: SHA-256 over the
+    concatenated raw digest bytes, in transaction order.  Streaming —
+    it never needs the transactions themselves, so a SQLite store
+    fingerprints from its ``digest`` column without decoding a single
+    graph, and lands on the same value as the in-memory database it
+    was imported from.
+    """
+    rollup = hashlib.sha256()
+    for digest in digests:
+        rollup.update(bytes.fromhex(digest))
+    return rollup.hexdigest()

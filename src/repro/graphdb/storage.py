@@ -1,0 +1,457 @@
+"""Pluggable transaction storage behind :class:`GraphDatabase`.
+
+A :class:`GraphSource` is the storage seam the database delegates to:
+random access by transaction id, ordered (streaming) iteration,
+range iteration for sharding, per-label supports, per-transaction
+digests, and the lazily-built kernel spaces.  Two backends implement
+it:
+
+* :class:`InMemoryGraphSource` — the historical Python list.  The
+  default; every existing construction path uses it unchanged.
+* :class:`SqliteGraphSource` — an on-disk SQLite store
+  (:mod:`repro.graphdb.schema`) that decodes transactions on demand in
+  shard-sized batches and never holds the full database resident.
+  Label supports, digests, and size statistics come from dedicated
+  columns, so fingerprinting and root planning do not decode graphs
+  at all.
+
+The seam is what makes out-of-core mining composable: the engine only
+ever sees a :class:`GraphDatabase`, and
+:func:`repro.core.sharding.mine_sharded` materialises one shard of any
+source at a time.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..exceptions import DatabaseError
+from .bitset import DatabaseLabelSpace, build_label_space
+from .graph import Graph, Label
+from .schema import (
+    DDL,
+    SCHEMA_VERSION,
+    decode_graph,
+    encode_graph,
+    transaction_digest,
+)
+
+PathLike = Union[str, Path]
+
+# Sentinel: the aligned label space has not been computed yet (``None``
+# is a valid cached answer, meaning "alignment impossible").
+_SPACE_UNSET = object()
+
+
+class GraphSource:
+    """The storage protocol behind :class:`~repro.graphdb.database.
+    GraphDatabase`.
+
+    Subclasses must preserve the database's core invariant: transaction
+    ids are dense positions ``0..len-1`` in append order, and a graph,
+    once appended, is never mutated through the source.
+    """
+
+    name: str = ""
+
+    # -- required surface ----------------------------------------------
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def get(self, tid: int) -> Graph:
+        """Transaction by id; raises :class:`DatabaseError` out of range."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Graph]:
+        return self.iter_range(0, len(self))
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[Graph]:
+        """Stream transactions ``lo <= tid < hi`` in tid order."""
+        raise NotImplementedError
+
+    def append(self, graph: Graph) -> int:
+        """Persist a transaction; returns its assigned tid."""
+        raise NotImplementedError
+
+    def label_supports(self) -> Dict[Label, int]:
+        """Per label, the number of transactions containing it."""
+        raise NotImplementedError
+
+    def transaction_digests(self) -> Iterator[str]:
+        """Per-transaction structural digests, in tid order."""
+        raise NotImplementedError
+
+    # -- kernel spaces --------------------------------------------------
+    def aligned_space(self) -> Optional[DatabaseLabelSpace]:
+        """The database-global label bit space, or ``None``.
+
+        ``None`` both when alignment is impossible and when the backend
+        cannot afford it (alignment requires every transaction
+        resident); kernels fall back to per-graph masks either way.
+        """
+        return None
+
+    def slab_space(self):
+        """The transposed uint64 slab index, or ``None`` (see above)."""
+        return None
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-memory)."""
+
+    def _check_range(self, tid: int) -> None:
+        if not 0 <= tid < len(self):
+            raise DatabaseError(
+                f"transaction id {tid} out of range for database of size {len(self)}"
+            )
+
+
+class InMemoryGraphSource(GraphSource):
+    """The historical backend: a Python list of resident graphs.
+
+    Owns the lazily-built aligned/slab spaces that used to live on
+    :class:`GraphDatabase` — they are storage-level caches (they index
+    the resident graphs), so they moved with the storage.
+    """
+
+    __slots__ = ("graphs", "name", "_aligned_space", "_slab_cache")
+
+    def __init__(self, graphs: Optional[List[Graph]] = None, name: str = "") -> None:
+        self.graphs: List[Graph] = list(graphs) if graphs else []
+        self.name = name
+        self._aligned_space: object = _SPACE_UNSET
+        self._slab_cache: Optional[tuple] = None
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def get(self, tid: int) -> Graph:
+        try:
+            return self.graphs[tid]
+        except IndexError:
+            raise DatabaseError(
+                f"transaction id {tid} out of range for database of size "
+                f"{len(self.graphs)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self.graphs)
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[Graph]:
+        return iter(self.graphs[lo:hi])
+
+    def append(self, graph: Graph) -> int:
+        tid = len(self.graphs)
+        self.graphs.append(graph)
+        self._aligned_space = _SPACE_UNSET
+        return tid
+
+    def label_supports(self) -> Dict[Label, int]:
+        supports: Dict[Label, int] = {}
+        for graph in self.graphs:
+            for label in graph.distinct_labels():
+                supports[label] = supports.get(label, 0) + 1
+        return supports
+
+    def transaction_digests(self) -> Iterator[str]:
+        return (transaction_digest(graph) for graph in self.graphs)
+
+    def aligned_space(self) -> Optional[DatabaseLabelSpace]:
+        space = self._aligned_space
+        if space is _SPACE_UNSET or (space is not None and space.stale()):  # type: ignore[union-attr]
+            space = build_label_space(self.graphs)
+            self._aligned_space = space
+        return space  # type: ignore[return-value]
+
+    def slab_space(self):
+        space = self.aligned_space()
+        if space is None:
+            return None
+        cached = self._slab_cache
+        if cached is not None and cached[0] is space:
+            return cached[1]
+        from .slab import build_slab_space
+
+        slab = build_slab_space(space)
+        self._slab_cache = (space, slab)
+        return slab
+
+
+class SqliteGraphSource(GraphSource):
+    """An on-disk SQLite transaction store.
+
+    Transactions live one per row (:mod:`repro.graphdb.schema`); reads
+    decode on demand and cache a bounded number of *batches* (windows
+    of ``batch_size`` consecutive tids), so the miner's random-access
+    patterns — which are strongly tid-local — hit warm decodes while
+    resident memory stays O(``batch_size`` × ``max_batches``), not
+    O(database).
+
+    The connection is opened lazily and dropped on pickling, so a
+    source (and any :class:`GraphDatabase` view over it) can cross a
+    process boundary to worker pools; each process reopens its own
+    connection on first use.
+    """
+
+    __slots__ = (
+        "path",
+        "name",
+        "batch_size",
+        "max_batches",
+        "_conn",
+        "_len",
+        "_label_supports",
+        "_batches",
+        "_batch_order",
+    )
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        name: Optional[str] = None,
+        batch_size: int = 64,
+        max_batches: int = 4,
+        create: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise DatabaseError(f"batch_size must be >= 1, got {batch_size}")
+        if max_batches < 1:
+            raise DatabaseError(f"max_batches must be >= 1, got {max_batches}")
+        self.path = str(path)
+        self.batch_size = batch_size
+        self.max_batches = max_batches
+        self._conn: Optional[sqlite3.Connection] = None
+        self._len: Optional[int] = None
+        self._label_supports: Optional[Dict[Label, int]] = None
+        self._batches: Dict[int, Dict[int, Graph]] = {}
+        self._batch_order: List[int] = []
+        if not create and not os.path.exists(self.path):
+            raise DatabaseError(f"no graph store at {self.path!r}")
+        if create:
+            conn = self._connect()
+            for statement in DDL:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            if name is not None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("name", name),
+                )
+            conn.commit()
+        self.name = name if name is not None else self._stored_name()
+
+    # -- connection management -----------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = self._conn
+        if conn is None:
+            conn = self._conn = sqlite3.connect(self.path)
+        return conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __getstate__(self):
+        # Connections and decode caches do not cross processes.
+        return (self.path, self.name, self.batch_size, self.max_batches)
+
+    def __setstate__(self, state) -> None:
+        self.path, self.name, self.batch_size, self.max_batches = state
+        self._conn = None
+        self._len = None
+        self._label_supports = None
+        self._batches = {}
+        self._batch_order = []
+
+    def _stored_name(self) -> str:
+        try:
+            row = self._connect().execute(
+                "SELECT value FROM meta WHERE key = 'name'"
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise DatabaseError(
+                f"{self.path!r} is not a clan graph store: {exc}"
+            ) from exc
+        return row[0] if row is not None else ""
+
+    def schema_version(self) -> int:
+        try:
+            row = self._connect().execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise DatabaseError(
+                f"{self.path!r} is not a clan graph store: {exc}"
+            ) from exc
+        if row is None:
+            raise DatabaseError(f"{self.path!r} is not a clan graph store")
+        return int(row[0])
+
+    # -- GraphSource surface -------------------------------------------
+    def __len__(self) -> int:
+        if self._len is None:
+            row = self._connect().execute("SELECT COUNT(*) FROM graphs").fetchone()
+            self._len = int(row[0])
+        return self._len
+
+    def get(self, tid: int) -> Graph:
+        self._check_range(tid)
+        base = (tid // self.batch_size) * self.batch_size
+        batch = self._batches.get(base)
+        if batch is None:
+            batch = {
+                row_tid: decode_graph(encoding, row_tid)
+                for row_tid, encoding in self._connect().execute(
+                    "SELECT tid, encoding FROM graphs WHERE tid >= ? AND tid < ? "
+                    "ORDER BY tid",
+                    (base, base + self.batch_size),
+                )
+            }
+            self._batches[base] = batch
+            self._batch_order.append(base)
+            while len(self._batch_order) > self.max_batches:
+                evicted = self._batch_order.pop(0)
+                del self._batches[evicted]
+        return batch[tid]
+
+    def iter_range(self, lo: int, hi: int) -> Iterator[Graph]:
+        cursor = self._connect().execute(
+            "SELECT tid, encoding FROM graphs WHERE tid >= ? AND tid < ? "
+            "ORDER BY tid",
+            (lo, hi),
+        )
+        for tid, encoding in cursor:
+            yield decode_graph(encoding, tid)
+
+    def append(self, graph: Graph) -> int:
+        conn = self._connect()
+        tid = len(self)
+        conn.execute(
+            "INSERT INTO graphs (tid, encoding, digest, n_vertices, n_edges) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                tid,
+                encode_graph(graph),
+                transaction_digest(graph),
+                graph.vertex_count,
+                graph.edge_count,
+            ),
+        )
+        conn.executemany(
+            "INSERT INTO label_supports (label, support) VALUES (?, 1) "
+            "ON CONFLICT(label) DO UPDATE SET support = support + 1",
+            [(label,) for label in sorted(graph.distinct_labels())],
+        )
+        conn.commit()
+        self._len = tid + 1
+        self._label_supports = None
+        base = (tid // self.batch_size) * self.batch_size
+        self._batches.pop(base, None)
+        if base in self._batch_order:
+            self._batch_order.remove(base)
+        return tid
+
+    def label_supports(self) -> Dict[Label, int]:
+        if self._label_supports is None:
+            self._label_supports = {
+                label: int(support)
+                for label, support in self._connect().execute(
+                    "SELECT label, support FROM label_supports"
+                )
+            }
+        return dict(self._label_supports)
+
+    def transaction_digests(self) -> Iterator[str]:
+        cursor = self._connect().execute("SELECT digest FROM graphs ORDER BY tid")
+        for (digest,) in cursor:
+            yield digest
+
+    # -- decode-free statistics ----------------------------------------
+    def size_totals(self) -> Tuple[int, int, int, int]:
+        """``(total_vertices, total_edges, max_vertices, max_edges)``
+        from the per-row columns, without decoding any graph."""
+        row = self._connect().execute(
+            "SELECT COALESCE(SUM(n_vertices), 0), COALESCE(SUM(n_edges), 0), "
+            "COALESCE(MAX(n_vertices), 0), COALESCE(MAX(n_edges), 0) FROM graphs"
+        ).fetchone()
+        return (int(row[0]), int(row[1]), int(row[2]), int(row[3]))
+
+
+def open_source(path: PathLike, **options) -> SqliteGraphSource:
+    """Open an existing SQLite graph store (read/append)."""
+    source = SqliteGraphSource(path, **options)
+    source.schema_version()  # validates the file eagerly
+    return source
+
+
+def create_store(path: PathLike, name: str = "", **options) -> SqliteGraphSource:
+    """Create a fresh SQLite graph store (fails if rows already exist)."""
+    source = SqliteGraphSource(path, name=name, create=True, **options)
+    if len(source) > 0:
+        raise DatabaseError(f"{path!r} already holds {len(source)} transactions")
+    return source
+
+
+def import_graphs(
+    path: PathLike,
+    graphs: "Iterator[Graph]",
+    *,
+    name: str = "",
+    commit_every: int = 256,
+) -> SqliteGraphSource:
+    """Stream transactions into a new SQLite store.
+
+    Consumes any iterator (the streaming ``iter_database`` readers in
+    :mod:`repro.io` compose directly), holding at most ``commit_every``
+    encoded rows in flight — importing never materialises the database.
+    """
+    if commit_every < 1:
+        raise DatabaseError(f"commit_every must be >= 1, got {commit_every}")
+    source = create_store(path, name=name)
+    conn = source._connect()
+    tid = 0
+    supports: Dict[Label, int] = {}
+    rows = []
+    for graph in graphs:
+        rows.append(
+            (
+                tid,
+                encode_graph(graph),
+                transaction_digest(graph),
+                graph.vertex_count,
+                graph.edge_count,
+            )
+        )
+        for label in graph.distinct_labels():
+            supports[label] = supports.get(label, 0) + 1
+        tid += 1
+        if len(rows) >= commit_every:
+            conn.executemany(
+                "INSERT INTO graphs (tid, encoding, digest, n_vertices, n_edges) "
+                "VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+            conn.commit()
+            rows = []
+    if rows:
+        conn.executemany(
+            "INSERT INTO graphs (tid, encoding, digest, n_vertices, n_edges) "
+            "VALUES (?, ?, ?, ?, ?)",
+            rows,
+        )
+    conn.executemany(
+        "INSERT INTO label_supports (label, support) VALUES (?, ?) "
+        "ON CONFLICT(label) DO UPDATE SET support = support + excluded.support",
+        sorted(supports.items()),
+    )
+    conn.commit()
+    source._len = tid
+    source._label_supports = None
+    return source

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import TextIO, Union
+from typing import Iterator, TextIO, Union
 
 from ..exceptions import FormatError
 from ..graphdb.database import GraphDatabase
@@ -49,13 +49,15 @@ def save_database(database: GraphDatabase, path: PathLike) -> None:
         dump_database(database, stream)
 
 
-def load_database(stream: TextIO, name: str = "") -> GraphDatabase:
-    """Parse a ``t/v/e`` stream into a database.
+def iter_database(stream: TextIO) -> Iterator[Graph]:
+    """Stream a ``t/v/e`` stream one transaction at a time.
 
+    Yields each :class:`Graph` as soon as its ``t`` block is complete,
+    so a database can be imported into an out-of-core store (``clan
+    import``) without ever holding more than one transaction resident.
     Raises :class:`FormatError` with a line number on any malformed
     line; vertices must be declared before the edges that use them.
     """
-    database = GraphDatabase(name=name)
     graph: Graph | None = None
     for line_number, raw in enumerate(stream, start=1):
         line = raw.strip()
@@ -65,7 +67,7 @@ def load_database(stream: TextIO, name: str = "") -> GraphDatabase:
         kind = tokens[0]
         if kind == "t":
             if graph is not None:
-                database.add(graph)
+                yield graph
             graph = Graph()
         elif kind == "v":
             if graph is None:
@@ -94,6 +96,24 @@ def load_database(stream: TextIO, name: str = "") -> GraphDatabase:
         else:
             raise FormatError(f"unknown record type {kind!r}", line_number)
     if graph is not None:
+        yield graph
+
+
+def iter_database_file(path: PathLike) -> Iterator[Graph]:
+    """Stream transactions from a ``t/v/e`` file, one at a time."""
+    with open(path, "r", encoding="utf-8") as stream:
+        yield from iter_database(stream)
+
+
+def load_database(stream: TextIO, name: str = "") -> GraphDatabase:
+    """Parse a ``t/v/e`` stream into an in-memory database.
+
+    Eager counterpart of :func:`iter_database` (same parser, same
+    errors): collects the streamed transactions into a
+    :class:`GraphDatabase`.
+    """
+    database = GraphDatabase(name=name)
+    for graph in iter_database(stream):
         database.add(graph)
     return database
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Iterator, Union
 
 from ..core.canonical import CanonicalForm
 from ..core.pattern import CliquePattern
@@ -48,13 +48,54 @@ def database_from_dict(payload: Dict[str, Any]) -> GraphDatabase:
         raise FormatError(f"expected kind 'graph-database', got {payload.get('kind')!r}")
     database = GraphDatabase(name=payload.get("name", ""))
     for gid, entry in enumerate(payload.get("graphs", [])):
-        graph = Graph(gid)
-        for vertex, label in entry["vertices"]:
-            graph.add_vertex(int(vertex), str(label))
-        for u, v in entry["edges"]:
-            graph.add_edge(int(u), int(v))
-        database.add(graph)
+        database.add(_graph_from_entry(entry, gid))
     return database
+
+
+def _graph_from_entry(entry: Dict[str, Any], gid: int) -> Graph:
+    graph = Graph(gid)
+    for vertex, label in entry["vertices"]:
+        graph.add_vertex(int(vertex), str(label))
+    for u, v in entry["edges"]:
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def iter_database_file(path: PathLike) -> Iterator[Graph]:
+    """Stream transactions from a JSON database file, one at a time.
+
+    Scans the ``"graphs"`` array with
+    :meth:`json.JSONDecoder.raw_decode` so only one decoded transaction
+    is ever resident — the file's *text* is read once, but the parsed
+    graph objects (which dominate memory by an order of magnitude) are
+    yielded and released individually.  Accepts exactly the documents
+    :func:`save_database` writes.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    decoder = json.JSONDecoder()
+    marker = '"graphs"'
+    at = text.find(marker)
+    if at < 0:
+        raise FormatError("not a graph-database document: no 'graphs' array")
+    at = text.index("[", at + len(marker))
+    at += 1
+    gid = 0
+    while True:
+        while at < len(text) and text[at] in " \t\r\n,":
+            at += 1
+        if at >= len(text):
+            raise FormatError("unterminated 'graphs' array")
+        if text[at] == "]":
+            return
+        try:
+            entry, at = decoder.raw_decode(text, at)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"malformed graph entry: {exc}") from exc
+        try:
+            yield _graph_from_entry(entry, gid)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"malformed graph entry {gid}: {exc}") from exc
+        gid += 1
 
 
 def save_database(database: GraphDatabase, path: PathLike) -> None:

@@ -37,6 +37,7 @@ from ..core.results import MiningResult
 from ..core.session import MiningCheckpoint, MiningEvent, event_from_dict
 from ..exceptions import FormatError, MiningError
 from ..graphdb.database import GraphDatabase
+from ..graphdb.schema import fingerprint_digests
 from .json_format import result_from_dict, result_to_dict
 
 PathLike = Union[str, Path]
@@ -48,20 +49,17 @@ def database_fingerprint(database: GraphDatabase) -> str:
     Covers transaction order, vertex ids, labels, and edges — two
     databases share a fingerprint iff they are structurally identical
     in the sense of :meth:`Graph.__eq__` with matching order.
+
+    Computed incrementally as a fold over the per-transaction digests
+    (:func:`repro.graphdb.transaction_digest`), so it streams: the
+    database is never materialised, a
+    :class:`~repro.graphdb.storage.SqliteGraphSource` answers from its
+    stored digest column without decoding graphs, and any two storage
+    backends holding the same transactions in the same order — in
+    memory, on disk, or shard by shard — land on the same fingerprint.
+    Cache keys therefore stay portable across backends.
     """
-    digest = hashlib.sha256()
-    # One buffered update per graph: the byte stream (and therefore the
-    # hex digest, and every persisted cache keyed on it) is identical
-    # to hashing piece by piece, but ~3x faster on large databases —
-    # this runs on every cached mine (see repro.core.cache).
-    for graph in database:
-        parts = ["t"]
-        parts.extend(
-            f"v{vertex}={graph.label(vertex)};" for vertex in sorted(graph.vertices())
-        )
-        parts.extend(f"e{u}-{v};" for u, v in sorted(graph.edges()))
-        digest.update("".join(parts).encode())
-    return digest.hexdigest()
+    return fingerprint_digests(database.transaction_digests())
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,10 @@ class MiningJob:
     request: MiningRequest
     state: str = "queued"
     error: Optional[str] = None
+    #: Optional storage URI (a SQLite store under the service's
+    #: ``storage_root``) this job mines instead of the service's
+    #: default database.  ``None`` means the default.
+    database_uri: Optional[str] = None
     #: Set while the job mines; the cancel endpoint pokes it.
     session: Optional["MiningSession"] = None
     #: Event-loop-side live state (not persisted): the event payloads
@@ -64,6 +68,7 @@ class MiningJob:
             "tenant": self.tenant,
             "state": self.state,
             "error": self.error,
+            "database_uri": self.database_uri,
             "request": self.request.to_dict(),
         }
 
@@ -85,6 +90,7 @@ class MiningJob:
             request=MiningRequest.from_dict(payload["request"]),
             state=state,
             error=payload.get("error"),
+            database_uri=payload.get("database_uri"),
         )
 
     def status(self) -> Dict[str, Any]:

@@ -157,12 +157,17 @@ class MiningService:
         port: int = 0,
         max_concurrency: int = 2,
         default_budget: Optional[MiningBudget] = None,
+        storage_root: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_concurrency < 1:
             raise MiningError(
                 f"max_concurrency must be >= 1, got {max_concurrency}"
             )
         self.database = database
+        #: When set, jobs may carry an ``X-Clan-Database`` storage URI
+        #: naming a SQLite store inside this directory; the job then
+        #: mines that store instead of :attr:`database`.
+        self.storage_root = Path(storage_root) if storage_root is not None else None
         self.state_dir = Path(state_dir)
         self.host = host
         self.port = port
@@ -407,6 +412,24 @@ class MiningService:
         assert self._loop is not None and self._pool is not None
         self._loop.run_in_executor(self._pool, self._run_job_thread, job)
 
+    def _resolve_database(self, job: MiningJob) -> GraphDatabase:
+        """The database a job mines: the default, or its storage URI."""
+        if not job.database_uri:
+            return self.database
+        if self.storage_root is None:
+            raise MiningError(
+                "this service has no storage root; jobs cannot name a database"
+            )
+        from ..graphdb import open_source
+
+        root = self.storage_root.resolve()
+        path = (root / job.database_uri).resolve()
+        if root != path and root not in path.parents:
+            raise MiningError(
+                f"database uri {job.database_uri!r} escapes the storage root"
+            )
+        return GraphDatabase(source=open_source(path))
+
     def _run_job_thread(self, job: MiningJob) -> None:
         """Mine one job (worker thread; all blocking I/O lives here)."""
         state, error = "done", None
@@ -416,7 +439,7 @@ class MiningService:
             if checkpoint_path.exists():
                 resume_from = open_checkpoint(checkpoint_path)
             session = MiningSession.from_request(
-                self.database,
+                self._resolve_database(job),
                 job.request,
                 sinks=(_JobSink(self, job),),
                 resume_from=resume_from,
@@ -654,13 +677,25 @@ class MiningService:
     # ------------------------------------------------------------------
     # Endpoint bodies
     # ------------------------------------------------------------------
-    def submit(self, request: MiningRequest, tenant: str = DEFAULT_TENANT) -> MiningJob:
+    def submit(
+        self,
+        request: MiningRequest,
+        tenant: str = DEFAULT_TENANT,
+        database_uri: Optional[str] = None,
+    ) -> MiningJob:
         """Register and enqueue a job (loop thread; HTTP POST body)."""
         if self._stopping:
             raise MiningError("service is shutting down")
+        if database_uri and self.storage_root is None:
+            raise MiningError(
+                "this service has no storage root; jobs cannot name a database"
+            )
         self._seq += 1
         job = MiningJob(
-            job_id=f"job-{self._seq:06d}", tenant=tenant, request=request
+            job_id=f"job-{self._seq:06d}",
+            tenant=tenant,
+            request=request,
+            database_uri=database_uri or None,
         )
         self._jobs[job.job_id] = job
         self.tenants.get(tenant).submitted += 1
@@ -673,8 +708,11 @@ class MiningService:
         self, headers: Dict[str, str], body: bytes, writer: asyncio.StreamWriter
     ) -> None:
         tenant = headers.get("x-clan-tenant", DEFAULT_TENANT).strip() or DEFAULT_TENANT
+        # The request body is the exact MiningRequest wire format, so
+        # the storage URI rides a header rather than a payload key.
+        database_uri = headers.get("x-clan-database", "").strip() or None
         request = MiningRequest.from_json(body.decode("utf-8"))
-        job = self.submit(request, tenant)
+        job = self.submit(request, tenant, database_uri=database_uri)
         await self._respond(writer, 202, job.status())
 
     async def _handle_sweep(

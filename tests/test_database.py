@@ -132,11 +132,14 @@ class TestDerivedDatabases:
         assert len(big) == 6
         assert big.average_vertices() == db.average_vertices()
 
-    def test_replicate_copies_are_independent(self):
+    def test_replicate_shares_immutable_graphs(self):
+        # Transactions are immutable once added, so replication shares
+        # the Graph objects instead of deep-copying them.
         db = two_graph_db()
         big = db.replicate(2)
-        big[0].remove_vertex(0)
-        assert db[0].vertex_count == 2
+        assert big[0] is db[0]
+        assert big[2] is db[0]
+        assert big[3] is db[1]
 
     def test_replicate_preserves_relative_support(self):
         db = two_graph_db()
@@ -148,10 +151,9 @@ class TestDerivedDatabases:
         with pytest.raises(DatabaseError):
             two_graph_db().replicate(0)
 
-    def test_subset_picks_and_copies(self):
+    def test_subset_picks_and_shares(self):
         db = two_graph_db()
         sub = db.subset([1])
         assert len(sub) == 1
         assert sub[0].vertex_count == 3
-        sub[0].remove_vertex(0)
-        assert db[1].vertex_count == 3
+        assert sub[0] is db[1]

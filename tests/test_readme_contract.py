@@ -119,6 +119,37 @@ class TestQuickstartSnippets:
             assert flag in mine_options, flag
             assert flag in README, flag
 
+    def test_out_of_core_snippet(self, tmp_path):
+        from repro import GraphDatabase, MiningRequest, mine, mine_sharded
+        from repro.graphdb import import_graphs, open_source, paper_example_database
+
+        database = paper_example_database()
+        store = tmp_path / "big.sqlite"
+        import_graphs(store, iter(database), name="big").close()
+        view = GraphDatabase(source=open_source(store))
+        result = mine_sharded(view, MiningRequest(min_sup=2), shard_size=1024)
+        assert [p.key() for p in result] == [
+            p.key() for p in mine(database, min_sup=2)
+        ]
+
+    def test_out_of_core_cli_flags_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert "import" in sub.choices
+        assert "clan import" in README
+        mine_options = {
+            option
+            for action in sub.choices["mine"]._actions
+            for option in action.option_strings
+        }
+        for flag in ("--db", "--shards", "--shard-size"):
+            assert flag in mine_options, flag
+            assert flag in README, flag
+
     def test_serve_snippet_wire_format_is_valid(self):
         """The curl body in 'Mining as a service' is a valid request."""
         import re

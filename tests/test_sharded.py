@@ -1,0 +1,177 @@
+"""Storage-backend and shard-merge differential suite.
+
+The load-bearing promise of :mod:`repro.core.sharding`: for every
+engine task and kernel, mining through any storage backend — the
+in-memory list, the SQLite store, or the partition-parallel
+shard-and-merge path — produces byte-identical canonical envelopes
+(patterns, supports, transactions, witnesses).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import MiningRequest, MiningResultEnvelope, execute_request
+from repro.core.sharding import (
+    local_threshold,
+    mine_sharded,
+    shard_bounds,
+    shard_database,
+)
+from repro.exceptions import MiningError
+from repro.graphdb import GraphDatabase, import_graphs, open_source, random_database
+
+from .strategies import graph_databases
+
+TASKS = [
+    ("closed", {}),
+    ("frequent", {}),
+    ("maximal", {}),
+    ("topk", {"k": 5, "max_size": 6}),
+    ("quasi", {"gamma": 0.8, "max_size": 5, "min_size": 2}),
+]
+KERNELS = ["set", "bitset", "slab"]
+
+
+def canonical(request: MiningRequest, result) -> str:
+    return MiningResultEnvelope.from_result(request, result).canonical_json()
+
+
+@pytest.fixture(scope="module")
+def seeded_db() -> GraphDatabase:
+    return random_database(60, 12, 0.5, 4, seed=7, name="diff60")
+
+
+@pytest.fixture(scope="module")
+def sqlite_db(seeded_db, tmp_path_factory) -> GraphDatabase:
+    path = tmp_path_factory.mktemp("stores") / "diff60.sqlite"
+    import_graphs(path, iter(seeded_db), name=seeded_db.name)
+    return GraphDatabase(source=open_source(path))
+
+
+class TestShardBounds:
+    def test_by_shard_count(self):
+        assert shard_bounds(10, shards=3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_by_shard_size(self):
+        assert shard_bounds(10, shard_size=4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_empty_and_oversubscribed(self):
+        assert shard_bounds(0, shards=4) == []
+        assert shard_bounds(2, shards=5) == [(0, 1), (1, 2)]
+
+    def test_ranges_partition_the_id_space(self):
+        for n in (1, 7, 100):
+            for shards in (1, 2, 3, n):
+                bounds = shard_bounds(n, shards=shards)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n
+                assert all(lo < hi for lo, hi in bounds)
+                assert all(
+                    bounds[i][1] == bounds[i + 1][0] for i in range(len(bounds) - 1)
+                )
+
+    def test_both_specs_rejected(self):
+        with pytest.raises(MiningError):
+            shard_bounds(10, shards=2, shard_size=5)
+
+    def test_shard_database_shares_graphs(self):
+        db = random_database(9, 5, 0.5, 2, seed=1)
+        pieces = list(shard_database(db, shards=3))
+        assert [(lo, hi) for lo, hi, _ in pieces] == [(0, 3), (3, 6), (6, 9)]
+        for lo, hi, shard in pieces:
+            assert len(shard) == hi - lo
+            assert shard[0] is db[lo]
+
+
+class TestLocalThreshold:
+    def test_never_below_one_or_above_share(self):
+        for global_sup in (1, 3, 10):
+            for n_i in (1, 4, 7):
+                s = local_threshold(global_sup, n_i, 10)
+                assert 1 <= s <= max(1, global_sup)
+
+    def test_pigeonhole_bound(self):
+        # Sum over any partition of (s_i - 1) stays below S: the recall
+        # guarantee's arithmetic core.
+        n, global_sup = 23, 9
+        for shards in (1, 2, 3, 5, 8, 23):
+            bounds = shard_bounds(n, shards=shards)
+            slack = sum(
+                local_threshold(global_sup, hi - lo, n) - 1 for lo, hi in bounds
+            )
+            assert slack < global_sup
+
+
+class TestDifferentialSuite:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("task,options", TASKS, ids=[t for t, _ in TASKS])
+    def test_sharded_merge_matches_serial(self, seeded_db, task, options, kernel):
+        request = MiningRequest.from_options(2, task=task, kernel=kernel, **options)
+        serial = canonical(request, execute_request(seeded_db, request))
+        sharded = canonical(request, mine_sharded(seeded_db, request, shards=4))
+        assert sharded == serial
+
+    @pytest.mark.parametrize("task,options", TASKS, ids=[t for t, _ in TASKS])
+    def test_sqlite_backend_matches_in_memory(self, seeded_db, sqlite_db, task, options):
+        request = MiningRequest.from_options(2, task=task, **options)
+        in_memory = execute_request(seeded_db, request)
+        from_sqlite = execute_request(sqlite_db, request)
+        assert canonical(request, from_sqlite) == canonical(request, in_memory)
+        # The serial engine does identical work whichever backend feeds
+        # it, so the full statistics snapshot matches too.  (Sharded
+        # statistics are per-shard aggregates by design and are only
+        # checked for presence, not equality.)
+        assert from_sqlite.statistics.snapshot() == in_memory.statistics.snapshot()
+
+    @pytest.mark.parametrize("task,options", TASKS, ids=[t for t, _ in TASKS])
+    def test_sharded_over_sqlite_matches_serial(
+        self, seeded_db, sqlite_db, task, options
+    ):
+        request = MiningRequest.from_options(2, task=task, **options)
+        serial = canonical(request, execute_request(seeded_db, request))
+        sharded = canonical(request, mine_sharded(sqlite_db, request, shards=5))
+        assert sharded == serial
+
+    def test_size_windows_survive_the_merge(self, seeded_db):
+        for task, options in [
+            ("closed", {"min_size": 2, "max_size": 4}),
+            ("closed", {"max_size": 3}),
+            ("frequent", {"min_size": 2, "max_size": 3}),
+            ("topk", {"k": 3, "min_size": 2, "max_size": 4}),
+            ("quasi", {"gamma": 0.9, "min_size": 2, "max_size": 4}),
+        ]:
+            request = MiningRequest.from_options(3, task=task, **options)
+            serial = canonical(request, execute_request(seeded_db, request))
+            sharded = canonical(request, mine_sharded(seeded_db, request, shards=5))
+            assert sharded == serial, (task, options)
+
+    def test_single_shard_degenerates_to_serial(self, seeded_db):
+        request = MiningRequest.from_options(2, task="closed")
+        serial = canonical(request, execute_request(seeded_db, request))
+        assert canonical(
+            request, mine_sharded(seeded_db, request, shards=1)
+        ) == serial
+
+    def test_statistics_are_aggregated(self, seeded_db):
+        request = MiningRequest.from_options(2, task="closed")
+        result = mine_sharded(seeded_db, request, shards=4)
+        assert result.statistics.prefixes_visited > 0
+
+    def test_session_features_rejected(self, seeded_db):
+        request = MiningRequest.from_options(2, task="closed", deadline=60.0)
+        with pytest.raises(MiningError):
+            mine_sharded(seeded_db, request, shards=2)
+
+
+class TestShardBoundaryProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        database=graph_databases(min_graphs=2, max_graphs=8, max_vertices=6),
+        data=st.data(),
+    )
+    def test_any_shard_geometry_is_exact(self, database, data):
+        request = MiningRequest.from_options(1, task="closed")
+        serial = canonical(request, execute_request(database, request))
+        shards = data.draw(st.integers(1, len(database)), label="shards")
+        sharded = canonical(request, mine_sharded(database, request, shards=shards))
+        assert sharded == serial

@@ -1,0 +1,249 @@
+"""Tests for the pluggable storage seam (repro.graphdb.storage/schema).
+
+Covers the GraphSource contract for both backends, the SQLite store's
+round-trip fidelity, fingerprint portability across backends, the
+no-copy subset/replicate contract, and the streaming readers' parity
+with the eager parsers.
+"""
+
+import io
+import pickle
+
+import pytest
+
+from repro.chem import ca_like_database
+from repro.exceptions import DatabaseError
+from repro.graphdb import (
+    Graph,
+    GraphDatabase,
+    InMemoryGraphSource,
+    SqliteGraphSource,
+    create_store,
+    fingerprint_digests,
+    import_graphs,
+    open_source,
+    paper_example_database,
+    random_database,
+    transaction_digest,
+)
+from repro.graphdb.schema import decode_graph, encode_graph
+from repro.io import gspan_format, json_format
+from repro.io.runlog import database_fingerprint
+
+
+def tricky_db() -> GraphDatabase:
+    """Labels chosen to break any positional text encoding."""
+    g1 = Graph.from_edges({0: "a;b", 1: "x=y", 2: "µ"}, [(0, 1), (1, 2)])
+    g2 = Graph.from_edges({3: "t#0", 7: 'q"r'}, [(3, 7)])
+    g3 = Graph()
+    g3.add_vertex(0, "lonely")
+    return GraphDatabase([g1, g2, g3], name="tricky")
+
+
+class TestSchema:
+    def test_encode_decode_round_trip(self):
+        for tid, graph in enumerate(tricky_db()):
+            again = decode_graph(encode_graph(graph), tid)
+            assert again == graph
+            assert again.graph_id == tid
+
+    def test_digest_is_structural(self):
+        db = tricky_db()
+        assert transaction_digest(db[0]) != transaction_digest(db[1])
+        copy = decode_graph(encode_graph(db[0]), 99)
+        assert transaction_digest(copy) == transaction_digest(db[0])
+
+    def test_fingerprint_folds_digests_in_order(self):
+        db = tricky_db()
+        digests = [transaction_digest(g) for g in db]
+        assert fingerprint_digests(digests) != fingerprint_digests(digests[::-1])
+
+
+class TestSqliteSource:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        db = random_database(25, 8, 0.4, 3, seed=9)
+        path = tmp_path / "db.sqlite"
+        import_graphs(path, iter(db), name="rand25", commit_every=7)
+        return db, open_source(path)
+
+    def test_round_trip_get_and_iter(self, store):
+        db, source = store
+        assert len(source) == len(db)
+        assert source.name == "rand25"
+        for tid in (0, 13, 24):
+            assert source.get(tid) == db[tid]
+            assert source.get(tid).graph_id == tid
+        assert list(source) == list(db)
+        assert list(source.iter_range(5, 9)) == [db[t] for t in range(5, 9)]
+
+    def test_out_of_range(self, store):
+        _, source = store
+        with pytest.raises(DatabaseError):
+            source.get(len(source))
+
+    def test_label_supports_without_decoding(self, store):
+        db, source = store
+        assert source.label_supports() == db.label_supports()
+
+    def test_digests_from_stored_column(self, store):
+        db, source = store
+        assert list(source.transaction_digests()) == [
+            transaction_digest(g) for g in db
+        ]
+
+    def test_tricky_labels_round_trip(self, tmp_path):
+        db = tricky_db()
+        path = tmp_path / "tricky.sqlite"
+        import_graphs(path, iter(db), name="tricky")
+        source = open_source(path)
+        assert list(source) == list(db)
+
+    def test_append_updates_supports_and_len(self, tmp_path):
+        path = tmp_path / "grow.sqlite"
+        source = create_store(path, name="grow")
+        g = Graph.from_edges({0: "a", 1: "b"}, [(0, 1)])
+        assert source.append(g) == 0
+        assert source.append(g.copy(1)) == 1
+        assert len(source) == 2
+        assert source.label_supports() == {"a": 2, "b": 2}
+        assert source.get(1) == g
+
+    def test_open_source_rejects_non_store(self, tmp_path):
+        path = tmp_path / "not-a-store.sqlite"
+        path.write_text("this is not sqlite")
+        with pytest.raises(DatabaseError):
+            open_source(path)
+
+    def test_import_into_populated_store_rejected(self, tmp_path):
+        db = paper_example_database()
+        path = tmp_path / "dup.sqlite"
+        import_graphs(path, iter(db))
+        with pytest.raises(DatabaseError):
+            import_graphs(path, iter(db))
+
+    def test_pickle_round_trip(self, store):
+        db, source = store
+        clone = pickle.loads(pickle.dumps(source))
+        assert len(clone) == len(db)
+        assert clone.get(3) == db[3]
+
+    def test_no_aligned_or_slab_space(self, store):
+        # Aligning an out-of-core store would materialise it.
+        _, source = store
+        assert source.aligned_space() is None
+        assert source.slab_space() is None
+
+
+class TestFingerprintPortability:
+    def test_backends_share_fingerprints(self, tmp_path):
+        db = random_database(12, 7, 0.5, 3, seed=4)
+        path = tmp_path / "db.sqlite"
+        import_graphs(path, iter(db), name=db.name)
+        sqlite_db = GraphDatabase(source=open_source(path))
+        assert database_fingerprint(sqlite_db) == database_fingerprint(db)
+
+    def test_shards_reassemble_the_fingerprint(self):
+        db = random_database(10, 6, 0.5, 3, seed=8)
+        digests = []
+        for lo in range(0, 10, 3):
+            shard = db.subset(range(lo, min(lo + 3, 10)))
+            digests.extend(shard.transaction_digests())
+        assert fingerprint_digests(digests) == database_fingerprint(db)
+
+    def test_fingerprint_detects_structural_change(self):
+        db = random_database(5, 6, 0.5, 3, seed=2)
+        before = database_fingerprint(db)
+        db[2].add_vertex(999, "new")
+        assert database_fingerprint(db) != before
+
+
+class TestSharingContract:
+    def test_subset_of_large_database_copies_nothing(self):
+        graph = Graph.from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (0, 2)])
+        db = GraphDatabase(name="big")
+        for _ in range(10_000):
+            db.add(graph.copy())
+        picked = list(range(0, 10_000, 7))
+        sub = db.subset(picked)
+        assert len(sub) == len(picked)
+        for local, tid in enumerate(picked):
+            assert sub[local] is db[tid]
+
+    def test_replicate_shares_and_scales(self):
+        db = paper_example_database()
+        big = db.replicate(16)
+        assert len(big) == 16 * len(db)
+        assert all(big[i] is db[i % len(db)] for i in range(len(big)))
+
+
+class TestStreamingReaders:
+    def test_gspan_parity_fig6a(self, tmp_path):
+        db = paper_example_database()
+        path = tmp_path / "fig6a.tve"
+        gspan_format.save_database(db, path)
+        eager = gspan_format.open_database(path)
+        streamed = list(gspan_format.iter_database_file(path))
+        assert streamed == list(eager)
+
+    def test_gspan_parity_chem(self, tmp_path):
+        db = ca_like_database(n_compounds=12, seed=5)
+        path = tmp_path / "chem.tve"
+        gspan_format.save_database(db, path)
+        eager = gspan_format.open_database(path)
+        streamed = list(gspan_format.iter_database_file(path))
+        assert streamed == list(eager)
+
+    def test_gspan_streaming_errors_carry_line_numbers(self):
+        from repro.exceptions import FormatError
+
+        with pytest.raises(FormatError):
+            list(gspan_format.iter_database(io.StringIO("v 0 a\n")))
+
+    def test_json_parity_fig6a(self, tmp_path):
+        db = paper_example_database()
+        path = tmp_path / "fig6a.json"
+        json_format.save_database(db, path)
+        eager = json_format.open_database(path)
+        streamed = list(json_format.iter_database_file(path))
+        assert streamed == list(eager)
+
+    def test_json_parity_chem(self, tmp_path):
+        db = ca_like_database(n_compounds=12, seed=5)
+        path = tmp_path / "chem.json"
+        json_format.save_database(db, path)
+        eager = json_format.open_database(path)
+        streamed = list(json_format.iter_database_file(path))
+        assert streamed == list(eager)
+
+    def test_import_composes_with_streaming_reader(self, tmp_path):
+        db = ca_like_database(n_compounds=10, seed=7)
+        tve = tmp_path / "chem.tve"
+        gspan_format.save_database(db, tve)
+        store = tmp_path / "chem.sqlite"
+        import_graphs(store, gspan_format.iter_database_file(tve), name="chem")
+        sqlite_db = GraphDatabase(source=open_source(store))
+        assert list(sqlite_db) == list(db)
+        assert database_fingerprint(sqlite_db) == database_fingerprint(db)
+
+
+class TestInMemorySource:
+    def test_default_source_is_in_memory(self):
+        db = GraphDatabase()
+        assert isinstance(db.source, InMemoryGraphSource)
+
+    def test_iter_range_and_contract_checks(self):
+        db = paper_example_database()
+        source = db.source
+        assert list(source.iter_range(0, len(db))) == list(db)
+        with pytest.raises(DatabaseError):
+            source.get(len(db))
+
+    def test_sqlite_database_view(self, tmp_path):
+        db = paper_example_database()
+        path = tmp_path / "paper.sqlite"
+        import_graphs(path, iter(db), name="paper")
+        view = GraphDatabase(source=open_source(path))
+        assert isinstance(view.source, SqliteGraphSource)
+        assert view.label_supports() == db.label_supports()
+        assert view.total_vertices() == db.total_vertices()
